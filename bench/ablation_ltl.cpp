@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Ablation A2: LTL protocol mechanisms.
+ *
+ *  1. NACK fast retransmit vs timeout-only recovery under packet loss:
+ *     NACKs recover a lost frame in ~1 RTT instead of the 50 us timeout,
+ *     which is why the paper adds them ("NACKs are used to request
+ *     timely retransmission of particular packets without waiting for a
+ *     timeout").
+ *  2. DC-QCN on/off under persistent ECN marking: the reaction point
+ *     backs the sender off instead of blasting into a congested fabric
+ *     (incast protection).
+ *  3. Retransmission-timeout sweep: the configurable timeout trades
+ *     recovery latency against spurious retransmissions.
+ */
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "ltl/ltl_engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+using namespace ccsim;
+using ltl::LtlConfig;
+using ltl::LtlEngine;
+
+namespace {
+
+/** Minimal two-engine harness with loss/ECN injection on A->B data. */
+struct Pair {
+    sim::EventQueue eq;
+    std::unique_ptr<LtlEngine> a, b;
+    sim::TimePs oneWay = sim::fromNanos(1200);
+    double lossProb = 0.0;
+    bool markEcn = false;
+    sim::Rng rng{99};
+    int delivered = 0;
+    sim::SampleStats deliveryUs;
+
+    explicit Pair(LtlConfig base)
+    {
+        LtlConfig ca = base;
+        ca.localIp = {1};
+        LtlConfig cb = base;
+        cb.localIp = {2};
+        a = std::make_unique<LtlEngine>(
+            eq, ca, [this](const net::PacketPtr &p) {
+                auto hdr = std::static_pointer_cast<ltl::LtlHeader>(p->meta);
+                const bool data = hdr && (hdr->flags & ltl::kFlagData);
+                if (data && lossProb > 0 && rng.bernoulli(lossProb))
+                    return;
+                if (data && markEcn)
+                    p->ecnMarked = true;
+                eq.scheduleAfter(oneWay,
+                                 [this, p] { b->onNetworkPacket(p); });
+            });
+        b = std::make_unique<LtlEngine>(
+            eq, cb, [this](const net::PacketPtr &p) {
+                eq.scheduleAfter(oneWay,
+                                 [this, p] { a->onNetworkPacket(p); });
+            });
+        b->setDeliveryHandler([this](const ltl::LtlMessage &m) {
+            ++delivered;
+            deliveryUs.add(sim::toMicros(eq.now() - m.sentAt));
+        });
+    }
+
+    std::uint16_t connect()
+    {
+        return a->openSend({2}, b->openReceive(0));
+    }
+};
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation A2: LTL protocol mechanisms ===\n\n");
+
+    std::printf("-- 1. Loss recovery: NACK fast retransmit vs "
+                "timeout-only --\n");
+    std::printf("  %8s | %12s %12s | %12s %12s\n", "loss", "nack p99(us)",
+                "timeouts", "t/o p99(us)", "timeouts");
+    for (double loss : {0.001, 0.01, 0.05}) {
+        double p99[2];
+        std::uint64_t tos[2];
+        int idx = 0;
+        for (bool nack : {true, false}) {
+            LtlConfig cfg;
+            cfg.enableNack = nack;
+            Pair pair(cfg);
+            pair.lossProb = loss;
+            const auto conn = pair.connect();
+            for (int i = 0; i < 2000; ++i) {
+                pair.eq.scheduleAfter(i * 5 * sim::kMicrosecond,
+                                      [&pair, conn] {
+                                          pair.a->sendMessage(conn, 700);
+                                      });
+            }
+            pair.eq.runUntil(sim::fromSeconds(1.0));
+            if (pair.delivered != 2000)
+                sim::panicf("ablation_ltl: only ", pair.delivered,
+                            " of 2000 delivered");
+            p99[idx] = pair.deliveryUs.percentile(99.0);
+            tos[idx] = pair.a->timeouts();
+            ++idx;
+        }
+        std::printf("  %7.1f%% | %12.1f %12llu | %12.1f %12llu\n",
+                    loss * 100, p99[0],
+                    static_cast<unsigned long long>(tos[0]), p99[1],
+                    static_cast<unsigned long long>(tos[1]));
+    }
+
+    std::printf("\n-- 2. DC-QCN reaction to persistent ECN marking --\n");
+    std::printf("  %10s | %18s %16s %18s\n", "dcqcn", "rate@burst(Gb/s)",
+                "cnps received", "rate@+5ms(Gb/s)");
+    for (bool dcqcn : {true, false}) {
+        LtlConfig cfg;
+        cfg.enableDcqcn = dcqcn;
+        Pair pair(cfg);
+        pair.markEcn = true;
+        const auto conn = pair.connect();
+        for (int i = 0; i < 500; ++i) {
+            pair.eq.scheduleAfter(i * 2 * sim::kMicrosecond,
+                                  [&pair, conn] {
+                                      pair.a->sendMessage(conn, 1408);
+                                  });
+        }
+        // Read the operating rate while the marked burst is active...
+        pair.eq.runUntil(sim::fromMicros(1000));
+        const double during = pair.a->currentRateGbps(conn);
+        // ...then stop marking and let the recovery timers run.
+        pair.markEcn = false;
+        pair.eq.runUntil(sim::fromMicros(6000));
+        const double after = pair.a->currentRateGbps(conn);
+        std::printf("  %10s | %18.2f %16llu %18.2f\n",
+                    dcqcn ? "on" : "off", during,
+                    static_cast<unsigned long long>(
+                        pair.a->cnpsReceived()),
+                    after);
+    }
+
+    std::printf("\n-- 3. Retransmission timeout sweep (1%% loss, "
+                "NACK off) --\n");
+    std::printf("  %12s | %12s %14s\n", "timeout(us)", "p99(us)",
+                "retransmits");
+    for (int timeout_us : {25, 50, 100, 200}) {
+        LtlConfig cfg;
+        cfg.enableNack = false;
+        cfg.retransmitTimeout = timeout_us * sim::kMicrosecond;
+        Pair pair(cfg);
+        pair.lossProb = 0.01;
+        const auto conn = pair.connect();
+        for (int i = 0; i < 2000; ++i) {
+            pair.eq.scheduleAfter(i * 5 * sim::kMicrosecond,
+                                  [&pair, conn] {
+                                      pair.a->sendMessage(conn, 700);
+                                  });
+        }
+        pair.eq.runUntil(sim::fromSeconds(1.0));
+        std::printf("  %12d | %12.1f %14llu\n", timeout_us,
+                    pair.deliveryUs.percentile(99.0),
+                    static_cast<unsigned long long>(
+                        pair.a->framesRetransmitted()));
+    }
+
+    std::printf("\nconclusion: NACKs keep loss-recovery latency near one "
+                "RTT (the 50 us timeout is the\nbackstop, and its value "
+                "trades recovery speed against spurious retransmits); "
+                "DC-QCN\nthrottles senders under ECN marking so LTL "
+                "coexists with lossless-class traffic.\n");
+    return 0;
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the hot code paths: the
+ * discrete-event kernel, the crypto datapath the crypto role executes,
+ * the ranking feature engines, and flit routing through the ER.
+ */
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "crypto/aes.hpp"
+#include "crypto/sha1.hpp"
+#include "host/workload.hpp"
+#include "roles/ranking/features.hpp"
+#include "router/elastic_router.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+using namespace ccsim;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    std::int64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i)
+            eq.scheduleAfter(i, [&sink] { ++sink; });
+        eq.runAll();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_Rng(benchmark::State &state)
+{
+    sim::Rng rng(1);
+    std::uint64_t acc = 0;
+    for (auto _ : state)
+        acc ^= rng.next();
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Rng);
+
+void
+BM_AesEncryptBlock(benchmark::State &state)
+{
+    crypto::Key128 key{};
+    crypto::Aes128 aes(key);
+    crypto::Block block{};
+    for (auto _ : state) {
+        aes.encryptBlock(block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void
+BM_AesCbc1500B(benchmark::State &state)
+{
+    crypto::Key128 key{};
+    crypto::Block iv{};
+    crypto::AesCbc cbc(key, iv);
+    std::vector<std::uint8_t> buf(1504, 0xAB);
+    for (auto _ : state) {
+        cbc.encrypt(buf.data(), buf.size());
+        benchmark::DoNotOptimize(buf);
+    }
+    state.SetBytesProcessed(state.iterations() * 1504);
+}
+BENCHMARK(BM_AesCbc1500B);
+
+void
+BM_AesGcm1500B(benchmark::State &state)
+{
+    crypto::Key128 key{};
+    crypto::AesGcm gcm(key);
+    std::vector<std::uint8_t> buf(1500, 0xAB);
+    std::uint8_t iv[12] = {};
+    crypto::Block tag;
+    for (auto _ : state) {
+        gcm.encrypt(iv, nullptr, 0, buf.data(), buf.size(), tag);
+        benchmark::DoNotOptimize(tag);
+    }
+    state.SetBytesProcessed(state.iterations() * 1500);
+}
+BENCHMARK(BM_AesGcm1500B);
+
+void
+BM_Sha1_1500B(benchmark::State &state)
+{
+    std::vector<std::uint8_t> buf(1500, 0xAB);
+    for (auto _ : state) {
+        auto digest = crypto::Sha1::hash(buf.data(), buf.size());
+        benchmark::DoNotOptimize(digest);
+    }
+    state.SetBytesProcessed(state.iterations() * 1500);
+}
+BENCHMARK(BM_Sha1_1500B);
+
+void
+BM_FfuRun(benchmark::State &state)
+{
+    host::CorpusGenerator corpus(20000, 1.0, 5);
+    const auto query = corpus.makeQuery(4);
+    const auto doc = corpus.makeCandidateDocument(query, 500);
+    const auto prog = roles::FfuProgram::compile(query);
+    roles::FeatureVector f{};
+    for (auto _ : state) {
+        prog.run(doc, f);
+        benchmark::DoNotOptimize(f);
+    }
+    state.SetItemsProcessed(state.iterations() * doc.terms.size());
+}
+BENCHMARK(BM_FfuRun);
+
+void
+BM_DpfRun(benchmark::State &state)
+{
+    host::CorpusGenerator corpus(20000, 1.0, 5);
+    const auto query = corpus.makeQuery(4);
+    const auto doc = corpus.makeCandidateDocument(query, 500);
+    const roles::DpfEngine dpf(query);
+    roles::FeatureVector f{};
+    for (auto _ : state) {
+        dpf.run(doc, f);
+        benchmark::DoNotOptimize(f);
+    }
+    state.SetItemsProcessed(state.iterations() * doc.terms.size());
+}
+BENCHMARK(BM_DpfRun);
+
+void
+BM_ErMessageRouting(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    router::ErConfig cfg;
+    router::ElasticRouter er(eq, cfg);
+    std::vector<std::unique_ptr<router::ErEndpoint>> eps;
+    for (int p = 0; p < cfg.numPorts; ++p) {
+        eps.push_back(std::make_unique<router::ErEndpoint>(eq, er, p, p));
+        er.setOutputSink(p, eps.back().get());
+    }
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            eps[i % 4]->sendMessage((i + 1) % 4, i % 2, 256);
+        eq.runAll();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ErMessageRouting);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces the Section II-B deployment reliability measurements:
+ * 5,760 servers, one month of mirrored production traffic.
+ *
+ * Paper observations: 2 FPGA hard failures; 1 bad network cable; 5
+ * machines failed PCIe Gen3 x8 training; 8 DRAM calibration failures
+ * (logic bug, repaired by reconfiguration); one configuration bit-flip
+ * per 1025 machine-days; scrubbing every ~30 s; at least one role hang
+ * attributed to an SEU.
+ */
+#include <cstdio>
+
+#include "fpga/power_virus.hpp"
+#include "fpga/reliability.hpp"
+#include "fpga/shell.hpp"
+#include "sim/event_queue.hpp"
+
+using namespace ccsim;
+
+int
+main()
+{
+    std::printf("=== Section II: board qualification + 5,760-server, "
+                "1-month deployment ===\n\n");
+
+    // --- power-virus burn-in (every server passed before production) ---
+    {
+        sim::EventQueue eq;
+        fpga::ShellConfig sc;
+        sc.name = "qual";
+        sc.ip = {1};
+        sc.ltl.maxConnections = 4;
+        fpga::Shell shell(eq, sc);
+        fpga::PowerVirus virus(eq);
+        fpga::BurnInReport report;
+        virus.run(shell, 10 * sim::kMillisecond,
+                  fpga::BurnInConditions{},
+                  [&](const fpga::BurnInReport &r) { report = r; });
+        eq.runAll();
+        std::printf("-- power-virus burn-in (70C inlet, 160 lfm, failed "
+                    "fan, high CPU load) --\n");
+        std::printf("  DRAM / PCIe / ER utilization: %.0f%% / %.0f%% / "
+                    "%.1f%%\n", 100 * report.dramUtilization,
+                    100 * report.pcieUtilization,
+                    100 * report.erUtilization);
+        std::printf("  card power: %.1f W  (paper: 29.2 W; TDP 32 W, "
+                    "electrical limit 35 W)\n", report.powerWatts);
+        std::printf("  qualification: %s\n\n",
+                    report.passed() ? "PASS" : "FAIL");
+    }
+
+    fpga::DeploymentConfig cfg;
+    std::printf("  %-34s %10s %10s %10s\n", "metric", "seed A", "seed B",
+                "paper");
+    fpga::DeploymentConfig cfg_b = cfg;
+    cfg_b.seed = 777;
+    const auto a = fpga::simulateDeployment(cfg);
+    const auto b = fpga::simulateDeployment(cfg_b);
+
+    auto row = [](const char *name, std::uint64_t x, std::uint64_t y,
+                  const char *paper) {
+        std::printf("  %-34s %10llu %10llu %10s\n", name,
+                    static_cast<unsigned long long>(x),
+                    static_cast<unsigned long long>(y), paper);
+    };
+    row("FPGA hard failures", a.hardFailures, b.hardFailures, "2");
+    row("network cable failures", a.cableFailures, b.cableFailures, "1");
+    row("PCIe Gen3 training failures", a.pcieTrainingFailures,
+        b.pcieTrainingFailures, "5");
+    row("DRAM calibration failures", a.dramCalibFailures,
+        b.dramCalibFailures, "8");
+    row("config SEU events", a.seuEvents, b.seuEvents, "~169");
+    row("  caught by ~30s scrubbing", a.seuCaughtByScrub,
+        b.seuCaughtByScrub, "most");
+    row("  role hangs (auto-recovered)", a.roleHangs, b.roleHangs, ">=1");
+
+    std::printf("\n  machine-days per SEU: %.0f / %.0f   (paper: 1025)\n",
+                a.machineDaysPerSeu(), b.machineDaysPerSeu());
+    std::printf("  machine-days simulated: %llu\n",
+                static_cast<unsigned long long>(a.machineDays));
+    std::printf("\n  conclusion (as in paper): FPGA-related failure rates "
+                "acceptably low for production.\n");
+    return 0;
+}

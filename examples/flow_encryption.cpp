@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Example: transparent host-to-host flow encryption in the
+ * bump-in-the-wire (the paper's Section IV scenario).
+ *
+ * Host software on two servers sets up an encrypted flow; afterwards the
+ * sending FPGA encrypts every matching packet on its way NIC -> TOR and
+ * the receiving FPGA decrypts TOR -> NIC. Software at both ends sees
+ * plaintext and spends zero cycles on crypto — the CPU savings the paper
+ * quantifies as 5 (GCM) to 15+ (CBC-SHA1) cores at 40 Gb/s.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cloud.hpp"
+#include "crypto/crypto_timing.hpp"
+#include "roles/crypto_role.hpp"
+
+using namespace ccsim;
+
+int
+main()
+{
+    std::printf("== flow encryption example ==\n\n");
+
+    sim::EventQueue eq;
+    core::CloudConfig cfg;
+    cfg.topology.hostsPerRack = 3;
+    cfg.topology.racksPerPod = 2;
+    cfg.topology.l1PerPod = 2;
+    cfg.topology.pods = 1;
+    cfg.topology.l2Count = 1;
+    core::ConfigurableCloud cloud(eq, cfg);
+
+    const int alice = 0, bob = 4;  // cross-rack
+
+    roles::CryptoRoleParams params;
+    params.suite = crypto::Suite::kAesCbc128Sha1;
+    roles::CryptoRole crypto_a(eq, params);
+    roles::CryptoRole crypto_b(eq, params);
+    cloud.shell(alice).addRole(&crypto_a);
+    cloud.shell(bob).addRole(&crypto_b);
+
+    // Control plane: both ends install the flow key (in production this
+    // happens over PCIe from host software; CryptoFlowConfig messages
+    // are also supported).
+    crypto::Key128 key{};
+    for (int i = 0; i < 16; ++i)
+        key[i] = static_cast<std::uint8_t>(0xC0 + i);
+    roles::FlowKey flow{cloud.addressOf(alice), cloud.addressOf(bob),
+                        4433, 4433, 17};
+    crypto_a.addEncryptFlow(flow, key);
+    crypto_b.addDecryptFlow(flow, key);
+    std::printf("flow %s:%u -> %s:%u configured for AES-CBC-128 + "
+                "HMAC-SHA1\n\n", flow.src.str().c_str(), flow.srcPort,
+                flow.dst.str().c_str(), flow.dstPort);
+
+    // Bob's software just reads plaintext.
+    int received = 0;
+    cloud.nic(bob).setReceiveHandler([&](const net::PacketPtr &pkt) {
+        std::printf("  [%.2f us] bob's host software received: \"%s\" "
+                    "(%u bytes on the wire were ciphertext)\n",
+                    sim::toMicros(eq.now()),
+                    std::string(pkt->data.begin(), pkt->data.end()).c_str(),
+                    pkt->payloadBytes);
+        ++received;
+    });
+
+    // Alice's software sends plaintext packets on the flow.
+    const std::vector<std::string> messages = {
+        "wire transfer #1: $1,000,000",
+        "the launch code is 0000",
+        "actually it is 00000000",
+    };
+    for (const auto &text : messages) {
+        auto pkt = net::makePacket();
+        pkt->ipDst = cloud.addressOf(bob);
+        pkt->srcPort = 4433;
+        pkt->dstPort = 4433;
+        pkt->data.assign(text.begin(), text.end());
+        pkt->payloadBytes = static_cast<std::uint32_t>(pkt->data.size());
+        cloud.nic(alice).sendPacket(pkt);
+    }
+    eq.runAll();
+
+    std::printf("\nencrypted %llu packets at alice, decrypted %llu at "
+                "bob, %llu auth failures\n",
+                static_cast<unsigned long long>(
+                    crypto_a.packetsEncrypted()),
+                static_cast<unsigned long long>(
+                    crypto_b.packetsDecrypted()),
+                static_cast<unsigned long long>(crypto_b.authFailures()));
+
+    crypto::CpuCryptoModel cpu;
+    std::printf("CPU cores this offload frees at 40 Gb/s full duplex: "
+                "%.1f\n",
+                cpu.coresForLineRate(crypto::Suite::kAesCbc128Sha1, 40.0));
+    std::printf("per-packet FPGA datapath latency (1500 B): %.1f us "
+                "(33-packet CBC interleave)\n",
+                sim::toMicros(crypto_a.packetLatency(1500)));
+    return received == 3 ? 0 : 1;
+}

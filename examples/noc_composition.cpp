@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Example: composing Elastic Routers into a larger on-chip network.
+ *
+ * Section V-B: "multiple ERs can be composed to form a larger on-chip
+ * network topology, e.g., a ring or a 2-D mesh." A multi-role FPGA image
+ * with more endpoints than one crossbar comfortably supports can spread
+ * them over several ERs; this example builds a ring and a mesh, runs
+ * traffic across them, and shows the latency/locality trade-off.
+ */
+#include <cstdio>
+
+#include "router/er_network.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+
+using namespace ccsim;
+
+namespace {
+
+/** Average message latency between two endpoints of a network. */
+double
+measureUs(sim::EventQueue &eq, router::ErNetwork &net, int src, int dst,
+          int messages)
+{
+    sim::SampleStats lat;
+    net.endpoint(dst).setMessageHandler(
+        [&](const router::ErMessagePtr &m) {
+            lat.add(sim::toMicros(eq.now() - m->createdAt));
+        });
+    for (int i = 0; i < messages; ++i) {
+        eq.scheduleAfter(i * sim::kMicrosecond, [&net, src, dst] {
+            net.endpoint(src).sendMessage(dst, 0, 256);
+        });
+    }
+    eq.runAll();
+    return lat.mean();
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("== Elastic Router composition example ==\n\n");
+
+    // A ring of 4 ERs, two endpoints each (8 on-chip clients).
+    {
+        sim::EventQueue eq;
+        auto ring = router::ErNetwork::ring(eq, 4, 2);
+        std::printf("ring of %d routers, %d endpoints:\n",
+                    ring->numRouters(), ring->numEndpoints());
+        std::printf("  same-router  (0 -> 1): %6.3f us\n",
+                    measureUs(eq, *ring, 0, 1, 50));
+        std::printf("  one hop      (0 -> 2): %6.3f us\n",
+                    measureUs(eq, *ring, 0, 2, 50));
+        std::printf("  diameter     (0 -> 4): %6.3f us\n",
+                    measureUs(eq, *ring, 0, 4, 50));
+    }
+
+    // A 3x3 mesh with one endpoint per router.
+    {
+        sim::EventQueue eq;
+        auto mesh = router::ErNetwork::mesh(eq, 3, 3, 1);
+        std::printf("\n3x3 mesh, dimension-order routing:\n");
+        std::printf("  neighbour    (0 -> 1): %6.3f us\n",
+                    measureUs(eq, *mesh, 0, 1, 50));
+        std::printf("  corner apart (0 -> 8): %6.3f us\n",
+                    measureUs(eq, *mesh, 0, 8, 50));
+
+        // All-to-all storm: every endpoint fires at every other.
+        int delivered = 0;
+        for (int e = 0; e < mesh->numEndpoints(); ++e)
+            mesh->endpoint(e).setMessageHandler(
+                [&delivered](const router::ErMessagePtr &) {
+                    ++delivered;
+                });
+        for (int s = 0; s < mesh->numEndpoints(); ++s) {
+            for (int d = 0; d < mesh->numEndpoints(); ++d) {
+                if (s != d)
+                    mesh->endpoint(s).sendMessage(d, 0, 512);
+            }
+        }
+        eq.runAll();
+        std::printf("  all-to-all storm: %d/%d messages delivered, "
+                    "link backlog %zu\n", delivered,
+                    mesh->numEndpoints() * (mesh->numEndpoints() - 1),
+                    mesh->linkBacklog());
+    }
+
+    std::printf("\nlatency grows with on-chip distance, and the credit-"
+                "respecting inter-router links\nback-pressure cleanly — "
+                "the shell's single 4-port ER is just the smallest "
+                "instance.\n");
+    return 0;
+}

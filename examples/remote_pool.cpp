@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Example: Hardware-as-a-Service — a DNN accelerator pool shared by
+ * remote clients, with failure handling (the paper's Section V
+ * scenario, Figure 13).
+ *
+ * A Service Manager leases FPGAs from the Resource Manager, configures
+ * the DNN role on each through the per-node FPGA Managers, and clients
+ * on other servers call into the pool over LTL. When a pool node fails,
+ * the SM leases a replacement from the abundant spare pool — the
+ * failure-handling advantage the paper contrasts against the torus.
+ */
+#include <cstdio>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cloud.hpp"
+#include "haas/haas.hpp"
+#include "roles/dnn_role.hpp"
+#include "roles/ranking/ranking_role.hpp"
+
+using namespace ccsim;
+
+int
+main()
+{
+    std::printf("== HaaS remote pool example ==\n\n");
+
+    sim::EventQueue eq;
+    core::CloudConfig cfg;
+    cfg.topology.hostsPerRack = 6;
+    cfg.topology.racksPerPod = 2;
+    cfg.topology.l1PerPod = 2;
+    cfg.topology.pods = 1;
+    cfg.topology.l2Count = 1;
+    cfg.shellTemplate.ltl.maxConnections = 32;
+    core::ConfigurableCloud cloud(eq, cfg);
+
+    // --- deploy a 3-FPGA DNN service through HaaS ---
+    std::vector<std::unique_ptr<roles::DnnRole>> roles_storage;
+    haas::ServiceManager sm(eq, cloud.resourceManager(), "dnn-serving",
+                            [&](int) -> fpga::Role * {
+                                roles_storage.push_back(
+                                    std::make_unique<roles::DnnRole>(eq));
+                                return roles_storage.back().get();
+                            });
+    cloud.resourceManager().subscribeFailures(
+        [&](int host, std::uint64_t) {
+            std::printf("  [RM] node %d failed while leased; SM "
+                        "replacing: %s\n", host,
+                        sm.handleFailure(host) ? "ok" : "POOL EMPTY");
+        });
+    sm.deploy(3);
+    std::printf("service '%s' deployed on hosts:", sm.name().c_str());
+    for (int h : sm.instances())
+        std::printf(" %d", h);
+    std::printf("  (pool: %d free / %d total)\n\n",
+                cloud.resourceManager().freeCount(),
+                cloud.resourceManager().totalCount());
+
+    // --- a client on host 11 sends inferences into the pool ---
+    const int client_host = 11;
+    roles::ForwarderRole forwarder;
+    cloud.shell(client_host).addRole(&forwarder);
+
+    struct Target {
+        int host;
+        core::ConfigurableCloud::LtlChannel req, rep;
+    };
+    std::vector<Target> targets;
+    auto connect_pool = [&] {
+        targets.clear();
+        for (int instance : sm.instances()) {
+            Target t;
+            t.host = instance;
+            t.req = cloud.openLtl(client_host, instance,
+                                  fpga::kErPortRole0);
+            t.rep = cloud.openLtl(instance, client_host,
+                                  forwarder.port());
+            targets.push_back(t);
+        }
+    };
+    connect_pool();
+
+    std::unordered_map<std::uint64_t, sim::TimePs> outstanding;
+    int responses = 0;
+    cloud.shell(client_host)
+        .setHostRxHandler([&](int, const router::ErMessagePtr &msg) {
+            auto delivery =
+                std::static_pointer_cast<fpga::LtlDelivery>(msg->payload);
+            if (!delivery || !delivery->appPayload)
+                return;
+            auto resp = std::static_pointer_cast<roles::DnnResponse>(
+                delivery->appPayload);
+            auto it = outstanding.find(resp->requestId);
+            if (it == outstanding.end())
+                return;
+            std::printf("  [%.0f us] inference #%llu done in %.0f us "
+                        "(argmax=%zu)\n", sim::toMicros(eq.now()),
+                        static_cast<unsigned long long>(resp->requestId),
+                        sim::toMicros(eq.now() - it->second),
+                        resp->output
+                            ? static_cast<std::size_t>(
+                                  std::max_element(resp->output->begin(),
+                                                   resp->output->end()) -
+                                  resp->output->begin())
+                            : 0);
+            outstanding.erase(it);
+            ++responses;
+        });
+
+    std::uint64_t next_id = 1;
+    auto send_inference = [&] {
+        const Target &t = targets[next_id % targets.size()];
+        auto req = std::make_shared<roles::DnnRequest>();
+        req->requestId = next_id++;
+        req->replyConn = t.rep.sendConn;
+        req->input = std::make_shared<std::vector<float>>(64, 0.25f);
+        outstanding[req->requestId] = eq.now();
+        auto fwd = std::make_shared<roles::ForwarderRole::ForwardRequest>();
+        fwd->sendConn = t.req.sendConn;
+        fwd->bytes = 512;
+        fwd->inner = std::move(req);
+        cloud.shell(client_host)
+            .sendFromHost(forwarder.port(), 512, std::move(fwd));
+    };
+
+    std::printf("sending 6 inferences round-robin into the pool:\n");
+    for (int i = 0; i < 6; ++i)
+        send_inference();
+    eq.runFor(sim::fromMicros(20000));
+
+    // --- fail a pool node; the SM replaces it from the spare pool ---
+    const int victim = sm.instances()[0];
+    std::printf("\ninjecting a hard failure on pool node %d...\n", victim);
+    cloud.resourceManager().reportFailure(victim);
+    connect_pool();  // re-resolve the service endpoints
+    std::printf("service now on hosts:");
+    for (int h : sm.instances())
+        std::printf(" %d", h);
+    std::printf("  (failovers so far: %llu)\n\n",
+                static_cast<unsigned long long>(sm.failovers()));
+
+    std::printf("sending 6 more inferences after failover:\n");
+    for (int i = 0; i < 6; ++i)
+        send_inference();
+    eq.runFor(sim::fromMicros(20000));
+
+    std::printf("\n%d/12 inferences served; pool: %d free, %d failed\n",
+                responses, cloud.resourceManager().freeCount(),
+                cloud.resourceManager().failedCount());
+    return responses == 12 ? 0 : 1;
+}

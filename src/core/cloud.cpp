@@ -1,0 +1,74 @@
+#include "core/cloud.hpp"
+
+#include "sim/logging.hpp"
+
+namespace ccsim::core {
+
+ConfigurableCloud::ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg)
+    : queue(eq), config(std::move(cfg))
+{
+    topo = std::make_unique<net::Topology>(queue, config.topology);
+    rm = std::make_unique<haas::ResourceManager>(queue);
+
+    const int n = topo->numHosts();
+    shells.reserve(n);
+    fms.reserve(n);
+    for (int host = 0; host < n; ++host) {
+        const auto &hp = topo->host(host);
+
+        fpga::ShellConfig sc = config.shellTemplate;
+        sc.name = "shell." + std::to_string(host);
+        sc.ip = hp.addr;
+        auto shell = std::make_unique<fpga::Shell>(queue, sc);
+
+        // Splice the FPGA between the TOR and (optionally) the NIC.
+        topo->attachHostDevice(host, shell->torSideSink());
+        shell->setTorTx(&topo->hostTx(host));
+
+        if (config.createNics) {
+            auto link = std::make_unique<net::Link>(
+                queue, "niclink." + std::to_string(host),
+                config.topology.linkGbps, config.nicCableMeters);
+            auto nic = std::make_unique<net::Nic>(
+                queue, "nic." + std::to_string(host), hp.mac, hp.addr);
+            nic->setTxChannel(&link->aToB());
+            link->attachA(nic.get());
+            link->attachB(shell->nicSideSink());
+            shell->setNicTx(&link->bToA());
+            nics.push_back(std::move(nic));
+            nicLinks.push_back(std::move(link));
+        }
+
+        auto fm = std::make_unique<haas::FpgaManager>(queue, shell.get(),
+                                                      host);
+        rm->registerNode(host, fm.get(), hp.pod);
+
+        shells.push_back(std::move(shell));
+        fms.push_back(std::move(fm));
+    }
+}
+
+ConfigurableCloud::~ConfigurableCloud() = default;
+
+ConfigurableCloud::LtlChannel
+ConfigurableCloud::openLtl(int from_host, int to_host,
+                           int deliver_to_er_port, std::uint8_t vc)
+{
+    fpga::Shell &src = shell(from_host);
+    fpga::Shell &dst = shell(to_host);
+    if (src.ltlEngine() == nullptr || dst.ltlEngine() == nullptr)
+        sim::fatal("ConfigurableCloud::openLtl: shells built without LTL");
+    LtlChannel ch;
+    ch.recvConn = dst.ltlEngine()->openReceive(vc);
+    dst.bindReceiveConnection(ch.recvConn, deliver_to_er_port);
+    ch.sendConn = src.ltlEngine()->openSend(dst.ip(), ch.recvConn);
+    return ch;
+}
+
+net::Ipv4Addr
+ConfigurableCloud::addressOf(int host) const
+{
+    return topo->host(host).addr;
+}
+
+}  // namespace ccsim::core

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * ConfigurableCloud: the top-level public API of ccsim.
+ *
+ * Builds a datacenter of servers, each with a NIC and a bump-in-the-wire
+ * FPGA shell spliced between the NIC and its TOR switch, wires the
+ * three-tier network, registers every FPGA with the HaaS Resource
+ * Manager, and provides helpers for establishing LTL channels between
+ * FPGAs. This is the entry point downstream users (and the examples and
+ * benches) program against.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fpga/shell.hpp"
+#include "haas/haas.hpp"
+#include "net/nic.hpp"
+#include "net/topology.hpp"
+#include "sim/event_queue.hpp"
+
+namespace ccsim::core {
+
+/** Datacenter configuration. */
+struct CloudConfig {
+    net::TopologyConfig topology;
+    /** Template applied to every server's shell (name/ip are overridden). */
+    fpga::ShellConfig shellTemplate;
+    /** Build a NIC + host link per server (disable for pure-LTL studies). */
+    bool createNics = true;
+    /** NIC-to-FPGA cable length. */
+    double nicCableMeters = 2.0;
+};
+
+/** A constructed Configurable Cloud instance. */
+class ConfigurableCloud
+{
+  public:
+    /** A one-directional LTL channel between two FPGAs. */
+    struct LtlChannel {
+        std::uint16_t sendConn = 0;  ///< on the source shell's engine
+        std::uint16_t recvConn = 0;  ///< on the destination shell's engine
+    };
+
+    ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg);
+    ~ConfigurableCloud();
+
+    ConfigurableCloud(const ConfigurableCloud &) = delete;
+    ConfigurableCloud &operator=(const ConfigurableCloud &) = delete;
+
+    int numServers() const { return static_cast<int>(shells.size()); }
+
+    fpga::Shell &shell(int host) { return *shells.at(host); }
+    net::Nic &nic(int host) { return *nics.at(host); }
+    net::Topology &topology() { return *topo; }
+    haas::ResourceManager &resourceManager() { return *rm; }
+    haas::FpgaManager &fpgaManager(int host) { return *fms.at(host); }
+
+    /**
+     * Open a one-directional LTL channel from @p from_host to @p to_host:
+     * allocates a receive connection on the destination (delivering into
+     * ER port @p deliver_to_er_port) and a send connection on the source.
+     */
+    LtlChannel openLtl(int from_host, int to_host, int deliver_to_er_port,
+                       std::uint8_t vc = 0);
+
+    /** The IP address of a server (shared by its NIC and FPGA). */
+    net::Ipv4Addr addressOf(int host) const;
+
+  private:
+    sim::EventQueue &queue;
+    CloudConfig config;
+    std::unique_ptr<net::Topology> topo;
+    std::vector<std::unique_ptr<fpga::Shell>> shells;
+    std::vector<std::unique_ptr<net::Nic>> nics;
+    std::vector<std::unique_ptr<net::Link>> nicLinks;
+    std::unique_ptr<haas::ResourceManager> rm;
+    std::vector<std::unique_ptr<haas::FpgaManager>> fms;
+};
+
+}  // namespace ccsim::core

@@ -1,0 +1,162 @@
+#include "crypto/sha1.hpp"
+
+#include <cstring>
+
+namespace ccsim::crypto {
+
+namespace {
+
+std::uint32_t
+rotl32(std::uint32_t x, int k)
+{
+    return (x << k) | (x >> (32 - k));
+}
+
+}  // namespace
+
+void
+Sha1::reset()
+{
+    h[0] = 0x67452301;
+    h[1] = 0xEFCDAB89;
+    h[2] = 0x98BADCFE;
+    h[3] = 0x10325476;
+    h[4] = 0xC3D2E1F0;
+    bufferLen = 0;
+    totalBytes = 0;
+}
+
+void
+Sha1::processBlock(const std::uint8_t block[64])
+{
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = static_cast<std::uint32_t>(block[4 * i]) << 24 |
+               static_cast<std::uint32_t>(block[4 * i + 1]) << 16 |
+               static_cast<std::uint32_t>(block[4 * i + 2]) << 8 |
+               static_cast<std::uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 80; ++i)
+        w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int i = 0; i < 80; ++i) {
+        std::uint32_t f, k;
+        if (i < 20) {
+            f = (b & c) | (~b & d);
+            k = 0x5A827999;
+        } else if (i < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ED9EBA1;
+        } else if (i < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8F1BBCDC;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xCA62C1D6;
+        }
+        const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = rotl32(b, 30);
+        b = a;
+        a = temp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+}
+
+void
+Sha1::update(const std::uint8_t *data, std::size_t len)
+{
+    totalBytes += len;
+    while (len > 0) {
+        const std::size_t n = std::min<std::size_t>(64 - bufferLen, len);
+        std::memcpy(buffer + bufferLen, data, n);
+        bufferLen += n;
+        data += n;
+        len -= n;
+        if (bufferLen == 64) {
+            processBlock(buffer);
+            bufferLen = 0;
+        }
+    }
+}
+
+Sha1Digest
+Sha1::finish()
+{
+    const std::uint64_t bit_len = totalBytes * 8;
+    const std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    const std::uint8_t zero = 0;
+    while (bufferLen != 56)
+        update(&zero, 1);
+    std::uint8_t len_bytes[8];
+    for (int i = 0; i < 8; ++i)
+        len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+    // update() counts these into totalBytes, but we already captured bit_len.
+    update(len_bytes, 8);
+
+    Sha1Digest digest;
+    for (int i = 0; i < 5; ++i) {
+        digest[4 * i] = static_cast<std::uint8_t>(h[i] >> 24);
+        digest[4 * i + 1] = static_cast<std::uint8_t>(h[i] >> 16);
+        digest[4 * i + 2] = static_cast<std::uint8_t>(h[i] >> 8);
+        digest[4 * i + 3] = static_cast<std::uint8_t>(h[i]);
+    }
+    return digest;
+}
+
+Sha1Digest
+Sha1::hash(const std::uint8_t *data, std::size_t len)
+{
+    Sha1 s;
+    s.update(data, len);
+    return s.finish();
+}
+
+Sha1Digest
+hmacSha1(const std::uint8_t *key, std::size_t key_len,
+         const std::uint8_t *data, std::size_t len)
+{
+    std::uint8_t k[64] = {};
+    if (key_len > 64) {
+        const Sha1Digest kd = Sha1::hash(key, key_len);
+        std::memcpy(k, kd.data(), kd.size());
+    } else {
+        std::memcpy(k, key, key_len);
+    }
+    std::uint8_t ipad[64], opad[64];
+    for (int i = 0; i < 64; ++i) {
+        ipad[i] = k[i] ^ 0x36;
+        opad[i] = k[i] ^ 0x5c;
+    }
+    Sha1 inner;
+    inner.update(ipad, 64);
+    inner.update(data, len);
+    const Sha1Digest inner_digest = inner.finish();
+
+    Sha1 outer;
+    outer.update(opad, 64);
+    outer.update(inner_digest.data(), inner_digest.size());
+    return outer.finish();
+}
+
+std::string
+toHex(const Sha1Digest &d)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string out;
+    out.reserve(40);
+    for (std::uint8_t byte : d) {
+        out.push_back(hex[byte >> 4]);
+        out.push_back(hex[byte & 0xF]);
+    }
+    return out;
+}
+
+}  // namespace ccsim::crypto

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * SHA-1 and HMAC-SHA1 (RFC 3174 / RFC 2104).
+ *
+ * AES-CBC-128-SHA1 is the backward-compatibility cipher suite the paper's
+ * crypto role must support; the role authenticates real packet payloads
+ * with HMAC-SHA1.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ccsim::crypto {
+
+/** A 20-byte SHA-1 digest. */
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/** Streaming SHA-1. */
+class Sha1
+{
+  public:
+    Sha1() { reset(); }
+
+    /** Reset to the initial state. */
+    void reset();
+
+    /** Absorb @p len bytes. */
+    void update(const std::uint8_t *data, std::size_t len);
+
+    /** Finalize and return the digest; the object must be reset() to reuse. */
+    Sha1Digest finish();
+
+    /** One-shot convenience. */
+    static Sha1Digest hash(const std::uint8_t *data, std::size_t len);
+
+    /** One-shot over a string (for tests). */
+    static Sha1Digest hash(const std::string &s)
+    {
+        return hash(reinterpret_cast<const std::uint8_t *>(s.data()),
+                    s.size());
+    }
+
+  private:
+    std::uint32_t h[5];
+    std::uint8_t buffer[64];
+    std::size_t bufferLen;
+    std::uint64_t totalBytes;
+
+    void processBlock(const std::uint8_t block[64]);
+};
+
+/** HMAC-SHA1 (RFC 2104). */
+Sha1Digest hmacSha1(const std::uint8_t *key, std::size_t key_len,
+                    const std::uint8_t *data, std::size_t len);
+
+/** Render a digest as lowercase hex (for tests and tracing). */
+std::string toHex(const Sha1Digest &d);
+
+}  // namespace ccsim::crypto

@@ -1,0 +1,65 @@
+#include "fpga/area_model.hpp"
+
+namespace ccsim::fpga {
+
+AreaModel
+AreaModel::productionImage()
+{
+    AreaModel m(kStratixVD5Alms);
+    // Figure 5: area and frequency of the production-deployed image with
+    // remote acceleration support.
+    m.addComponent({"40G MAC/PHY (TOR)", 9785, 313.0, true});
+    m.addComponent({"40G MAC/PHY (NIC)", 13122, 313.0, true});
+    m.addComponent({"Network Bridge / Bypass", 4685, 313.0, true});
+    m.addComponent({"DDR3 Memory Controller", 13225, 200.0, true});
+    m.addComponent({"Elastic Router", 3449, 156.0, true});
+    m.addComponent({"LTL Protocol Engine", 11839, 156.0, true});
+    m.addComponent({"LTL Packet Switch", 4815, 313.0, true});
+    m.addComponent({"PCIe Gen 3 DMA x 2", 6817, 250.0, true});
+    m.addComponent({"Other", 8273, 0.0, true});
+    m.addComponent({"Role (search ranking FFU+DPF)", 55340, 175.0, false});
+    return m;
+}
+
+bool
+AreaModel::addComponent(ShellComponent c)
+{
+    if (totalUsed() + c.alms > totalAlms)
+        return false;
+    parts.push_back(std::move(c));
+    return true;
+}
+
+void
+AreaModel::clearRoles()
+{
+    std::erase_if(parts, [](const ShellComponent &c) { return !c.isShell; });
+}
+
+std::uint32_t
+AreaModel::totalUsed() const
+{
+    std::uint32_t total = 0;
+    for (const auto &c : parts)
+        total += c.alms;
+    return total;
+}
+
+std::uint32_t
+AreaModel::shellUsed() const
+{
+    std::uint32_t total = 0;
+    for (const auto &c : parts) {
+        if (c.isShell)
+            total += c.alms;
+    }
+    return total;
+}
+
+std::uint32_t
+AreaModel::roleUsed() const
+{
+    return totalUsed() - shellUsed();
+}
+
+}  // namespace ccsim::fpga

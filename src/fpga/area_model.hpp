@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Area and clock-frequency accounting for the Stratix V D5 shell image
+ * (reproduces Figure 5 of the paper).
+ *
+ * The production-deployed image dedicates 44% of the FPGA to shell
+ * functions (MACs, bridge, LTL, ER, DDR3 controller, PCIe DMA) and leaves
+ * the rest for roles; the Bing ranking role uses 32%, for 76% total.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccsim::fpga {
+
+/** Total programmable logic on the Altera Stratix V D5. */
+inline constexpr std::uint32_t kStratixVD5Alms = 172600;
+
+/** One IP block in the FPGA image. */
+struct ShellComponent {
+    std::string name;
+    std::uint32_t alms = 0;
+    /** Achieved clock in MHz; 0 renders as "-" (no single clock). */
+    double freqMhz = 0.0;
+    /** True for shell infrastructure, false for role logic. */
+    bool isShell = true;
+};
+
+/** Area accounting for one FPGA image. */
+class AreaModel
+{
+  public:
+    /** Start from an empty device of @p total_alms ALMs. */
+    explicit AreaModel(std::uint32_t total_alms = kStratixVD5Alms)
+        : totalAlms(total_alms)
+    {
+    }
+
+    /**
+     * The production-deployed image with remote acceleration support
+     * (LTL + ER + ranking role), exactly as tabulated in Figure 5.
+     */
+    static AreaModel productionImage();
+
+    /** Add a component. Returns false (and does not add) if it won't fit. */
+    bool addComponent(ShellComponent c);
+
+    /** Remove all role (non-shell) components, e.g. on reconfiguration. */
+    void clearRoles();
+
+    const std::vector<ShellComponent> &components() const { return parts; }
+
+    std::uint32_t totalAvailable() const { return totalAlms; }
+    std::uint32_t totalUsed() const;
+    std::uint32_t shellUsed() const;
+    std::uint32_t roleUsed() const;
+    std::uint32_t freeAlms() const { return totalAlms - totalUsed(); }
+
+    /** Utilization of the whole device, in percent. */
+    double utilizationPercent() const
+    {
+        return 100.0 * totalUsed() / totalAlms;
+    }
+
+    /** Percent of the device used by one component count of ALMs. */
+    double percentOf(std::uint32_t alms) const
+    {
+        return 100.0 * alms / totalAlms;
+    }
+
+  private:
+    std::uint32_t totalAlms;
+    std::vector<ShellComponent> parts;
+};
+
+}  // namespace ccsim::fpga

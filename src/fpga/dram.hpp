@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Model of the board's single 4 GB DDR3-1600 channel (72-bit with ECC).
+ *
+ * DDR3-1600 on a 64-bit data bus delivers a 12.8 GB/s peak; the model
+ * serializes accesses at a derated sustained bandwidth with a fixed
+ * closed-page access latency, which is sufficient for the role workloads
+ * (feature extraction tables, crypto key storage).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace ccsim::fpga {
+
+/** DDR3 channel configuration. */
+struct DramConfig {
+    double peakGbytesPerSec = 12.8;
+    /** Sustained efficiency factor (bank conflicts, refresh). */
+    double efficiency = 0.75;
+    sim::TimePs accessLatency = 150 * sim::kNanosecond;
+    std::uint64_t capacityBytes = 4ull << 30;
+};
+
+/** A single DDR3 channel with bandwidth serialization. */
+class DramChannel
+{
+  public:
+    DramChannel(sim::EventQueue &eq, DramConfig cfg = {})
+        : queue(eq), config(cfg)
+    {
+    }
+
+    /** Read @p bytes; @p done fires when data is available. */
+    void read(std::uint32_t bytes, std::function<void()> done)
+    {
+        access(bytes, std::move(done));
+        statReads++;
+    }
+
+    /** Write @p bytes; @p done fires when the write has been accepted. */
+    void write(std::uint32_t bytes, std::function<void()> done)
+    {
+        access(bytes, std::move(done));
+        statWrites++;
+    }
+
+    std::uint64_t capacity() const { return config.capacityBytes; }
+    std::uint64_t reads() const { return statReads; }
+    std::uint64_t writes() const { return statWrites; }
+    std::uint64_t bytesAccessed() const { return statBytes; }
+
+  private:
+    sim::EventQueue &queue;
+    DramConfig config;
+    sim::TimePs busyUntil = 0;
+    std::uint64_t statReads = 0;
+    std::uint64_t statWrites = 0;
+    std::uint64_t statBytes = 0;
+
+    void access(std::uint32_t bytes, std::function<void()> done)
+    {
+        const double bw = config.peakGbytesPerSec * config.efficiency;
+        const double ns = static_cast<double>(bytes) / (bw * 1e9) * 1e9;
+        const sim::TimePs start = std::max(queue.now(), busyUntil);
+        busyUntil = start + sim::fromNanos(ns);
+        statBytes += bytes;
+        queue.schedule(busyUntil + config.accessLatency,
+                       [d = std::move(done)] {
+                           if (d)
+                               d();
+                       });
+    }
+};
+
+}  // namespace ccsim::fpga

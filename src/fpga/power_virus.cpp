@@ -1,0 +1,104 @@
+#include "fpga/power_virus.hpp"
+
+#include <memory>
+
+namespace ccsim::fpga {
+
+namespace {
+
+/** Chunk size per issued access: large enough to keep pipes saturated. */
+constexpr std::uint32_t kChunkBytes = 64 * 1024;
+
+}  // namespace
+
+void
+PowerVirus::pumpDram(Shell &shell, sim::TimePs until, Counter bytes)
+{
+    if (queue.now() >= until)
+        return;
+    // The counter is captured by shared_ptr: completion events may fire
+    // after the report has been delivered and must not dangle.
+    shell.dram().read(kChunkBytes, [this, &shell, until, bytes] {
+        *bytes += kChunkBytes;
+        pumpDram(shell, until, bytes);
+    });
+}
+
+void
+PowerVirus::pumpPcie(Shell &shell, sim::TimePs until, Counter bytes)
+{
+    if (queue.now() >= until)
+        return;
+    shell.pcie().hostToFpga(kChunkBytes, [this, &shell, until, bytes] {
+        *bytes += kChunkBytes;
+        pumpPcie(shell, until, bytes);
+    });
+    shell.pcie().fpgaToHost(kChunkBytes, [bytes] {
+        *bytes += kChunkBytes;
+    });
+}
+
+void
+PowerVirus::run(Shell &shell, sim::TimePs duration,
+                BurnInConditions conditions,
+                std::function<void(const BurnInReport &)> done)
+{
+    const sim::TimePs start = queue.now();
+    const sim::TimePs until = start + duration;
+
+    auto dram_bytes = std::make_shared<std::uint64_t>(0);
+    auto pcie_bytes = std::make_shared<std::uint64_t>(0);
+    pumpDram(shell, until, dram_bytes);
+    pumpPcie(shell, until, pcie_bytes);
+
+    // Keep the ER crossbar busy with self-traffic between the DRAM and
+    // PCIe endpoints (U-turns permitted, Section V-B).
+    const std::uint64_t er_flits_before =
+        shell.elasticRouter().flitsRouted();
+    // Drive traffic from the PCIe endpoint toward DRAM via the host
+    // path, which crosses the crossbar: one DRAM read every 2 us for the
+    // whole window.
+    for (sim::TimePs t = 0; t < duration; t += 2 * sim::kMicrosecond) {
+        queue.scheduleAfter(t, [&shell] {
+            shell.sendFromHost(kErPortDram, 4096,
+                               std::make_shared<DramRequest>(DramRequest{
+                                   4096, false, -1, 0}));
+        });
+    }
+
+    queue.schedule(until, [this, &shell, start, duration, conditions,
+                           dram_bytes, pcie_bytes, er_flits_before,
+                           done = std::move(done)] {
+        BurnInReport report;
+        const double secs = sim::toSeconds(duration);
+        const auto &dram_cfg = DramConfig{};
+        const double dram_peak =
+            dram_cfg.peakGbytesPerSec * dram_cfg.efficiency * 1e9;
+        report.dramUtilization =
+            static_cast<double>(*dram_bytes) / secs / dram_peak;
+        const double pcie_peak = 2.0 * 16.0 * 1e9;  // both directions
+        report.pcieUtilization =
+            static_cast<double>(*pcie_bytes) / secs / pcie_peak;
+        const std::uint64_t er_flits =
+            shell.elasticRouter().flitsRouted() - er_flits_before;
+        const double er_peak_flits =
+            secs * shell.elasticRouter().config().clockMhz * 1e6;
+        report.erUtilization =
+            static_cast<double>(er_flits) / er_peak_flits;
+
+        // Worst case: every datapath treated as fully toggling.
+        report.powerWatts = shell.board().estimatePowerWatts(1.0);
+        const BoardSpec &spec = shell.board().spec();
+        report.withinTdp = report.powerWatts <= spec.tdpWatts;
+        report.withinElectricalLimit =
+            report.powerWatts <= spec.maxElectricalWatts;
+        report.thermalConditionsMet =
+            conditions.ambientTempC <= spec.maxInletTempC &&
+            conditions.airflowLfm >= spec.airflowLfm;
+        if (done)
+            done(report);
+        (void)start;
+    });
+}
+
+}  // namespace ccsim::fpga

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The power virus and burn-in workload (Section II): "To measure the
+ * power consumption limits of the entire FPGA card ... we developed a
+ * power virus that exercises nearly all of the FPGA's interfaces, logic,
+ * and DSP blocks — while running the card in a thermal chamber operating
+ * in worst-case conditions. Under these conditions, the card consumes
+ * 29.2 W of power, which is well within the 32 W TDP limits ... and
+ * below the max electrical power draw limit of 35 W."
+ *
+ * The simulated virus saturates every shell datapath (DDR3, both PCIe
+ * directions, the ER crossbar) for a configurable duration, then reports
+ * achieved utilizations and the modeled worst-case power, exactly the
+ * qualification every server passed before production (Section II-B).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "fpga/shell.hpp"
+#include "sim/event_queue.hpp"
+
+namespace ccsim::fpga {
+
+/** Thermal-chamber conditions for the qualification run. */
+struct BurnInConditions {
+    double ambientTempC = 70.0;   ///< peak inlet air temperature
+    double airflowLfm = 160.0;    ///< minimum airflow (one failed fan)
+    bool highCpuLoad = true;
+};
+
+/** Result of one burn-in run. */
+struct BurnInReport {
+    double dramUtilization = 0.0;
+    double pcieUtilization = 0.0;
+    double erUtilization = 0.0;
+    /** Modeled worst-case card power under the virus. */
+    double powerWatts = 0.0;
+    bool withinTdp = false;
+    bool withinElectricalLimit = false;
+    bool thermalConditionsMet = false;
+
+    bool passed() const
+    {
+        return withinTdp && withinElectricalLimit && thermalConditionsMet;
+    }
+};
+
+/**
+ * Drives a shell's datapaths at saturation for the qualification
+ * duration and evaluates the power/thermal envelope.
+ */
+class PowerVirus
+{
+  public:
+    explicit PowerVirus(sim::EventQueue &eq) : queue(eq) {}
+
+    /**
+     * Run the virus against @p shell for @p duration of simulated time,
+     * then invoke @p done with the report. The shell remains usable
+     * afterwards (this is a read-side stress, as on real hardware).
+     */
+    void run(Shell &shell, sim::TimePs duration,
+             BurnInConditions conditions,
+             std::function<void(const BurnInReport &)> done);
+
+  private:
+    sim::EventQueue &queue;
+
+    using Counter = std::shared_ptr<std::uint64_t>;
+    void pumpDram(Shell &shell, sim::TimePs until, Counter bytes);
+    void pumpPcie(Shell &shell, sim::TimePs until, Counter bytes);
+};
+
+}  // namespace ccsim::fpga

@@ -1,0 +1,42 @@
+#include "fpga/reliability.hpp"
+
+namespace ccsim::fpga {
+
+DeploymentReport
+simulateDeployment(const DeploymentConfig &cfg)
+{
+    sim::Rng rng(cfg.seed);
+    DeploymentReport report;
+    report.servers = cfg.servers;
+    report.days = cfg.days;
+    report.machineDays =
+        static_cast<std::uint64_t>(cfg.servers) * cfg.days;
+
+    for (int machine = 0; machine < cfg.servers; ++machine) {
+        // Bring-up failures (independent of the deployment window).
+        if (rng.bernoulli(cfg.pcieTrainingFailureProb))
+            ++report.pcieTrainingFailures;
+        if (rng.bernoulli(cfg.dramCalibFailureProb))
+            ++report.dramCalibFailures;
+
+        // Poisson counts over the window.
+        const double window_days = cfg.days;
+        const std::uint64_t seus =
+            rng.poisson(cfg.seuPerMachineDay * window_days);
+        report.seuEvents += seus;
+        for (std::uint64_t s = 0; s < seus; ++s) {
+            if (rng.bernoulli(cfg.roleHangPerSeu))
+                ++report.roleHangs;
+            else
+                ++report.seuCaughtByScrub;
+        }
+        report.hardFailures +=
+            rng.poisson(cfg.hardFailurePerMachineDay * window_days);
+        report.cableFailures +=
+            rng.poisson(cfg.cableFailurePerMachineMonth *
+                        (window_days / 30.0));
+    }
+    return report;
+}
+
+}  // namespace ccsim::fpga

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deployment reliability model (Section II-B).
+ *
+ * The paper stress-tested and deployed 5,760 servers, mirrored live
+ * traffic for one month, and reported: two FPGA hard failures, one bad
+ * network cable, five PCIe Gen3 training failures, eight DRAM calibration
+ * failures (traced to a logic bug), an average of one configuration
+ * bit-flip per 1025 machine-days, ~30 s scrub cycles, and at least one
+ * role hang likely attributable to an SEU.
+ *
+ * This module Monte-Carlo simulates those failure processes so the
+ * sec2_deployment bench can regenerate the reliability table.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace ccsim::fpga {
+
+/** Failure-process parameters, fitted to the paper's observed counts. */
+struct DeploymentConfig {
+    int servers = 5760;
+    int days = 30;
+    std::uint64_t seed = 2016;
+
+    /** Configuration-logic SEU rate: one flip per 1025 machine-days. */
+    double seuPerMachineDay = 1.0 / 1025.0;
+    /** Fraction of SEUs that hang the role before scrubbing catches them. */
+    double roleHangPerSeu = 0.006;
+    /** Scrub interval (affects exposure window per SEU). */
+    sim::TimePs scrubInterval = 30 * sim::kSecond;
+
+    /** FPGA hard-failure rate (2 in 172,800 machine-days observed). */
+    double hardFailurePerMachineDay = 2.0 / (5760.0 * 30.0);
+    /** Network cable failures (1 observed; per machine-month). */
+    double cableFailurePerMachineMonth = 1.0 / 5760.0;
+    /** PCIe Gen3 x8 training failure at bring-up (5 / 5760 machines). */
+    double pcieTrainingFailureProb = 5.0 / 5760.0;
+    /** DRAM calibration failure at bring-up (8 / 5760 machines). */
+    double dramCalibFailureProb = 8.0 / 5760.0;
+};
+
+/** Aggregate results of one simulated deployment. */
+struct DeploymentReport {
+    int servers = 0;
+    int days = 0;
+    std::uint64_t machineDays = 0;
+
+    std::uint64_t seuEvents = 0;
+    std::uint64_t seuCaughtByScrub = 0;
+    std::uint64_t roleHangs = 0;
+    std::uint64_t hardFailures = 0;
+    std::uint64_t cableFailures = 0;
+    std::uint64_t pcieTrainingFailures = 0;
+    std::uint64_t dramCalibFailures = 0;
+
+    /** Observed machine-days per SEU (compare to the paper's 1025). */
+    double machineDaysPerSeu() const
+    {
+        return seuEvents == 0
+                   ? 0.0
+                   : static_cast<double>(machineDays) /
+                         static_cast<double>(seuEvents);
+    }
+};
+
+/**
+ * Run the Monte-Carlo deployment: per machine, bring-up failures are
+ * Bernoulli; SEUs, hard failures, and cable failures are Poisson over the
+ * deployment window.
+ */
+DeploymentReport simulateDeployment(const DeploymentConfig &cfg);
+
+}  // namespace ccsim::fpga

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The Role interface: application logic hosted in the shell's role region
+ * (the paper's Role/Shell partitioning from Catapult v1, Section II-A).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "router/flit.hpp"
+
+namespace ccsim::fpga {
+
+class Shell;
+
+/** Application logic occupying (part of) the FPGA's role region. */
+class Role
+{
+  public:
+    virtual ~Role() = default;
+
+    /** Human-readable role name. */
+    virtual std::string name() const = 0;
+
+    /** ALMs of role logic (checked against the free area at attach). */
+    virtual std::uint32_t areaAlms() const = 0;
+
+    /** Role clock; the production ranking role closes timing at 175 MHz. */
+    virtual double clockMhz() const { return 175.0; }
+
+    /**
+     * Called when the shell places the role, handing it its Elastic
+     * Router port. The role keeps the shell pointer to send messages and
+     * to reach the LTL engine / DRAM / PCIe endpoints.
+     */
+    virtual void attach(Shell &shell, int er_port) = 0;
+
+    /** A message arrived at this role's ER port. */
+    virtual void onMessage(const router::ErMessagePtr &msg) = 0;
+};
+
+}  // namespace ccsim::fpga

@@ -1,0 +1,250 @@
+#include "haas/haas.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace ccsim::haas {
+
+int
+FpgaManager::configureRole(fpga::Role *role)
+{
+    if (!healthy || shellPtr == nullptr)
+        return -1;
+    const int port = shellPtr->addRole(role);
+    if (port >= 0)
+        configuredRole = role->name();
+    return port;
+}
+
+FpgaManager::Status
+FpgaManager::status() const
+{
+    Status s;
+    s.healthy = healthy;
+    s.hasRole = !configuredRole.empty();
+    s.roleName = configuredRole;
+    return s;
+}
+
+void
+ResourceManager::registerNode(int host_index, FpgaManager *fm, int pod)
+{
+    Node node;
+    node.fm = fm;
+    node.pod = pod;
+    nodes[host_index] = node;
+}
+
+std::optional<Lease>
+ResourceManager::acquire(const std::string &service, int count,
+                         LeaseConstraints constraints)
+{
+    std::vector<int> picked;
+    for (auto &[host, node] : nodes) {
+        if (node.state != NodeState::kUnallocated)
+            continue;
+        if (constraints.requirePod >= 0 && node.pod != constraints.requirePod)
+            continue;
+        picked.push_back(host);
+        if (static_cast<int>(picked.size()) == count)
+            break;
+    }
+    if (static_cast<int>(picked.size()) < count)
+        return std::nullopt;
+
+    Lease lease;
+    lease.id = nextLeaseId++;
+    lease.service = service;
+    lease.hosts = picked;
+    for (int host : picked) {
+        nodes[host].state = NodeState::kAllocated;
+        nodes[host].leaseId = lease.id;
+    }
+    leases[lease.id] = lease;
+    return lease;
+}
+
+void
+ResourceManager::release(std::uint64_t lease_id)
+{
+    auto it = leases.find(lease_id);
+    if (it == leases.end())
+        return;
+    for (int host : it->second.hosts) {
+        auto nit = nodes.find(host);
+        if (nit == nodes.end())
+            continue;
+        if (nit->second.state == NodeState::kAllocated &&
+            nit->second.leaseId == lease_id) {
+            nit->second.state = NodeState::kUnallocated;
+            nit->second.leaseId = 0;
+        }
+    }
+    leases.erase(it);
+}
+
+void
+ResourceManager::reportFailure(int host_index)
+{
+    auto it = nodes.find(host_index);
+    if (it == nodes.end())
+        return;
+    const bool was_leased = it->second.state == NodeState::kAllocated;
+    const std::uint64_t lease_id = it->second.leaseId;
+    it->second.state = NodeState::kFailed;
+    if (it->second.fm)
+        it->second.fm->markUnhealthy();
+    if (was_leased) {
+        // Remove the node from the lease; the SM handles replacement.
+        auto lit = leases.find(lease_id);
+        if (lit != leases.end()) {
+            std::erase(lit->second.hosts, host_index);
+        }
+        it->second.leaseId = 0;
+        if (onFailure)
+            onFailure(host_index, lease_id);
+    }
+}
+
+void
+ResourceManager::repair(int host_index)
+{
+    auto it = nodes.find(host_index);
+    if (it == nodes.end())
+        return;
+    it->second.state = NodeState::kUnallocated;
+    it->second.leaseId = 0;
+    if (it->second.fm)
+        it->second.fm->markHealthy();
+}
+
+FpgaManager *
+ResourceManager::manager(int host_index)
+{
+    auto it = nodes.find(host_index);
+    return it == nodes.end() ? nullptr : it->second.fm;
+}
+
+int
+ResourceManager::freeCount() const
+{
+    return static_cast<int>(std::count_if(
+        nodes.begin(), nodes.end(), [](const auto &kv) {
+            return kv.second.state == NodeState::kUnallocated;
+        }));
+}
+
+int
+ResourceManager::allocatedCount() const
+{
+    return static_cast<int>(std::count_if(
+        nodes.begin(), nodes.end(), [](const auto &kv) {
+            return kv.second.state == NodeState::kAllocated;
+        }));
+}
+
+int
+ResourceManager::failedCount() const
+{
+    return static_cast<int>(std::count_if(
+        nodes.begin(), nodes.end(), [](const auto &kv) {
+            return kv.second.state == NodeState::kFailed;
+        }));
+}
+
+ServiceManager::ServiceManager(sim::EventQueue &eq, ResourceManager &rmgr,
+                               std::string service_name, RoleFactory factory)
+    : queue(eq), rm(rmgr), serviceName(std::move(service_name)),
+      roleFactory(std::move(factory))
+{
+}
+
+bool
+ServiceManager::deploy(int instances, LeaseConstraints constraints)
+{
+    for (int i = 0; i < instances; ++i) {
+        auto lease = rm.acquire(serviceName, 1, constraints);
+        if (!lease) {
+            CCSIM_LOG(sim::LogLevel::kWarn, "haas.sm." + serviceName,
+                      queue.now(), "pool exhausted at ", i, "/",
+                      instances, " instances");
+            return false;
+        }
+        const int host = lease->hosts.front();
+        FpgaManager *fm = rm.manager(host);
+        fpga::Role *role = roleFactory(host);
+        if (fm == nullptr || role == nullptr ||
+            fm->configureRole(role) < 0) {
+            rm.release(lease->id);
+            return false;
+        }
+        hosts.push_back(host);
+        hostLease.push_back(lease->id);
+    }
+    return true;
+}
+
+bool
+ServiceManager::scaleTo(int instances, LeaseConstraints constraints)
+{
+    while (static_cast<int>(hosts.size()) > instances) {
+        rm.release(hostLease.back());
+        hostLease.pop_back();
+        hosts.pop_back();
+    }
+    if (static_cast<int>(hosts.size()) < instances) {
+        return deploy(instances - static_cast<int>(hosts.size()),
+                      constraints);
+    }
+    return true;
+}
+
+void
+ServiceManager::teardown()
+{
+    for (std::uint64_t lease : hostLease)
+        rm.release(lease);
+    hosts.clear();
+    hostLease.clear();
+}
+
+int
+ServiceManager::pickInstance()
+{
+    if (hosts.empty())
+        return -1;
+    const int host = hosts[rrNext % hosts.size()];
+    ++rrNext;
+    return host;
+}
+
+bool
+ServiceManager::handleFailure(int host)
+{
+    auto it = std::find(hosts.begin(), hosts.end(), host);
+    if (it == hosts.end())
+        return false;
+    const std::size_t idx = static_cast<std::size_t>(it - hosts.begin());
+    rm.release(hostLease[idx]);
+    hosts.erase(it);
+    hostLease.erase(hostLease.begin() + static_cast<std::ptrdiff_t>(idx));
+
+    // The pool has an abundance of spares: grab a replacement.
+    auto lease = rm.acquire(serviceName, 1);
+    if (!lease)
+        return false;
+    const int replacement = lease->hosts.front();
+    FpgaManager *fm = rm.manager(replacement);
+    fpga::Role *role = roleFactory(replacement);
+    if (fm == nullptr || role == nullptr || fm->configureRole(role) < 0) {
+        rm.release(lease->id);
+        return false;
+    }
+    hosts.push_back(replacement);
+    hostLease.push_back(lease->id);
+    ++statFailovers;
+    return true;
+}
+
+}  // namespace ccsim::haas

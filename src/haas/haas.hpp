@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The Hardware-as-a-Service (HaaS) platform (Section V-F, Figure 13).
+ *
+ * A logically centralized Resource Manager (RM) tracks FPGA resources
+ * throughout the datacenter and hands them to Service Managers (SM)
+ * through a lease-based model. Each Component is an instance of a
+ * hardware service made of one or more FPGAs plus constraints (locality
+ * etc.). SMs handle service-level tasks — load balancing, connectivity,
+ * failure handling — by requesting and releasing leases. An FPGA Manager
+ * (FM) runs per node for configuration and status monitoring.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fpga/role.hpp"
+#include "fpga/shell.hpp"
+#include "sim/event_queue.hpp"
+
+namespace ccsim::haas {
+
+/** Per-node FPGA Manager: configuration and status monitoring. */
+class FpgaManager
+{
+  public:
+    /** Health/configuration snapshot reported to RM/SM. */
+    struct Status {
+        bool healthy = true;
+        bool hasRole = false;
+        std::string roleName;
+    };
+
+    FpgaManager(sim::EventQueue &eq, fpga::Shell *shell, int host_index)
+        : queue(eq), shellPtr(shell), hostIndex(host_index)
+    {
+    }
+
+    /**
+     * Configure @p role into the node's shell (partial reconfiguration;
+     * the role becomes reachable after the reconfiguration delay).
+     *
+     * @return The role's ER port, or -1 on failure.
+     */
+    int configureRole(fpga::Role *role);
+
+    /** Report status. */
+    Status status() const;
+
+    /** Mark this node unhealthy (monitoring detected a failure). */
+    void markUnhealthy() { healthy = false; }
+    /** Repair (e.g. after a power cycle reloads the golden image). */
+    void markHealthy() { healthy = true; }
+
+    fpga::Shell *shell() { return shellPtr; }
+    int host() const { return hostIndex; }
+
+  private:
+    sim::EventQueue &queue;
+    fpga::Shell *shellPtr;
+    int hostIndex;
+    bool healthy = true;
+    std::string configuredRole;
+};
+
+/** Placement constraints for a component lease. */
+struct LeaseConstraints {
+    /** Require all FPGAs of the component in this pod (-1 = anywhere). */
+    int requirePod = -1;
+};
+
+/** A granted component lease. */
+struct Lease {
+    std::uint64_t id = 0;
+    std::string service;
+    std::vector<int> hosts;
+};
+
+/** The logically centralized Resource Manager. */
+class ResourceManager
+{
+  public:
+    /** Callback type for lease-affecting failures: (host, leaseId). */
+    using FailureFn = std::function<void(int host, std::uint64_t lease)>;
+
+    explicit ResourceManager(sim::EventQueue &eq) : queue(eq) {}
+
+    /** Register a node's FPGA into the datacenter-wide pool. */
+    void registerNode(int host_index, FpgaManager *fm, int pod = 0);
+
+    /**
+     * Acquire a component of @p count FPGAs for @p service.
+     *
+     * @return The lease, or nullopt if the pool cannot satisfy it.
+     */
+    std::optional<Lease> acquire(const std::string &service, int count,
+                                 LeaseConstraints constraints = {});
+
+    /** Release a lease, returning its healthy FPGAs to the pool. */
+    void release(std::uint64_t lease_id);
+
+    /**
+     * Report a node failure: removes it from the pool; if leased, the
+     * owning SM is notified through the failure subscription.
+     */
+    void reportFailure(int host_index);
+
+    /** Return a repaired node to the pool. */
+    void repair(int host_index);
+
+    /** Subscribe to failures of leased nodes. */
+    void subscribeFailures(FailureFn fn) { onFailure = std::move(fn); }
+
+    FpgaManager *manager(int host_index);
+
+    int freeCount() const;
+    int allocatedCount() const;
+    int failedCount() const;
+    int totalCount() const { return static_cast<int>(nodes.size()); }
+
+  private:
+    enum class NodeState { kUnallocated, kAllocated, kFailed };
+    struct Node {
+        FpgaManager *fm = nullptr;
+        int pod = 0;
+        NodeState state = NodeState::kUnallocated;
+        std::uint64_t leaseId = 0;
+    };
+
+    sim::EventQueue &queue;
+    std::map<int, Node> nodes;
+    std::map<std::uint64_t, Lease> leases;
+    std::uint64_t nextLeaseId = 1;
+    FailureFn onFailure;
+};
+
+/**
+ * A Service Manager: deploys a hardware service onto leased FPGAs,
+ * load-balances requests across instances, and replaces failed instances
+ * from the pool.
+ */
+class ServiceManager
+{
+  public:
+    /** Builds the role instance configured onto a leased node. */
+    using RoleFactory = std::function<fpga::Role *(int host)>;
+
+    ServiceManager(sim::EventQueue &eq, ResourceManager &rm,
+                   std::string service_name, RoleFactory factory);
+
+    /**
+     * Acquire @p instances FPGAs and configure the service role on each.
+     *
+     * @return true if fully deployed.
+     */
+    bool deploy(int instances, LeaseConstraints constraints = {});
+
+    /** Release all instances. */
+    void teardown();
+
+    /**
+     * Grow or shrink the pool to @p instances ("as demand for a service
+     * grows or shrinks, a global manager grows or shrinks the pools
+     * correspondingly"). Shrinking releases the most recently acquired
+     * instances back to the datacenter pool.
+     *
+     * @return true if the target size was reached.
+     */
+    bool scaleTo(int instances, LeaseConstraints constraints = {});
+
+    /** Round-robin load balancing over healthy instances (-1 if none). */
+    int pickInstance();
+
+    /** Currently serving hosts. */
+    const std::vector<int> &instances() const { return hosts; }
+
+    /**
+     * Failure handling: called by the RM failure subscription. Requests a
+     * replacement lease and reconfigures the role on the new node.
+     *
+     * @return true if a replacement was found.
+     */
+    bool handleFailure(int host);
+
+    std::uint64_t failovers() const { return statFailovers; }
+    const std::string &name() const { return serviceName; }
+
+  private:
+    sim::EventQueue &queue;
+    ResourceManager &rm;
+    std::string serviceName;
+    RoleFactory roleFactory;
+    std::vector<int> hosts;
+    std::vector<std::uint64_t> hostLease;  // parallel to hosts
+    std::size_t rrNext = 0;
+    std::uint64_t statFailovers = 0;
+};
+
+}  // namespace ccsim::haas

@@ -1,0 +1,92 @@
+#include "host/load_generator.hpp"
+
+#include <cmath>
+
+#include "sim/logging.hpp"
+#include "sim/time.hpp"
+
+namespace ccsim::host {
+
+PoissonLoadGenerator::PoissonLoadGenerator(sim::EventQueue &eq, double rate,
+                                           std::function<void()> fire,
+                                           std::uint64_t seed)
+    : queue(eq), ratePerSec(rate), onArrival(std::move(fire)), rng(seed)
+{
+    if (!onArrival)
+        sim::fatal("PoissonLoadGenerator: arrival callback required");
+}
+
+PoissonLoadGenerator::~PoissonLoadGenerator()
+{
+    stop();
+}
+
+void
+PoissonLoadGenerator::start()
+{
+    if (running)
+        return;
+    running = true;
+    scheduleNext();
+}
+
+void
+PoissonLoadGenerator::stop()
+{
+    running = false;
+    if (pending != sim::kNoEvent) {
+        queue.cancel(pending);
+        pending = sim::kNoEvent;
+    }
+}
+
+void
+PoissonLoadGenerator::setRate(double rate)
+{
+    ratePerSec = rate;
+}
+
+void
+PoissonLoadGenerator::scheduleNext()
+{
+    if (!running || ratePerSec <= 0.0)
+        return;
+    const double gap_s = rng.exponential(1.0 / ratePerSec);
+    pending = queue.scheduleAfter(sim::fromSeconds(gap_s), [this] {
+        pending = sim::kNoEvent;
+        if (!running)
+            return;
+        ++count;
+        onArrival();
+        scheduleNext();
+    });
+}
+
+std::vector<double>
+makeDiurnalTrace(const DiurnalTraceParams &p)
+{
+    sim::Rng rng(p.seed);
+    std::vector<double> trace;
+    trace.reserve(static_cast<std::size_t>(p.days) * p.windowsPerDay);
+    for (int day = 0; day < p.days; ++day) {
+        // Peak drifts across days; the middle day is the heaviest.
+        const double mid = (p.days - 1) / 2.0;
+        const double day_peak =
+            1.0 + p.dayDrift * (1.0 - std::abs(day - mid) / std::max(mid, 1.0));
+        for (int w = 0; w < p.windowsPerDay; ++w) {
+            const double phase =
+                2.0 * M_PI * (static_cast<double>(w) / p.windowsPerDay);
+            // Daily sinusoid peaking mid-day, with a flattened trough.
+            double shape = 0.5 * (1.0 - std::cos(phase));
+            shape = p.troughFraction + (1.0 - p.troughFraction) * shape;
+            double load = day_peak * shape;
+            load *= rng.lognormalMeanCv(1.0, p.noiseCv);
+            if (rng.bernoulli(p.burstProb))
+                load *= p.burstMul;
+            trace.push_back(load);
+        }
+    }
+    return trace;
+}
+
+}  // namespace ccsim::host

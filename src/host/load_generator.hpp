@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Open-loop load generation: Poisson arrivals at a controllable rate and
+ * the synthetic 5-day diurnal trace used to reproduce the production
+ * measurements of Figures 7 and 8.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+namespace ccsim::host {
+
+/** Open-loop Poisson arrival process. */
+class PoissonLoadGenerator
+{
+  public:
+    /**
+     * @param eq    Event queue.
+     * @param rate  Arrivals per second of simulated time.
+     * @param fire  Invoked once per arrival.
+     */
+    PoissonLoadGenerator(sim::EventQueue &eq, double rate,
+                         std::function<void()> fire,
+                         std::uint64_t seed = 5);
+    ~PoissonLoadGenerator();
+
+    PoissonLoadGenerator(const PoissonLoadGenerator &) = delete;
+    PoissonLoadGenerator &operator=(const PoissonLoadGenerator &) = delete;
+
+    /** Begin generating arrivals. */
+    void start();
+    /** Stop (no further arrivals; in-flight event cancelled). */
+    void stop();
+    /** Change the rate; takes effect from the next arrival. */
+    void setRate(double rate);
+
+    std::uint64_t generated() const { return count; }
+
+  private:
+    sim::EventQueue &queue;
+    double ratePerSec;
+    std::function<void()> onArrival;
+    sim::Rng rng;
+    bool running = false;
+    sim::EventId pending = sim::kNoEvent;
+    std::uint64_t count = 0;
+
+    void scheduleNext();
+};
+
+/** Parameters of the synthetic 5-day production load trace. */
+struct DiurnalTraceParams {
+    int days = 5;
+    /** Windows per day (288 = one per 5 minutes). */
+    int windowsPerDay = 288;
+    /** Trough load as a fraction of the daily peak. */
+    double troughFraction = 0.38;
+    /** Multiplicative lognormal noise CV per window. */
+    double noiseCv = 0.06;
+    /** Probability a window carries a traffic burst. */
+    double burstProb = 0.03;
+    /** Burst multiplier. */
+    double burstMul = 1.25;
+    /** Day-to-day peak drift (day 3 is the heaviest in the paper's plot). */
+    double dayDrift = 0.08;
+    std::uint64_t seed = 20160101;
+};
+
+/**
+ * Produce the per-window load multipliers (1.0 = nominal daily peak).
+ * Length = days * windowsPerDay.
+ */
+std::vector<double> makeDiurnalTrace(const DiurnalTraceParams &params);
+
+}  // namespace ccsim::host

@@ -1,0 +1,98 @@
+#include "host/ranking_server.hpp"
+
+#include <algorithm>
+
+namespace ccsim::host {
+
+void
+LocalFpgaAccelerator::compute(std::uint32_t doc_count,
+                              std::function<void()> done)
+{
+    ++statRequests;
+    const sim::TimePs now = queue.now();
+    const sim::TimePs occupancy = params.occupancyPerDoc * doc_count;
+    const sim::TimePs start = std::max(now, busyUntil);
+    busyUntil = start + occupancy;
+    busyAccum += occupancy;
+    queue.schedule(busyUntil + params.fixedLatency,
+                   [d = std::move(done)] {
+                       if (d)
+                           d();
+                   });
+}
+
+RankingServer::RankingServer(sim::EventQueue &eq,
+                             RankingServiceParams service_params,
+                             FeatureAccelerator *accel, std::uint64_t seed)
+    : queue(eq), params(service_params), accelerator(accel), rng(seed),
+      freeCores(service_params.cores)
+{
+}
+
+void
+RankingServer::submitQuery(std::function<void(sim::TimePs)> done)
+{
+    ++activeQueries;
+    waiting.push_back(PendingQuery{queue.now(), std::move(done)});
+    tryDispatch();
+}
+
+void
+RankingServer::tryDispatch()
+{
+    while (freeCores > 0 && !waiting.empty()) {
+        --freeCores;
+        PendingQuery q = std::move(waiting.front());
+        waiting.pop_front();
+        runQuery(std::move(q));
+    }
+}
+
+void
+RankingServer::runQuery(PendingQuery q)
+{
+    const auto pre = static_cast<sim::TimePs>(rng.lognormalMeanCv(
+        static_cast<double>(params.cpuPreMean), params.cpuCv));
+    const auto post = static_cast<sim::TimePs>(rng.lognormalMeanCv(
+        static_cast<double>(params.cpuPostMean), params.cpuCv));
+
+    auto run_post = [this, q = std::move(q), post]() mutable {
+        queue.scheduleAfter(post, [this, q = std::move(q)] {
+            ++freeCores;
+            finishQuery(q);
+            tryDispatch();
+        });
+    };
+
+    if (accelerator == nullptr) {
+        // Software mode: the feature stage runs on-core.
+        const auto features = static_cast<sim::TimePs>(rng.lognormalMeanCv(
+            static_cast<double>(params.swFeatureMean), params.swFeatureCv));
+        queue.scheduleAfter(pre + features,
+                            [rp = std::move(run_post)]() mutable { rp(); });
+        return;
+    }
+
+    // Accelerated mode: the core blocks while the FPGA computes.
+    const auto docs = static_cast<std::uint32_t>(std::max(
+        1.0, rng.lognormalMeanCv(params.docsPerQueryMean,
+                                 params.docsPerQueryCv)));
+    queue.scheduleAfter(pre, [this, docs,
+                              rp = std::move(run_post)]() mutable {
+        accelerator->compute(docs,
+                             [rp = std::move(rp)]() mutable { rp(); });
+    });
+}
+
+void
+RankingServer::finishQuery(const PendingQuery &q)
+{
+    const sim::TimePs latency = queue.now() - q.arrivedAt;
+    statLatency.add(sim::toMillis(latency));
+    ++statCompleted;
+    --activeQueries;
+    if (q.done)
+        q.done(latency);
+}
+
+}  // namespace ccsim::host

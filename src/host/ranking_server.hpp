@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Queueing model of one web-search ranking server (Section III-A).
+ *
+ * A query's service decomposes into a non-offloadable software stage
+ * (query understanding, candidate selection, model evaluation — the paper
+ * keeps post-processed synthetic features and the ML model in software)
+ * and the expensive feature-computation stage (FFU + DPF), which may run
+ * in software, on the local FPGA, or on a remote FPGA over LTL.
+ *
+ * The server is a G/G/k system: k cores serve queries FIFO; a query holds
+ * its core through the feature stage (the software thread blocks on the
+ * accelerator), which is why offload raises throughput by the ratio of
+ * total to non-offloadable CPU time — the paper's 2.25x at the target
+ * 99th-percentile latency.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace ccsim::host {
+
+/**
+ * Interface to whatever computes the feature stage. Implementations:
+ * software (on-core), local FPGA (PCIe + role pipeline), remote FPGA
+ * (LTL through the real simulated network).
+ */
+class FeatureAccelerator
+{
+  public:
+    virtual ~FeatureAccelerator() = default;
+
+    /**
+     * Compute features for one query of @p doc_count candidate documents;
+     * invoke @p done when the results are back in host memory.
+     */
+    virtual void compute(std::uint32_t doc_count,
+                         std::function<void()> done) = 0;
+};
+
+/** Tunable service-time parameters (calibrated in DESIGN.md section 4). */
+struct RankingServiceParams {
+    int cores = 12;
+    /** Mean CPU time before the feature stage (always on-core). */
+    sim::TimePs cpuPreMean = 930 * sim::kMicrosecond;
+    /** Mean CPU time after the feature stage (always on-core). */
+    sim::TimePs cpuPostMean = 620 * sim::kMicrosecond;
+    /** CV of the lognormal CPU stage times. */
+    double cpuCv = 0.30;
+    /** Mean software feature-stage time (the offloadable 57%). */
+    sim::TimePs swFeatureMean = 2050 * sim::kMicrosecond;
+    double swFeatureCv = 0.45;
+    /** Candidate documents per query (drives accelerator occupancy). */
+    std::uint32_t docsPerQueryMean = 200;
+    double docsPerQueryCv = 0.4;
+};
+
+/**
+ * A pipelined feature accelerator attached by PCIe: requests are accepted
+ * one after another at the engine's initiation interval; results return
+ * after the fill latency. Models the local-FPGA FFU+DPF datapath.
+ */
+struct LocalFpgaParams {
+    /** Engine occupancy per candidate document. */
+    sim::TimePs occupancyPerDoc = 300 * sim::kNanosecond;
+    /** Fixed compute + DMA round-trip latency per query. */
+    sim::TimePs fixedLatency = 60 * sim::kMicrosecond;
+};
+
+class LocalFpgaAccelerator : public FeatureAccelerator
+{
+  public:
+    explicit LocalFpgaAccelerator(sim::EventQueue &eq,
+                                  LocalFpgaParams p = {})
+        : queue(eq), params(p)
+    {
+    }
+
+    void compute(std::uint32_t doc_count, std::function<void()> done) override;
+
+    /** Fraction of wall-clock the engine datapath was occupied. */
+    double utilization(sim::TimePs elapsed) const
+    {
+        return elapsed > 0
+                   ? static_cast<double>(busyAccum) / elapsed
+                   : 0.0;
+    }
+
+    std::uint64_t requests() const { return statRequests; }
+
+  private:
+    sim::EventQueue &queue;
+    LocalFpgaParams params;
+    sim::TimePs busyUntil = 0;
+    sim::TimePs busyAccum = 0;
+    std::uint64_t statRequests = 0;
+};
+
+/** One ranking server. */
+class RankingServer
+{
+  public:
+    /**
+     * @param accel Feature accelerator, or nullptr for software mode
+     *              (features computed on-core).
+     */
+    RankingServer(sim::EventQueue &eq, RankingServiceParams params,
+                  FeatureAccelerator *accel, std::uint64_t seed = 99);
+
+    /**
+     * Submit one query; @p done receives the total sojourn time
+     * (arrival to completion).
+     */
+    void submitQuery(std::function<void(sim::TimePs latency)> done = {});
+
+    /** Latencies of completed queries, milliseconds. */
+    const sim::SampleStats &latencyMs() const { return statLatency; }
+
+    std::uint64_t completed() const { return statCompleted; }
+    std::uint64_t inFlight() const { return activeQueries; }
+    /** Queries waiting for a core. */
+    std::size_t queueDepth() const { return waiting.size(); }
+
+    /** Drop latency samples (between sweep points). */
+    void clearStats() { statLatency.clear(); }
+
+  private:
+    struct PendingQuery {
+        sim::TimePs arrivedAt;
+        std::function<void(sim::TimePs)> done;
+    };
+
+    sim::EventQueue &queue;
+    RankingServiceParams params;
+    FeatureAccelerator *accelerator;
+    sim::Rng rng;
+    int freeCores;
+    std::deque<PendingQuery> waiting;
+    sim::SampleStats statLatency;
+    std::uint64_t statCompleted = 0;
+    std::uint64_t activeQueries = 0;
+
+    void tryDispatch();
+    void runQuery(PendingQuery q);
+    void finishQuery(const PendingQuery &q);
+};
+
+}  // namespace ccsim::host

@@ -1,0 +1,85 @@
+#include "host/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace ccsim::host {
+
+CorpusGenerator::CorpusGenerator(std::uint32_t vocab_size, double zipf_s,
+                                 std::uint64_t seed)
+    : vocab(vocab_size), rng(seed)
+{
+    if (vocab_size == 0)
+        sim::fatal("CorpusGenerator: vocabulary must be non-empty");
+    cdf.resize(vocab);
+    double total = 0.0;
+    for (std::uint32_t i = 0; i < vocab; ++i) {
+        total += 1.0 / std::pow(static_cast<double>(i + 1), zipf_s);
+        cdf[i] = total;
+    }
+    for (auto &x : cdf)
+        x /= total;
+}
+
+TermId
+CorpusGenerator::sampleTerm()
+{
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<TermId>(it - cdf.begin());
+}
+
+Document
+CorpusGenerator::makeDocument(std::size_t length)
+{
+    Document doc;
+    doc.id = nextDocId++;
+    doc.terms.reserve(length);
+    for (std::size_t i = 0; i < length; ++i)
+        doc.terms.push_back(sampleTerm());
+    return doc;
+}
+
+Query
+CorpusGenerator::makeQuery(std::size_t length)
+{
+    Query q;
+    q.id = nextQueryId++;
+    q.terms.reserve(length);
+    for (std::size_t i = 0; i < length; ++i)
+        q.terms.push_back(sampleTerm());
+    return q;
+}
+
+Document
+CorpusGenerator::makeCandidateDocument(const Query &q, std::size_t length)
+{
+    Document doc = makeDocument(length);
+    if (q.terms.empty() || doc.terms.empty())
+        return doc;
+    // Plant each query term at a distinct random position (so no plant
+    // overwrites another), and occasionally the full query phrase, so
+    // phrase/adjacency features fire.
+    const std::size_t stride =
+        std::max<std::size_t>(1, doc.terms.size() / q.terms.size());
+    for (std::size_t k = 0; k < q.terms.size(); ++k) {
+        const std::size_t base = k * stride;
+        const std::size_t span =
+            std::min(stride, doc.terms.size() - base);
+        if (base >= doc.terms.size())
+            break;
+        const std::size_t pos = base + rng.uniformInt(span);
+        doc.terms[pos] = q.terms[k];
+    }
+    if (doc.terms.size() > q.terms.size() && rng.bernoulli(0.3)) {
+        const std::size_t start =
+            rng.uniformInt(doc.terms.size() - q.terms.size());
+        for (std::size_t i = 0; i < q.terms.size(); ++i)
+            doc.terms[start + i] = q.terms[i];
+    }
+    return doc;
+}
+
+}  // namespace ccsim::host

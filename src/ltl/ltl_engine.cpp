@@ -1,0 +1,415 @@
+#include "ltl/ltl_engine.hpp"
+
+#include "sim/logging.hpp"
+
+namespace ccsim::ltl {
+
+LtlEngine::LtlEngine(sim::EventQueue &eq, LtlConfig config, NetworkTx tx)
+    : queue(eq), cfg(std::move(config)), networkTx(std::move(tx))
+{
+    if (!networkTx)
+        sim::fatal("LtlEngine: a network transmit function is required");
+    sendTable.resize(cfg.maxConnections);
+    recvTable.resize(cfg.maxConnections);
+}
+
+LtlEngine::SendConnection &
+LtlEngine::sendConn(std::uint16_t conn)
+{
+    if (conn >= sendTable.size() || !sendTable[conn].valid)
+        sim::panicf("LtlEngine: bad send connection ", conn);
+    return sendTable[conn];
+}
+
+LtlEngine::ReceiveConnection &
+LtlEngine::recvConn(std::uint16_t conn)
+{
+    if (conn >= recvTable.size() || !recvTable[conn].valid)
+        sim::panicf("LtlEngine: bad receive connection ", conn);
+    return recvTable[conn];
+}
+
+std::uint16_t
+LtlEngine::openSend(net::Ipv4Addr remote_ip, std::uint16_t remote_conn)
+{
+    for (std::uint16_t i = 0; i < sendTable.size(); ++i) {
+        if (!sendTable[i].valid) {
+            SendConnection &sc = sendTable[i];
+            sc = SendConnection{};
+            sc.valid = true;
+            sc.remoteIp = remote_ip;
+            sc.remoteConn = remote_conn;
+            if (cfg.enableDcqcn) {
+                DcqcnConfig dc = cfg.dcqcn;
+                dc.lineRateGbps =
+                    std::min(dc.lineRateGbps, cfg.bandwidthLimitGbps);
+                sc.dcqcn = std::make_unique<DcqcnController>(queue, dc);
+            }
+            return i;
+        }
+    }
+    sim::fatal("LtlEngine: send connection table exhausted");
+}
+
+std::uint16_t
+LtlEngine::openReceive(std::uint8_t vc)
+{
+    for (std::uint16_t i = 0; i < recvTable.size(); ++i) {
+        if (!recvTable[i].valid) {
+            recvTable[i] = ReceiveConnection{};
+            recvTable[i].valid = true;
+            recvTable[i].vc = vc;
+            return i;
+        }
+    }
+    sim::fatal("LtlEngine: receive connection table exhausted");
+}
+
+void
+LtlEngine::closeSend(std::uint16_t conn)
+{
+    SendConnection &sc = sendConn(conn);
+    if (sc.timeoutEvent != sim::kNoEvent)
+        queue.cancel(sc.timeoutEvent);
+    if (sc.pumpEvent != sim::kNoEvent)
+        queue.cancel(sc.pumpEvent);
+    sc = SendConnection{};
+}
+
+void
+LtlEngine::closeReceive(std::uint16_t conn)
+{
+    recvConn(conn) = ReceiveConnection{};
+}
+
+double
+LtlEngine::currentRateGbps(std::uint16_t conn) const
+{
+    const SendConnection &sc = sendTable.at(conn);
+    if (!sc.valid)
+        return 0.0;
+    return effectiveRateGbps(sc);
+}
+
+double
+LtlEngine::effectiveRateGbps(const SendConnection &sc) const
+{
+    double rate = cfg.bandwidthLimitGbps;
+    if (sc.dcqcn)
+        rate = std::min(rate, sc.dcqcn->currentRateGbps());
+    return rate;
+}
+
+void
+LtlEngine::sendMessage(std::uint16_t conn, std::uint32_t bytes,
+                       std::shared_ptr<void> payload, std::uint8_t vc)
+{
+    SendConnection &sc = sendConn(conn);
+    if (sc.failed) {
+        CCSIM_LOG(sim::LogLevel::kWarn, "ltl", queue.now(),
+                  "sendMessage on failed connection ", conn);
+        return;
+    }
+    const std::uint64_t msg_id = sc.nextMsgId++;
+    const std::uint32_t size = bytes == 0 ? 1 : bytes;
+    std::uint32_t offset = 0;
+    while (offset < size) {
+        const std::uint32_t chunk =
+            std::min(cfg.maxFramePayload, size - offset);
+        auto header = std::make_shared<LtlHeader>();
+        header->flags = kFlagData;
+        header->srcConn = conn;
+        header->dstConn = sc.remoteConn;
+        header->createdAt = queue.now();
+        header->seq = sc.nextSeq++;
+        header->msgId = msg_id;
+        header->msgBytes = size;
+        header->msgOffset = offset;
+        header->frameBytes = chunk;
+        header->vc = vc;
+        offset += chunk;
+        if (offset >= size)
+            header->appPayload = std::move(payload);
+        sc.sendQueue.push_back(PendingFrame{std::move(header)});
+    }
+    pumpSend(conn);
+}
+
+net::PacketPtr
+LtlEngine::buildPacket(const SendConnection &sc,
+                       const LtlHeaderPtr &header) const
+{
+    auto pkt = net::makePacket();
+    pkt->ipSrc = cfg.localIp;
+    pkt->ipDst = sc.remoteIp;
+    pkt->ipProto = net::IpProto::kUdp;
+    pkt->srcPort = cfg.udpPort;
+    pkt->dstPort = cfg.udpPort;
+    pkt->priority = cfg.trafficClass;
+    pkt->ecnCapable = true;
+    pkt->payloadBytes = kLtlHeaderBytes + header->frameBytes;
+    pkt->meta = header;
+    pkt->createdAt = queue.now();
+    return pkt;
+}
+
+void
+LtlEngine::pumpSend(std::uint16_t conn)
+{
+    SendConnection &sc = sendConn(conn);
+    const sim::TimePs now = queue.now();
+    while (!sc.sendQueue.empty() &&
+           sc.unacked.size() < cfg.sendWindowFrames &&
+           sc.unackedBytes < cfg.unackedStoreBytes) {
+        if (sc.nextSendTime > now) {
+            // Pacing: resume when the token interval elapses.
+            if (sc.pumpEvent == sim::kNoEvent) {
+                sc.pumpEvent =
+                    queue.schedule(sc.nextSendTime, [this, conn] {
+                        sendTable[conn].pumpEvent = sim::kNoEvent;
+                        if (sendTable[conn].valid)
+                            pumpSend(conn);
+                    });
+            }
+            return;
+        }
+        LtlHeaderPtr header = sc.sendQueue.front().header;
+        sc.sendQueue.pop_front();
+
+        UnackedFrame uf;
+        uf.header = header;
+        uf.firstSentAt = now;
+        uf.lastSentAt = now;
+        sc.unacked.push_back(uf);
+        sc.unackedBytes += header->frameBytes;
+
+        transmitFrame(sc, header, false);
+
+        // Token-bucket pacing at the effective (DC-QCN) rate.
+        const double rate = effectiveRateGbps(sc);
+        const std::uint32_t wire_bytes =
+            kLtlHeaderBytes + header->frameBytes + 46;  // L2-4 overheads
+        const sim::TimePs interval =
+            sim::serializationDelay(wire_bytes, rate);
+        sc.nextSendTime = std::max(sc.nextSendTime, now) + interval;
+    }
+    armTimeout(conn);
+}
+
+void
+LtlEngine::transmitFrame(SendConnection &sc, const LtlHeaderPtr &header,
+                         bool is_retransmit)
+{
+    auto pkt = buildPacket(sc, header);
+    if (is_retransmit)
+        ++statRetransmits;
+    else
+        ++statFramesSent;
+    queue.scheduleAfter(cfg.txPathDelay,
+                        [this, pkt] { networkTx(pkt); });
+}
+
+void
+LtlEngine::armTimeout(std::uint16_t conn)
+{
+    SendConnection &sc = sendTable[conn];
+    if (!sc.valid || sc.unacked.empty() || sc.timeoutEvent != sim::kNoEvent)
+        return;
+    const sim::TimePs deadline =
+        sc.unacked.front().lastSentAt + cfg.retransmitTimeout;
+    sc.timeoutEvent = queue.schedule(
+        std::max(deadline, queue.now()), [this, conn] {
+            sendTable[conn].timeoutEvent = sim::kNoEvent;
+            if (sendTable[conn].valid)
+                onTimeout(conn);
+        });
+}
+
+void
+LtlEngine::onTimeout(std::uint16_t conn)
+{
+    SendConnection &sc = sendTable[conn];
+    if (sc.unacked.empty())
+        return;
+    const sim::TimePs now = queue.now();
+    if (sc.unacked.front().lastSentAt + cfg.retransmitTimeout > now) {
+        // Newer transmission moved the deadline; re-arm.
+        armTimeout(conn);
+        return;
+    }
+    ++statTimeouts;
+    ++sc.consecutiveTimeouts;
+    if (sc.consecutiveTimeouts > cfg.maxRetries) {
+        sc.failed = true;
+        CCSIM_LOG(sim::LogLevel::kWarn, "ltl", now, "connection ", conn,
+                  " failed after ", cfg.maxRetries, " timeouts");
+        if (onFailure)
+            onFailure(conn);
+        return;
+    }
+    // Go-back-N: retransmit every unacknowledged frame.
+    for (auto &uf : sc.unacked) {
+        uf.retransmitted = true;
+        uf.lastSentAt = now;
+        transmitFrame(sc, uf.header, true);
+    }
+    armTimeout(conn);
+}
+
+void
+LtlEngine::handleAck(std::uint16_t conn, std::uint32_t ack_seq, bool is_nack)
+{
+    if (conn >= sendTable.size() || !sendTable[conn].valid)
+        return;  // stale ACK for a closed connection
+    SendConnection &sc = sendTable[conn];
+    const sim::TimePs now = queue.now();
+
+    bool progressed = false;
+    while (!sc.unacked.empty() && sc.unacked.front().header->seq < ack_seq) {
+        const UnackedFrame &uf = sc.unacked.front();
+        if (!uf.retransmitted) {
+            // Karn's rule: only un-retransmitted frames give RTT samples.
+            statRtt.add(sim::toMicros(now - uf.firstSentAt));
+        }
+        sc.unackedBytes -= uf.header->frameBytes;
+        sc.unacked.pop_front();
+        progressed = true;
+    }
+    if (progressed) {
+        sc.consecutiveTimeouts = 0;
+        if (sc.timeoutEvent != sim::kNoEvent) {
+            queue.cancel(sc.timeoutEvent);
+            sc.timeoutEvent = sim::kNoEvent;
+        }
+    }
+    if (is_nack) {
+        // Fast retransmit from the requested sequence (go-back-N).
+        for (auto &uf : sc.unacked) {
+            if (uf.header->seq >= ack_seq) {
+                uf.retransmitted = true;
+                uf.lastSentAt = now;
+                transmitFrame(sc, uf.header, true);
+            }
+        }
+    }
+    armTimeout(conn);
+    pumpSend(conn);
+}
+
+void
+LtlEngine::sendControl(net::Ipv4Addr to, std::uint16_t dst_conn,
+                       std::uint8_t flags, std::uint32_t ack_seq,
+                       sim::TimePs delay)
+{
+    auto header = std::make_shared<LtlHeader>();
+    header->flags = flags;
+    header->dstConn = dst_conn;
+    header->ackSeq = ack_seq;
+
+    auto pkt = net::makePacket();
+    pkt->ipSrc = cfg.localIp;
+    pkt->ipDst = to;
+    pkt->ipProto = net::IpProto::kUdp;
+    pkt->srcPort = cfg.udpPort;
+    pkt->dstPort = cfg.udpPort;
+    pkt->priority = cfg.trafficClass;
+    pkt->payloadBytes = kLtlHeaderBytes;
+    pkt->meta = header;
+    pkt->createdAt = queue.now();
+    queue.scheduleAfter(delay + cfg.txPathDelay,
+                        [this, pkt] { networkTx(pkt); });
+}
+
+void
+LtlEngine::onNetworkPacket(const net::PacketPtr &pkt)
+{
+    queue.scheduleAfter(cfg.rxPathDelay, [this, pkt] {
+        auto header = std::static_pointer_cast<LtlHeader>(pkt->meta);
+        if (!header) {
+            CCSIM_LOG(sim::LogLevel::kWarn, "ltl", queue.now(),
+                      "non-LTL packet on LTL port");
+            return;
+        }
+        if (header->flags & kFlagCnp) {
+            ++statCnpsReceived;
+            if (header->dstConn < sendTable.size() &&
+                sendTable[header->dstConn].valid &&
+                sendTable[header->dstConn].dcqcn) {
+                sendTable[header->dstConn]
+                    .dcqcn->onCongestionNotification();
+            }
+            return;
+        }
+        if (header->flags & (kFlagAck | kFlagNack)) {
+            handleAck(header->dstConn, header->ackSeq,
+                      header->flags & kFlagNack);
+            return;
+        }
+        if (header->flags & kFlagData) {
+            handleData(pkt, header);
+        }
+    });
+}
+
+void
+LtlEngine::handleData(const net::PacketPtr &pkt, const LtlHeaderPtr &header)
+{
+    if (header->dstConn >= recvTable.size() ||
+        !recvTable[header->dstConn].valid) {
+        CCSIM_LOG(sim::LogLevel::kDebug, "ltl", queue.now(),
+                  "data frame for invalid receive connection ",
+                  header->dstConn);
+        return;
+    }
+    ReceiveConnection &rc = recvTable[header->dstConn];
+    const net::Ipv4Addr sender_ip = pkt->ipSrc;
+    const std::uint16_t sender_conn = header->srcConn;
+
+    // DC-QCN notification point: reflect ECN marks as CNPs (rate-limited).
+    if (pkt->ecnMarked &&
+        queue.now() - rc.lastCnpAt >= cfg.cnpMinInterval) {
+        rc.lastCnpAt = queue.now();
+        ++statCnpsSent;
+        sendControl(sender_ip, sender_conn, kFlagCnp, 0, 0);
+    }
+
+    if (header->seq == rc.expectedSeq) {
+        rc.expectedSeq += 1;
+        rc.lastNackSeq = UINT32_MAX;
+        // Deliver the completed message when its final frame arrives.
+        if (header->msgOffset + header->frameBytes >= header->msgBytes) {
+            ++statDelivered;
+            if (deliver) {
+                LtlMessage msg;
+                msg.conn = header->dstConn;
+                msg.msgId = header->msgId;
+                msg.bytes = header->msgBytes;
+                msg.vc = rc.vc;
+                msg.payload = header->appPayload;
+                msg.sentAt = header->createdAt;
+                deliver(msg);
+            }
+        }
+        // Cumulative ACK after the Ack Generation latency.
+        ++statAcksSent;
+        sendControl(sender_ip, sender_conn, kFlagAck, rc.expectedSeq,
+                    cfg.ackGenDelay);
+    } else if (header->seq > rc.expectedSeq) {
+        // Gap: packet loss or reorder. NACK once per gap.
+        ++statOutOfOrder;
+        if (cfg.enableNack && rc.lastNackSeq != rc.expectedSeq) {
+            rc.lastNackSeq = rc.expectedSeq;
+            ++statNacksSent;
+            sendControl(sender_ip, sender_conn, kFlagNack, rc.expectedSeq,
+                        cfg.ackGenDelay);
+        }
+    } else {
+        // Duplicate (e.g. a retransmission raced the original): re-ACK.
+        ++statDuplicates;
+        ++statAcksSent;
+        sendControl(sender_ip, sender_conn, kFlagAck, rc.expectedSeq,
+                    cfg.ackGenDelay);
+    }
+}
+
+}  // namespace ccsim::ltl

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The LTL (Lightweight Transport Layer) protocol engine (Section V-A).
+ *
+ * LTL provides ordered, reliable, connection-based messaging between
+ * FPGAs across the datacenter Ethernet fabric:
+ *
+ *  - UDP encapsulation, IP routing, lossless traffic class;
+ *  - statically allocated, persistent send/receive connection tables;
+ *  - an unacknowledged frame store with ACK/NACK-based retransmission
+ *    (NACKs request timely retransmit when reordering is detected,
+ *    without waiting for the 50 us timeout);
+ *  - configurable retransmission timeout (default 50 us, as deployed),
+ *    which doubles as fast failure detection for the HaaS layer;
+ *  - DC-QCN end-to-end congestion control (ECN -> CNP -> rate cut);
+ *  - bandwidth limiting so a donated FPGA cannot starve its host.
+ */
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "ltl/dcqcn.hpp"
+#include "ltl/ltl_frame.hpp"
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+
+namespace ccsim::ltl {
+
+/** A fully reassembled LTL message handed to the local consumer. */
+struct LtlMessage {
+    std::uint16_t conn = 0;      ///< receive-connection index
+    std::uint64_t msgId = 0;
+    std::uint32_t bytes = 0;
+    std::uint8_t vc = 0;         ///< VC for Elastic Router delivery
+    std::shared_ptr<void> payload;
+    sim::TimePs sentAt = 0;      ///< when the sender created the message
+};
+
+/** Engine configuration. */
+struct LtlConfig {
+    net::Ipv4Addr localIp;
+    std::uint16_t udpPort = kLtlUdpPort;
+    std::uint8_t trafficClass = net::kTcLossless;
+
+    /** Packetizer + MAC egress latency (header generated -> on wire). */
+    sim::TimePs txPathDelay = 400 * sim::kNanosecond;
+    /** MAC ingress + depacketizer latency. */
+    sim::TimePs rxPathDelay = 400 * sim::kNanosecond;
+    /** Ack Generation module latency. */
+    sim::TimePs ackGenDelay = 180 * sim::kNanosecond;
+
+    /** Retransmission timeout; the deployed value is 50 us. */
+    sim::TimePs retransmitTimeout = 50 * sim::kMicrosecond;
+    /** Consecutive timeouts before the connection is declared failed. */
+    int maxRetries = 16;
+
+    /** Maximum unacknowledged frames in flight per connection. */
+    std::uint32_t sendWindowFrames = 128;
+    /** Unacked frame store capacity in bytes (per connection). */
+    std::uint32_t unackedStoreBytes = 256 * 1024;
+    /** Maximum LTL payload per frame (fits in one MTU with headers). */
+    std::uint32_t maxFramePayload = 1408;
+
+    /** Static bandwidth cap (configured by the Service Manager). */
+    double bandwidthLimitGbps = 40.0;
+    /** Enable DC-QCN reaction point. */
+    bool enableDcqcn = true;
+    /** Enable NACK fast retransmit (ablation knob; timeout-only if off). */
+    bool enableNack = true;
+    /** Minimum spacing between CNPs sent for one connection. */
+    sim::TimePs cnpMinInterval = 50 * sim::kMicrosecond;
+    DcqcnConfig dcqcn;
+
+    std::uint16_t maxConnections = 1024;
+};
+
+/**
+ * One LTL protocol engine instance (one per FPGA shell).
+ */
+class LtlEngine
+{
+  public:
+    /** How the engine puts frames on the wire (bound to the shell's tap). */
+    using NetworkTx = std::function<void(const net::PacketPtr &)>;
+    /** Delivery of a complete message to the local consumer. */
+    using DeliveryFn = std::function<void(const LtlMessage &)>;
+    /** Notification that a connection has been declared failed. */
+    using FailureFn = std::function<void(std::uint16_t conn)>;
+
+    LtlEngine(sim::EventQueue &eq, LtlConfig cfg, NetworkTx tx);
+
+    // ------------------------------------------------------------------
+    // Connection table management (driven by the control plane / HaaS FM).
+    // ------------------------------------------------------------------
+
+    /**
+     * Allocate a send connection toward @p remote_ip whose frames will be
+     * demultiplexed by the remote engine's receive connection
+     * @p remote_conn.
+     *
+     * @return The local send-connection index.
+     */
+    std::uint16_t openSend(net::Ipv4Addr remote_ip, std::uint16_t remote_conn);
+
+    /**
+     * Allocate a receive connection.
+     *
+     * @param vc Virtual channel that delivered messages are tagged with.
+     * @return The receive-connection index (give it to the remote sender).
+     */
+    std::uint16_t openReceive(std::uint8_t vc = 0);
+
+    /** Deallocate a send connection. */
+    void closeSend(std::uint16_t conn);
+    /** Deallocate a receive connection. */
+    void closeReceive(std::uint16_t conn);
+
+    // ------------------------------------------------------------------
+    // Data path.
+    // ------------------------------------------------------------------
+
+    /**
+     * Send a message on connection @p conn. Segmentation, windowing,
+     * pacing, retransmission are handled internally.
+     */
+    void sendMessage(std::uint16_t conn, std::uint32_t bytes,
+                     std::shared_ptr<void> payload = nullptr,
+                     std::uint8_t vc = 0);
+
+    /** Entry point for LTL-addressed packets delivered by the shell. */
+    void onNetworkPacket(const net::PacketPtr &pkt);
+
+    /** Register the local message consumer. */
+    void setDeliveryHandler(DeliveryFn fn) { deliver = std::move(fn); }
+
+    /** Register the connection-failure consumer (HaaS). */
+    void setFailureHandler(FailureFn fn) { onFailure = std::move(fn); }
+
+    // ------------------------------------------------------------------
+    // Introspection.
+    // ------------------------------------------------------------------
+
+    const LtlConfig &config() const { return cfg; }
+
+    /** Data-frame RTT samples (header generated -> ACK received), in us. */
+    const sim::SampleStats &rttUs() const { return statRtt; }
+
+    /** Current DC-QCN rate of a send connection, Gb/s. */
+    double currentRateGbps(std::uint16_t conn) const;
+
+    std::uint64_t framesSent() const { return statFramesSent; }
+    std::uint64_t framesRetransmitted() const { return statRetransmits; }
+    std::uint64_t timeouts() const { return statTimeouts; }
+    std::uint64_t acksSent() const { return statAcksSent; }
+    std::uint64_t nacksSent() const { return statNacksSent; }
+    std::uint64_t cnpsSent() const { return statCnpsSent; }
+    std::uint64_t cnpsReceived() const { return statCnpsReceived; }
+    std::uint64_t messagesDelivered() const { return statDelivered; }
+    std::uint64_t duplicateFrames() const { return statDuplicates; }
+    std::uint64_t outOfOrderFrames() const { return statOutOfOrder; }
+
+  private:
+    struct PendingFrame {
+        LtlHeaderPtr header;
+    };
+    struct UnackedFrame {
+        LtlHeaderPtr header;
+        sim::TimePs firstSentAt = 0;
+        sim::TimePs lastSentAt = 0;
+        bool retransmitted = false;
+    };
+    struct SendConnection {
+        bool valid = false;
+        net::Ipv4Addr remoteIp;
+        std::uint16_t remoteConn = 0;
+        std::uint32_t nextSeq = 0;
+        std::deque<PendingFrame> sendQueue;
+        std::deque<UnackedFrame> unacked;
+        std::uint32_t unackedBytes = 0;
+        sim::TimePs nextSendTime = 0;
+        sim::EventId pumpEvent = sim::kNoEvent;
+        sim::EventId timeoutEvent = sim::kNoEvent;
+        int consecutiveTimeouts = 0;
+        bool failed = false;
+        std::unique_ptr<DcqcnController> dcqcn;
+        std::uint64_t nextMsgId = 1;
+    };
+    struct ReceiveConnection {
+        bool valid = false;
+        std::uint8_t vc = 0;
+        std::uint32_t expectedSeq = 0;
+        /** Last NACKed sequence, to avoid NACK storms for one gap. */
+        std::uint32_t lastNackSeq = UINT32_MAX;
+        sim::TimePs lastCnpAt = -(1 << 30);
+    };
+
+    sim::EventQueue &queue;
+    LtlConfig cfg;
+    NetworkTx networkTx;
+    DeliveryFn deliver;
+    FailureFn onFailure;
+
+    std::vector<SendConnection> sendTable;
+    std::vector<ReceiveConnection> recvTable;
+
+    sim::SampleStats statRtt;
+    std::uint64_t statFramesSent = 0;
+    std::uint64_t statRetransmits = 0;
+    std::uint64_t statTimeouts = 0;
+    std::uint64_t statAcksSent = 0;
+    std::uint64_t statNacksSent = 0;
+    std::uint64_t statCnpsSent = 0;
+    std::uint64_t statCnpsReceived = 0;
+    std::uint64_t statDelivered = 0;
+    std::uint64_t statDuplicates = 0;
+    std::uint64_t statOutOfOrder = 0;
+
+    SendConnection &sendConn(std::uint16_t conn);
+    ReceiveConnection &recvConn(std::uint16_t conn);
+
+    void pumpSend(std::uint16_t conn);
+    void transmitFrame(SendConnection &sc, const LtlHeaderPtr &header,
+                       bool is_retransmit);
+    void armTimeout(std::uint16_t conn);
+    void onTimeout(std::uint16_t conn);
+    void handleAck(std::uint16_t conn, std::uint32_t ack_seq, bool is_nack);
+    void handleData(const net::PacketPtr &pkt, const LtlHeaderPtr &header);
+    void sendControl(net::Ipv4Addr to, std::uint16_t dst_conn,
+                     std::uint8_t flags, std::uint32_t ack_seq,
+                     sim::TimePs delay);
+    double effectiveRateGbps(const SendConnection &sc) const;
+    net::PacketPtr buildPacket(const SendConnection &sc,
+                               const LtlHeaderPtr &header) const;
+};
+
+}  // namespace ccsim::ltl

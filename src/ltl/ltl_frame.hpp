@@ -1,0 +1,68 @@
+/**
+ * @file
+ * LTL (Lightweight Transport Layer) frame format.
+ *
+ * As in the paper, LTL frames are UDP datagrams routed with ordinary IP
+ * across the datacenter network on a lossless traffic class. A frame is
+ * either a data segment of a message, an ACK, a NACK (fast retransmit
+ * request issued when reordering is detected), or a CNP (DC-QCN congestion
+ * notification).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace ccsim::ltl {
+
+/** UDP destination port LTL engines listen on. */
+inline constexpr std::uint16_t kLtlUdpPort = 0xBEEF;
+
+/** LTL frame types (flags may combine DATA with piggybacked ACK). */
+enum LtlFlags : std::uint8_t {
+    kFlagData = 1 << 0,
+    kFlagAck = 1 << 1,
+    kFlagNack = 1 << 2,
+    kFlagCnp = 1 << 3,  ///< DC-QCN Congestion Notification Packet
+};
+
+/** Fixed LTL header size on the wire (modeled). */
+inline constexpr std::uint32_t kLtlHeaderBytes = 32;
+
+/** The LTL header + message framing metadata, attached to a Packet. */
+struct LtlHeader {
+    std::uint8_t flags = 0;
+    /** Sender's connection index in its send table. */
+    std::uint16_t srcConn = 0;
+    /** Receiver's connection index in its receive table. */
+    std::uint16_t dstConn = 0;
+    /** Data sequence number (per connection, frame granularity). */
+    std::uint32_t seq = 0;
+    /** Cumulative acknowledgement: next sequence expected by receiver. */
+    std::uint32_t ackSeq = 0;
+
+    // --- message framing (valid on DATA frames) ---
+    /** Id of the message this frame belongs to. */
+    std::uint64_t msgId = 0;
+    /** Total message payload size in bytes. */
+    std::uint32_t msgBytes = 0;
+    /** Offset of this frame's payload within the message. */
+    std::uint32_t msgOffset = 0;
+    /** Payload bytes carried by this frame. */
+    std::uint32_t frameBytes = 0;
+    /** Virtual channel for delivery into the remote Elastic Router. */
+    std::uint8_t vc = 0;
+
+    /** Application payload, carried once per message (on the last frame). */
+    std::shared_ptr<void> appPayload;
+
+    /**
+     * Time the message was handed to the engine (ps). Survives
+     * retransmission, so receivers measure true delivery latency.
+     */
+    std::int64_t createdAt = 0;
+};
+
+using LtlHeaderPtr = std::shared_ptr<LtlHeader>;
+
+}  // namespace ccsim::ltl

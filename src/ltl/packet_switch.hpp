@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The LTL Packet Switch (Figure 4/5): the block between the LTL engine /
+ * roles and the network bridge tap. Per the paper, the tap "supports
+ * per-flow congestion management, traffic class based flow control, and
+ * bandwidth limiting via random early drops. It also performs basic
+ * packet classification and buffering to map packets to classes",
+ * allowing the FPGA to safely insert and remove packets from the network
+ * without disrupting existing flows and without host-side support.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "ltl/red_policer.hpp"
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+
+namespace ccsim::ltl {
+
+/** Packet switch configuration. */
+struct PacketSwitchConfig {
+    /** Traffic class LTL protocol frames are mapped to. */
+    std::uint8_t ltlTrafficClass = net::kTcLossless;
+    /** Traffic class role-generated raw packets are mapped to. */
+    std::uint8_t roleTrafficClass = net::kTcLossy;
+    /**
+     * Bandwidth limit for role-generated traffic so a donated FPGA
+     * cannot starve its host's traffic (enforced by random early drop).
+     */
+    double roleBandwidthLimitGbps = 10.0;
+    std::uint64_t roleBurstBytes = 128 * 1024;
+    std::uint64_t seed = 11;
+};
+
+/**
+ * Classifies and polices FPGA-generated packets before they enter the
+ * bump-in-the-wire toward the TOR.
+ */
+class LtlPacketSwitch
+{
+  public:
+    /** Transmit into the bridge; returns false if the bridge is down. */
+    using TxFn = std::function<bool(const net::PacketPtr &)>;
+
+    LtlPacketSwitch(sim::EventQueue &eq, PacketSwitchConfig cfg, TxFn tx)
+        : queue(eq), config(cfg), transmit(std::move(tx)),
+          rolePolicer(cfg.roleBandwidthLimitGbps, cfg.roleBurstBytes,
+                      cfg.seed)
+    {
+    }
+
+    /**
+     * Send an LTL protocol frame: classified onto the lossless class.
+     * LTL traffic is congestion-managed end to end by DC-QCN and paced
+     * by the engine, so it bypasses the RED policer.
+     */
+    bool sendLtl(const net::PacketPtr &pkt)
+    {
+        pkt->priority = config.ltlTrafficClass;
+        pkt->ecnCapable = true;
+        ++statLtlFrames;
+        return transmit(pkt);
+    }
+
+    /**
+     * Send a role-generated raw packet: classified onto the (lossy)
+     * role class and subject to RED bandwidth limiting.
+     *
+     * @return false if policed away or the bridge is down.
+     */
+    bool sendRole(const net::PacketPtr &pkt)
+    {
+        pkt->priority = config.roleTrafficClass;
+        if (!rolePolicer.allow(queue.now(), pkt->wireBytes())) {
+            ++statRoleDropped;
+            return false;
+        }
+        ++statRolePackets;
+        return transmit(pkt);
+    }
+
+    std::uint64_t ltlFramesSent() const { return statLtlFrames; }
+    std::uint64_t rolePacketsSent() const { return statRolePackets; }
+    std::uint64_t rolePacketsDropped() const { return statRoleDropped; }
+
+  private:
+    sim::EventQueue &queue;
+    PacketSwitchConfig config;
+    TxFn transmit;
+    RedPolicer rolePolicer;
+    std::uint64_t statLtlFrames = 0;
+    std::uint64_t statRolePackets = 0;
+    std::uint64_t statRoleDropped = 0;
+};
+
+}  // namespace ccsim::ltl

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bandwidth limiting via random early drops, used by the shell's network
+ * tap (Section V-A: "bandwidth limiting via random early drops") to keep
+ * role-generated traffic from starving host traffic.
+ */
+#pragma once
+
+#include <algorithm>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace ccsim::ltl {
+
+/**
+ * A token-bucket rate estimator with RED-style probabilistic drops as the
+ * estimated rate approaches the configured limit.
+ */
+class RedPolicer
+{
+  public:
+    /**
+     * @param limit_gbps  Bandwidth limit.
+     * @param burst_bytes Token bucket depth.
+     * @param seed        Drop lottery seed.
+     */
+    RedPolicer(double limit_gbps, std::uint64_t burst_bytes,
+               std::uint64_t seed = 7)
+        : limitGbps(limit_gbps), burstBytes(static_cast<double>(burst_bytes)),
+          tokens(static_cast<double>(burst_bytes)), rng(seed)
+    {
+    }
+
+    /**
+     * Account a packet of @p bytes at time @p now.
+     *
+     * @return true if the packet may pass, false if it must be dropped.
+     */
+    bool allow(sim::TimePs now, std::uint32_t bytes)
+    {
+        refill(now);
+        const double need = static_cast<double>(bytes);
+        if (tokens >= burstBytes * kRedStart) {
+            tokens -= need;  // plenty of headroom: always pass
+            return true;
+        }
+        if (tokens < need) {
+            ++statDrops;
+            return false;  // hard limit
+        }
+        // RED region: drop probability grows as tokens drain.
+        const double fill = tokens / (burstBytes * kRedStart);
+        const double p_drop = (1.0 - fill) * kMaxDropProb;
+        if (rng.bernoulli(p_drop)) {
+            ++statDrops;
+            return false;
+        }
+        tokens -= need;
+        return true;
+    }
+
+    std::uint64_t drops() const { return statDrops; }
+
+  private:
+    static constexpr double kRedStart = 0.5;     ///< RED engages below 50%
+    static constexpr double kMaxDropProb = 0.2;  ///< at empty bucket
+
+    double limitGbps;
+    double burstBytes;
+    double tokens;
+    sim::TimePs lastRefill = 0;
+    sim::Rng rng;
+    std::uint64_t statDrops = 0;
+
+    void refill(sim::TimePs now)
+    {
+        if (now <= lastRefill)
+            return;
+        const double dt_ns = sim::toNanos(now - lastRefill);
+        tokens = std::min(burstBytes, tokens + dt_ns * limitGbps / 8.0);
+        lastRefill = now;
+    }
+};
+
+}  // namespace ccsim::ltl

@@ -1,0 +1,176 @@
+#include "net/channel.hpp"
+
+#include "sim/logging.hpp"
+
+namespace ccsim::net {
+
+Channel::Channel(sim::EventQueue &eq, std::string name, double rate_gbps,
+                 sim::TimePs prop_delay, std::uint32_t queue_cap_bytes)
+    : queue(eq), label(std::move(name)), gbps(rate_gbps),
+      propDelay(prop_delay), queueCapBytes(queue_cap_bytes)
+{
+    if (gbps <= 0.0)
+        sim::panic("Channel: rate must be positive");
+}
+
+std::uint32_t
+Channel::totalQueuedBytes() const
+{
+    std::uint32_t total = 0;
+    for (auto b : queueBytes)
+        total += b;
+    return total;
+}
+
+bool
+Channel::isPaused(std::uint8_t priority) const
+{
+    return pausedUntil[priority] > queue.now();
+}
+
+bool
+Channel::send(const PacketPtr &pkt, std::function<void()> on_transmitted)
+{
+    const std::uint8_t prio = pkt->isPfc() ? 7 : pkt->priority;
+    const std::uint32_t wire = pkt->wireBytes();
+    // PFC control frames are never dropped and jump to the control queue
+    // (priority 7 is reserved for control in our configuration).
+    if (!pkt->isPfc() && queueBytes[prio] + wire > queueCapBytes) {
+        ++drops;
+        CCSIM_LOG(sim::LogLevel::kDebug, label, queue.now(),
+                  "tx queue full, dropping packet ", pkt->id, " prio ",
+                  int(prio));
+        return false;
+    }
+    txQueues[prio].push_back(TxEntry{pkt, std::move(on_transmitted)});
+    queueBytes[prio] += wire;
+    tryTransmit();
+    return true;
+}
+
+void
+Channel::pausePriority(std::uint8_t priority, sim::TimePs duration)
+{
+    ++pauses;
+    pausedUntil[priority] = duration > 0 ? queue.now() + duration : 0;
+    if (duration == 0) {
+        tryTransmit();
+    }
+}
+
+int
+Channel::pickQueue() const
+{
+    // Strict priority, highest first; PFC control traffic (7) always wins.
+    const sim::TimePs now = queue.now();
+    for (int prio = kNumTrafficClasses - 1; prio >= 0; --prio) {
+        if (txQueues[prio].empty())
+            continue;
+        const bool is_ctrl = txQueues[prio].front().pkt->isPfc();
+        if (!is_ctrl && pausedUntil[prio] > now)
+            continue;
+        return prio;
+    }
+    return -1;
+}
+
+sim::TimePs
+Channel::earliestUnpause() const
+{
+    sim::TimePs t = sim::kTimeNever;
+    const sim::TimePs now = queue.now();
+    for (int prio = 0; prio < kNumTrafficClasses; ++prio) {
+        if (!txQueues[prio].empty() && pausedUntil[prio] > now)
+            t = std::min(t, pausedUntil[prio]);
+    }
+    return t;
+}
+
+void
+Channel::tryTransmit()
+{
+    if (transmitting)
+        return;
+    const int prio = pickQueue();
+    if (prio < 0) {
+        // Everything pending is paused; re-arm at the earliest unpause.
+        const sim::TimePs when = earliestUnpause();
+        if (when != sim::kTimeNever && resumeEvent == sim::kNoEvent) {
+            resumeEvent = queue.schedule(when, [this] {
+                resumeEvent = sim::kNoEvent;
+                tryTransmit();
+            });
+        }
+        return;
+    }
+    TxEntry entry = std::move(txQueues[prio].front());
+    txQueues[prio].pop_front();
+    queueBytes[prio] -= entry.pkt->wireBytes();
+    transmitting = true;
+    const sim::TimePs ser =
+        sim::serializationDelay(entry.pkt->wireBytes(), gbps);
+    queue.scheduleAfter(ser, [this, e = std::move(entry)]() mutable {
+        finishTransmit(std::move(e));
+    });
+}
+
+void
+Channel::finishTransmit(TxEntry entry)
+{
+    ++txPackets;
+    txBytes += entry.pkt->wireBytes();
+    transmitting = false;
+    if (sink) {
+        queue.scheduleAfter(propDelay, [this, pkt = entry.pkt] {
+            sink->acceptPacket(pkt);
+        });
+    }
+    if (entry.onTransmitted)
+        entry.onTransmitted();
+    tryTransmit();
+}
+
+Link::Link(sim::EventQueue &eq, std::string name, double gbps,
+           double length_meters, std::uint32_t queue_cap_bytes)
+{
+    const sim::TimePs prop = sim::propagationDelay(length_meters);
+    ab = std::make_unique<Channel>(eq, name + ".ab", gbps, prop,
+                                   queue_cap_bytes);
+    ba = std::make_unique<Channel>(eq, name + ".ba", gbps, prop,
+                                   queue_cap_bytes);
+    // PFC received at end A throttles A's transmitter (the ab channel).
+    shimA = std::make_unique<PfcShim>(ab.get());
+    shimB = std::make_unique<PfcShim>(ba.get());
+    ba->setSink(shimA.get());  // traffic toward A passes through A's shim
+    ab->setSink(shimB.get());
+}
+
+void
+Link::attachA(PacketSink *a)
+{
+    shimA->setInner(a);
+}
+
+void
+Link::attachB(PacketSink *b)
+{
+    shimB->setInner(b);
+}
+
+void
+Link::PfcShim::acceptPacket(const PacketPtr &pkt)
+{
+    if (pkt->isPfc()) {
+        const PfcFrame &pfc = pkt->pfc();
+        for (int prio = 0; prio < kNumTrafficClasses; ++prio) {
+            if (pfc.priorityMask & (1u << prio))
+                reverseTx->pausePriority(static_cast<std::uint8_t>(prio),
+                                         pfc.pauseTime[prio]);
+        }
+        return;  // PFC is consumed at the MAC; not delivered upward
+    }
+    if (inner)
+        inner->acceptPacket(pkt);
+}
+
+}  // namespace ccsim::net

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Serialized point-to-point channels and full-duplex links.
+ *
+ * A Channel is one direction of a cable: it serializes packets at the link
+ * rate, applies propagation delay, keeps per-priority transmit queues, and
+ * honors 802.1Qbb PFC pause per priority. A Link bundles two channels and
+ * transparently intercepts PFC frames: a pause frame received at one end
+ * throttles that end's transmitter, exactly as a MAC would.
+ */
+#pragma once
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+
+namespace ccsim::net {
+
+/** One direction of a link. */
+class Channel
+{
+  public:
+    /**
+     * @param eq          Event queue driving this channel.
+     * @param name        Trace name.
+     * @param gbps        Line rate in Gb/s.
+     * @param prop_delay  One-way propagation delay.
+     * @param queue_cap_bytes Per-priority transmit queue capacity.
+     */
+    Channel(sim::EventQueue &eq, std::string name, double gbps,
+            sim::TimePs prop_delay, std::uint32_t queue_cap_bytes);
+
+    /** Set the receiving device at the far end. */
+    void setSink(PacketSink *s) { sink = s; }
+
+    /**
+     * Enqueue a packet for transmission.
+     *
+     * Lossy-priority packets are dropped (and counted) when the transmit
+     * queue for their priority is full; callers using lossless priorities
+     * are expected to respect PFC back-pressure via queuedBytes().
+     *
+     * @param pkt            The packet.
+     * @param on_transmitted Optional callback invoked when the last bit has
+     *                       been serialized onto the wire (used by switches
+     *                       for ingress buffer accounting).
+     * @return true if the packet was enqueued, false if dropped.
+     */
+    bool send(const PacketPtr &pkt,
+              std::function<void()> on_transmitted = {});
+
+    /**
+     * Pause transmission of @p priority for @p duration from now.
+     * Duration zero resumes immediately (X-ON).
+     */
+    void pausePriority(std::uint8_t priority, sim::TimePs duration);
+
+    /** Bytes currently queued at @p priority (for sender back-pressure). */
+    std::uint32_t queuedBytes(std::uint8_t priority) const
+    {
+        return queueBytes[priority];
+    }
+
+    /** Total bytes queued across all priorities. */
+    std::uint32_t totalQueuedBytes() const;
+
+    /** True if @p priority is currently paused by PFC. */
+    bool isPaused(std::uint8_t priority) const;
+
+    /** Line rate in Gb/s. */
+    double rateGbps() const { return gbps; }
+
+    // --- statistics ---
+    std::uint64_t packetsSent() const { return txPackets; }
+    std::uint64_t bytesSent() const { return txBytes; }
+    std::uint64_t packetsDropped() const { return drops; }
+    std::uint64_t pausesReceived() const { return pauses; }
+
+  private:
+    sim::EventQueue &queue;
+    std::string label;
+    double gbps;
+    sim::TimePs propDelay;
+    std::uint32_t queueCapBytes;
+    PacketSink *sink = nullptr;
+
+    struct TxEntry {
+        PacketPtr pkt;
+        std::function<void()> onTransmitted;
+    };
+    std::array<std::deque<TxEntry>, kNumTrafficClasses> txQueues;
+    std::array<std::uint32_t, kNumTrafficClasses> queueBytes{};
+    std::array<sim::TimePs, kNumTrafficClasses> pausedUntil{};
+    bool transmitting = false;
+    sim::EventId resumeEvent = sim::kNoEvent;
+
+    std::uint64_t txPackets = 0;
+    std::uint64_t txBytes = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t pauses = 0;
+
+    void tryTransmit();
+    void finishTransmit(TxEntry entry);
+    int pickQueue() const;
+    sim::TimePs earliestUnpause() const;
+};
+
+/** A full-duplex cable between two devices, with MAC-level PFC handling. */
+class Link
+{
+  public:
+    /**
+     * @param eq              Event queue.
+     * @param name            Trace name; channels get name+".ab"/".ba".
+     * @param gbps            Line rate each direction.
+     * @param length_meters   Cable length (propagation at ~5 ns/m).
+     * @param queue_cap_bytes Per-priority transmit queue capacity.
+     */
+    Link(sim::EventQueue &eq, std::string name, double gbps,
+         double length_meters,
+         std::uint32_t queue_cap_bytes = 1024 * 1024);
+
+    /** The A-to-B direction (device A transmits here). */
+    Channel &aToB() { return *ab; }
+    /** The B-to-A direction. */
+    Channel &bToA() { return *ba; }
+
+    /** Attach the device at end A (receives B-to-A traffic). */
+    void attachA(PacketSink *a);
+    /** Attach the device at end B (receives A-to-B traffic). */
+    void attachB(PacketSink *b);
+
+  private:
+    /** Shim that consumes PFC frames and forwards the rest. */
+    class PfcShim : public PacketSink
+    {
+      public:
+        PfcShim(Channel *reverse_tx) : reverseTx(reverse_tx) {}
+        void setInner(PacketSink *s) { inner = s; }
+        void acceptPacket(const PacketPtr &pkt) override;
+
+      private:
+        Channel *reverseTx;
+        PacketSink *inner = nullptr;
+    };
+
+    std::unique_ptr<Channel> ab;
+    std::unique_ptr<Channel> ba;
+    std::unique_ptr<PfcShim> shimA;  ///< sits in front of device A
+    std::unique_ptr<PfcShim> shimB;  ///< sits in front of device B
+};
+
+}  // namespace ccsim::net

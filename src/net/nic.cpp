@@ -1,0 +1,28 @@
+#include "net/nic.hpp"
+
+namespace ccsim::net {
+
+bool
+Nic::sendPacket(const PacketPtr &pkt)
+{
+    if (txChannel == nullptr)
+        return false;
+    if (pkt->ethSrc.value == 0)
+        pkt->ethSrc = macAddr;
+    if (pkt->ipSrc.value == 0)
+        pkt->ipSrc = ipAddr;
+    if (pkt->createdAt == 0)
+        pkt->createdAt = queue.now();
+    ++txPackets;
+    return txChannel->send(pkt);
+}
+
+void
+Nic::acceptPacket(const PacketPtr &pkt)
+{
+    ++rxPackets;
+    if (handler)
+        handler(pkt);
+}
+
+}  // namespace ccsim::net

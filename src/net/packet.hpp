@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The simulation packet model.
+ *
+ * A Packet carries parsed Ethernet/IPv4/UDP header fields, an optional
+ * real byte payload (used by the crypto role, which encrypts actual data),
+ * a declared wire length, and an optional typed metadata blob (used by LTL
+ * to attach its frame header without serializing it).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "sim/time.hpp"
+
+namespace ccsim::net {
+
+/** IP protocol numbers we model. */
+enum class IpProto : std::uint8_t {
+    kTcp = 6,
+    kUdp = 17,
+};
+
+/** EtherType values we model. */
+enum class EtherType : std::uint16_t {
+    kIpv4 = 0x0800,
+    kMacControl = 0x8808,  ///< PFC pause frames (802.1Qbb)
+};
+
+/** Number of 802.1p priorities / traffic classes. */
+inline constexpr int kNumTrafficClasses = 8;
+
+/** Priority used for ordinary (lossy, TCP-dominated) datacenter traffic. */
+inline constexpr std::uint8_t kTcLossy = 0;
+/** Lossless priority provisioned for RDMA/FCoE-style traffic; LTL uses it. */
+inline constexpr std::uint8_t kTcLossless = 3;
+
+/** Fixed protocol overheads, bytes. */
+inline constexpr std::uint32_t kEthOverhead = 14 + 4 + 8 + 12;  // hdr+FCS+preamble+IFG
+inline constexpr std::uint32_t kIpv4HeaderBytes = 20;
+inline constexpr std::uint32_t kUdpHeaderBytes = 8;
+/** Standard Ethernet MTU (L3 payload). */
+inline constexpr std::uint32_t kMtuBytes = 1500;
+
+/** Payload of an 802.1Qbb Priority Flow Control frame. */
+struct PfcFrame {
+    /** Bit i set => this frame carries a pause time for priority i. */
+    std::uint8_t priorityMask = 0;
+    /**
+     * Pause durations per priority, in simulated time (already converted
+     * from pause quanta). Zero means resume (X-ON).
+     */
+    sim::TimePs pauseTime[kNumTrafficClasses] = {};
+};
+
+/** A network packet (shared, immutable-by-convention after send). */
+struct Packet {
+    // --- L2 ---
+    MacAddr ethSrc;
+    MacAddr ethDst;
+    EtherType etherType = EtherType::kIpv4;
+    std::uint8_t priority = kTcLossy;  ///< 802.1p PCP
+
+    // --- L3 ---
+    Ipv4Addr ipSrc;
+    Ipv4Addr ipDst;
+    IpProto ipProto = IpProto::kUdp;
+    bool ecnCapable = false;  ///< ECT codepoint set by sender
+    bool ecnMarked = false;   ///< CE mark applied by a congested switch
+
+    // --- L4 (UDP) ---
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+
+    // --- payload ---
+    /** Declared L4 payload length in bytes (always set). */
+    std::uint32_t payloadBytes = 0;
+    /** Optional real payload bytes (crypto role); empty for modeled data. */
+    std::vector<std::uint8_t> data;
+    /** Optional typed metadata (e.g. ltl::Frame, PfcFrame). */
+    std::shared_ptr<void> meta;
+
+    // --- bookkeeping ---
+    std::uint64_t id = 0;             ///< unique per simulation, for tracing
+    sim::TimePs createdAt = 0;        ///< time the packet was created
+
+    /** Total bytes this packet occupies on the wire (incl. L1 overheads). */
+    std::uint32_t wireBytes() const
+    {
+        if (etherType == EtherType::kMacControl)
+            return 64 + 8 + 12;  // minimum frame + preamble + IFG
+        std::uint32_t l3 = kIpv4HeaderBytes + kUdpHeaderBytes + payloadBytes;
+        std::uint32_t frame = kEthOverhead + l3;
+        return frame < (64 + 8 + 12) ? (64 + 8 + 12) : frame;
+    }
+
+    /** Deterministic 5-tuple hash used for ECMP path selection. */
+    std::uint64_t flowHash() const;
+
+    /** True if this is a PFC pause frame. */
+    bool isPfc() const { return etherType == EtherType::kMacControl; }
+
+    /** Convenience accessor for the PFC payload. @pre isPfc(). */
+    const PfcFrame &pfc() const { return *static_cast<PfcFrame *>(meta.get()); }
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/** Allocate a packet with a fresh trace id. */
+PacketPtr makePacket();
+
+/** Build a PFC pause frame for the given priority. */
+PacketPtr makePfcPause(std::uint8_t priority, sim::TimePs pause_time);
+
+/**
+ * Interface for anything that can accept a delivered packet: switch ports,
+ * NICs, FPGA MACs.
+ */
+class PacketSink
+{
+  public:
+    virtual ~PacketSink() = default;
+
+    /** Deliver @p pkt to this sink at the current simulated time. */
+    virtual void acceptPacket(const PacketPtr &pkt) = 0;
+};
+
+}  // namespace ccsim::net

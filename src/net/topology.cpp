@@ -1,0 +1,194 @@
+#include "net/topology.hpp"
+
+#include "sim/logging.hpp"
+
+namespace ccsim::net {
+
+Topology::Topology(sim::EventQueue &eq, TopologyConfig cfg)
+    : queue(eq), config(std::move(cfg))
+{
+    if (config.hostsPerRack < 1 || config.hostsPerRack > 254)
+        sim::fatal("Topology: hostsPerRack must be in [1, 254]");
+    if (config.racksPerPod < 1 || config.racksPerPod > 255)
+        sim::fatal("Topology: racksPerPod must be in [1, 255]");
+    if (config.pods < 1 || config.pods > 255)
+        sim::fatal("Topology: pods must be in [1, 255]");
+    if (config.l1PerPod < 1 || config.l2Count < 1)
+        sim::fatal("Topology: need at least one switch per fabric tier");
+    build();
+}
+
+std::shared_ptr<DelayModel>
+Topology::makeJitter(const TierParams &p)
+{
+    if (p.jitterMean <= 0)
+        return nullptr;
+    auto base = std::make_unique<LognormalDelay>(p.jitterMean, p.jitterCv,
+                                                 p.jitterCap);
+    if (p.tailProb <= 0.0)
+        return std::shared_ptr<DelayModel>(std::move(base));
+    auto tail = std::make_unique<LognormalDelay>(p.tailMean, p.tailCv,
+                                                 p.tailCap);
+    return std::make_shared<MixtureDelay>(p.tailProb, std::move(base),
+                                          std::move(tail));
+}
+
+SwitchConfig
+Topology::makeSwitchConfig(const std::string &name, const TierParams &p,
+                           std::uint64_t seed)
+{
+    SwitchConfig sc;
+    sc.name = name;
+    sc.forwardingLatency = p.forwardingLatency;
+    sc.jitter = makeJitter(p);
+    sc.seed = seed;
+    return sc;
+}
+
+int
+Topology::hostIndex(int pod, int rack, int idx) const
+{
+    return (pod * config.racksPerPod + rack) * config.hostsPerRack + idx;
+}
+
+Switch &
+Topology::tor(int pod, int rack)
+{
+    return *tors.at(pod * config.racksPerPod + rack);
+}
+
+Switch &
+Topology::l1(int pod, int idx)
+{
+    return *l1Switches.at(pod * config.l1PerPod + idx);
+}
+
+Switch &
+Topology::l2(int idx)
+{
+    return *l2Switches.at(idx);
+}
+
+void
+Topology::attachHostDevice(int global_index, PacketSink *device)
+{
+    hosts.at(global_index).link->attachA(device);
+}
+
+Channel &
+Topology::hostTx(int global_index)
+{
+    return hosts.at(global_index).link->aToB();
+}
+
+void
+Topology::build()
+{
+    std::uint64_t seed = config.seed;
+    auto next_seed = [&seed] { return ++seed; };
+
+    // --- L2 spine ---
+    for (int i = 0; i < config.l2Count; ++i) {
+        l2Switches.push_back(std::make_unique<Switch>(
+            queue, makeSwitchConfig("l2." + std::to_string(i),
+                                    config.l2Params, next_seed())));
+    }
+
+    // --- pods: L1 switches and TORs ---
+    for (int pod = 0; pod < config.pods; ++pod) {
+        for (int i = 0; i < config.l1PerPod; ++i) {
+            auto name = "l1." + std::to_string(pod) + "." + std::to_string(i);
+            l1Switches.push_back(std::make_unique<Switch>(
+                queue,
+                makeSwitchConfig(name, config.l1Params, next_seed())));
+            Switch &l1sw = *l1Switches.back();
+
+            // Uplinks: this L1 to every L2.
+            std::vector<int> uplinks;
+            for (int j = 0; j < config.l2Count; ++j) {
+                auto link = std::make_unique<Link>(
+                    queue, name + "-l2." + std::to_string(j),
+                    config.linkGbps, config.l1ToL2Meters);
+                const int up = l1sw.addPort(&link->aToB());
+                link->attachB(l2Switches[j]->portSink(
+                    l2Switches[j]->addPort(&link->bToA())));
+                link->attachA(l1sw.portSink(up));
+                // L2 routes this pod's /16 down through this L1.
+                l2Switches[j]->addRoute(
+                    Ipv4Addr::of(10, static_cast<std::uint8_t>(pod), 0, 0),
+                    16, l2Switches[j]->numPorts() - 1);
+                uplinks.push_back(up);
+                links.push_back(std::move(link));
+            }
+            l1sw.setDefaultRoutes(uplinks);
+        }
+
+        for (int rack = 0; rack < config.racksPerPod; ++rack) {
+            auto tor_name =
+                "tor." + std::to_string(pod) + "." + std::to_string(rack);
+            tors.push_back(std::make_unique<Switch>(
+                queue,
+                makeSwitchConfig(tor_name, config.torParams, next_seed())));
+            Switch &torsw = *tors.back();
+
+            // Uplinks: this TOR to every L1 in the pod.
+            std::vector<int> uplinks;
+            for (int i = 0; i < config.l1PerPod; ++i) {
+                Switch &l1sw = *l1Switches[pod * config.l1PerPod + i];
+                auto link = std::make_unique<Link>(
+                    queue, tor_name + "-l1", config.linkGbps,
+                    config.torToL1Meters);
+                const int up = torsw.addPort(&link->aToB());
+                const int down = l1sw.addPort(&link->bToA());
+                link->attachA(torsw.portSink(up));
+                link->attachB(l1sw.portSink(down));
+                // L1 routes this rack's /24 down through this port.
+                l1sw.addRoute(Ipv4Addr::of(10, static_cast<std::uint8_t>(pod),
+                                           static_cast<std::uint8_t>(rack),
+                                           0),
+                              24, down);
+                uplinks.push_back(up);
+                links.push_back(std::move(link));
+            }
+            torsw.setDefaultRoutes(uplinks);
+
+            // Hosts in this rack.
+            for (int h = 0; h < config.hostsPerRack; ++h) {
+                auto link = std::make_unique<Link>(
+                    queue,
+                    tor_name + ".host" + std::to_string(h),
+                    config.linkGbps, config.hostCableMeters);
+                const int down = torsw.addPort(&link->bToA());
+                link->attachB(torsw.portSink(down));
+                const Ipv4Addr addr = hostAddr(pod, rack, h);
+                torsw.addHostRoute(addr, down);
+
+                HostPort hp;
+                hp.pod = pod;
+                hp.rack = rack;
+                hp.indexInRack = h;
+                hp.addr = addr;
+                hp.mac = MacAddr{0x020000000000ull |
+                                 static_cast<std::uint64_t>(addr.value)};
+                hp.link = link.get();
+                hosts.push_back(hp);
+                links.push_back(std::move(link));
+            }
+        }
+    }
+}
+
+std::uint64_t
+Topology::totalSwitchDrops() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sw : tors)
+        total += sw->packetsDropped();
+    for (const auto &sw : l1Switches)
+        total += sw->packetsDropped();
+    for (const auto &sw : l2Switches)
+        total += sw->packetsDropped();
+    return total;
+}
+
+}  // namespace ccsim::net

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Builder for the paper's three-tier datacenter network.
+ *
+ * Tier L0: top-of-rack (TOR) switches, 24 hosts each in production.
+ * Tier L1: pod switches; a pod of 40 racks = 960 machines.
+ * Tier L2: datacenter spine connecting pods, reaching >250,000 machines.
+ *
+ * Each tier adds oversubscription, longer cable runs, and (at L1/L2)
+ * background-traffic queueing jitter. The builder wires switches, links,
+ * addresses, and routing tables; host endpoints are left free so the FPGA
+ * layer can splice its bump-in-the-wire shell between the NIC and the TOR.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/switch.hpp"
+#include "sim/event_queue.hpp"
+
+namespace ccsim::net {
+
+/** Per-tier switch parameters. */
+struct TierParams {
+    sim::TimePs forwardingLatency;
+    /** Mean/cv/cap of lognormal background jitter; mean 0 disables it. */
+    sim::TimePs jitterMean = 0;
+    double jitterCv = 1.0;
+    sim::TimePs jitterCap = 0;
+    /** Probability a packet hits an additional congestion tail event. */
+    double tailProb = 0.0;
+    sim::TimePs tailMean = 0;
+    double tailCv = 1.0;
+    sim::TimePs tailCap = 0;
+};
+
+/** Configuration for a datacenter instance. */
+struct TopologyConfig {
+    int hostsPerRack = 24;
+    int racksPerPod = 2;
+    int l1PerPod = 2;
+    int pods = 1;
+    int l2Count = 2;
+
+    double linkGbps = 40.0;
+
+    double hostCableMeters = 5.0;
+    double torToL1Meters = 50.0;
+    double l1ToL2Meters = 300.0;
+
+    /**
+     * Calibrated to reproduce Figure 10's L0/L1/L2 latency bands
+     * (L0 2.88 us avg / 2.9 p99.9; L1 7.72 / 8.24 with a small outlier
+     * tail; L2 18.71 / 22.38 with max < 23.5).
+     */
+    TierParams torParams{450 * sim::kNanosecond,
+                         5 * sim::kNanosecond,
+                         1.0,
+                         50 * sim::kNanosecond,
+                         0.0,
+                         0,
+                         1.0,
+                         0};
+    TierParams l1Params{1340 * sim::kNanosecond,
+                        60 * sim::kNanosecond,
+                        0.8,
+                        300 * sim::kNanosecond,
+                        0.02,
+                        200 * sim::kNanosecond,
+                        0.6,
+                        600 * sim::kNanosecond};
+    TierParams l2Params{750 * sim::kNanosecond,
+                        180 * sim::kNanosecond,
+                        1.0,
+                        1100 * sim::kNanosecond,
+                        0.08,
+                        1300 * sim::kNanosecond,
+                        0.7,
+                        2100 * sim::kNanosecond};
+
+    std::uint64_t seed = 42;
+};
+
+/** A built datacenter network. */
+class Topology
+{
+  public:
+    /** One host attachment point (the free end of the host<->TOR cable). */
+    struct HostPort {
+        int pod = 0;
+        int rack = 0;
+        int indexInRack = 0;
+        Ipv4Addr addr;
+        MacAddr mac;
+        Link *link = nullptr;  ///< host side is end A; TOR side is end B
+    };
+
+    Topology(sim::EventQueue &eq, TopologyConfig cfg);
+
+    int numHosts() const { return static_cast<int>(hosts.size()); }
+    int numPods() const { return config.pods; }
+    int racksPerPod() const { return config.racksPerPod; }
+    int hostsPerRack() const { return config.hostsPerRack; }
+
+    /** Host attachment point by global index. */
+    HostPort &host(int global_index) { return hosts.at(global_index); }
+
+    /** Global host index from (pod, rack, index-in-rack). */
+    int hostIndex(int pod, int rack, int idx) const;
+
+    /**
+     * Attach a device to a host port: it will receive traffic from the TOR
+     * and may transmit into hostTx().
+     */
+    void attachHostDevice(int global_index, PacketSink *device);
+
+    /** Channel a host-side device transmits into (toward its TOR). */
+    Channel &hostTx(int global_index);
+
+    /** IP address assigned to a host. */
+    static Ipv4Addr hostAddr(int pod, int rack, int idx)
+    {
+        return Ipv4Addr::of(10, static_cast<std::uint8_t>(pod),
+                            static_cast<std::uint8_t>(rack),
+                            static_cast<std::uint8_t>(idx + 1));
+    }
+
+    /** Access switches for instrumentation. */
+    Switch &tor(int pod, int rack);
+    Switch &l1(int pod, int idx);
+    Switch &l2(int idx);
+
+    /** Aggregate drop count across all switches (excluding channels). */
+    std::uint64_t totalSwitchDrops() const;
+
+  private:
+    sim::EventQueue &queue;
+    TopologyConfig config;
+
+    std::vector<std::unique_ptr<Switch>> tors;       // pod*racksPerPod+rack
+    std::vector<std::unique_ptr<Switch>> l1Switches; // pod*l1PerPod+idx
+    std::vector<std::unique_ptr<Switch>> l2Switches;
+    std::vector<std::unique_ptr<Link>> links;
+    std::vector<HostPort> hosts;
+    /** TOR-port index of each host link's device side channel. */
+    std::vector<Channel *> hostTxChannels;
+
+    static std::shared_ptr<DelayModel> makeJitter(const TierParams &p);
+    SwitchConfig makeSwitchConfig(const std::string &name,
+                                  const TierParams &p, std::uint64_t seed);
+    void build();
+};
+
+}  // namespace ccsim::net

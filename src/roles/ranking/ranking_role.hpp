@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The search-ranking accelerator role (FFU + DPF) hosted in the shell's
+ * role region, plus the request/response message types shared with host
+ * software and the RemoteRankingClient.
+ *
+ * Requests arrive either from the local host (PCIe DMA -> ER) or from a
+ * remote server over LTL (Section V-D). The datapath is pipelined: it
+ * accepts a new document every engine cycle, so per-query occupancy is
+ * proportional to the candidate-document count while latency is the
+ * pipeline fill plus occupancy.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "fpga/role.hpp"
+#include "fpga/shell.hpp"
+#include "host/ranking_server.hpp"
+#include "host/workload.hpp"
+#include "roles/ranking/features.hpp"
+#include "sim/stats.hpp"
+
+namespace ccsim::roles {
+
+/** How a served request's response travels back. */
+enum class ReplyVia : std::uint8_t {
+    kPcie,  ///< to the local host over PCIe DMA
+    kLtl,   ///< to a remote server over LTL
+};
+
+/** A feature-computation request for one query. */
+struct RankingRequest {
+    std::uint64_t requestId = 0;
+    std::uint32_t docCount = 0;
+    ReplyVia replyVia = ReplyVia::kPcie;
+    /** LTL send connection (on the serving shell) for the reply. */
+    std::uint16_t replyConn = 0;
+    /** Optional real data: when present the role computes real features. */
+    std::shared_ptr<const host::Query> query;
+    std::shared_ptr<const std::vector<host::Document>> docs;
+};
+
+/** The response. */
+struct RankingResponse {
+    std::uint64_t requestId = 0;
+    std::uint32_t docCount = 0;
+    /** Highest-scoring document (only when real data was supplied). */
+    std::uint32_t topDocId = 0;
+    double topScore = 0.0;
+};
+
+/** Role timing/area parameters. */
+struct RankingRoleParams {
+    /** Pipelined initiation: engine occupancy per candidate document. */
+    sim::TimePs occupancyPerDoc = 350 * sim::kNanosecond;
+    /** Pipeline fill + scoring latency per query. */
+    sim::TimePs fixedLatency = 40 * sim::kMicrosecond;
+    /** Response message size on the wire. */
+    std::uint32_t responseBytes = 256;
+    /** ALMs, from Figure 5 (FFU + DPF role region). */
+    std::uint32_t alms = 55340;
+};
+
+/** The FFU + DPF ranking role. */
+class RankingRole : public fpga::Role
+{
+  public:
+    explicit RankingRole(sim::EventQueue &eq, RankingRoleParams p = {});
+
+    std::string name() const override { return "ranking-ffu-dpf"; }
+    std::uint32_t areaAlms() const override { return params.alms; }
+    void attach(fpga::Shell &shell, int er_port) override;
+    void onMessage(const router::ErMessagePtr &msg) override;
+
+    std::uint64_t requestsServed() const { return statServed; }
+    /** Datapath utilization over @p elapsed simulated time. */
+    double utilization(sim::TimePs elapsed) const
+    {
+        return elapsed > 0 ? static_cast<double>(busyAccum) / elapsed : 0.0;
+    }
+
+  private:
+    sim::EventQueue &queue;
+    RankingRoleParams params;
+    fpga::Shell *shell = nullptr;
+    int erPort = -1;
+    sim::TimePs busyUntil = 0;
+    sim::TimePs busyAccum = 0;
+    std::uint64_t statServed = 0;
+    RankingModel model;
+
+    void serve(const std::shared_ptr<RankingRequest> &req);
+    void respond(const std::shared_ptr<RankingRequest> &req,
+                 std::shared_ptr<RankingResponse> resp);
+};
+
+/**
+ * A pass-through role that lets host software reach remote accelerators:
+ * host -> PCIe -> forwarder -> LTL, and LTL -> forwarder -> PCIe -> host.
+ */
+class ForwarderRole : public fpga::Role
+{
+  public:
+    /** Host-to-forwarder payload: ship @p inner over LTL connection. */
+    struct ForwardRequest {
+        std::uint16_t sendConn = 0;
+        std::uint32_t bytes = 0;
+        std::uint8_t vc = 0;
+        std::shared_ptr<void> inner;
+    };
+
+    explicit ForwarderRole(std::uint32_t alms = 2000) : almCount(alms) {}
+
+    std::string name() const override { return "ltl-forwarder"; }
+    std::uint32_t areaAlms() const override { return almCount; }
+    void attach(fpga::Shell &shell, int er_port) override;
+    void onMessage(const router::ErMessagePtr &msg) override;
+
+    int port() const { return erPort; }
+
+  private:
+    std::uint32_t almCount;
+    fpga::Shell *shell = nullptr;
+    int erPort = -1;
+};
+
+/**
+ * Host-side client that runs the feature stage on a *remote* FPGA via the
+ * local shell's forwarder role and real LTL transport. Implements the
+ * RankingServer's FeatureAccelerator interface, so Figure 11's remote
+ * curve exercises PCIe + ER + LTL + the datacenter network end to end.
+ */
+class RemoteRankingClient : public host::FeatureAccelerator
+{
+  public:
+    /**
+     * @param shell      The local (requesting) server's shell.
+     * @param forwarder  The forwarder role placed on @p shell.
+     * @param send_conn  LTL send connection (local shell -> remote shell).
+     * @param reply_conn LTL send connection on the REMOTE shell that
+     *                   reaches back to the local shell's forwarder.
+     * @param request_bytes_per_doc Wire bytes per candidate document
+     *        (compact document references plus the query terms).
+     */
+    RemoteRankingClient(sim::EventQueue &eq, fpga::Shell &shell,
+                        ForwarderRole &forwarder, std::uint16_t send_conn,
+                        std::uint16_t reply_conn,
+                        std::uint32_t request_bytes_per_doc = 16);
+
+    void compute(std::uint32_t doc_count,
+                 std::function<void()> done) override;
+
+    std::uint64_t responsesReceived() const { return statResponses; }
+
+  private:
+    sim::EventQueue &queue;
+    fpga::Shell &shell;
+    ForwarderRole &forwarder;
+    std::uint16_t sendConn;
+    std::uint16_t replyConn;
+    std::uint32_t bytesPerDoc;
+    std::uint64_t nextRequestId = 1;
+    std::unordered_map<std::uint64_t, std::function<void()>> outstanding;
+    std::uint64_t statResponses = 0;
+
+    void onHostRx(int role_port, const router::ErMessagePtr &msg);
+};
+
+}  // namespace ccsim::roles

@@ -1,0 +1,285 @@
+#include "router/elastic_router.hpp"
+
+#include "sim/logging.hpp"
+
+namespace ccsim::router {
+
+ElasticRouter::ElasticRouter(sim::EventQueue &eq, ErConfig config)
+    : queue(eq), cfg(std::move(config))
+{
+    if (cfg.numPorts < 1 || cfg.numVcs < 1 || cfg.flitBytes == 0)
+        sim::fatal("ElasticRouter: invalid configuration");
+    cyclePs = sim::cyclePeriod(cfg.clockMhz);
+    routeFn = [](int dst) { return dst; };
+    inputs.resize(cfg.numPorts);
+    outputs.resize(cfg.numPorts);
+    for (auto &in : inputs)
+        in.vcs.resize(cfg.numVcs);
+    for (auto &out : outputs)
+        out.vcOwner.assign(cfg.numVcs, -1);
+}
+
+void
+ElasticRouter::setOutputSink(int port, FlitSink *sink)
+{
+    outputs.at(port).sink = sink;
+}
+
+void
+ElasticRouter::setOutputCyclesPerFlit(int port, int cycles)
+{
+    if (cycles < 1)
+        sim::fatal("ElasticRouter: cyclesPerFlit must be >= 1");
+    outputs.at(port).cyclesPerFlit = cycles;
+}
+
+bool
+ElasticRouter::canAccept(int port, int vc) const
+{
+    const InputPort &in = inputs.at(port);
+    const int occupancy = static_cast<int>(in.vcs.at(vc).fifo.size());
+    if (cfg.policy == CreditPolicy::kStatic)
+        return occupancy < cfg.staticPerVcFlits;
+    if (occupancy < cfg.perVcReservedFlits)
+        return true;
+    return in.sharedUsed < cfg.sharedPoolFlits;
+}
+
+void
+ElasticRouter::injectFlit(int port, const Flit &flit)
+{
+    if (!canAccept(port, flit.vc))
+        sim::panicf(cfg.name, ": injectFlit without credit (port ", port,
+                    " vc ", flit.vc, ")");
+    InputPort &in = inputs[port];
+    InputVc &ivc = in.vcs[flit.vc];
+    if (cfg.policy == CreditPolicy::kElastic &&
+        static_cast<int>(ivc.fifo.size()) >= cfg.perVcReservedFlits) {
+        ++in.sharedUsed;
+    }
+    ivc.fifo.push_back(flit);
+    ++totalBuffered;
+    statPeakBuffered = std::max(statPeakBuffered, totalBuffered);
+    scheduleTick();
+}
+
+void
+ElasticRouter::setCreditReturnFn(int port, std::function<void(int)> fn)
+{
+    inputs.at(port).creditReturn = std::move(fn);
+}
+
+int
+ElasticRouter::routeOf(const Flit &flit) const
+{
+    const int out = routeFn(flit.dstEndpoint);
+    if (out < 0 || out >= cfg.numPorts)
+        sim::panicf(cfg.name, ": route function returned bad port ", out,
+                    " for endpoint ", flit.dstEndpoint);
+    return out;
+}
+
+bool
+ElasticRouter::anyWork() const
+{
+    for (const auto &in : inputs) {
+        for (const auto &ivc : in.vcs) {
+            if (!ivc.fifo.empty())
+                return true;
+        }
+    }
+    return false;
+}
+
+void
+ElasticRouter::scheduleTick()
+{
+    if (tickScheduled)
+        return;
+    tickScheduled = true;
+    // Align to the next cycle boundary for a clocked-crossbar feel.
+    const sim::TimePs now = queue.now();
+    const sim::TimePs next = ((now / cyclePs) + 1) * cyclePs;
+    queue.schedule(next, [this] {
+        tickScheduled = false;
+        tick();
+    });
+}
+
+void
+ElasticRouter::releaseCredit(int port, int vc)
+{
+    InputPort &in = inputs[port];
+    InputVc &ivc = in.vcs[vc];
+    if (cfg.policy == CreditPolicy::kElastic &&
+        static_cast<int>(ivc.fifo.size()) >= cfg.perVcReservedFlits &&
+        in.sharedUsed > 0) {
+        // The departing flit frees a shared-pool credit (occupancy was
+        // above the reservation before this dequeue completed).
+        --in.sharedUsed;
+    }
+    if (in.creditReturn)
+        in.creditReturn(vc);
+}
+
+void
+ElasticRouter::tick()
+{
+    const sim::TimePs now = queue.now();
+    // Per-cycle separable allocation: each output grants at most one
+    // input; each input sends at most one flit.
+    std::vector<bool> inputUsed(cfg.numPorts, false);
+
+    for (int out_idx = 0; out_idx < cfg.numPorts; ++out_idx) {
+        OutputPort &out = outputs[out_idx];
+        if (out.sink == nullptr || out.nextFree > now)
+            continue;
+        // Round-robin over (input, vc) pairs starting at the pointer.
+        const int slots = cfg.numPorts * cfg.numVcs;
+        for (int k = 0; k < slots; ++k) {
+            const int slot = (out.rrPointer + k) % slots;
+            const int in_idx = slot / cfg.numVcs;
+            const int vc = slot % cfg.numVcs;
+            if (inputUsed[in_idx])
+                continue;
+            InputVc &ivc = inputs[in_idx].vcs[vc];
+            if (ivc.fifo.empty())
+                continue;
+            Flit &head = ivc.fifo.front();
+            // Route the head flit; body/tail follow the locked output.
+            int target;
+            if (head.isHead()) {
+                target = routeOf(head);
+            } else {
+                target = ivc.lockedOutput;
+            }
+            if (target != out_idx)
+                continue;
+            // Wormhole VC ownership on the output.
+            int &owner = out.vcOwner[vc];
+            if (head.isHead()) {
+                if (owner != -1 && owner != in_idx)
+                    continue;  // VC busy with another message
+                owner = in_idx;
+                ivc.lockedOutput = out_idx;
+            } else if (owner != in_idx) {
+                sim::panicf(cfg.name, ": wormhole corruption on output ",
+                            out_idx, " vc ", vc);
+            }
+
+            // Grant: move the flit.
+            Flit flit = std::move(ivc.fifo.front());
+            ivc.fifo.pop_front();
+            --totalBuffered;
+            inputUsed[in_idx] = true;
+            out.rrPointer = (slot + 1) % slots;
+            out.nextFree = now + out.cyclesPerFlit * cyclePs;
+            ++statFlitsRouted;
+            if (flit.isTail()) {
+                ++statTails;
+                owner = -1;
+                ivc.lockedOutput = -1;
+            }
+            releaseCredit(in_idx, vc);
+            FlitSink *sink = out.sink;
+            queue.scheduleAfter(cfg.pipelineCycles * cyclePs,
+                                [sink, flit] { sink->acceptFlit(flit); });
+            break;  // this output granted for this cycle
+        }
+    }
+
+    if (anyWork()) {
+        ++statBusyCycles;
+        scheduleTick();
+    }
+}
+
+ErEndpoint::ErEndpoint(sim::EventQueue &eq, ElasticRouter &router, int p,
+                       int endpoint_id)
+    : queue(eq), er(router), port(p), id(endpoint_id)
+{
+    pending.resize(er.config().numVcs);
+    er.setCreditReturnFn(port, [this](int vc) { pump(vc); });
+}
+
+std::size_t
+ErEndpoint::backlogFlits() const
+{
+    std::size_t n = 0;
+    for (const auto &q : pending)
+        n += q.size();
+    return n;
+}
+
+void
+ErEndpoint::sendMessage(int dst_endpoint, int vc, std::uint32_t size_bytes,
+                        std::shared_ptr<void> payload)
+{
+    auto msg = std::make_shared<ErMessage>();
+    msg->dstEndpoint = dst_endpoint;
+    msg->srcEndpoint = id;
+    msg->vc = vc;
+    msg->sizeBytes = size_bytes;
+    msg->payload = std::move(payload);
+    msg->createdAt = queue.now();
+    sendMessage(msg);
+}
+
+void
+ErEndpoint::sendMessage(const ErMessagePtr &msg)
+{
+    if (msg->vc < 0 || msg->vc >= er.config().numVcs)
+        sim::fatal("ErEndpoint: bad VC");
+    if (msg->id == 0)
+        msg->id = (static_cast<std::uint64_t>(id) << 40) | nextMsgId++;
+    ++txMessages;
+    segment(msg);
+    pump(msg->vc);
+}
+
+void
+ErEndpoint::segment(const ErMessagePtr &msg)
+{
+    const std::uint32_t flit_bytes = er.config().flitBytes;
+    const std::uint32_t size = msg->sizeBytes == 0 ? 1 : msg->sizeBytes;
+    const std::uint32_t nflits = (size + flit_bytes - 1) / flit_bytes;
+    for (std::uint32_t i = 0; i < nflits; ++i) {
+        Flit flit;
+        flit.vc = msg->vc;
+        flit.dstEndpoint = msg->dstEndpoint;
+        flit.msg = msg;
+        flit.bytes = std::min(flit_bytes, size - i * flit_bytes);
+        if (nflits == 1) {
+            flit.kind = FlitKind::kHeadTail;
+        } else if (i == 0) {
+            flit.kind = FlitKind::kHead;
+        } else if (i == nflits - 1) {
+            flit.kind = FlitKind::kTail;
+        } else {
+            flit.kind = FlitKind::kBody;
+        }
+        pending[msg->vc].push_back(std::move(flit));
+    }
+}
+
+void
+ErEndpoint::pump(int vc)
+{
+    auto &q = pending[vc];
+    while (!q.empty() && er.canAccept(port, vc)) {
+        er.injectFlit(port, q.front());
+        q.pop_front();
+    }
+}
+
+void
+ErEndpoint::acceptFlit(const Flit &flit)
+{
+    if (flit.isTail()) {
+        ++rxMessages;
+        if (handler)
+            handler(flit.msg);
+    }
+}
+
+}  // namespace ccsim::router

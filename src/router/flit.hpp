@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Flit-level data types for the Elastic Router.
+ *
+ * Messages between on-FPGA endpoints (PCIe DMA, Roles, DRAM, LTL) are
+ * segmented into flits. A head flit carries routing state; the tail flit
+ * closes the wormhole and triggers delivery of the reassembled message.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace ccsim::router {
+
+/** A message travelling through one or more Elastic Routers. */
+struct ErMessage {
+    /** Global destination endpoint id (routed via each ER's table). */
+    int dstEndpoint = 0;
+    /** Global source endpoint id (informational). */
+    int srcEndpoint = 0;
+    /** Virtual channel the message travels on. */
+    int vc = 0;
+    /** Message payload size in bytes (determines flit count). */
+    std::uint32_t sizeBytes = 0;
+    /** Typed payload; receivers know what to expect per VC/endpoint. */
+    std::shared_ptr<void> payload;
+    /** Unique id for tracing. */
+    std::uint64_t id = 0;
+    /** Creation time (ps) for latency accounting. */
+    std::int64_t createdAt = 0;
+};
+
+using ErMessagePtr = std::shared_ptr<ErMessage>;
+
+/** Flit kinds. */
+enum class FlitKind : std::uint8_t {
+    kHead,
+    kBody,
+    kTail,
+    kHeadTail,  ///< single-flit message
+};
+
+/** One flit. */
+struct Flit {
+    FlitKind kind = FlitKind::kHeadTail;
+    int vc = 0;
+    /** Final destination endpoint (copied from the message). */
+    int dstEndpoint = 0;
+    /** Bytes of payload this flit carries. */
+    std::uint32_t bytes = 0;
+    /** The parent message (delivered to the endpoint at the tail flit). */
+    ErMessagePtr msg;
+
+    bool isHead() const
+    {
+        return kind == FlitKind::kHead || kind == FlitKind::kHeadTail;
+    }
+    bool isTail() const
+    {
+        return kind == FlitKind::kTail || kind == FlitKind::kHeadTail;
+    }
+};
+
+/** Anything that can accept flits from an ER output port. */
+class FlitSink
+{
+  public:
+    virtual ~FlitSink() = default;
+    virtual void acceptFlit(const Flit &flit) = 0;
+};
+
+}  // namespace ccsim::router

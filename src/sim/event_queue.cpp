@@ -1,0 +1,83 @@
+#include "sim/event_queue.hpp"
+
+namespace ccsim::sim {
+
+EventId
+EventQueue::schedule(TimePs when, std::function<void()> fn)
+{
+    if (when < currentTime)
+        panicf("EventQueue::schedule: time ", when, " is in the past (now ",
+               currentTime, ")");
+    const EventId id = nextId++;
+    heap.push(Entry{when, id, std::move(fn)});
+    liveIds.insert(id);
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    // Cancelling an already-fired or unknown event is a harmless no-op;
+    // only ids still in the heap are tombstoned.
+    liveIds.erase(id);
+}
+
+bool
+EventQueue::popLive(Entry &out)
+{
+    while (!heap.empty()) {
+        // priority_queue::top() is const; we must move the closure out.
+        Entry e = std::move(const_cast<Entry &>(heap.top()));
+        heap.pop();
+        auto it = liveIds.find(e.id);
+        if (it == liveIds.end())
+            continue;  // tombstoned by cancel()
+        liveIds.erase(it);
+        out = std::move(e);
+        return true;
+    }
+    return false;
+}
+
+bool
+EventQueue::step()
+{
+    Entry e;
+    if (!popLive(e))
+        return false;
+    currentTime = e.when;
+    ++executedCount;
+    e.fn();
+    return true;
+}
+
+void
+EventQueue::runUntil(TimePs limit)
+{
+    while (true) {
+        Entry e;
+        if (!popLive(e))
+            break;
+        if (e.when > limit) {
+            // Put it back (and mark live again); cheaper than peeking
+            // because priority_queue lacks a non-destructive move-out API.
+            liveIds.insert(e.id);
+            heap.push(std::move(e));
+            break;
+        }
+        currentTime = e.when;
+        ++executedCount;
+        e.fn();
+    }
+    if (currentTime < limit)
+        currentTime = limit;
+}
+
+void
+EventQueue::runAll()
+{
+    while (step()) {
+    }
+}
+
+}  // namespace ccsim::sim

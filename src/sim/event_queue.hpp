@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The discrete-event scheduler at the heart of ccsim.
+ *
+ * Events are closures scheduled at absolute simulated times. Ties are broken
+ * by scheduling order (FIFO among same-time events), which makes simulations
+ * fully deterministic. Events may be cancelled; cancellation is O(1) via
+ * tombstoning and lazily reclaimed at pop time.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/logging.hpp"
+#include "sim/time.hpp"
+
+namespace ccsim::sim {
+
+/** Opaque handle to a scheduled event, usable for cancellation. */
+using EventId = std::uint64_t;
+
+/** Sentinel EventId meaning "no event". */
+inline constexpr EventId kNoEvent = 0;
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * Not thread-safe; a simulation runs on one thread (experiments fan out by
+ * running independent simulations in separate processes or threads with
+ * separate EventQueues).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    TimePs now() const { return currentTime; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     *
+     * @pre when >= now() (events cannot be scheduled in the past).
+     * @return A handle usable with cancel().
+     */
+    EventId schedule(TimePs when, std::function<void()> fn);
+
+    /** Schedule @p fn to run @p delay after the current time. */
+    EventId scheduleAfter(TimePs delay, std::function<void()> fn)
+    {
+        return schedule(currentTime + delay, std::move(fn));
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * Cancelling an already-fired or already-cancelled event is a no-op.
+     */
+    void cancel(EventId id);
+
+    /** True if no live events remain. */
+    bool empty() const { return liveIds.empty(); }
+
+    /** Number of live (scheduled, uncancelled, unfired) events. */
+    std::size_t size() const { return liveIds.size(); }
+
+    /**
+     * Run the single next event.
+     *
+     * @return false if the queue was empty (time does not advance).
+     */
+    bool step();
+
+    /**
+     * Run events until simulated time exceeds @p limit or the queue drains.
+     *
+     * Events scheduled exactly at @p limit are executed. After returning,
+     * now() == min(limit, time of last event) unless the queue drained
+     * early, and is clamped up to @p limit so subsequent scheduling is
+     * relative to the horizon.
+     */
+    void runUntil(TimePs limit);
+
+    /** Run events for @p duration of simulated time from now(). */
+    void runFor(TimePs duration) { runUntil(currentTime + duration); }
+
+    /** Run until the queue is completely drained. */
+    void runAll();
+
+    /** Total number of events executed so far (for perf accounting). */
+    std::uint64_t eventsExecuted() const { return executedCount; }
+
+  private:
+    struct Entry {
+        TimePs when;
+        EventId id;
+        std::function<void()> fn;
+    };
+    struct Later {
+        bool operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;  // FIFO among equal-time events
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    std::unordered_set<EventId> liveIds;
+    TimePs currentTime = 0;
+    EventId nextId = 1;
+    std::uint64_t executedCount = 0;
+
+    /** Pop the next live entry, skipping tombstones. Returns false if empty. */
+    bool popLive(Entry &out);
+};
+
+}  // namespace ccsim::sim

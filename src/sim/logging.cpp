@@ -1,0 +1,51 @@
+#include "sim/logging.hpp"
+
+#include <cstdio>
+
+namespace ccsim::sim {
+
+namespace {
+
+const char *
+levelName(LogLevel lvl)
+{
+    switch (lvl) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kNone: return "NONE";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void
+Logger::log(LogLevel lvl, std::string_view comp, TimePs now,
+            std::string_view msg)
+{
+    std::ostringstream line;
+    line << '[' << levelName(lvl) << "] ";
+    if (now >= 0)
+        line << '@' << toMicros(now) << "us ";
+    line << comp << ": " << msg << '\n';
+    std::cerr << line.str();
+}
+
+void
+panic(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+}  // namespace ccsim::sim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal levelled logging plus gem5-style panic()/fatal() helpers.
+ *
+ * panic() is for internal invariant violations (simulator bugs); it aborts.
+ * fatal() is for user/configuration errors; it exits cleanly with an error.
+ */
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace ccsim::sim {
+
+/** Log severity levels, in increasing order of importance. */
+enum class LogLevel : int {
+    kTrace = 0,
+    kDebug = 1,
+    kInfo = 2,
+    kWarn = 3,
+    kError = 4,
+    kNone = 5,
+};
+
+/** Global log configuration (process-wide). */
+class Logger
+{
+  public:
+    /** The process-wide minimum level that will be emitted. */
+    static LogLevel level() { return globalLevel; }
+    /** Set the process-wide minimum level. */
+    static void setLevel(LogLevel lvl) { globalLevel = lvl; }
+
+    /**
+     * Emit one log line.
+     *
+     * @param lvl   Severity.
+     * @param comp  Component name (e.g. "ltl", "switch.tor0").
+     * @param now   Simulated time, or -1 if not inside a simulation.
+     * @param msg   Message body.
+     */
+    static void log(LogLevel lvl, std::string_view comp, TimePs now,
+                    std::string_view msg);
+
+  private:
+    static inline LogLevel globalLevel = LogLevel::kWarn;
+};
+
+/**
+ * Report an internal simulator bug and abort.
+ *
+ * Use for conditions that should be impossible regardless of configuration.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+namespace detail {
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+}  // namespace detail
+
+/** Streaming panic: panicf("bad state ", x, " at ", y). */
+template <typename... Args>
+[[noreturn]] void
+panicf(Args &&...args)
+{
+    panic(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Streaming fatal. */
+template <typename... Args>
+[[noreturn]] void
+fatalf(Args &&...args)
+{
+    fatal(detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace ccsim::sim
+
+/** Convenience macro: log at a level with lazy message formatting. */
+#define CCSIM_LOG(lvl, comp, now, ...)                                        \
+    do {                                                                      \
+        if (static_cast<int>(lvl) >=                                          \
+            static_cast<int>(::ccsim::sim::Logger::level())) {                \
+            ::ccsim::sim::Logger::log(                                        \
+                (lvl), (comp), (now),                                         \
+                ::ccsim::sim::detail::concat(__VA_ARGS__));                   \
+        }                                                                     \
+    } while (0)

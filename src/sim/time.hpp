@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Simulated-time primitives for the ccsim discrete-event kernel.
+ *
+ * All simulated time is kept as a signed 64-bit count of picoseconds.
+ * At picosecond resolution a signed 64-bit value covers ~106 days of
+ * simulated time, far beyond any experiment in the Configurable Cloud
+ * reproduction (the longest run is the 5-day production trace, which
+ * is windowed).
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace ccsim::sim {
+
+/** Simulated time in picoseconds. */
+using TimePs = std::int64_t;
+
+/** One picosecond. */
+inline constexpr TimePs kPicosecond = 1;
+/** One nanosecond. */
+inline constexpr TimePs kNanosecond = 1000;
+/** One microsecond. */
+inline constexpr TimePs kMicrosecond = 1000 * kNanosecond;
+/** One millisecond. */
+inline constexpr TimePs kMillisecond = 1000 * kMicrosecond;
+/** One second. */
+inline constexpr TimePs kSecond = 1000 * kMillisecond;
+
+/** Sentinel for "never" / unscheduled deadlines. */
+inline constexpr TimePs kTimeNever = INT64_MAX;
+
+/** Convert picoseconds to (double) nanoseconds. */
+constexpr double toNanos(TimePs t) { return static_cast<double>(t) / kNanosecond; }
+/** Convert picoseconds to (double) microseconds. */
+constexpr double toMicros(TimePs t) { return static_cast<double>(t) / kMicrosecond; }
+/** Convert picoseconds to (double) milliseconds. */
+constexpr double toMillis(TimePs t) { return static_cast<double>(t) / kMillisecond; }
+/** Convert picoseconds to (double) seconds. */
+constexpr double toSeconds(TimePs t) { return static_cast<double>(t) / kSecond; }
+
+/** Convert (double) nanoseconds to picoseconds, rounding to nearest. */
+constexpr TimePs fromNanos(double ns)
+{
+    return static_cast<TimePs>(ns * kNanosecond + (ns >= 0 ? 0.5 : -0.5));
+}
+/** Convert (double) microseconds to picoseconds, rounding to nearest. */
+constexpr TimePs fromMicros(double us)
+{
+    return fromNanos(us * 1e3);
+}
+/** Convert (double) milliseconds to picoseconds, rounding to nearest. */
+constexpr TimePs fromMillis(double ms)
+{
+    return fromNanos(ms * 1e6);
+}
+/** Convert (double) seconds to picoseconds, rounding to nearest. */
+constexpr TimePs fromSeconds(double s)
+{
+    return fromNanos(s * 1e9);
+}
+
+/**
+ * Time to serialize @p bytes onto a link of @p gbps gigabits per second.
+ *
+ * @param bytes Number of bytes on the wire.
+ * @param gbps  Link rate in Gb/s (e.g. 40.0 for 40 GbE).
+ * @return Serialization delay in picoseconds.
+ */
+constexpr TimePs serializationDelay(std::uint64_t bytes, double gbps)
+{
+    // bits / (Gb/s) = nanoseconds; convert to picoseconds.
+    return static_cast<TimePs>(static_cast<double>(bytes) * 8.0 / gbps * kNanosecond);
+}
+
+/**
+ * Propagation delay through @p meters of cable/fiber.
+ *
+ * Uses ~5 ns/m (2/3 c), the usual datacenter rule of thumb for both
+ * copper DAC and multimode fiber.
+ */
+constexpr TimePs propagationDelay(double meters)
+{
+    return fromNanos(meters * 5.0);
+}
+
+/** Picoseconds per cycle for a clock of @p mhz megahertz. */
+constexpr TimePs cyclePeriod(double mhz)
+{
+    return static_cast<TimePs>(1e6 / mhz);  // 1e12 ps/s / (mhz * 1e6)
+}
+
+}  // namespace ccsim::sim

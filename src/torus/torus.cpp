@@ -1,0 +1,198 @@
+#include "torus/torus.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "sim/logging.hpp"
+
+namespace ccsim::torus {
+
+TorusNetwork::TorusNetwork(TorusParams params) : cfg(params)
+{
+    if (cfg.width < 2 || cfg.height < 2)
+        sim::fatal("TorusNetwork: dimensions must be >= 2");
+}
+
+TorusCoord
+TorusNetwork::wrap(TorusCoord c) const
+{
+    c.x = ((c.x % cfg.width) + cfg.width) % cfg.width;
+    c.y = ((c.y % cfg.height) + cfg.height) % cfg.height;
+    return c;
+}
+
+void
+TorusNetwork::failNode(TorusCoord node)
+{
+    failed.insert(wrap(node));
+}
+
+void
+TorusNetwork::repairNode(TorusCoord node)
+{
+    failed.erase(wrap(node));
+}
+
+bool
+TorusNetwork::isFailed(TorusCoord node) const
+{
+    return failed.count(wrap(node)) > 0;
+}
+
+std::vector<TorusCoord>
+TorusNetwork::neighbors(TorusCoord c) const
+{
+    return {wrap({c.x + 1, c.y}), wrap({c.x - 1, c.y}),
+            wrap({c.x, c.y + 1}), wrap({c.x, c.y - 1})};
+}
+
+namespace {
+
+/** Signed step of +/-1 toward the target along one wrapped dimension. */
+int
+stepToward(int from, int to, int size)
+{
+    if (from == to)
+        return 0;
+    const int fwd = ((to - from) % size + size) % size;
+    const int bwd = size - fwd;
+    return fwd <= bwd ? 1 : -1;
+}
+
+}  // namespace
+
+std::optional<std::vector<TorusCoord>>
+TorusNetwork::route(TorusCoord src, TorusCoord dst) const
+{
+    src = wrap(src);
+    dst = wrap(dst);
+    if (isFailed(src) || isFailed(dst))
+        return std::nullopt;
+
+    // Dimension-order (X then Y) path, the deterministic default.
+    std::vector<TorusCoord> path;
+    TorusCoord cur = src;
+    bool blocked = false;
+    while (cur.x != dst.x) {
+        cur = wrap({cur.x + stepToward(cur.x, dst.x, cfg.width), cur.y});
+        if (isFailed(cur)) {
+            blocked = true;
+            break;
+        }
+        path.push_back(cur);
+    }
+    if (!blocked) {
+        while (cur.y != dst.y) {
+            cur = wrap(
+                {cur.x, cur.y + stepToward(cur.y, dst.y, cfg.height)});
+            if (isFailed(cur)) {
+                blocked = true;
+                break;
+            }
+            path.push_back(cur);
+        }
+    }
+    if (!blocked)
+        return path;
+
+    // A failed node blocks the DOR path: re-route (BFS detour), the
+    // costly recovery the paper calls out as a torus weakness.
+    return bfsPath(src, dst);
+}
+
+std::optional<std::vector<TorusCoord>>
+TorusNetwork::bfsPath(TorusCoord src, TorusCoord dst) const
+{
+    std::map<TorusCoord, TorusCoord> parent;
+    std::queue<TorusCoord> frontier;
+    frontier.push(src);
+    parent[src] = src;
+    while (!frontier.empty()) {
+        const TorusCoord cur = frontier.front();
+        frontier.pop();
+        if (cur == dst)
+            break;
+        for (const TorusCoord &next : neighbors(cur)) {
+            if (isFailed(next) || parent.count(next))
+                continue;
+            parent[next] = cur;
+            frontier.push(next);
+        }
+    }
+    if (!parent.count(dst))
+        return std::nullopt;
+    std::vector<TorusCoord> path;
+    for (TorusCoord cur = dst; !(cur == src); cur = parent[cur])
+        path.push_back(cur);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+std::optional<int>
+TorusNetwork::hopCount(TorusCoord src, TorusCoord dst) const
+{
+    auto path = route(src, dst);
+    if (!path)
+        return std::nullopt;
+    return static_cast<int>(path->size());
+}
+
+std::optional<sim::TimePs>
+TorusNetwork::oneWayLatency(TorusCoord src, TorusCoord dst) const
+{
+    auto hops = hopCount(src, dst);
+    if (!hops)
+        return std::nullopt;
+    return *hops * cfg.hopLatency + cfg.endpointLatency;
+}
+
+std::optional<sim::TimePs>
+TorusNetwork::roundTripLatency(TorusCoord src, TorusCoord dst) const
+{
+    auto there = oneWayLatency(src, dst);
+    auto back = oneWayLatency(dst, src);
+    if (!there || !back)
+        return std::nullopt;
+    return *there + *back;
+}
+
+int
+TorusNetwork::reachableNodes(TorusCoord src) const
+{
+    src = wrap(src);
+    if (isFailed(src))
+        return 0;
+    std::set<TorusCoord> seen{src};
+    std::queue<TorusCoord> frontier;
+    frontier.push(src);
+    while (!frontier.empty()) {
+        const TorusCoord cur = frontier.front();
+        frontier.pop();
+        for (const TorusCoord &next : neighbors(cur)) {
+            if (isFailed(next) || seen.count(next))
+                continue;
+            seen.insert(next);
+            frontier.push(next);
+        }
+    }
+    return static_cast<int>(seen.size());
+}
+
+int
+TorusNetwork::eccentricity(TorusCoord src) const
+{
+    int worst = 0;
+    for (int x = 0; x < cfg.width; ++x) {
+        for (int y = 0; y < cfg.height; ++y) {
+            const TorusCoord dst{x, y};
+            if (dst == wrap(src) || isFailed(dst))
+                continue;
+            if (auto hops = hopCount(src, dst))
+                worst = std::max(worst, *hops);
+        }
+    }
+    return worst;
+}
+
+}  // namespace ccsim::torus

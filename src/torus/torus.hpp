@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The Catapult v1 baseline: a rack-scale 6x8 torus of 48 FPGAs connected
+ * by a dedicated secondary network (SL3 links), reproduced as the
+ * comparison series in Figure 10.
+ *
+ * Key properties from the papers:
+ *  - nearest-neighbour (1-hop) round-trip latency ~1 us;
+ *  - worst-case round-trip ~7 us (the longest dimension-order path in a
+ *    6x8 torus is 3+4 = 7 hops);
+ *  - communication is limited to the 48 FPGAs of one rack;
+ *  - failures require re-routing around the faulty node, costing extra
+ *    hops and latency, and some failure patterns isolate nodes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ccsim::torus {
+
+/** Coordinates of a node in the torus. */
+struct TorusCoord {
+    int x = 0;
+    int y = 0;
+    bool operator==(const TorusCoord &) const = default;
+    bool operator<(const TorusCoord &o) const
+    {
+        return x != o.x ? x < o.x : y < o.y;
+    }
+};
+
+/** Timing parameters for the secondary SL3 network. */
+struct TorusParams {
+    int width = 6;
+    int height = 8;
+    /** One-way per-hop latency (SL3 serialization + pass-through router). */
+    sim::TimePs hopLatency = 470 * sim::kNanosecond;
+    /** Endpoint injection + ejection cost per traversal. */
+    sim::TimePs endpointLatency = 160 * sim::kNanosecond;
+};
+
+/** A rack-scale torus with failure-aware routing. */
+class TorusNetwork
+{
+  public:
+    explicit TorusNetwork(TorusParams params = {});
+
+    int width() const { return cfg.width; }
+    int height() const { return cfg.height; }
+    int numNodes() const { return cfg.width * cfg.height; }
+
+    /** Mark a node failed (its four links become unusable). */
+    void failNode(TorusCoord node);
+    /** Repair a node. */
+    void repairNode(TorusCoord node);
+    bool isFailed(TorusCoord node) const;
+
+    /**
+     * Route from @p src to @p dst: dimension-order (X then Y) with greedy
+     * detours around failed nodes.
+     *
+     * @return The hop-by-hop path (excluding @p src), or nullopt if the
+     *         destination is unreachable under the current failures.
+     */
+    std::optional<std::vector<TorusCoord>> route(TorusCoord src,
+                                                 TorusCoord dst) const;
+
+    /** Hop count of the routed path, or nullopt if unreachable. */
+    std::optional<int> hopCount(TorusCoord src, TorusCoord dst) const;
+
+    /**
+     * One-way latency along the routed path (endpoint costs included
+     * once at injection; add ejection at the caller if needed).
+     */
+    std::optional<sim::TimePs> oneWayLatency(TorusCoord src,
+                                             TorusCoord dst) const;
+
+    /** Round-trip latency src -> dst -> src. */
+    std::optional<sim::TimePs> roundTripLatency(TorusCoord src,
+                                                TorusCoord dst) const;
+
+    /** Number of nodes reachable from @p src (counting itself). */
+    int reachableNodes(TorusCoord src) const;
+
+    /** The longest shortest-path hop count from @p src (failures aware). */
+    int eccentricity(TorusCoord src) const;
+
+    const TorusParams &params() const { return cfg; }
+
+  private:
+    TorusParams cfg;
+    std::set<TorusCoord> failed;
+
+    TorusCoord wrap(TorusCoord c) const;
+    std::vector<TorusCoord> neighbors(TorusCoord c) const;
+    /** BFS shortest path used both for detours and reachability. */
+    std::optional<std::vector<TorusCoord>> bfsPath(TorusCoord src,
+                                                   TorusCoord dst) const;
+};
+
+}  // namespace ccsim::torus

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Crypto tests: FIPS-197 / SP 800-38A / SP 800-38D / RFC 3174 / RFC 2202
+ * known-answer tests plus round-trip and tamper-detection properties, and
+ * checks of the Section IV timing models.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/aes.hpp"
+#include "crypto/crypto_timing.hpp"
+#include "crypto/sha1.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace ccsim;
+using crypto::Aes128;
+using crypto::AesCbc;
+using crypto::AesGcm;
+using crypto::Block;
+using crypto::Key128;
+
+std::vector<std::uint8_t>
+fromHex(const std::string &hex)
+{
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 0; i + 1 < hex.size(); i += 2)
+        out.push_back(static_cast<std::uint8_t>(
+            std::stoul(hex.substr(i, 2), nullptr, 16)));
+    return out;
+}
+
+std::string
+toHexStr(const std::uint8_t *data, std::size_t len)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string s;
+    for (std::size_t i = 0; i < len; ++i) {
+        s.push_back(digits[data[i] >> 4]);
+        s.push_back(digits[data[i] & 0xF]);
+    }
+    return s;
+}
+
+Key128
+keyFromHex(const std::string &hex)
+{
+    Key128 k{};
+    auto bytes = fromHex(hex);
+    std::memcpy(k.data(), bytes.data(), 16);
+    return k;
+}
+
+Block
+blockFromHex(const std::string &hex)
+{
+    Block b{};
+    auto bytes = fromHex(hex);
+    std::memcpy(b.data(), bytes.data(), 16);
+    return b;
+}
+
+TEST(Aes128, Fips197KnownAnswer)
+{
+    Aes128 aes(keyFromHex("000102030405060708090a0b0c0d0e0f"));
+    Block b = blockFromHex("00112233445566778899aabbccddeeff");
+    aes.encryptBlock(b);
+    EXPECT_EQ(toHexStr(b.data(), 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+    aes.decryptBlock(b);
+    EXPECT_EQ(toHexStr(b.data(), 16), "00112233445566778899aabbccddeeff");
+}
+
+TEST(Aes128, Sp80038aEcbVector)
+{
+    Aes128 aes(keyFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    Block b = blockFromHex("6bc1bee22e409f96e93d7e117393172a");
+    aes.encryptBlock(b);
+    EXPECT_EQ(toHexStr(b.data(), 16), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes128, EncryptDecryptRoundTripRandom)
+{
+    sim::Rng rng(101);
+    for (int trial = 0; trial < 50; ++trial) {
+        Key128 key{};
+        Block pt{};
+        for (auto &x : key)
+            x = static_cast<std::uint8_t>(rng.next());
+        for (auto &x : pt)
+            x = static_cast<std::uint8_t>(rng.next());
+        Aes128 aes(key);
+        Block ct = pt;
+        aes.encryptBlock(ct);
+        EXPECT_NE(ct, pt);
+        aes.decryptBlock(ct);
+        EXPECT_EQ(ct, pt);
+    }
+}
+
+TEST(AesCbc, Sp80038aVector)
+{
+    AesCbc cbc(keyFromHex("2b7e151628aed2a6abf7158809cf4f3c"),
+               blockFromHex("000102030405060708090a0b0c0d0e0f"));
+    auto data = fromHex(
+        "6bc1bee22e409f96e93d7e117393172a"
+        "ae2d8a571e03ac9c9eb76fac45af8e51");
+    cbc.encrypt(data.data(), data.size());
+    EXPECT_EQ(toHexStr(data.data(), 16),
+              "7649abac8119b246cee98e9b12e9197d");
+    EXPECT_EQ(toHexStr(data.data() + 16, 16),
+              "5086cb9b507219ee95db113a917678b2");
+}
+
+TEST(AesCbc, RoundTripArbitraryBlockCounts)
+{
+    sim::Rng rng(202);
+    for (int blocks = 1; blocks <= 8; ++blocks) {
+        Key128 key{};
+        Block iv{};
+        for (auto &x : key)
+            x = static_cast<std::uint8_t>(rng.next());
+        for (auto &x : iv)
+            x = static_cast<std::uint8_t>(rng.next());
+        std::vector<std::uint8_t> data(16 * blocks);
+        for (auto &x : data)
+            x = static_cast<std::uint8_t>(rng.next());
+        const auto original = data;
+        AesCbc cbc(key, iv);
+        cbc.encrypt(data.data(), data.size());
+        EXPECT_NE(data, original);
+        cbc.decrypt(data.data(), data.size());
+        EXPECT_EQ(data, original);
+    }
+}
+
+TEST(Pkcs7, PadUnpadRoundTrip)
+{
+    sim::Rng rng(303);
+    for (std::size_t len = 0; len <= 64; ++len) {
+        std::vector<std::uint8_t> data(len);
+        for (auto &x : data)
+            x = static_cast<std::uint8_t>(rng.next());
+        auto padded = crypto::pkcs7Pad(data.data(), data.size());
+        EXPECT_EQ(padded.size() % 16, 0u);
+        EXPECT_GT(padded.size(), len);
+        const std::size_t unpadded =
+            crypto::pkcs7Unpad(padded.data(), padded.size());
+        ASSERT_EQ(unpadded, len);
+        EXPECT_TRUE(std::equal(data.begin(), data.end(), padded.begin()));
+    }
+}
+
+TEST(Pkcs7, RejectsCorruptPadding)
+{
+    auto padded = crypto::pkcs7Pad(nullptr, 0);
+    padded.back() = 0;  // invalid pad byte
+    EXPECT_EQ(crypto::pkcs7Unpad(padded.data(), padded.size()), SIZE_MAX);
+    EXPECT_EQ(crypto::pkcs7Unpad(padded.data(), 8), SIZE_MAX);  // not * 16
+}
+
+TEST(AesGcm, Sp80038dTestCase3)
+{
+    AesGcm gcm(keyFromHex("feffe9928665731c6d6a8f9467308308"));
+    auto iv = fromHex("cafebabefacedbaddecaf888");
+    auto data = fromHex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b391aafd255");
+    Block tag;
+    gcm.encrypt(iv.data(), nullptr, 0, data.data(), data.size(), tag);
+    EXPECT_EQ(toHexStr(data.data(), data.size()),
+              "42831ec2217774244b7221b784d0d49c"
+              "e3aa212f2c02a4e035c17e2329aca12e"
+              "21d514b25466931c7d8f6a5aac84aa05"
+              "1ba30b396a0aac973d58e091473f5985");
+    EXPECT_EQ(toHexStr(tag.data(), 16), "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+TEST(AesGcm, EmptyPlaintextTag)
+{
+    // SP 800-38D test case 1: all-zero key, empty everything.
+    AesGcm gcm(keyFromHex("00000000000000000000000000000000"));
+    auto iv = fromHex("000000000000000000000000");
+    Block tag;
+    gcm.encrypt(iv.data(), nullptr, 0, nullptr, 0, tag);
+    EXPECT_EQ(toHexStr(tag.data(), 16), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(AesGcm, RoundTripWithAad)
+{
+    sim::Rng rng(404);
+    Key128 key{};
+    for (auto &x : key)
+        x = static_cast<std::uint8_t>(rng.next());
+    AesGcm gcm(key);
+    std::uint8_t iv[12] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+    std::vector<std::uint8_t> aad = {0xDE, 0xAD, 0xBE, 0xEF};
+    for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1500u}) {
+        std::vector<std::uint8_t> data(len);
+        for (auto &x : data)
+            x = static_cast<std::uint8_t>(rng.next());
+        const auto original = data;
+        Block tag;
+        gcm.encrypt(iv, aad.data(), aad.size(), data.data(), data.size(),
+                    tag);
+        EXPECT_TRUE(gcm.decrypt(iv, aad.data(), aad.size(), data.data(),
+                                data.size(), tag));
+        EXPECT_EQ(data, original);
+    }
+}
+
+TEST(AesGcm, DetectsTamperedCiphertextAndTag)
+{
+    Key128 key = keyFromHex("000102030405060708090a0b0c0d0e0f");
+    AesGcm gcm(key);
+    std::uint8_t iv[12] = {};
+    std::vector<std::uint8_t> data(64, 0x42);
+    Block tag;
+    gcm.encrypt(iv, nullptr, 0, data.data(), data.size(), tag);
+
+    auto tampered = data;
+    tampered[10] ^= 1;
+    EXPECT_FALSE(gcm.decrypt(iv, nullptr, 0, tampered.data(),
+                             tampered.size(), tag));
+
+    Block bad_tag = tag;
+    bad_tag[0] ^= 1;
+    auto copy = data;
+    EXPECT_FALSE(
+        gcm.decrypt(iv, nullptr, 0, copy.data(), copy.size(), bad_tag));
+}
+
+TEST(Sha1, Rfc3174KnownAnswers)
+{
+    EXPECT_EQ(crypto::toHex(crypto::Sha1::hash("abc")),
+              "a9993e364706816aba3e25717850c26c9cd0d89d");
+    EXPECT_EQ(crypto::toHex(crypto::Sha1::hash("")),
+              "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    EXPECT_EQ(crypto::toHex(crypto::Sha1::hash(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+              "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs)
+{
+    crypto::Sha1 s;
+    std::vector<std::uint8_t> chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        s.update(chunk.data(), chunk.size());
+    EXPECT_EQ(crypto::toHex(s.finish()),
+              "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, StreamingMatchesOneShot)
+{
+    sim::Rng rng(505);
+    std::vector<std::uint8_t> data(10000);
+    for (auto &x : data)
+        x = static_cast<std::uint8_t>(rng.next());
+    const auto oneshot = crypto::Sha1::hash(data.data(), data.size());
+    crypto::Sha1 s;
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const std::size_t n =
+            std::min<std::size_t>(1 + rng.uniformInt(std::uint64_t{97}),
+                                  data.size() - off);
+        s.update(data.data() + off, n);
+        off += n;
+    }
+    EXPECT_EQ(s.finish(), oneshot);
+}
+
+TEST(HmacSha1, Rfc2202Vectors)
+{
+    // Case 1: key = 20 x 0x0b, data = "Hi There".
+    std::vector<std::uint8_t> key(20, 0x0b);
+    const std::string data = "Hi There";
+    auto mac = crypto::hmacSha1(
+        key.data(), key.size(),
+        reinterpret_cast<const std::uint8_t *>(data.data()), data.size());
+    EXPECT_EQ(crypto::toHex(mac),
+              "b617318655057264e28bc0b6fb378c8ef146be00");
+
+    // Case 2: key = "Jefe", data = "what do ya want for nothing?".
+    const std::string key2 = "Jefe";
+    const std::string data2 = "what do ya want for nothing?";
+    auto mac2 = crypto::hmacSha1(
+        reinterpret_cast<const std::uint8_t *>(key2.data()), key2.size(),
+        reinterpret_cast<const std::uint8_t *>(data2.data()), data2.size());
+    EXPECT_EQ(crypto::toHex(mac2),
+              "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(CryptoTiming, CoreCountsMatchPaper)
+{
+    crypto::CpuCryptoModel cpu;
+    // GCM at 1.26 c/B and 2.4 GHz: "roughly five cores" for 40 Gb/s FDX.
+    const double gcm_cores =
+        cpu.coresForLineRate(crypto::Suite::kAesGcm128, 40.0);
+    EXPECT_NEAR(gcm_cores, 5.25, 0.01);
+    // CBC-SHA1: "at least fifteen cores".
+    const double cbc_cores =
+        cpu.coresForLineRate(crypto::Suite::kAesCbc128Sha1, 40.0);
+    EXPECT_GE(cbc_cores, 14.9);
+}
+
+TEST(CryptoTiming, FpgaCbcLatencyMatchesPaper)
+{
+    crypto::FpgaCryptoModel fpga;
+    // 1500 B packet, AES-CBC-128-SHA1, first flit to first flit: ~11 us.
+    const auto lat =
+        fpga.packetLatency(crypto::Suite::kAesCbc128Sha1, 1500);
+    EXPECT_NEAR(sim::toMicros(lat), 11.0, 0.8);
+    // GCM is perfectly pipelined: far lower latency.
+    const auto gcm = fpga.packetLatency(crypto::Suite::kAesGcm128, 1500);
+    EXPECT_LT(sim::toMicros(gcm), 1.5);
+}
+
+TEST(CryptoTiming, SoftwareCbcLatencyNearPaper)
+{
+    crypto::CpuCryptoModel cpu;
+    const auto lat =
+        cpu.packetLatency(crypto::Suite::kAesCbc128Sha1, 1500);
+    // Paper: approximately 4 us in software for a 1500 B packet.
+    EXPECT_NEAR(sim::toMicros(lat), 4.0, 0.5);
+}
+
+TEST(CryptoTiming, FpgaSustainsLineRate)
+{
+    crypto::FpgaCryptoModel fpga;
+    EXPECT_GE(fpga.throughputGbps(crypto::Suite::kAesGcm128, 40.0), 40.0);
+    EXPECT_GE(fpga.throughputGbps(crypto::Suite::kAesCbc128Sha1, 40.0),
+              40.0);
+}
+
+}  // namespace

@@ -1,0 +1,480 @@
+/**
+ * @file
+ * FPGA layer tests: area model (Figure 5 numbers), board/flash/power,
+ * bridge passthrough + tap + injection + reconfiguration downtime, PCIe
+ * and DRAM models, shell composition, SEU scrubbing, deployment
+ * reliability Monte Carlo (Section II-B).
+ */
+#include <gtest/gtest.h>
+
+#include "fpga/area_model.hpp"
+#include "fpga/board.hpp"
+#include "fpga/bridge.hpp"
+#include "fpga/dram.hpp"
+#include "fpga/pcie.hpp"
+#include "fpga/power_virus.hpp"
+#include "fpga/reliability.hpp"
+#include "fpga/shell.hpp"
+#include "net/channel.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace ccsim;
+using fpga::AreaModel;
+using fpga::Bridge;
+using fpga::Direction;
+using sim::EventQueue;
+
+TEST(AreaModel, ProductionImageMatchesFigure5)
+{
+    const AreaModel m = AreaModel::productionImage();
+    EXPECT_EQ(m.totalAvailable(), 172600u);
+    EXPECT_EQ(m.totalUsed(), 131350u);
+    EXPECT_NEAR(m.utilizationPercent(), 76.0, 0.2);
+    // Shell = 44% of the FPGA; role = 32%.
+    EXPECT_NEAR(100.0 * m.shellUsed() / m.totalAvailable(), 44.0, 0.2);
+    EXPECT_NEAR(100.0 * m.roleUsed() / m.totalAvailable(), 32.0, 0.1);
+    // Spot-check headline components: MACs 14% total, DDR3 8%, LTL 7%,
+    // ER 2%.
+    std::uint32_t macs = 0, ddr = 0, ltl = 0, er = 0;
+    for (const auto &c : m.components()) {
+        if (c.name.find("MAC/PHY") != std::string::npos)
+            macs += c.alms;
+        if (c.name.find("DDR3") != std::string::npos)
+            ddr += c.alms;
+        if (c.name == "LTL Protocol Engine")
+            ltl += c.alms;
+        if (c.name == "Elastic Router")
+            er += c.alms;
+    }
+    EXPECT_NEAR(m.percentOf(macs), 14.0, 0.8);
+    EXPECT_NEAR(m.percentOf(ddr), 8.0, 0.4);
+    EXPECT_NEAR(m.percentOf(ltl), 7.0, 0.4);
+    EXPECT_NEAR(m.percentOf(er), 2.0, 0.3);
+}
+
+TEST(AreaModel, RejectsOversizedComponent)
+{
+    AreaModel m(1000);
+    EXPECT_TRUE(m.addComponent({"a", 600, 100.0, true}));
+    EXPECT_FALSE(m.addComponent({"b", 500, 100.0, false}));
+    EXPECT_EQ(m.totalUsed(), 600u);
+    EXPECT_TRUE(m.addComponent({"c", 400, 100.0, false}));
+    m.clearRoles();
+    EXPECT_EQ(m.totalUsed(), 600u);
+}
+
+TEST(Board, PowerOnLoadsGoldenImage)
+{
+    fpga::FpgaBoard board;
+    board.powerOn();
+    ASSERT_TRUE(board.loadedImage().has_value());
+    EXPECT_TRUE(board.runningGolden());
+    board.flashApplicationImage({"app", false, 50000, false});
+    EXPECT_TRUE(board.loadApplicationImage());
+    EXPECT_FALSE(board.runningGolden());
+    // Power-cycle via the management path restores the golden image.
+    board.powerCycle();
+    EXPECT_TRUE(board.runningGolden());
+}
+
+TEST(Board, PowerEnvelopeRespected)
+{
+    fpga::FpgaBoard board;
+    EXPECT_LE(board.estimatePowerWatts(1.0), board.spec().tdpWatts);
+    EXPECT_LE(board.estimatePowerWatts(1.0),
+              board.spec().maxElectricalWatts);
+    EXPECT_NEAR(board.estimatePowerWatts(1.0), 29.2, 0.01);
+    EXPECT_LT(board.estimatePowerWatts(0.0), board.estimatePowerWatts(1.0));
+}
+
+struct BridgeHarness {
+    EventQueue eq;
+    Bridge bridge{eq, fpga::BridgeConfig{}};
+    net::Channel torTx{eq, "tor", 40.0, 0, 1 << 20};
+    net::Channel nicTx{eq, "nic", 40.0, 0, 1 << 20};
+
+    struct Sink : net::PacketSink {
+        std::vector<net::PacketPtr> pkts;
+        void acceptPacket(const net::PacketPtr &p) override
+        {
+            pkts.push_back(p);
+        }
+    } torSide, nicSide;
+
+    BridgeHarness()
+    {
+        bridge.setTorTx(&torTx);
+        bridge.setNicTx(&nicTx);
+        torTx.setSink(&torSide);
+        nicTx.setSink(&nicSide);
+    }
+
+    net::PacketPtr packet()
+    {
+        auto p = net::makePacket();
+        p->ipSrc = {1};
+        p->ipDst = {2};
+        p->payloadBytes = 100;
+        return p;
+    }
+};
+
+TEST(Bridge, PassesBothDirections)
+{
+    BridgeHarness h;
+    h.bridge.nicSideSink()->acceptPacket(h.packet());
+    h.bridge.torSideSink()->acceptPacket(h.packet());
+    h.eq.runAll();
+    EXPECT_EQ(h.torSide.pkts.size(), 1u);
+    EXPECT_EQ(h.nicSide.pkts.size(), 1u);
+    EXPECT_EQ(h.bridge.forwardedNicToTor(), 1u);
+    EXPECT_EQ(h.bridge.forwardedTorToNic(), 1u);
+}
+
+TEST(Bridge, TraverseLatencyApplied)
+{
+    BridgeHarness h;
+    h.bridge.nicSideSink()->acceptPacket(h.packet());
+    sim::TimePs arrival = -1;
+    h.eq.runAll();
+    arrival = h.eq.now();
+    // traverse latency (120 ns) + serialization of the 100 B payload.
+    EXPECT_GE(arrival, 120 * sim::kNanosecond);
+}
+
+TEST(Bridge, TapConsumesAndInjects)
+{
+    BridgeHarness h;
+    h.bridge.setTap([](Direction d, const net::PacketPtr &p) {
+        if (d == Direction::kFromTor && p->dstPort == 0xBEEF)
+            return fpga::TapResult{fpga::TapResult::Action::kConsume, 0};
+        return fpga::TapResult{};
+    });
+    auto ltl_pkt = h.packet();
+    ltl_pkt->dstPort = 0xBEEF;
+    h.bridge.torSideSink()->acceptPacket(ltl_pkt);
+    h.bridge.torSideSink()->acceptPacket(h.packet());
+    h.eq.runAll();
+    EXPECT_EQ(h.nicSide.pkts.size(), 1u);  // only the non-LTL packet
+    EXPECT_EQ(h.bridge.consumedByTap(), 1u);
+
+    h.bridge.injectToTor(h.packet());
+    h.eq.runAll();
+    EXPECT_EQ(h.torSide.pkts.size(), 1u);
+    EXPECT_EQ(h.bridge.injected(), 1u);
+}
+
+TEST(Bridge, TapExtraDelayDelaysForwarding)
+{
+    BridgeHarness h;
+    const sim::TimePs kCryptoDelay = 11 * sim::kMicrosecond;
+    h.bridge.setTap([&](Direction, const net::PacketPtr &) {
+        return fpga::TapResult{fpga::TapResult::Action::kForward,
+                               kCryptoDelay};
+    });
+    h.bridge.nicSideSink()->acceptPacket(h.packet());
+    h.eq.runAll();
+    EXPECT_GE(h.eq.now(), kCryptoDelay);
+    EXPECT_EQ(h.torSide.pkts.size(), 1u);
+}
+
+TEST(Bridge, DropsWhileDown)
+{
+    BridgeHarness h;
+    h.bridge.setDown(true);
+    h.bridge.nicSideSink()->acceptPacket(h.packet());
+    h.bridge.injectToTor(h.packet());
+    h.eq.runAll();
+    EXPECT_TRUE(h.torSide.pkts.empty());
+    EXPECT_EQ(h.bridge.droppedWhileDown(), 2u);
+    h.bridge.setDown(false);
+    h.bridge.nicSideSink()->acceptPacket(h.packet());
+    h.eq.runAll();
+    EXPECT_EQ(h.torSide.pkts.size(), 1u);
+}
+
+TEST(Pcie, BandwidthAndLatencyModel)
+{
+    EventQueue eq;
+    fpga::PcieDma pcie(eq, fpga::PcieConfig{16.0, 900 * sim::kNanosecond});
+    sim::TimePs done1 = 0, done2 = 0;
+    pcie.hostToFpga(16000, [&] { done1 = eq.now(); });   // 1 us at 16 GB/s
+    pcie.hostToFpga(16000, [&] { done2 = eq.now(); });
+    eq.runAll();
+    EXPECT_EQ(done1, sim::fromNanos(1000) + 900 * sim::kNanosecond);
+    // Serialized behind the first transfer.
+    EXPECT_EQ(done2, sim::fromNanos(2000) + 900 * sim::kNanosecond);
+}
+
+TEST(Pcie, DirectionsIndependent)
+{
+    EventQueue eq;
+    fpga::PcieDma pcie(eq);
+    sim::TimePs up = 0, down = 0;
+    pcie.hostToFpga(16000, [&] { down = eq.now(); });
+    pcie.fpgaToHost(16000, [&] { up = eq.now(); });
+    eq.runAll();
+    EXPECT_EQ(up, down);  // no cross-direction serialization
+}
+
+TEST(Dram, SerializesAtSustainedBandwidth)
+{
+    EventQueue eq;
+    fpga::DramChannel dram(eq);
+    sim::TimePs t1 = 0, t2 = 0;
+    dram.read(9600, [&] { t1 = eq.now(); });   // 1 us at 9.6 GB/s
+    dram.write(9600, [&] { t2 = eq.now(); });
+    eq.runAll();
+    EXPECT_EQ(t1, sim::fromNanos(1000) + 150 * sim::kNanosecond);
+    EXPECT_EQ(t2, sim::fromNanos(2000) + 150 * sim::kNanosecond);
+    EXPECT_EQ(dram.reads(), 1u);
+    EXPECT_EQ(dram.writes(), 1u);
+}
+
+fpga::ShellConfig
+testShellConfig(const std::string &name, net::Ipv4Addr ip)
+{
+    fpga::ShellConfig cfg;
+    cfg.name = name;
+    cfg.ip = ip;
+    cfg.ltl.maxConnections = 16;
+    return cfg;
+}
+
+TEST(Shell, AreaAccountsShellAndRoles)
+{
+    EventQueue eq;
+    fpga::Shell shell(eq, testShellConfig("s0", {10}));
+    EXPECT_NEAR(100.0 * shell.areaModel().shellUsed() /
+                    shell.areaModel().totalAvailable(),
+                44.0, 0.5);
+
+    struct BigRole : fpga::Role {
+        std::string name() const override { return "big"; }
+        std::uint32_t areaAlms() const override { return 200000; }
+        void attach(fpga::Shell &, int) override {}
+        void onMessage(const router::ErMessagePtr &) override {}
+    } big;
+    EXPECT_EQ(shell.addRole(&big), -1);  // does not fit
+
+    struct SmallRole : fpga::Role {
+        std::string name() const override { return "small"; }
+        std::uint32_t areaAlms() const override { return 10000; }
+        void attach(fpga::Shell &, int) override {}
+        void onMessage(const router::ErMessagePtr &) override {}
+    } small;
+    EXPECT_EQ(shell.addRole(&small), fpga::kErPortRole0);
+}
+
+TEST(Shell, NoLtlShellFreesArea)
+{
+    EventQueue eq;
+    auto cfg = testShellConfig("s0", {10});
+    cfg.enableLtl = false;
+    fpga::Shell shell(eq, cfg);
+    EXPECT_EQ(shell.ltlEngine(), nullptr);
+    // LTL engine (7%) + LTL packet switch (3%) freed.
+    EXPECT_NEAR(100.0 * shell.areaModel().shellUsed() /
+                    shell.areaModel().totalAvailable(),
+                44.0 - 10.0, 0.8);
+}
+
+TEST(Shell, HostToRoleRoundTripOverPcieAndEr)
+{
+    EventQueue eq;
+    fpga::Shell shell(eq, testShellConfig("s0", {10}));
+
+    struct EchoRole : fpga::Role {
+        fpga::Shell *shell = nullptr;
+        int port = -1;
+        int received = 0;
+        std::string name() const override { return "echo"; }
+        std::uint32_t areaAlms() const override { return 1000; }
+        void attach(fpga::Shell &s, int p) override
+        {
+            shell = &s;
+            port = p;
+        }
+        void onMessage(const router::ErMessagePtr &msg) override
+        {
+            ++received;
+            shell->roleEndpoint(port).sendMessage(
+                fpga::kErPortPcie, fpga::kVcResponse, msg->sizeBytes,
+                msg->payload);
+        }
+    } echo;
+    const int port = shell.addRole(&echo);
+    ASSERT_GE(port, 0);
+
+    int replies = 0;
+    sim::TimePs reply_time = 0;
+    shell.setHostRxHandler(
+        [&](int role_port, const router::ErMessagePtr &msg) {
+            EXPECT_EQ(role_port, port);
+            EXPECT_EQ(*std::static_pointer_cast<int>(msg->payload), 123);
+            ++replies;
+            reply_time = eq.now();
+        });
+    shell.sendFromHost(port, 4096, std::make_shared<int>(123));
+    eq.runAll();
+    EXPECT_EQ(echo.received, 1);
+    EXPECT_EQ(replies, 1);
+    // Round trip includes two PCIe DMA latencies (>= 1.8 us).
+    EXPECT_GE(reply_time, sim::fromNanos(1800));
+}
+
+TEST(Shell, DramRequestsServedViaEr)
+{
+    EventQueue eq;
+    fpga::Shell shell(eq, testShellConfig("s0", {10}));
+
+    struct DramUser : fpga::Role {
+        fpga::Shell *shell = nullptr;
+        int port = -1;
+        int replies = 0;
+        std::string name() const override { return "dram-user"; }
+        std::uint32_t areaAlms() const override { return 1000; }
+        void attach(fpga::Shell &s, int p) override
+        {
+            shell = &s;
+            port = p;
+        }
+        void onMessage(const router::ErMessagePtr &msg) override
+        {
+            auto reply =
+                std::static_pointer_cast<fpga::DramReply>(msg->payload);
+            if (reply && reply->cookie == 7)
+                ++replies;
+        }
+    } user;
+    const int port = shell.addRole(&user);
+
+    auto req = std::make_shared<fpga::DramRequest>();
+    req->bytes = 4096;
+    req->isWrite = false;
+    req->replyPort = port;
+    req->cookie = 7;
+    shell.roleEndpoint(port).sendMessage(fpga::kErPortDram,
+                                         fpga::kVcRequest, 64, req);
+    eq.runAll();
+    EXPECT_EQ(user.replies, 1);
+    EXPECT_EQ(shell.dram().reads(), 1u);
+}
+
+TEST(Shell, FullReconfigurationDownsBridge)
+{
+    EventQueue eq;
+    fpga::Shell shell(eq, testShellConfig("s0", {10}));
+    bool done = false;
+    shell.reconfigureFull([&] { done = true; });
+    EXPECT_TRUE(shell.bridge().down());
+    eq.runUntil(1 * sim::kSecond);
+    EXPECT_FALSE(done);
+    eq.runUntil(3 * sim::kSecond);
+    EXPECT_TRUE(done);
+    EXPECT_FALSE(shell.bridge().down());
+}
+
+TEST(Shell, PartialReconfigurationKeepsBridgeUp)
+{
+    EventQueue eq;
+    fpga::Shell shell(eq, testShellConfig("s0", {10}));
+    struct NopRole : fpga::Role {
+        std::string name() const override { return "nop"; }
+        std::uint32_t areaAlms() const override { return 100; }
+        void attach(fpga::Shell &, int) override {}
+        void onMessage(const router::ErMessagePtr &) override {}
+    } role;
+    const int port = shell.addRole(&role);
+    bool done = false;
+    shell.reconfigureRolePartial(port, [&] { done = true; });
+    EXPECT_FALSE(shell.bridge().down());
+    // Messages to the role are dropped during reconfiguration.
+    shell.sendFromHost(port, 64, std::make_shared<int>(1));
+    eq.runUntil(100 * sim::kMillisecond);
+    EXPECT_EQ(shell.messagesToInactiveRole(), 1u);
+    eq.runUntil(1 * sim::kSecond);
+    EXPECT_TRUE(done);
+}
+
+TEST(Shell, ScrubbingDetectsSeusAndRecoversHangs)
+{
+    EventQueue eq;
+    fpga::Shell shell(eq, testShellConfig("s0", {10}));
+    shell.startScrubbing(30 * sim::kSecond);
+    shell.injectSeu(false);
+    shell.injectSeu(false);
+    shell.injectSeu(true);  // this one hangs the role
+    eq.runUntil(31 * sim::kSecond);
+    EXPECT_EQ(shell.seusDetected(), 3u);  // hang-causing SEU still counted
+    EXPECT_EQ(shell.roleHangsRecovered(), 1u);
+}
+
+TEST(PowerVirus, BurnInPassesWithinEnvelope)
+{
+    EventQueue eq;
+    fpga::Shell shell(eq, testShellConfig("s0", {10}));
+    fpga::PowerVirus virus(eq);
+    fpga::BurnInReport report;
+    bool done = false;
+    virus.run(shell, 5 * sim::kMillisecond, fpga::BurnInConditions{},
+              [&](const fpga::BurnInReport &r) {
+                  report = r;
+                  done = true;
+              });
+    eq.runAll();
+    ASSERT_TRUE(done);
+    // The virus keeps the serialized datapaths near saturation (the
+    // reported DRAM number excludes the ER storm's competing reads).
+    EXPECT_GT(report.dramUtilization, 0.70);
+    EXPECT_GT(report.pcieUtilization, 0.45);  // h2f saturated, f2h echoes
+    EXPECT_GT(report.erUtilization, 0.0);
+    // Paper: 29.2 W, within the 32 W TDP and 35 W electrical limit.
+    EXPECT_NEAR(report.powerWatts, 29.2, 0.01);
+    EXPECT_TRUE(report.passed());
+}
+
+TEST(PowerVirus, FailsWhenThermalConditionsExceedSpec)
+{
+    EventQueue eq;
+    fpga::Shell shell(eq, testShellConfig("s0", {10}));
+    fpga::PowerVirus virus(eq);
+    fpga::BurnInConditions hot;
+    hot.ambientTempC = 85.0;  // above the 70 C qualification point
+    bool passed = true;
+    virus.run(shell, 1 * sim::kMillisecond, hot,
+              [&](const fpga::BurnInReport &r) { passed = r.passed(); });
+    eq.runAll();
+    EXPECT_FALSE(passed);
+}
+
+TEST(Reliability, DeploymentCountsNearPaper)
+{
+    fpga::DeploymentConfig cfg;  // 5,760 servers, 30 days
+    const auto report = fpga::simulateDeployment(cfg);
+    EXPECT_EQ(report.machineDays, 5760u * 30u);
+    // Expected ~168.6 SEUs (one per 1025 machine-days); allow 3 sigma.
+    EXPECT_NEAR(static_cast<double>(report.seuEvents), 168.6, 40.0);
+    EXPECT_NEAR(report.machineDaysPerSeu(), 1025.0, 250.0);
+    // Hard failures ~2, bring-up failures ~5 (PCIe) and ~8 (DRAM).
+    EXPECT_LE(report.hardFailures, 8u);
+    EXPECT_LE(report.pcieTrainingFailures, 15u);
+    EXPECT_GE(report.pcieTrainingFailures, 1u);
+    EXPECT_LE(report.dramCalibFailures, 20u);
+    EXPECT_GE(report.dramCalibFailures, 2u);
+}
+
+TEST(Reliability, ScalesWithDeploymentSize)
+{
+    fpga::DeploymentConfig small;
+    small.servers = 576;
+    const auto small_report = fpga::simulateDeployment(small);
+    fpga::DeploymentConfig big;
+    big.servers = 57600;
+    const auto big_report = fpga::simulateDeployment(big);
+    EXPECT_LT(small_report.seuEvents * 10, big_report.seuEvents * 2);
+}
+
+}  // namespace

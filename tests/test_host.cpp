@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Host model tests: Poisson load generation, the diurnal trace, the
+ * ranking-server queueing model (capacity, latency growth, accelerated
+ * throughput gain), and the local FPGA accelerator pipeline.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "host/load_generator.hpp"
+#include "host/ranking_server.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace ccsim;
+using host::PoissonLoadGenerator;
+using host::RankingServer;
+using host::RankingServiceParams;
+using sim::EventQueue;
+
+TEST(PoissonLoad, RateIsApproximatelyCorrect)
+{
+    EventQueue eq;
+    std::uint64_t arrivals = 0;
+    PoissonLoadGenerator gen(eq, 1000.0, [&] { ++arrivals; }, 1);
+    gen.start();
+    eq.runUntil(10 * sim::kSecond);
+    gen.stop();
+    EXPECT_NEAR(static_cast<double>(arrivals), 10000.0, 300.0);
+}
+
+TEST(PoissonLoad, StopHaltsArrivals)
+{
+    EventQueue eq;
+    std::uint64_t arrivals = 0;
+    PoissonLoadGenerator gen(eq, 1000.0, [&] { ++arrivals; }, 2);
+    gen.start();
+    eq.runUntil(1 * sim::kSecond);
+    gen.stop();
+    const auto frozen = arrivals;
+    eq.runUntil(5 * sim::kSecond);
+    EXPECT_EQ(arrivals, frozen);
+}
+
+TEST(PoissonLoad, RateChangeTakesEffect)
+{
+    EventQueue eq;
+    std::uint64_t arrivals = 0;
+    PoissonLoadGenerator gen(eq, 100.0, [&] { ++arrivals; }, 3);
+    gen.start();
+    eq.runUntil(1 * sim::kSecond);
+    const auto at_low = arrivals;
+    gen.setRate(10000.0);
+    eq.runUntil(2 * sim::kSecond);
+    EXPECT_GT(arrivals - at_low, 50 * at_low / 10);
+}
+
+TEST(DiurnalTrace, ShapeAndBounds)
+{
+    host::DiurnalTraceParams p;
+    const auto trace = host::makeDiurnalTrace(p);
+    ASSERT_EQ(trace.size(),
+              static_cast<std::size_t>(p.days * p.windowsPerDay));
+    double lo = 1e9, hi = 0;
+    for (double x : trace) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+        EXPECT_GT(x, 0.0);
+    }
+    // Clear diurnal swing: peak at least twice the trough.
+    EXPECT_GT(hi / lo, 2.0);
+    EXPECT_LT(hi, 1.6);  // bounded above nominal peak + drift + burst
+
+    // Mid-day windows are heavier than midnight windows on average.
+    double midnight = 0, midday = 0;
+    for (int day = 0; day < p.days; ++day) {
+        midnight += trace[day * p.windowsPerDay];
+        midday += trace[day * p.windowsPerDay + p.windowsPerDay / 2];
+    }
+    EXPECT_GT(midday, 1.5 * midnight);
+}
+
+TEST(DiurnalTrace, Deterministic)
+{
+    host::DiurnalTraceParams p;
+    EXPECT_EQ(host::makeDiurnalTrace(p), host::makeDiurnalTrace(p));
+}
+
+RankingServiceParams
+testParams()
+{
+    RankingServiceParams p;  // defaults from DESIGN.md calibration
+    return p;
+}
+
+double
+runServer(double qps, host::FeatureAccelerator *accel, double duration_s,
+          double *p99_out)
+{
+    EventQueue eq;
+    RankingServer server(eq, testParams(), accel, 5);
+    PoissonLoadGenerator gen(eq, qps, [&] { server.submitQuery(); }, 6);
+    gen.start();
+    eq.runUntil(sim::fromSeconds(duration_s));
+    gen.stop();
+    if (p99_out)
+        *p99_out = server.latencyMs().percentile(99.0);
+    return static_cast<double>(server.completed()) / duration_s;
+}
+
+TEST(RankingServer, SoftwareSaturatesNearCapacity)
+{
+    // Capacity = cores / mean service = 12 / 3.6 ms = ~3333 qps.
+    double p99 = 0;
+    const double tput = runServer(5000.0, nullptr, 20.0, &p99);
+    EXPECT_NEAR(tput, 3333.0, 300.0);  // saturated
+}
+
+TEST(RankingServer, LatencyGrowsWithLoad)
+{
+    double p99_low = 0, p99_high = 0;
+    runServer(1000.0, nullptr, 20.0, &p99_low);
+    runServer(3100.0, nullptr, 20.0, &p99_high);
+    EXPECT_GT(p99_high, 1.5 * p99_low);
+}
+
+TEST(RankingServer, FpgaLiftsThroughputMoreThanTwofold)
+{
+    EventQueue eq;
+    host::LocalFpgaAccelerator accel(eq);
+    RankingServer server(eq, testParams(), &accel, 5);
+    PoissonLoadGenerator gen(eq, 12000.0, [&] { server.submitQuery(); }, 6);
+    gen.start();
+    eq.runUntil(sim::fromSeconds(20.0));
+    gen.stop();
+    const double tput = static_cast<double>(server.completed()) / 20.0;
+    EXPECT_GT(tput, 2.0 * 3333.0);  // > 2x software capacity
+}
+
+TEST(RankingServer, FpgaUnderutilizedAtServerSaturation)
+{
+    // Paper: "the software portion of ranking saturates the host server
+    // before the FPGA is saturated."
+    EventQueue eq;
+    host::LocalFpgaAccelerator accel(eq);
+    RankingServer server(eq, testParams(), &accel, 5);
+    PoissonLoadGenerator gen(eq, 20000.0, [&] { server.submitQuery(); }, 6);
+    gen.start();
+    eq.runUntil(sim::fromSeconds(10.0));
+    gen.stop();
+    EXPECT_LT(accel.utilization(eq.now()), 0.75);
+}
+
+TEST(RankingServer, LatencySamplesAreSojournTimes)
+{
+    EventQueue eq;
+    RankingServer server(eq, testParams(), nullptr, 5);
+    sim::TimePs done_latency = -1;
+    server.submitQuery([&](sim::TimePs lat) { done_latency = lat; });
+    eq.runAll();
+    EXPECT_GT(done_latency, 0);
+    EXPECT_EQ(server.completed(), 1u);
+    EXPECT_NEAR(server.latencyMs().mean(), sim::toMillis(done_latency),
+                1e-9);
+    // An unloaded query takes roughly the mean service time (~3.6 ms).
+    EXPECT_NEAR(sim::toMillis(done_latency), 3.6, 2.5);
+}
+
+TEST(LocalFpgaAccelerator, PipelinesRequests)
+{
+    EventQueue eq;
+    host::LocalFpgaParams p;
+    p.occupancyPerDoc = sim::fromNanos(350);
+    p.fixedLatency = sim::fromMicros(90);
+    host::LocalFpgaAccelerator accel(eq, p);
+    sim::TimePs t1 = 0, t2 = 0;
+    accel.compute(200, [&] { t1 = eq.now(); });
+    accel.compute(200, [&] { t2 = eq.now(); });
+    eq.runAll();
+    // First completes at occupancy + latency; second one occupancy later.
+    EXPECT_EQ(t1, 200 * p.occupancyPerDoc + p.fixedLatency);
+    EXPECT_EQ(t2 - t1, 200 * p.occupancyPerDoc);
+}
+
+}  // namespace

@@ -1,0 +1,530 @@
+/**
+ * @file
+ * Deeper full-stack integration and failure-injection tests: remote
+ * service failover with live traffic, LTL failure detection feeding
+ * HaaS, pool scaling, congestion back-pressure end to end, crypto
+ * key-lifecycle behaviour, and SEU recovery under traffic.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cloud.hpp"
+#include "roles/crypto_role.hpp"
+#include "roles/dnn_role.hpp"
+#include "roles/ranking/ranking_role.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace ccsim;
+using core::CloudConfig;
+using core::ConfigurableCloud;
+using sim::EventQueue;
+
+CloudConfig
+mediumCloud()
+{
+    CloudConfig cfg;
+    cfg.topology.hostsPerRack = 4;
+    cfg.topology.racksPerPod = 2;
+    cfg.topology.l1PerPod = 2;
+    cfg.topology.pods = 2;
+    cfg.topology.l2Count = 2;
+    cfg.shellTemplate.ltl.maxConnections = 64;
+    cfg.shellTemplate.roleSlots = 2;
+    return cfg;
+}
+
+/** Client helper: drives DnnRequests into a set of pool hosts. */
+struct PoolClient {
+    EventQueue &eq;
+    ConfigurableCloud &cloud;
+    int host;
+    roles::ForwarderRole forwarder;
+    struct Target {
+        int host;
+        ConfigurableCloud::LtlChannel req, rep;
+    };
+    std::vector<Target> targets;
+    std::unordered_map<std::uint64_t, sim::TimePs> outstanding;
+    std::uint64_t nextId = 1;
+    int responses = 0;
+
+    PoolClient(EventQueue &q, ConfigurableCloud &c, int h)
+        : eq(q), cloud(c), host(h)
+    {
+        EXPECT_GE(cloud.shell(host).addRole(&forwarder), 0);
+        cloud.shell(host).setHostRxHandler(
+            [this](int port, const router::ErMessagePtr &msg) {
+                if (port != forwarder.port())
+                    return;
+                auto delivery =
+                    std::static_pointer_cast<fpga::LtlDelivery>(
+                        msg->payload);
+                if (!delivery || !delivery->appPayload)
+                    return;
+                auto resp =
+                    std::static_pointer_cast<roles::DnnResponse>(
+                        delivery->appPayload);
+                if (outstanding.erase(resp->requestId))
+                    ++responses;
+            });
+    }
+
+    void retarget(const std::vector<int> &instances)
+    {
+        targets.clear();
+        for (int instance : instances) {
+            Target t;
+            t.host = instance;
+            t.req = cloud.openLtl(host, instance, fpga::kErPortRole0);
+            t.rep = cloud.openLtl(instance, host, forwarder.port());
+            targets.push_back(t);
+        }
+    }
+
+    void send()
+    {
+        const Target &t = targets[nextId % targets.size()];
+        auto req = std::make_shared<roles::DnnRequest>();
+        req->requestId = nextId++;
+        req->replyConn = t.rep.sendConn;
+        outstanding[req->requestId] = eq.now();
+        auto fwd = std::make_shared<roles::ForwarderRole::ForwardRequest>();
+        fwd->sendConn = t.req.sendConn;
+        fwd->bytes = 256;
+        fwd->inner = std::move(req);
+        cloud.shell(host).sendFromHost(forwarder.port(), 256,
+                                       std::move(fwd));
+    }
+};
+
+TEST(Failover, RemoteServiceSurvivesNodeFailureWithLiveTraffic)
+{
+    EventQueue eq;
+    ConfigurableCloud cloud(eq, mediumCloud());
+
+    std::vector<std::unique_ptr<roles::DnnRole>> roles_storage;
+    haas::ServiceManager sm(eq, cloud.resourceManager(), "dnn",
+                            [&](int) -> fpga::Role * {
+                                roles_storage.push_back(
+                                    std::make_unique<roles::DnnRole>(eq));
+                                return roles_storage.back().get();
+                            });
+    cloud.resourceManager().subscribeFailures(
+        [&](int h, std::uint64_t) { sm.handleFailure(h); });
+    ASSERT_TRUE(sm.deploy(2));
+
+    PoolClient client(eq, cloud, 10);
+    client.retarget(sm.instances());
+
+    // Phase 1: 8 requests against the healthy pool.
+    for (int i = 0; i < 8; ++i)
+        client.send();
+    eq.runFor(sim::fromMicros(50000));
+    EXPECT_EQ(client.responses, 8);
+
+    // Phase 2: kill one instance mid-service, re-resolve, keep going.
+    const int victim = sm.instances()[0];
+    cloud.resourceManager().reportFailure(victim);
+    ASSERT_EQ(sm.instances().size(), 2u);
+    client.retarget(sm.instances());
+    for (int i = 0; i < 8; ++i)
+        client.send();
+    eq.runFor(sim::fromMicros(50000));
+    EXPECT_EQ(client.responses, 16);
+    EXPECT_EQ(sm.failovers(), 1u);
+}
+
+TEST(Failover, LtlTimeoutFeedsHaasFailureDetection)
+{
+    // "Timeouts can also be used to identify failing nodes quickly."
+    EventQueue eq;
+    auto cfg = mediumCloud();
+    cfg.shellTemplate.ltl.maxRetries = 3;
+    ConfigurableCloud cloud(eq, cfg);
+
+    roles::DnnRole dnn(eq);
+    ASSERT_GE(cloud.shell(5).addRole(&dnn), 0);
+    auto ch = cloud.openLtl(0, 5, fpga::kErPortRole0);
+
+    int reported_failure = -1;
+    cloud.resourceManager().subscribeFailures(
+        [&](int host, std::uint64_t) { reported_failure = host; });
+    // Lease host 5 so its failure is lease-affecting.
+    auto lease = cloud.resourceManager().acquire("svc", 6);
+    ASSERT_TRUE(lease.has_value());
+
+    cloud.shell(0).ltlEngine()->setFailureHandler(
+        [&](std::uint16_t conn) {
+            EXPECT_EQ(conn, ch.sendConn);
+            // Control plane maps the connection to the node and reports.
+            cloud.resourceManager().reportFailure(5);
+        });
+
+    // The remote FPGA goes dark (full reconfiguration takes the bridge
+    // down for 2 s — far longer than maxRetries * 50 us).
+    cloud.shell(5).reconfigureFull();
+    auto req = std::make_shared<roles::DnnRequest>();
+    req->requestId = 1;
+    req->replyConn = 0;
+    cloud.shell(0).ltlEngine()->sendMessage(ch.sendConn, 256, req);
+    eq.runFor(sim::fromMillis(10));
+    EXPECT_EQ(reported_failure, 5);
+    EXPECT_EQ(cloud.resourceManager().failedCount(), 1);
+}
+
+TEST(Scaling, ServiceManagerGrowsAndShrinksPool)
+{
+    EventQueue eq;
+    ConfigurableCloud cloud(eq, mediumCloud());
+    std::vector<std::unique_ptr<roles::DnnRole>> roles_storage;
+    haas::ServiceManager sm(eq, cloud.resourceManager(), "dnn",
+                            [&](int) -> fpga::Role * {
+                                roles_storage.push_back(
+                                    std::make_unique<roles::DnnRole>(eq));
+                                return roles_storage.back().get();
+                            });
+    ASSERT_TRUE(sm.deploy(2));
+    EXPECT_EQ(cloud.resourceManager().allocatedCount(), 2);
+
+    // Demand grows: scale to 5.
+    ASSERT_TRUE(sm.scaleTo(5));
+    EXPECT_EQ(sm.instances().size(), 5u);
+    EXPECT_EQ(cloud.resourceManager().allocatedCount(), 5);
+
+    // Demand shrinks: scale to 1; FPGAs return to the global pool.
+    ASSERT_TRUE(sm.scaleTo(1));
+    EXPECT_EQ(sm.instances().size(), 1u);
+    EXPECT_EQ(cloud.resourceManager().allocatedCount(), 1);
+    EXPECT_EQ(cloud.resourceManager().freeCount(),
+              cloud.numServers() - 1);
+}
+
+TEST(Congestion, ManySendersOneReceiverAllDelivered)
+{
+    // Incast: several FPGAs blast one receiver over the lossless class;
+    // PFC + DC-QCN must deliver everything without lossless drops.
+    EventQueue eq;
+    ConfigurableCloud cloud(eq, mediumCloud());
+    struct CountRole : fpga::Role {
+        int port = -1;
+        int received = 0;
+        std::string name() const override { return "count"; }
+        std::uint32_t areaAlms() const override { return 100; }
+        void attach(fpga::Shell &, int p) override { port = p; }
+        void onMessage(const router::ErMessagePtr &msg) override
+        {
+            if (msg->srcEndpoint == fpga::kErPortLtl)
+                ++received;
+        }
+    } sink;
+    ASSERT_GE(cloud.shell(0).addRole(&sink), 0);
+
+    const std::vector<int> senders = {1, 2, 3, 4, 5, 6};
+    const int kPerSender = 60;
+    for (int s : senders) {
+        auto ch = cloud.openLtl(s, 0, sink.port);
+        for (int i = 0; i < kPerSender; ++i)
+            cloud.shell(s).ltlEngine()->sendMessage(ch.sendConn, 1408);
+    }
+    eq.runFor(sim::fromMillis(50));
+    EXPECT_EQ(sink.received,
+              static_cast<int>(senders.size()) * kPerSender);
+    EXPECT_EQ(cloud.topology().totalSwitchDrops(), 0u);
+}
+
+TEST(CryptoLifecycle, RemovingFlowStopsEncryption)
+{
+    EventQueue eq;
+    ConfigurableCloud cloud(eq, mediumCloud());
+    roles::CryptoRoleParams params;
+    params.suite = crypto::Suite::kAesGcm128;
+    roles::CryptoRole crypto_a(eq, params);
+    ASSERT_GE(cloud.shell(0).addRole(&crypto_a), 0);
+
+    crypto::Key128 key{};
+    key[0] = 0x11;
+    roles::FlowKey flow{cloud.addressOf(0), cloud.addressOf(1), 7, 8, 17};
+    crypto_a.addEncryptFlow(flow, key);
+
+    std::vector<std::uint8_t> last_payload;
+    cloud.nic(1).setReceiveHandler([&](const net::PacketPtr &pkt) {
+        last_payload = pkt->data;
+    });
+    const std::vector<std::uint8_t> plaintext(32, 0x55);
+
+    auto send = [&] {
+        auto pkt = net::makePacket();
+        pkt->ipDst = cloud.addressOf(1);
+        pkt->srcPort = 7;
+        pkt->dstPort = 8;
+        pkt->data = plaintext;
+        pkt->payloadBytes = 32;
+        cloud.nic(0).sendPacket(pkt);
+        eq.runAll();
+    };
+
+    send();
+    EXPECT_NE(last_payload, plaintext);  // ciphertext on the wire
+
+    crypto_a.removeFlow(flow);
+    send();
+    EXPECT_EQ(last_payload, plaintext);  // flow torn down: passthrough
+}
+
+TEST(CryptoLifecycle, WrongKeyDropsAtReceiver)
+{
+    EventQueue eq;
+    ConfigurableCloud cloud(eq, mediumCloud());
+    roles::CryptoRoleParams params;
+    params.suite = crypto::Suite::kAesGcm128;
+    roles::CryptoRole crypto_a(eq, params), crypto_b(eq, params);
+    ASSERT_GE(cloud.shell(0).addRole(&crypto_a), 0);
+    ASSERT_GE(cloud.shell(1).addRole(&crypto_b), 0);
+
+    crypto::Key128 key_a{}, key_b{};
+    key_a[0] = 1;
+    key_b[0] = 2;  // mismatched
+    roles::FlowKey flow{cloud.addressOf(0), cloud.addressOf(1), 7, 8, 17};
+    crypto_a.addEncryptFlow(flow, key_a);
+    crypto_b.addDecryptFlow(flow, key_b);
+
+    int received = 0;
+    cloud.nic(1).setReceiveHandler(
+        [&](const net::PacketPtr &) { ++received; });
+    auto pkt = net::makePacket();
+    pkt->ipDst = cloud.addressOf(1);
+    pkt->srcPort = 7;
+    pkt->dstPort = 8;
+    pkt->data.assign(48, 0x66);
+    pkt->payloadBytes = 48;
+    cloud.nic(0).sendPacket(pkt);
+    eq.runAll();
+    EXPECT_EQ(received, 0);
+    EXPECT_EQ(crypto_b.authFailures(), 1u);
+}
+
+TEST(CryptoLifecycle, DramKeyStoreAddsLatency)
+{
+    EventQueue eq;
+    roles::CryptoRoleParams sram;
+    sram.keyStore = roles::KeyStore::kSram;
+    roles::CryptoRoleParams dram = sram;
+    dram.keyStore = roles::KeyStore::kDram;
+    roles::CryptoRole role_sram(eq, sram), role_dram(eq, dram);
+    EXPECT_GT(role_dram.packetLatency(1500),
+              role_sram.packetLatency(1500));
+}
+
+TEST(Reliability, SeuHangRecoveryUnderTraffic)
+{
+    EventQueue eq;
+    ConfigurableCloud cloud(eq, mediumCloud());
+    roles::DnnRole dnn(eq);
+    const int port = cloud.shell(0).addRole(&dnn);
+    ASSERT_GE(port, 0);
+    cloud.shell(0).startScrubbing(30 * sim::kSecond);
+
+    int responses = 0;
+    cloud.shell(0).setHostRxHandler(
+        [&](int, const router::ErMessagePtr &) { ++responses; });
+    auto send = [&] {
+        auto req = std::make_shared<roles::DnnRequest>();
+        req->requestId = 1;
+        req->replyViaPcie = true;
+        cloud.shell(0).sendFromHost(port, 128, req);
+    };
+
+    send();
+    eq.runFor(sim::fromMillis(10));
+    EXPECT_EQ(responses, 1);
+
+    // An SEU hangs the role; scrubbing detects it within 30 s and
+    // recovers it via partial reconfiguration (role messages dropped in
+    // between; the bridge stays up throughout).
+    cloud.shell(0).injectSeu(true);
+    eq.runFor(31 * sim::kSecond);
+    EXPECT_EQ(cloud.shell(0).roleHangsRecovered(), 1u);
+    EXPECT_FALSE(cloud.shell(0).bridge().down());
+
+    eq.runFor(sim::fromSeconds(1));  // partial reconfig completes
+    send();
+    eq.runFor(sim::fromMillis(10));
+    EXPECT_EQ(responses, 2);
+}
+
+TEST(MultiService, RankingAndCryptoCoexistOnOneShell)
+{
+    // The production image runs ranking while all server traffic passes
+    // through the bump; add flow crypto on the same shell (2 role slots).
+    EventQueue eq;
+    ConfigurableCloud cloud(eq, mediumCloud());
+
+    roles::RankingRoleParams rp;
+    rp.alms = 55340;
+    roles::RankingRole ranking(eq, rp);
+    roles::CryptoRoleParams cp;
+    cp.alms = 20000;
+    cp.suite = crypto::Suite::kAesGcm128;
+    roles::CryptoRole crypto_role(eq, cp);
+
+    const int rank_port = cloud.shell(0).addRole(&ranking);
+    ASSERT_GE(rank_port, 0);
+    ASSERT_GE(cloud.shell(0).addRole(&crypto_role), 0);
+
+    crypto::Key128 key{};
+    roles::FlowKey flow{cloud.addressOf(0), cloud.addressOf(2), 1, 2, 17};
+    crypto_role.addEncryptFlow(flow, key);
+
+    // Ranking request via PCIe while an encrypted packet transits.
+    int rank_replies = 0;
+    cloud.shell(0).setHostRxHandler(
+        [&](int, const router::ErMessagePtr &) { ++rank_replies; });
+    auto req = std::make_shared<roles::RankingRequest>();
+    req->requestId = 1;
+    req->docCount = 50;
+    cloud.shell(0).sendFromHost(rank_port, 1024, req);
+
+    auto pkt = net::makePacket();
+    pkt->ipDst = cloud.addressOf(2);
+    pkt->srcPort = 1;
+    pkt->dstPort = 2;
+    pkt->data.assign(64, 0x42);
+    pkt->payloadBytes = 64;
+    int nic_received = 0;
+    cloud.nic(2).setReceiveHandler(
+        [&](const net::PacketPtr &) { ++nic_received; });
+    cloud.nic(0).sendPacket(pkt);
+
+    eq.runAll();
+    EXPECT_EQ(rank_replies, 1);
+    EXPECT_EQ(nic_received, 1);
+    EXPECT_EQ(crypto_role.packetsEncrypted(), 1u);
+    EXPECT_EQ(ranking.requestsServed(), 1u);
+}
+
+TEST(PacketSwitch, ClassifiesLtlAndRoleTraffic)
+{
+    EventQueue eq;
+    ConfigurableCloud cloud(eq, mediumCloud());
+    struct CountRole : fpga::Role {
+        int port = -1;
+        int received = 0;
+        std::string name() const override { return "count"; }
+        std::uint32_t areaAlms() const override { return 100; }
+        void attach(fpga::Shell &, int p) override { port = p; }
+        void onMessage(const router::ErMessagePtr &msg) override
+        {
+            if (msg->srcEndpoint == fpga::kErPortLtl)
+                ++received;
+        }
+    } sink;
+    ASSERT_GE(cloud.shell(1).addRole(&sink), 0);
+    auto ch = cloud.openLtl(0, 1, sink.port);
+    cloud.shell(0).ltlEngine()->sendMessage(ch.sendConn, 64);
+    eq.runFor(sim::fromMicros(100));
+    EXPECT_EQ(sink.received, 1);
+    EXPECT_GE(cloud.shell(0).packetSwitch().ltlFramesSent(), 1u);
+    EXPECT_EQ(cloud.shell(0).packetSwitch().rolePacketsSent(), 0u);
+
+    // A role-generated raw packet goes out on the (lossy) role class.
+    int nic_received = 0;
+    net::PacketPtr seen;
+    cloud.nic(2).setReceiveHandler([&](const net::PacketPtr &p) {
+        ++nic_received;
+        seen = p;
+    });
+    auto pkt = net::makePacket();
+    pkt->ipDst = cloud.addressOf(2);
+    pkt->payloadBytes = 200;
+    EXPECT_TRUE(cloud.shell(0).injectRolePacket(pkt));
+    eq.runAll();
+    EXPECT_EQ(nic_received, 1);
+    ASSERT_NE(seen, nullptr);
+    EXPECT_EQ(seen->priority, net::kTcLossy);
+    EXPECT_EQ(seen->ipSrc, cloud.addressOf(0));  // stamped by the shell
+}
+
+TEST(PacketSwitch, RedPolicerLimitsRoleBandwidth)
+{
+    EventQueue eq;
+    auto cfg = mediumCloud();
+    cfg.shellTemplate.packetSwitch.roleBandwidthLimitGbps = 0.5;
+    cfg.shellTemplate.packetSwitch.roleBurstBytes = 16 * 1024;
+    ConfigurableCloud cloud(eq, cfg);
+
+    // Blast 10x the configured limit for a while.
+    int accepted = 0;
+    for (int i = 0; i < 2000; ++i) {
+        eq.scheduleAfter(i * 2 * sim::kMicrosecond, [&cloud, &accepted] {
+            auto pkt = net::makePacket();
+            pkt->ipDst = cloud.addressOf(1);
+            pkt->payloadBytes = 1400;  // ~5.9 Gb/s offered
+            accepted += cloud.shell(0).injectRolePacket(pkt) ? 1 : 0;
+        });
+    }
+    eq.runAll();
+    EXPECT_LT(accepted, 1000);  // policed well below the offered rate
+    EXPECT_GT(cloud.shell(0).packetSwitch().rolePacketsDropped(), 500u);
+    EXPECT_GT(accepted, 50);  // but the allowed budget does flow
+}
+
+TEST(GoldenImage, BuggyImageCutsOffServerUntilPowerCycle)
+{
+    // Section II: "an FPGA failure, such as loading a buggy application,
+    // could cut off network traffic to the server... power cycling the
+    // server through the management port will bring the FPGA back into
+    // a good configuration."
+    EventQueue eq;
+    ConfigurableCloud cloud(eq, mediumCloud());
+    int received = 0;
+    cloud.nic(0).setReceiveHandler(
+        [&](const net::PacketPtr &) { ++received; });
+    auto send_to_0 = [&] {
+        auto pkt = net::makePacket();
+        pkt->ipDst = cloud.addressOf(0);
+        pkt->payloadBytes = 100;
+        cloud.nic(1).sendPacket(pkt);
+    };
+
+    // Healthy at first.
+    send_to_0();
+    eq.runFor(sim::fromMillis(1));
+    EXPECT_EQ(received, 1);
+
+    // Load a buggy application image: the server goes dark.
+    bool load_done = false;
+    cloud.shell(0).loadApplicationImage(
+        fpga::FpgaImage{"bad-role", false, 10000, /*buggy=*/true},
+        [&] { load_done = true; });
+    eq.runFor(3 * sim::kSecond);
+    ASSERT_TRUE(load_done);
+    EXPECT_TRUE(cloud.shell(0).bridge().down());
+    send_to_0();
+    eq.runFor(sim::fromMillis(1));
+    EXPECT_EQ(received, 1);  // unreachable
+
+    // Power cycle via the management path: golden bypass image loads and
+    // the server is reachable again (roles remain unconfigured).
+    cloud.shell(0).powerCycleViaManagementPath();
+    EXPECT_TRUE(cloud.shell(0).board().runningGolden());
+    send_to_0();
+    eq.runFor(sim::fromMillis(1));
+    EXPECT_EQ(received, 2);
+
+    // Reloading a healthy application image restores the roles too.
+    bool reload_done = false;
+    cloud.shell(0).loadApplicationImage(
+        fpga::FpgaImage{"good-role", false, 10000, false},
+        [&] { reload_done = true; });
+    eq.runFor(3 * sim::kSecond);
+    ASSERT_TRUE(reload_done);
+    EXPECT_FALSE(cloud.shell(0).bridge().down());
+    EXPECT_FALSE(cloud.shell(0).board().runningGolden());
+}
+
+}  // namespace

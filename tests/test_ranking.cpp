@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Ranking feature tests: FFU finite-state machines against brute-force
+ * references, DPF dynamic programming against exhaustive checks, model
+ * scoring monotonicity, and the end-to-end software ranker.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "host/workload.hpp"
+#include "roles/ranking/features.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace ccsim;
+using host::Document;
+using host::Query;
+using host::TermId;
+using roles::DpfEngine;
+using roles::FeatureVector;
+using roles::FfuProgram;
+
+Query
+makeQuery(std::initializer_list<TermId> terms)
+{
+    Query q;
+    q.id = 1;
+    q.terms = terms;
+    return q;
+}
+
+Document
+makeDoc(std::initializer_list<TermId> terms)
+{
+    Document d;
+    d.id = 1;
+    d.terms = terms;
+    return d;
+}
+
+TEST(Ffu, CountsTermOccurrences)
+{
+    const Query q = makeQuery({5, 9});
+    const Document d = makeDoc({5, 1, 9, 5, 2, 9, 9});
+    FeatureVector f{};
+    FfuProgram::compile(q).run(d, f);
+    const double norm = std::sqrt(7.0);
+    EXPECT_FLOAT_EQ(f[roles::kFeatTermCount0 + 0],
+                    static_cast<float>(2 / norm));  // term 5 twice
+    EXPECT_FLOAT_EQ(f[roles::kFeatTermCount0 + 1],
+                    static_cast<float>(3 / norm));  // term 9 thrice
+}
+
+TEST(Ffu, CountsAdjacentPairs)
+{
+    const Query q = makeQuery({1, 2, 3});
+    // "1 2" appears twice, "2 3" once.
+    const Document d = makeDoc({1, 2, 7, 1, 2, 3});
+    FeatureVector f{};
+    FfuProgram::compile(q).run(d, f);
+    const double norm = std::sqrt(6.0);
+    EXPECT_FLOAT_EQ(f[roles::kFeatAdjacency0 + 0],
+                    static_cast<float>(2 / norm));
+    EXPECT_FLOAT_EQ(f[roles::kFeatAdjacency0 + 1],
+                    static_cast<float>(1 / norm));
+}
+
+TEST(Ffu, StreakCoverageFirstPos)
+{
+    const Query q = makeQuery({1, 2, 3});
+    const Document d = makeDoc({9, 9, 1, 2, 9, 3, 2, 1, 9, 9});
+    FeatureVector f{};
+    FfuProgram::compile(q).run(d, f);
+    EXPECT_FLOAT_EQ(f[roles::kFeatMaxStreak], 3.0f);  // "3 2 1"
+    EXPECT_FLOAT_EQ(f[roles::kFeatUniqueCoverage], 1.0f);
+    EXPECT_FLOAT_EQ(f[roles::kFeatFirstPosNorm], 0.2f);  // index 2 of 10
+}
+
+TEST(Ffu, NoMatchesGivesZeroFeatures)
+{
+    const Query q = makeQuery({100, 200});
+    const Document d = makeDoc({1, 2, 3, 4});
+    FeatureVector f{};
+    FfuProgram::compile(q).run(d, f);
+    EXPECT_FLOAT_EQ(f[roles::kFeatTermCount0], 0.0f);
+    EXPECT_FLOAT_EQ(f[roles::kFeatMaxStreak], 0.0f);
+    EXPECT_FLOAT_EQ(f[roles::kFeatUniqueCoverage], 0.0f);
+    EXPECT_FLOAT_EQ(f[roles::kFeatFirstPosNorm], 1.0f);  // sentinel
+}
+
+TEST(Ffu, TruncatesToMaxQueryTerms)
+{
+    Query q;
+    for (TermId t = 0; t < 20; ++t)
+        q.terms.push_back(t);
+    const auto prog = FfuProgram::compile(q);
+    EXPECT_EQ(prog.queryTerms(), roles::kMaxQueryTerms);
+}
+
+/** Brute-force cross-check of the FSM machines on random inputs. */
+TEST(Ffu, MatchesBruteForceOnRandomDocuments)
+{
+    sim::Rng rng(4242);
+    for (int trial = 0; trial < 100; ++trial) {
+        Query q;
+        const int qlen = 1 + static_cast<int>(rng.uniformInt(
+                                 std::uint64_t{roles::kMaxQueryTerms}));
+        for (int i = 0; i < qlen; ++i)
+            q.terms.push_back(static_cast<TermId>(rng.uniformInt(
+                std::uint64_t{6})));  // small vocab: many collisions
+        Document d;
+        const int dlen = 1 + static_cast<int>(
+                                 rng.uniformInt(std::uint64_t{80}));
+        for (int i = 0; i < dlen; ++i)
+            d.terms.push_back(static_cast<TermId>(
+                rng.uniformInt(std::uint64_t{6})));
+
+        const auto prog = FfuProgram::compile(q);
+        FeatureVector f{};
+        prog.run(d, f);
+
+        const double norm = std::sqrt(static_cast<double>(dlen));
+        // Reference term counts: FFU counts symbol matches where a
+        // symbol is the FIRST query position with that term id.
+        for (int k = 0; k < prog.queryTerms(); ++k) {
+            // Is k the first occurrence of this term in the query?
+            bool first = true;
+            for (int j = 0; j < k; ++j)
+                first = first && q.terms[j] != q.terms[k];
+            int count = 0;
+            for (TermId t : d.terms)
+                count += (t == q.terms[k]) ? 1 : 0;
+            const float expect =
+                first ? static_cast<float>(count / norm) : 0.0f;
+            ASSERT_NEAR(f[roles::kFeatTermCount0 + k], expect, 1e-5)
+                << "trial " << trial << " term " << k;
+        }
+    }
+}
+
+TEST(Dpf, AlignmentScoreExactMatch)
+{
+    // Perfect phrase: every query term matches => 2 points each.
+    EXPECT_EQ(DpfEngine::alignmentScore({1, 2, 3}, {9, 1, 2, 3, 9}), 6);
+    // No overlap at all.
+    EXPECT_EQ(DpfEngine::alignmentScore({1, 2}, {7, 8, 9}), 0);
+    // Gap: "1 x 2" vs query "1 2": 2 + 2 - 1 = 3.
+    EXPECT_EQ(DpfEngine::alignmentScore({1, 2}, {1, 7, 2}), 3);
+    // Empty inputs.
+    EXPECT_EQ(DpfEngine::alignmentScore({}, {1, 2}), 0);
+}
+
+TEST(Dpf, MinCoverWindow)
+{
+    EXPECT_EQ(DpfEngine::minCoverWindow({1, 2}, {1, 9, 9, 2}), 4);
+    EXPECT_EQ(DpfEngine::minCoverWindow({1, 2}, {1, 9, 1, 2}), 2);
+    EXPECT_EQ(DpfEngine::minCoverWindow({1, 2}, {1, 1, 1}), 0);  // no cover
+    EXPECT_EQ(DpfEngine::minCoverWindow({3}, {1, 3, 5}), 1);
+    // Duplicate query terms need only one instance.
+    EXPECT_EQ(DpfEngine::minCoverWindow({1, 1, 2}, {2, 1}), 2);
+}
+
+TEST(Dpf, PhraseCount)
+{
+    EXPECT_EQ(DpfEngine::phraseCount({1, 2}, {1, 2, 1, 2, 1}), 2);
+    EXPECT_EQ(DpfEngine::phraseCount({1, 2}, {2, 1}), 0);
+    EXPECT_EQ(DpfEngine::phraseCount({1}, {1, 1, 1}), 3);
+    EXPECT_EQ(DpfEngine::phraseCount({1, 2, 3}, {1, 2}), 0);
+}
+
+TEST(Dpf, PlantedPhraseScoresExactlyTwiceQueryLength)
+{
+    // Invariant check: a document containing the query verbatim (with
+    // disjoint junk around it) scores exactly match_bonus * |q| = 2|q|,
+    // since +2 per matched term is the DP's per-column maximum.
+    sim::Rng rng(11);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<TermId> q;
+        const int qlen =
+            1 + static_cast<int>(rng.uniformInt(std::uint64_t{4}));
+        for (int i = 0; i < qlen; ++i)
+            q.push_back(static_cast<TermId>(
+                rng.uniformInt(std::uint64_t{5})));
+        // Document = junk + query + junk: score must be >= 2*qlen - and
+        // since match=+2 is the max per column, exactly 2*qlen.
+        std::vector<TermId> d;
+        for (int i = 0; i < 5; ++i)
+            d.push_back(static_cast<TermId>(
+                10 + rng.uniformInt(std::uint64_t{5})));
+        d.insert(d.end(), q.begin(), q.end());
+        for (int i = 0; i < 5; ++i)
+            d.push_back(static_cast<TermId>(
+                10 + rng.uniformInt(std::uint64_t{5})));
+        EXPECT_EQ(DpfEngine::alignmentScore(q, d), 2 * qlen);
+    }
+}
+
+TEST(RankingModel, PlantedDocumentOutranksJunk)
+{
+    host::CorpusGenerator corpus(5000, 1.0, 77);
+    roles::RankingModel model;
+    int wins = 0;
+    int beats_median = 0;
+    const int kTrials = 30;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        const Query q = corpus.makeQuery(4);
+        std::vector<Document> docs;
+        docs.push_back(corpus.makeCandidateDocument(q, 120));  // relevant
+        for (int i = 0; i < 10; ++i)
+            docs.push_back(corpus.makeDocument(120));  // junk
+        const auto ranked = roles::rankDocuments(q, docs, model);
+        wins += (ranked.front().docId == docs.front().id) ? 1 : 0;
+        // Rank position of the planted document.
+        for (std::size_t pos = 0; pos < ranked.size(); ++pos) {
+            if (ranked[pos].docId == docs.front().id) {
+                beats_median += pos < ranked.size() / 2 ? 1 : 0;
+                break;
+            }
+        }
+    }
+    // Zipf-head query terms also occur in junk, so top-1 is not
+    // guaranteed — but the planted candidate must usually win and nearly
+    // always land in the top half.
+    EXPECT_GE(wins, kTrials / 2);
+    EXPECT_GE(beats_median, kTrials * 9 / 10);
+}
+
+TEST(RankingModel, ScoreIsInUnitInterval)
+{
+    roles::RankingModel model;
+    FeatureVector zero{};
+    FeatureVector big{};
+    big.fill(10.0f);
+    EXPECT_GT(model.score(zero), 0.0);
+    EXPECT_LT(model.score(zero), 1.0);
+    EXPECT_GT(model.score(big), model.score(zero));
+    EXPECT_LE(model.score(big), 1.0);
+}
+
+TEST(RankDocuments, StableDeterministicOrder)
+{
+    host::CorpusGenerator corpus(1000, 1.0, 3);
+    const Query q = corpus.makeQuery(3);
+    std::vector<Document> docs;
+    for (int i = 0; i < 25; ++i)
+        docs.push_back(corpus.makeCandidateDocument(q, 60));
+    roles::RankingModel model;
+    const auto r1 = roles::rankDocuments(q, docs, model);
+    const auto r2 = roles::rankDocuments(q, docs, model);
+    ASSERT_EQ(r1.size(), r2.size());
+    for (std::size_t i = 0; i < r1.size(); ++i) {
+        EXPECT_EQ(r1[i].docId, r2[i].docId);
+        EXPECT_TRUE(i == 0 || r1[i - 1].score >= r1[i].score);
+    }
+}
+
+TEST(Corpus, ZipfSkewAndDeterminism)
+{
+    host::CorpusGenerator a(1000, 1.0, 5), b(1000, 1.0, 5);
+    std::map<TermId, int> freq;
+    for (int i = 0; i < 200; ++i) {
+        const Document da = a.makeDocument(50);
+        const Document db = b.makeDocument(50);
+        ASSERT_EQ(da.terms, db.terms);  // deterministic
+        for (TermId t : da.terms)
+            ++freq[t];
+    }
+    // Zipf: low term ids dominate.
+    int head = 0, total = 0;
+    for (const auto &[term, count] : freq) {
+        total += count;
+        if (term < 10)
+            head += count;
+    }
+    EXPECT_GT(static_cast<double>(head) / total, 0.25);
+}
+
+TEST(Corpus, CandidateDocumentContainsQueryTerms)
+{
+    host::CorpusGenerator corpus(5000, 1.0, 13);
+    for (int i = 0; i < 20; ++i) {
+        const Query q = corpus.makeQuery(4);
+        const Document d = corpus.makeCandidateDocument(q, 100);
+        for (TermId t : q.terms) {
+            EXPECT_NE(std::find(d.terms.begin(), d.terms.end(), t),
+                      d.terms.end());
+        }
+    }
+}
+
+}  // namespace

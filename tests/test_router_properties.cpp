@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Property-based Elastic Router suites: across the parameterization the
+ * paper calls out (ports, VCs, flit sizes, buffer policies), the router
+ * must deliver every message, preserve per-(source, VC) order, never
+ * exceed its buffer budget, and conserve flits.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "router/elastic_router.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace ccsim;
+using router::CreditPolicy;
+using router::ElasticRouter;
+using router::ErConfig;
+using router::ErEndpoint;
+using router::ErMessagePtr;
+
+class ErConfigMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, std::uint32_t, CreditPolicy>>
+{
+};
+
+TEST_P(ErConfigMatrix, AllMessagesDeliveredInPerSourceVcOrder)
+{
+    auto [ports, vcs, flit_bytes, policy] = GetParam();
+    sim::EventQueue eq;
+    ErConfig cfg;
+    cfg.numPorts = ports;
+    cfg.numVcs = vcs;
+    cfg.flitBytes = flit_bytes;
+    cfg.policy = policy;
+    ElasticRouter er(eq, cfg);
+
+    std::vector<std::unique_ptr<ErEndpoint>> eps;
+    // received[dst] = list of (src, vc, seq).
+    std::map<int, std::vector<std::tuple<int, int, int>>> received;
+    for (int p = 0; p < ports; ++p) {
+        eps.push_back(std::make_unique<ErEndpoint>(eq, er, p, p));
+        er.setOutputSink(p, eps.back().get());
+        const int port = p;
+        eps.back()->setMessageHandler(
+            [&received, port](const ErMessagePtr &m) {
+                received[port].push_back(
+                    {m->srcEndpoint, m->vc,
+                     *std::static_pointer_cast<int>(m->payload)});
+            });
+    }
+
+    sim::Rng rng(123);
+    std::map<std::tuple<int, int, int>, int> sent_count;  // (src,dst,vc)
+    int total = 0;
+    for (int round = 0; round < 40; ++round) {
+        for (int src = 0; src < ports; ++src) {
+            const int dst =
+                static_cast<int>(rng.uniformInt(std::uint64_t(ports)));
+            const int vc =
+                static_cast<int>(rng.uniformInt(std::uint64_t(vcs)));
+            const auto bytes = static_cast<std::uint32_t>(
+                1 + rng.uniformInt(std::uint64_t{900}));
+            auto key = std::make_tuple(src, dst, vc);
+            eps[src]->sendMessage(dst, vc, bytes,
+                                  std::make_shared<int>(sent_count[key]));
+            ++sent_count[key];
+            ++total;
+        }
+    }
+    eq.runAll();
+
+    int delivered = 0;
+    // Per (src, dst, vc): sequence numbers must arrive monotonically.
+    std::map<std::tuple<int, int, int>, int> next_expected;
+    for (const auto &[dst, msgs] : received) {
+        delivered += static_cast<int>(msgs.size());
+        for (const auto &[src, vc, seq] : msgs) {
+            auto key = std::make_tuple(src, dst, vc);
+            EXPECT_EQ(seq, next_expected[key]++)
+                << "src=" << src << " dst=" << dst << " vc=" << vc;
+        }
+    }
+    EXPECT_EQ(delivered, total);
+    EXPECT_EQ(er.messagesRouted(), static_cast<std::uint64_t>(total));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ErConfigMatrix,
+    ::testing::Combine(::testing::Values(2, 4, 6),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(16u, 32u, 64u),
+                       ::testing::Values(CreditPolicy::kElastic,
+                                         CreditPolicy::kStatic)));
+
+class ErBudgetSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ErBudgetSweep, BufferOccupancyNeverExceedsBudget)
+{
+    const int budget = GetParam();
+    sim::EventQueue eq;
+    ErConfig cfg;
+    cfg.numPorts = 4;
+    cfg.numVcs = 4;
+    cfg.policy = CreditPolicy::kElastic;
+    cfg.perVcReservedFlits = 1;
+    cfg.sharedPoolFlits = budget - cfg.numVcs;
+    ElasticRouter er(eq, cfg);
+    std::vector<std::unique_ptr<ErEndpoint>> eps;
+    for (int p = 0; p < 4; ++p) {
+        eps.push_back(std::make_unique<ErEndpoint>(eq, er, p, p));
+        er.setOutputSink(p, eps.back().get());
+    }
+    er.setOutputCyclesPerFlit(3, 16);  // a slow hot-spot output
+
+    for (int src = 0; src < 3; ++src) {
+        for (int i = 0; i < 8; ++i)
+            eps[src]->sendMessage(3, i % 4, 2048);
+    }
+    eq.runAll();
+    // Peak buffered flits across the router can never exceed the sum of
+    // per-port budgets (reservations + shared pool).
+    const int per_port = cfg.numVcs * cfg.perVcReservedFlits +
+                         cfg.sharedPoolFlits;
+    EXPECT_LE(er.peakBufferedFlits(), 4 * per_port);
+    EXPECT_GT(er.peakBufferedFlits(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ErBudgetSweep,
+                         ::testing::Values(8, 16, 32, 64));
+
+TEST(ErComposition, ThreeRouterChainDelivers)
+{
+    // Chain A - B - C: endpoints 0..1 on A, 2..3 on C, B is pure transit.
+    sim::EventQueue eq;
+    ErConfig cfg;
+    cfg.numPorts = 3;
+    cfg.numVcs = 2;
+    ElasticRouter a(eq, cfg), b(eq, cfg), c(eq, cfg);
+    a.setRouteFn([](int dst) { return dst <= 1 ? dst : 2; });
+    b.setRouteFn([](int dst) { return dst <= 1 ? 0 : 1; });  // 0->A, 1->C
+    c.setRouteFn([](int dst) { return dst >= 2 ? dst - 2 : 2; });
+
+    struct Hop : router::FlitSink {
+        ElasticRouter *er;
+        int port;
+        std::deque<router::Flit> pending;
+        sim::EventQueue *eq;
+        void acceptFlit(const router::Flit &f) override
+        {
+            pending.push_back(f);
+            pump();
+        }
+        void pump()
+        {
+            while (!pending.empty() &&
+                   er->canAccept(port, pending.front().vc)) {
+                er->injectFlit(port, pending.front());
+                pending.pop_front();
+            }
+            if (!pending.empty())
+                eq->scheduleAfter(100 * sim::kNanosecond,
+                                  [this] { pump(); });
+        }
+    };
+
+    Hop a_to_b{}, b_to_c{}, c_to_b{}, b_to_a{};
+    a_to_b.er = &b; a_to_b.port = 0; a_to_b.eq = &eq;
+    b_to_c.er = &c; b_to_c.port = 2; b_to_c.eq = &eq;
+    c_to_b.er = &b; c_to_b.port = 1; c_to_b.eq = &eq;
+    b_to_a.er = &a; b_to_a.port = 2; b_to_a.eq = &eq;
+    a.setOutputSink(2, &a_to_b);
+    b.setOutputSink(1, &b_to_c);
+    b.setOutputSink(0, &b_to_a);
+    c.setOutputSink(2, &c_to_b);
+
+    ErEndpoint e0(eq, a, 0, 0), e1(eq, a, 1, 1);
+    ErEndpoint e2(eq, c, 0, 2), e3(eq, c, 1, 3);
+    a.setOutputSink(0, &e0);
+    a.setOutputSink(1, &e1);
+    c.setOutputSink(0, &e2);
+    c.setOutputSink(1, &e3);
+
+    int at_e3 = 0, at_e0 = 0;
+    e3.setMessageHandler([&](const ErMessagePtr &) { ++at_e3; });
+    e0.setMessageHandler([&](const ErMessagePtr &) { ++at_e0; });
+
+    for (int i = 0; i < 10; ++i) {
+        e0.sendMessage(3, i % 2, 512);  // A -> C
+        e3.sendMessage(0, i % 2, 256);  // C -> A
+    }
+    eq.runAll();
+    EXPECT_EQ(at_e3, 10);
+    EXPECT_EQ(at_e0, 10);
+}
+
+TEST(ErThroughput, OutputSustainsOneFlitPerCycle)
+{
+    sim::EventQueue eq;
+    ErConfig cfg;
+    cfg.numPorts = 2;
+    cfg.numVcs = 1;
+    cfg.clockMhz = 175.0;
+    ElasticRouter er(eq, cfg);
+    ErEndpoint src(eq, er, 0, 0), dst(eq, er, 1, 1);
+    er.setOutputSink(0, &src);
+    er.setOutputSink(1, &dst);
+    int done = 0;
+    dst.setMessageHandler([&](const ErMessagePtr &) { ++done; });
+
+    const std::uint32_t bytes = 32 * 1024;  // 1024 flits
+    src.sendMessage(1, 0, bytes);
+    eq.runAll();
+    EXPECT_EQ(done, 1);
+    // 1024 flits at 1 flit/cycle, 175 MHz: ~5.85 us minimum.
+    const double us = sim::toMicros(eq.now());
+    EXPECT_GE(us, 5.8);
+    EXPECT_LE(us, 7.5);  // small arbitration/pipeline overhead allowed
+}
+
+}  // namespace

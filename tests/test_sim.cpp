@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: event ordering, cancellation,
+ * RNG determinism and distribution sanity, statistics correctness.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace ccsim;
+using sim::EventQueue;
+using sim::Rng;
+using sim::SampleStats;
+using sim::TimePs;
+
+TEST(Time, Conversions)
+{
+    EXPECT_EQ(sim::kMicrosecond, 1'000'000);
+    EXPECT_DOUBLE_EQ(sim::toMicros(2'500'000), 2.5);
+    EXPECT_EQ(sim::fromMicros(2.5), 2'500'000);
+    EXPECT_EQ(sim::fromNanos(1.0), 1000);
+    EXPECT_EQ(sim::fromSeconds(1e-12), 1);
+}
+
+TEST(Time, SerializationDelay)
+{
+    // 1500 B at 40 Gb/s = 300 ns.
+    EXPECT_EQ(sim::serializationDelay(1500, 40.0), 300 * sim::kNanosecond);
+    // 64 B at 10 Gb/s = 51.2 ns.
+    EXPECT_EQ(sim::serializationDelay(64, 10.0), 51200);
+}
+
+TEST(Time, PropagationAndClocks)
+{
+    EXPECT_EQ(sim::propagationDelay(100.0), 500 * sim::kNanosecond);
+    EXPECT_EQ(sim::cyclePeriod(200.0), 5000);  // 200 MHz = 5 ns
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30);
+}
+
+TEST(EventQueue, FifoAmongEqualTimes)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool ran = false;
+    auto id = eq.schedule(10, [&] { ran = true; });
+    eq.cancel(id);
+    eq.runAll();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, CancelAfterFireIsNoOp)
+{
+    EventQueue eq;
+    int count = 0;
+    auto id = eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.runUntil(15);
+    eq.cancel(id);  // already fired
+    EXPECT_EQ(eq.size(), 1u);
+    eq.runAll();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockToLimit)
+{
+    EventQueue eq;
+    eq.runUntil(1000);
+    EXPECT_EQ(eq.now(), 1000);
+    bool ran = false;
+    eq.schedule(5000, [&] { ran = true; });
+    eq.runUntil(4000);
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(eq.now(), 4000);
+    eq.runUntil(5000);
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, EventsScheduledDuringExecutionRun)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5)
+            eq.scheduleAfter(10, recurse);
+    };
+    eq.schedule(0, recurse);
+    eq.runAll();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 40);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.runAll();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(7);
+    std::vector<int> seen(10, 0);
+    for (int i = 0; i < 10000; ++i)
+        ++seen[rng.uniformInt(std::uint64_t{10})];
+    for (int count : seen)
+        EXPECT_GT(count, 800);  // each bucket near 1000
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    double sum = 0, sq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMeanCv)
+{
+    Rng rng(17);
+    double sum = 0, sq = 0;
+    const int n = 300000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.lognormalMeanCv(10.0, 0.5);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.15);
+    EXPECT_NEAR(std::sqrt(var) / mean, 0.5, 0.03);
+}
+
+TEST(Rng, PoissonMean)
+{
+    Rng rng(19);
+    double small_sum = 0, large_sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        small_sum += static_cast<double>(rng.poisson(3.0));
+        large_sum += static_cast<double>(rng.poisson(100.0));
+    }
+    EXPECT_NEAR(small_sum / n, 3.0, 0.05);
+    EXPECT_NEAR(large_sum / n, 100.0, 0.5);
+}
+
+TEST(Rng, SplitStreamsIndependent)
+{
+    Rng parent(23);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (parent.next() == child.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(SampleStats, BasicMoments)
+{
+    SampleStats s;
+    for (double x : {1.0, 2.0, 3.0, 4.0, 5.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(SampleStats, Percentiles)
+{
+    SampleStats s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(i);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+    EXPECT_NEAR(s.percentile(99), 99.01, 0.011);
+}
+
+TEST(SampleStats, AddAfterPercentileQuery)
+{
+    SampleStats s;
+    s.add(10.0);
+    s.add(20.0);
+    EXPECT_DOUBLE_EQ(s.median(), 15.0);
+    s.add(30.0);  // must re-sort lazily
+    EXPECT_DOUBLE_EQ(s.median(), 20.0);
+}
+
+TEST(LogHistogram, PercentileAccuracy)
+{
+    sim::LogHistogram h(1.0, 48);
+    sim::SampleStats exact;
+    Rng rng(29);
+    for (int i = 0; i < 100000; ++i) {
+        const double x = rng.lognormalMeanCv(100.0, 1.0);
+        h.add(x);
+        exact.add(x);
+    }
+    for (double p : {50.0, 90.0, 99.0, 99.9}) {
+        const double approx = h.percentile(p);
+        const double truth = exact.percentile(p);
+        EXPECT_NEAR(approx / truth, 1.0, 0.05) << "p=" << p;
+    }
+    EXPECT_DOUBLE_EQ(h.max(), exact.max());
+    EXPECT_NEAR(h.mean(), exact.mean(), 1e-9);
+}
+
+TEST(TimeWeighted, PiecewiseConstantAverage)
+{
+    sim::TimeWeighted tw;
+    tw.update(0, 1.0);
+    tw.update(10, 3.0);   // value 1 held for 10
+    tw.update(20, 0.0);   // value 3 held for 10
+    EXPECT_DOUBLE_EQ(tw.average(), 2.0);
+    EXPECT_DOUBLE_EQ(tw.peak(), 3.0);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Catapult v1 torus baseline tests: dimension-order routing, wraparound,
+ * latency calibration (1-hop ~1 us RTT, worst case ~7 us), failure
+ * re-routing costs, and isolation under pathological failure patterns.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+#include "torus/torus.hpp"
+
+namespace {
+
+using namespace ccsim;
+using torus::TorusCoord;
+using torus::TorusNetwork;
+
+TEST(Torus, DimensionsAndNodeCount)
+{
+    TorusNetwork t;
+    EXPECT_EQ(t.width(), 6);
+    EXPECT_EQ(t.height(), 8);
+    EXPECT_EQ(t.numNodes(), 48);
+}
+
+TEST(Torus, NeighborHopCountIsOne)
+{
+    TorusNetwork t;
+    EXPECT_EQ(t.hopCount({0, 0}, {1, 0}), 1);
+    EXPECT_EQ(t.hopCount({0, 0}, {0, 1}), 1);
+    // Wraparound neighbors.
+    EXPECT_EQ(t.hopCount({0, 0}, {5, 0}), 1);
+    EXPECT_EQ(t.hopCount({0, 0}, {0, 7}), 1);
+}
+
+TEST(Torus, ManhattanDistanceWithWraparound)
+{
+    TorusNetwork t;
+    EXPECT_EQ(t.hopCount({0, 0}, {3, 4}), 7);  // worst case in 6x8
+    EXPECT_EQ(t.hopCount({0, 0}, {4, 6}), 2 + 2);  // wrap both dims
+    EXPECT_EQ(t.hopCount({2, 3}, {2, 3}), 0);
+}
+
+TEST(Torus, WorstCaseEccentricityIsSeven)
+{
+    TorusNetwork t;
+    EXPECT_EQ(t.eccentricity({0, 0}), 7);
+}
+
+TEST(Torus, OneHopRttAboutOneMicrosecond)
+{
+    TorusNetwork t;
+    const auto rtt = t.roundTripLatency({0, 0}, {1, 0});
+    ASSERT_TRUE(rtt.has_value());
+    EXPECT_NEAR(sim::toMicros(*rtt), 1.0, 0.35);
+}
+
+TEST(Torus, WorstCaseRttAboutSevenMicroseconds)
+{
+    TorusNetwork t;
+    const auto rtt = t.roundTripLatency({0, 0}, {3, 4});
+    ASSERT_TRUE(rtt.has_value());
+    EXPECT_NEAR(sim::toMicros(*rtt), 7.0, 0.7);
+}
+
+TEST(Torus, FailureForcesDetour)
+{
+    TorusNetwork t;
+    // The DOR path 0,0 -> 2,0 passes through 1,0.
+    const int clean = *t.hopCount({0, 0}, {2, 0});
+    t.failNode({1, 0});
+    const int rerouted = *t.hopCount({0, 0}, {2, 0});
+    EXPECT_GT(rerouted, clean);
+    // Latency rises correspondingly.
+    t.repairNode({1, 0});
+    EXPECT_EQ(*t.hopCount({0, 0}, {2, 0}), clean);
+}
+
+TEST(Torus, FailedEndpointsUnreachable)
+{
+    TorusNetwork t;
+    t.failNode({3, 3});
+    EXPECT_FALSE(t.route({0, 0}, {3, 3}).has_value());
+    EXPECT_FALSE(t.route({3, 3}, {0, 0}).has_value());
+    EXPECT_FALSE(t.roundTripLatency({0, 0}, {3, 3}).has_value());
+}
+
+TEST(Torus, ReachableNodesShrinkWithFailures)
+{
+    TorusNetwork t;
+    EXPECT_EQ(t.reachableNodes({0, 0}), 48);
+    t.failNode({5, 5});
+    EXPECT_EQ(t.reachableNodes({0, 0}), 47);
+}
+
+TEST(Torus, FailureRingIsolatesNode)
+{
+    // The paper notes certain failure patterns isolate nodes: surround
+    // (2,2) with failures and it becomes unreachable.
+    TorusNetwork t;
+    t.failNode({1, 2});
+    t.failNode({3, 2});
+    t.failNode({2, 1});
+    t.failNode({2, 3});
+    EXPECT_FALSE(t.route({0, 0}, {2, 2}).has_value());
+    EXPECT_EQ(t.reachableNodes({0, 0}), 48 - 4 - 1);
+}
+
+TEST(Torus, PathIsContiguousNeighborChain)
+{
+    TorusNetwork t;
+    t.failNode({1, 0});
+    const auto path = t.route({0, 0}, {3, 0});
+    ASSERT_TRUE(path.has_value());
+    TorusCoord prev{0, 0};
+    for (const auto &step : *path) {
+        const int dx = std::min((step.x - prev.x + 6) % 6,
+                                (prev.x - step.x + 6) % 6);
+        const int dy = std::min((step.y - prev.y + 8) % 8,
+                                (prev.y - step.y + 8) % 8);
+        EXPECT_EQ(dx + dy, 1) << "non-adjacent hop";
+        EXPECT_FALSE(t.isFailed(step));
+        prev = step;
+    }
+    EXPECT_EQ(prev.x, 3);
+    EXPECT_EQ(prev.y, 0);
+}
+
+/** Property sweep: routing works between every pair in a healthy torus. */
+class TorusAllPairs : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TorusAllPairs, EveryPairRoutable)
+{
+    TorusNetwork t;
+    const int src_index = GetParam();
+    const TorusCoord src{src_index % 6, src_index / 6};
+    for (int x = 0; x < 6; ++x) {
+        for (int y = 0; y < 8; ++y) {
+            const auto hops = t.hopCount(src, {x, y});
+            ASSERT_TRUE(hops.has_value());
+            // DOR in a torus is shortest-path: check against Manhattan
+            // distance with wraparound.
+            const int dx = std::min((x - src.x + 6) % 6, (src.x - x + 6) % 6);
+            const int dy = std::min((y - src.y + 8) % 8, (src.y - y + 8) % 8);
+            EXPECT_EQ(*hops, dx + dy);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sources, TorusAllPairs,
+                         ::testing::Values(0, 7, 13, 21, 29, 35, 42, 47));
+
+}  // namespace
