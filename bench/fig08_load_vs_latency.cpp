@@ -16,6 +16,7 @@
 
 #include "host/load_generator.hpp"
 #include "host/ranking_server.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 
 using namespace ccsim;
@@ -33,15 +34,21 @@ std::vector<WindowPoint>
 runDatacenter(const std::vector<double> &trace, bool use_fpga,
               double demand_peak_qps, bool balancer)
 {
-    sim::EventQueue eq;
+    sim::EventQueue eq;  // must outlive the observability hub
+    obs::Observability hub;
     std::unique_ptr<host::LocalFpgaAccelerator> accel;
     if (use_fpga)
         accel = std::make_unique<host::LocalFpgaAccelerator>(eq);
     host::RankingServer server(eq, host::RankingServiceParams{},
                                accel.get(), 21);
+    server.attachObservability(&hub);
     host::PoissonLoadGenerator gen(eq, 100.0,
                                    [&] { server.submitQuery(); }, 23);
     gen.start();
+
+    // The figure is read from the registry, not the server's raw stats.
+    const sim::LogHistogram *latency =
+        hub.registry.findHistogram("host.rank.latency_ms");
 
     double admitted_cap = demand_peak_qps;
     std::vector<WindowPoint> points;
@@ -53,7 +60,7 @@ runDatacenter(const std::vector<double> &trace, bool use_fpga,
         eq.runFor(sim::fromSeconds(1.5));
         server.clearStats();
         eq.runFor(sim::fromSeconds(4.0));
-        const double p999 = server.latencyMs().percentile(99.9);
+        const double p999 = latency->percentile(99.9);
         points.push_back({admitted / kSoftwareNominalQps, p999});
         if (balancer) {
             if (p999 > 40.0)

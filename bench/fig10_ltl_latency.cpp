@@ -9,6 +9,10 @@
  * moment a data frame's header is generated until its ACK is received.
  * L1/L2 results include background-traffic jitter from the shared
  * switches.
+ *
+ * The RTT figures are read from the observability registry (the
+ * `ltl.node<i>.rtt_us` histograms the engines feed), and setting
+ * CCSIM_TRACE=<path> additionally exports a Chrome trace of the runs.
  */
 #include <cstdio>
 #include <memory>
@@ -16,6 +20,7 @@
 
 #include "core/cloud.hpp"
 #include "fpga/shell.hpp"
+#include "obs/metrics.hpp"
 #include "sim/stats.hpp"
 #include "torus/torus.hpp"
 
@@ -32,21 +37,19 @@ struct NullRole : fpga::Role {
     void onMessage(const router::ErMessagePtr &) override {}
 };
 
-struct TierResult {
-    const char *tier;
-    std::uint64_t reachable;
-    sim::SampleStats rtt;  // microseconds
-};
-
 /**
  * Measure RTT for a set of (src, dst) host pairs: each src sends
- * `pings` one-frame messages at an idle rate.
+ * `pings` one-frame messages at an idle rate. Per-pair distributions are
+ * read from the registry's `ltl.node<src>.rtt_us` histogram and merged
+ * into one tier-level histogram.
  */
-sim::SampleStats
+sim::LogHistogram
 measurePairs(core::ConfigurableCloud &cloud, sim::EventQueue &eq,
+             obs::Observability &hub,
              const std::vector<std::pair<int, int>> &pairs, int pings)
 {
-    sim::SampleStats all;
+    sim::LogHistogram tier(obs::kDefaultHistMinValue,
+                           obs::kDefaultHistBinsPerOctave);
     std::vector<std::unique_ptr<NullRole>> roles;
     for (auto [src, dst] : pairs) {
         roles.push_back(std::make_unique<NullRole>());
@@ -54,7 +57,9 @@ measurePairs(core::ConfigurableCloud &cloud, sim::EventQueue &eq,
             sim::fatal("fig10: no role slot on destination shell");
         auto ch = cloud.openLtl(src, dst, roles.back()->port);
         auto *engine = cloud.shell(src).ltlEngine();
-        const std::size_t before = engine->rttUs().count();
+        auto &rtt_hist = hub.registry.histogram(
+            "ltl.node" + std::to_string(src) + ".rtt_us");
+        rtt_hist.clear();  // pairs may share a source engine
         // Idle rate: 20 us spacing, far below saturation.
         for (int i = 0; i < pings; ++i) {
             eq.scheduleAfter(i * 20 * sim::kMicrosecond,
@@ -63,11 +68,9 @@ measurePairs(core::ConfigurableCloud &cloud, sim::EventQueue &eq,
                              });
         }
         eq.runFor((pings + 50) * 20 * sim::kMicrosecond);
-        const auto &samples = engine->rttUs().raw();
-        for (std::size_t i = before; i < samples.size(); ++i)
-            all.add(samples[i]);
+        tier.merge(rtt_hist);
     }
-    return all;
+    return tier;
 }
 
 void
@@ -90,7 +93,12 @@ main()
                 "measured in LTL\n(data header generated -> ACK "
                 "received), multiple pairs per tier.\n\n");
 
-    sim::EventQueue eq;
+    sim::EventQueue eq;          // must outlive the observability hub
+    obs::Observability hub;
+    const std::string trace_path = obs::TraceWriter::envPath();
+    if (!trace_path.empty())
+        hub.trace.setEnabled(true);
+
     core::CloudConfig cfg;
     cfg.topology.hostsPerRack = 24;
     cfg.topology.racksPerPod = 2;
@@ -100,7 +108,12 @@ main()
     cfg.createNics = false;  // pure LTL study
     cfg.shellTemplate.ltl.maxConnections = 64;
     cfg.shellTemplate.roleSlots = 8;
+    cfg.obs = &hub;
     core::ConfigurableCloud cloud(eq, cfg);
+
+    // Periodic probe sampling: feeds time-weighted averages and (when
+    // CCSIM_TRACE is set) the counter tracks of the exported trace.
+    hub.registry.startSampling(eq, 100 * sim::kMicrosecond, &hub.trace);
 
     const int kPings = 300;
 
@@ -108,20 +121,22 @@ main()
     std::vector<std::pair<int, int>> l0_pairs;
     for (int k = 1; k <= 6; ++k)
         l0_pairs.push_back({0, k});
-    auto l0 = measurePairs(cloud, eq, l0_pairs, kPings);
+    auto l0 = measurePairs(cloud, eq, hub, l0_pairs, kPings);
 
     // L1: pairs across racks within a pod (hosts 0..23 rack0, 24..47
     // rack1 of pod 0).
     std::vector<std::pair<int, int>> l1_pairs;
     for (int k = 0; k < 6; ++k)
         l1_pairs.push_back({k, 24 + k});
-    auto l1 = measurePairs(cloud, eq, l1_pairs, kPings);
+    auto l1 = measurePairs(cloud, eq, hub, l1_pairs, kPings);
 
     // L2: pairs across pods.
     std::vector<std::pair<int, int>> l2_pairs;
     for (int k = 0; k < 6; ++k)
         l2_pairs.push_back({k, 48 + k});
-    auto l2 = measurePairs(cloud, eq, l2_pairs, kPings);
+    auto l2 = measurePairs(cloud, eq, hub, l2_pairs, kPings);
+
+    hub.registry.stopSampling();
 
     std::printf("  %-14s %9s %10s %10s %10s   %s\n", "tier",
                 "reachable", "avg(us)", "p99.9(us)", "max(us)",
@@ -165,7 +180,19 @@ main()
     std::printf("\n  paper: torus 1-hop RTT ~1 us, worst case ~7 us; "
                 "LTL reaches 100,000+ hosts in < 23.5 us.\n");
 
-    std::printf("\nSamples: L0=%zu L1=%zu L2=%zu\n", l0.count(), l1.count(),
-                l2.count());
+    std::printf("\nSamples: L0=%llu L1=%llu L2=%llu\n",
+                static_cast<unsigned long long>(l0.count()),
+                static_cast<unsigned long long>(l1.count()),
+                static_cast<unsigned long long>(l2.count()));
+
+    if (!trace_path.empty()) {
+        if (hub.trace.writeFile(trace_path))
+            std::printf("Chrome trace written to %s (%zu events; open in "
+                        "ui.perfetto.dev)\n",
+                        trace_path.c_str(), hub.trace.eventCount());
+        else
+            std::fprintf(stderr, "fig10: failed to write trace to %s\n",
+                         trace_path.c_str());
+    }
     return 0;
 }

@@ -8,6 +8,8 @@ ConfigurableCloud::ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg)
     : queue(eq), config(std::move(cfg))
 {
     topo = std::make_unique<net::Topology>(queue, config.topology);
+    if (config.obs)
+        topo->attachObservability(config.obs);
     rm = std::make_unique<haas::ResourceManager>(queue);
 
     const int n = topo->numHosts();
@@ -20,6 +22,9 @@ ConfigurableCloud::ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg)
         sc.name = "shell." + std::to_string(host);
         sc.ip = hp.addr;
         auto shell = std::make_unique<fpga::Shell>(queue, sc);
+        if (config.obs)
+            shell->attachObservability(config.obs,
+                                       "node" + std::to_string(host));
 
         // Splice the FPGA between the TOR and (optionally) the NIC.
         topo->attachHostDevice(host, shell->torSideSink());
@@ -31,6 +36,9 @@ ConfigurableCloud::ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg)
                 config.topology.linkGbps, config.nicCableMeters);
             auto nic = std::make_unique<net::Nic>(
                 queue, "nic." + std::to_string(host), hp.mac, hp.addr);
+            if (config.obs)
+                nic->attachObservability(config.obs,
+                                         "node" + std::to_string(host));
             nic->setTxChannel(&link->aToB());
             link->attachA(nic.get());
             link->attachB(shell->nicSideSink());

@@ -19,6 +19,7 @@
 #include "haas/haas.hpp"
 #include "net/nic.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 
 namespace ccsim::core {
@@ -32,6 +33,12 @@ struct CloudConfig {
     bool createNics = true;
     /** NIC-to-FPGA cable length. */
     double nicCableMeters = 2.0;
+    /**
+     * Observability hub to instrument the whole datacenter with
+     * (`ltl.node<i>.*`, `router.node<i>.*`, `switch.*`, `fpga.node<i>.*`,
+     * `nic.node<i>.*`). Must outlive the cloud; null disables.
+     */
+    obs::Observability *obs = nullptr;
 };
 
 /** A constructed Configurable Cloud instance. */

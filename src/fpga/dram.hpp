@@ -53,11 +53,14 @@ class DramChannel
     std::uint64_t reads() const { return statReads; }
     std::uint64_t writes() const { return statWrites; }
     std::uint64_t bytesAccessed() const { return statBytes; }
+    /** Cumulative channel-busy (data transfer) time. */
+    sim::TimePs busyTime() const { return busyAccum; }
 
   private:
     sim::EventQueue &queue;
     DramConfig config;
     sim::TimePs busyUntil = 0;
+    sim::TimePs busyAccum = 0;
     std::uint64_t statReads = 0;
     std::uint64_t statWrites = 0;
     std::uint64_t statBytes = 0;
@@ -68,6 +71,7 @@ class DramChannel
         const double ns = static_cast<double>(bytes) / (bw * 1e9) * 1e9;
         const sim::TimePs start = std::max(queue.now(), busyUntil);
         busyUntil = start + sim::fromNanos(ns);
+        busyAccum += busyUntil - start;
         statBytes += bytes;
         queue.schedule(busyUntil + config.accessLatency,
                        [d = std::move(done)] {

@@ -48,12 +48,15 @@ class PcieDma
 
     std::uint64_t bytesTransferred() const { return statBytes; }
     std::uint64_t transfers() const { return statTransfers; }
+    /** Cumulative link-busy time summed over both directions. */
+    sim::TimePs busyTime() const { return busyAccum; }
 
   private:
     sim::EventQueue &queue;
     PcieConfig config;
     sim::TimePs h2fBusyUntil = 0;
     sim::TimePs f2hBusyUntil = 0;
+    sim::TimePs busyAccum = 0;
     std::uint64_t statBytes = 0;
     std::uint64_t statTransfers = 0;
 
@@ -65,6 +68,7 @@ class PcieDma
             static_cast<double>(bytes) / (config.gbytesPerSec * 1e9) * 1e9;
         const sim::TimePs start = std::max(now, busy_until);
         busy_until = start + sim::fromNanos(ns);
+        busyAccum += busy_until - start;
         statBytes += bytes;
         ++statTransfers;
         queue.schedule(busy_until + config.baseLatency,

@@ -75,6 +75,37 @@ Shell::~Shell()
         queue.cancel(scrubEvent);
 }
 
+void
+Shell::attachObservability(obs::Observability *o, const std::string &node)
+{
+    er->attachObservability(o, node);
+    if (ltlUnit)
+        ltlUnit->attachObservability(o, node);
+    if (!o)
+        return;
+    const std::string prefix = "fpga." + node;
+    auto &reg = o->registry;
+    reg.registerProbe(prefix + ".pcie_bytes",
+                      [this] { return double(pcieUnit.bytesTransferred()); });
+    reg.registerProbe(prefix + ".pcie_transfers",
+                      [this] { return double(pcieUnit.transfers()); });
+    reg.registerProbe(prefix + ".pcie_util", [this] {
+        // Two independent directions: full duplex counts as 2.0 here.
+        const sim::TimePs now = queue.now();
+        return now > 0 ? double(pcieUnit.busyTime()) / double(now) : 0.0;
+    });
+    reg.registerProbe(prefix + ".dram_bytes",
+                      [this] { return double(dramUnit.bytesAccessed()); });
+    reg.registerProbe(prefix + ".dram_reads",
+                      [this] { return double(dramUnit.reads()); });
+    reg.registerProbe(prefix + ".dram_writes",
+                      [this] { return double(dramUnit.writes()); });
+    reg.registerProbe(prefix + ".dram_util", [this] {
+        const sim::TimePs now = queue.now();
+        return now > 0 ? double(dramUnit.busyTime()) / double(now) : 0.0;
+    });
+}
+
 AreaModel
 Shell::buildShellArea() const
 {

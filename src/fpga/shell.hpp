@@ -21,6 +21,7 @@
 #include "ltl/ltl_engine.hpp"
 #include "ltl/packet_switch.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "router/elastic_router.hpp"
 #include "sim/event_queue.hpp"
 
@@ -194,6 +195,16 @@ class Shell
 
     /** Inject a configuration-bit upset (for reliability experiments). */
     void injectSeu(bool causes_role_hang);
+
+    // --- observability ------------------------------------------------------
+
+    /**
+     * Export this shell's statistics under `fpga.<node>.*` (PCIe/DRAM
+     * byte counts and utilization probes) and cascade to the Elastic
+     * Router (`router.<node>.*`) and LTL engine (`ltl.<node>.*`). Pass
+     * nullptr to detach.
+     */
+    void attachObservability(obs::Observability *o, const std::string &node);
 
     // --- introspection ------------------------------------------------------
 

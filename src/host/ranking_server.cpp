@@ -30,6 +30,26 @@ RankingServer::RankingServer(sim::EventQueue &eq,
 }
 
 void
+RankingServer::attachObservability(obs::Observability *o,
+                                   const std::string &node)
+{
+    obsHub = o;
+    obsLatencyHist = nullptr;
+    if (!o)
+        return;
+    obsPrefix = "host." + node;
+    obsTrack = o->trace.track(obsPrefix);
+    obsLatencyHist = &o->registry.histogram(obsPrefix + ".latency_ms");
+    auto &reg = o->registry;
+    reg.registerProbe(obsPrefix + ".completed",
+                      [this] { return double(statCompleted); });
+    reg.registerProbe(obsPrefix + ".in_flight",
+                      [this] { return double(activeQueries); });
+    reg.registerProbe(obsPrefix + ".queue_depth",
+                      [this] { return double(waiting.size()); });
+}
+
+void
 RankingServer::submitQuery(std::function<void(sim::TimePs)> done)
 {
     ++activeQueries;
@@ -89,6 +109,11 @@ RankingServer::finishQuery(const PendingQuery &q)
 {
     const sim::TimePs latency = queue.now() - q.arrivedAt;
     statLatency.add(sim::toMillis(latency));
+    if (obsLatencyHist)
+        obsLatencyHist->add(sim::toMillis(latency));
+    if (obsHub && obsHub->trace.enabled())
+        obsHub->trace.complete(obsTrack, "host", obsPrefix + ".query",
+                               q.arrivedAt, latency);
     ++statCompleted;
     --activeQueries;
     if (q.done)

@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
@@ -129,7 +130,21 @@ class RankingServer
     std::size_t queueDepth() const { return waiting.size(); }
 
     /** Drop latency samples (between sweep points). */
-    void clearStats() { statLatency.clear(); }
+    void clearStats()
+    {
+        statLatency.clear();
+        if (obsLatencyHist)
+            obsLatencyHist->clear();
+    }
+
+    /**
+     * Export request-lifecycle statistics under `host.<node>.*`: a
+     * registry histogram `host.<node>.latency_ms` (cleared together with
+     * clearStats()), probes for completion/occupancy counts, and one
+     * trace span per completed query. Pass nullptr to detach.
+     */
+    void attachObservability(obs::Observability *o,
+                             const std::string &node = "rank");
 
   private:
     struct PendingQuery {
@@ -143,6 +158,10 @@ class RankingServer
     sim::Rng rng;
     int freeCores;
     std::deque<PendingQuery> waiting;
+    obs::Observability *obsHub = nullptr;
+    std::string obsPrefix;  ///< "host.<node>"
+    sim::LogHistogram *obsLatencyHist = nullptr;
+    int obsTrack = 0;
     sim::SampleStats statLatency;
     std::uint64_t statCompleted = 0;
     std::uint64_t activeQueries = 0;

@@ -29,6 +29,64 @@ LtlEngine::recvConn(std::uint16_t conn)
     return recvTable[conn];
 }
 
+void
+LtlEngine::attachObservability(obs::Observability *o, const std::string &node)
+{
+    obsHub = o;
+    obsRttHist = nullptr;
+    if (!o)
+        return;
+    obsPrefix = "ltl." + node;
+    obsTrack = o->trace.track(obsPrefix);
+    obsRttHist = &o->registry.histogram(obsPrefix + ".rtt_us");
+    auto &reg = o->registry;
+    reg.registerProbe(obsPrefix + ".frames_sent",
+                      [this] { return double(statFramesSent); });
+    reg.registerProbe(obsPrefix + ".frames_acked",
+                      [this] { return double(statFramesAcked); });
+    reg.registerProbe(obsPrefix + ".frames_abandoned",
+                      [this] { return double(statFramesAbandoned); });
+    reg.registerProbe(obsPrefix + ".frames_in_flight",
+                      [this] { return double(framesInFlight()); });
+    reg.registerProbe(obsPrefix + ".retransmits",
+                      [this] { return double(statRetransmits); });
+    reg.registerProbe(obsPrefix + ".timeouts",
+                      [this] { return double(statTimeouts); });
+    reg.registerProbe(obsPrefix + ".acks_sent",
+                      [this] { return double(statAcksSent); });
+    reg.registerProbe(obsPrefix + ".nacks_sent",
+                      [this] { return double(statNacksSent); });
+    reg.registerProbe(obsPrefix + ".cnps_sent",
+                      [this] { return double(statCnpsSent); });
+    reg.registerProbe(obsPrefix + ".cnps_received",
+                      [this] { return double(statCnpsReceived); });
+    reg.registerProbe(obsPrefix + ".messages_delivered",
+                      [this] { return double(statDelivered); });
+    reg.registerProbe(obsPrefix + ".duplicate_frames",
+                      [this] { return double(statDuplicates); });
+    reg.registerProbe(obsPrefix + ".out_of_order_frames",
+                      [this] { return double(statOutOfOrder); });
+}
+
+std::uint64_t
+LtlEngine::framesInFlight() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sc : sendTable)
+        if (sc.valid && !sc.failed)
+            n += sc.unacked.size();
+    return n;
+}
+
+void
+LtlEngine::abandonSendState(SendConnection &sc)
+{
+    statFramesAbandoned += sc.unacked.size();
+    sc.unacked.clear();
+    sc.unackedBytes = 0;
+    sc.sendQueue.clear();
+}
+
 std::uint16_t
 LtlEngine::openSend(net::Ipv4Addr remote_ip, std::uint16_t remote_conn)
 {
@@ -73,6 +131,8 @@ LtlEngine::closeSend(std::uint16_t conn)
         queue.cancel(sc.timeoutEvent);
     if (sc.pumpEvent != sim::kNoEvent)
         queue.cancel(sc.pumpEvent);
+    if (!sc.failed)
+        abandonSendState(sc);  // frames still in flight are written off
     sc = SendConnection{};
 }
 
@@ -201,10 +261,14 @@ LtlEngine::transmitFrame(SendConnection &sc, const LtlHeaderPtr &header,
                          bool is_retransmit)
 {
     auto pkt = buildPacket(sc, header);
-    if (is_retransmit)
+    if (is_retransmit) {
         ++statRetransmits;
-    else
+        if (obsHub && obsHub->trace.enabled())
+            obsHub->trace.instant(obsTrack, "ltl", obsPrefix + ".retransmit",
+                                  queue.now());
+    } else {
         ++statFramesSent;
+    }
     queue.scheduleAfter(cfg.txPathDelay,
                         [this, pkt] { networkTx(pkt); });
 }
@@ -239,10 +303,16 @@ LtlEngine::onTimeout(std::uint16_t conn)
     }
     ++statTimeouts;
     ++sc.consecutiveTimeouts;
+    if (obsHub && obsHub->trace.enabled())
+        obsHub->trace.instant(obsTrack, "ltl", obsPrefix + ".timeout", now);
     if (sc.consecutiveTimeouts > cfg.maxRetries) {
         sc.failed = true;
+        abandonSendState(sc);  // nothing will ever be ACKed now
         CCSIM_LOG(sim::LogLevel::kWarn, "ltl", now, "connection ", conn,
                   " failed after ", cfg.maxRetries, " timeouts");
+        if (obsHub && obsHub->trace.enabled())
+            obsHub->trace.instant(obsTrack, "ltl",
+                                  obsPrefix + ".conn_failed", now);
         if (onFailure)
             onFailure(conn);
         return;
@@ -259,8 +329,9 @@ LtlEngine::onTimeout(std::uint16_t conn)
 void
 LtlEngine::handleAck(std::uint16_t conn, std::uint32_t ack_seq, bool is_nack)
 {
-    if (conn >= sendTable.size() || !sendTable[conn].valid)
-        return;  // stale ACK for a closed connection
+    if (conn >= sendTable.size() || !sendTable[conn].valid ||
+        sendTable[conn].failed)
+        return;  // stale ACK for a closed or failed connection
     SendConnection &sc = sendTable[conn];
     const sim::TimePs now = queue.now();
 
@@ -269,10 +340,14 @@ LtlEngine::handleAck(std::uint16_t conn, std::uint32_t ack_seq, bool is_nack)
         const UnackedFrame &uf = sc.unacked.front();
         if (!uf.retransmitted) {
             // Karn's rule: only un-retransmitted frames give RTT samples.
-            statRtt.add(sim::toMicros(now - uf.firstSentAt));
+            const double rtt_us = sim::toMicros(now - uf.firstSentAt);
+            statRtt.add(rtt_us);
+            if (obsRttHist)
+                obsRttHist->add(rtt_us);
         }
         sc.unackedBytes -= uf.header->frameBytes;
         sc.unacked.pop_front();
+        ++statFramesAcked;
         progressed = true;
     }
     if (progressed) {
@@ -335,8 +410,16 @@ LtlEngine::onNetworkPacket(const net::PacketPtr &pkt)
             if (header->dstConn < sendTable.size() &&
                 sendTable[header->dstConn].valid &&
                 sendTable[header->dstConn].dcqcn) {
-                sendTable[header->dstConn]
-                    .dcqcn->onCongestionNotification();
+                SendConnection &sc = sendTable[header->dstConn];
+                sc.dcqcn->onCongestionNotification();
+                if (obsHub && obsHub->trace.enabled()) {
+                    // Record the post-cut DC-QCN rate as a counter series.
+                    obsHub->trace.counter(
+                        "ltl",
+                        obsPrefix + ".conn" +
+                            std::to_string(header->dstConn) + ".rate_gbps",
+                        queue.now(), effectiveRateGbps(sc));
+                }
             }
             return;
         }
@@ -379,6 +462,13 @@ LtlEngine::handleData(const net::PacketPtr &pkt, const LtlHeaderPtr &header)
         // Deliver the completed message when its final frame arrives.
         if (header->msgOffset + header->frameBytes >= header->msgBytes) {
             ++statDelivered;
+            if (obsHub && obsHub->trace.enabled()) {
+                // One span per delivered message: send-side header
+                // generation through receive-side delivery.
+                obsHub->trace.complete(obsTrack, "ltl", obsPrefix + ".msg",
+                                       header->createdAt,
+                                       queue.now() - header->createdAt);
+            }
             if (deliver) {
                 LtlMessage msg;
                 msg.conn = header->dstConn;
@@ -400,6 +490,9 @@ LtlEngine::handleData(const net::PacketPtr &pkt, const LtlHeaderPtr &header)
         if (cfg.enableNack && rc.lastNackSeq != rc.expectedSeq) {
             rc.lastNackSeq = rc.expectedSeq;
             ++statNacksSent;
+            if (obsHub && obsHub->trace.enabled())
+                obsHub->trace.instant(obsTrack, "ltl", obsPrefix + ".nack",
+                                      queue.now());
             sendControl(sender_ip, sender_conn, kFlagNack, rc.expectedSeq,
                         cfg.ackGenDelay);
         }

@@ -24,6 +24,7 @@
 #include "ltl/dcqcn.hpp"
 #include "ltl/ltl_frame.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 
@@ -140,6 +141,18 @@ class LtlEngine
     void setFailureHandler(FailureFn fn) { onFailure = std::move(fn); }
 
     // ------------------------------------------------------------------
+    // Observability.
+    // ------------------------------------------------------------------
+
+    /**
+     * Export this engine's statistics under `ltl.<node>.*` (probes for
+     * the frame/ACK/CNP counters, a registry histogram `ltl.<node>.rtt_us`)
+     * and emit trace spans/instants when @p o->trace is enabled. Pass
+     * nullptr to detach. Attaching never changes protocol behaviour.
+     */
+    void attachObservability(obs::Observability *o, const std::string &node);
+
+    // ------------------------------------------------------------------
     // Introspection.
     // ------------------------------------------------------------------
 
@@ -161,6 +174,13 @@ class LtlEngine
     std::uint64_t messagesDelivered() const { return statDelivered; }
     std::uint64_t duplicateFrames() const { return statDuplicates; }
     std::uint64_t outOfOrderFrames() const { return statOutOfOrder; }
+
+    /** Distinct data frames cumulatively acknowledged by the peer. */
+    std::uint64_t framesAcked() const { return statFramesAcked; }
+    /** Frames written off when a connection failed or was closed. */
+    std::uint64_t framesAbandoned() const { return statFramesAbandoned; }
+    /** Transmitted frames currently awaiting acknowledgement. */
+    std::uint64_t framesInFlight() const;
 
   private:
     struct PendingFrame {
@@ -206,6 +226,11 @@ class LtlEngine
     std::vector<SendConnection> sendTable;
     std::vector<ReceiveConnection> recvTable;
 
+    obs::Observability *obsHub = nullptr;
+    std::string obsPrefix;                       ///< "ltl.<node>"
+    sim::LogHistogram *obsRttHist = nullptr;     ///< registry-owned
+    int obsTrack = 0;                            ///< trace timeline id
+
     sim::SampleStats statRtt;
     std::uint64_t statFramesSent = 0;
     std::uint64_t statRetransmits = 0;
@@ -217,8 +242,11 @@ class LtlEngine
     std::uint64_t statDelivered = 0;
     std::uint64_t statDuplicates = 0;
     std::uint64_t statOutOfOrder = 0;
+    std::uint64_t statFramesAcked = 0;
+    std::uint64_t statFramesAbandoned = 0;
 
     SendConnection &sendConn(std::uint16_t conn);
+    void abandonSendState(SendConnection &sc);
     ReceiveConnection &recvConn(std::uint16_t conn);
 
     void pumpSend(std::uint16_t conn);

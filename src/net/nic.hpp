@@ -14,6 +14,7 @@
 
 #include "net/channel.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 
 namespace ccsim::net {
@@ -52,6 +53,17 @@ class Nic : public PacketSink
 
     std::uint64_t packetsReceived() const { return rxPackets; }
     std::uint64_t packetsSent() const { return txPackets; }
+
+    /** Export rx/tx packet counts under `nic.<node>.*`. */
+    void attachObservability(obs::Observability *o, const std::string &node)
+    {
+        if (!o)
+            return;
+        o->registry.registerProbe("nic." + node + ".rx_packets",
+                                  [this] { return double(rxPackets); });
+        o->registry.registerProbe("nic." + node + ".tx_packets",
+                                  [this] { return double(txPackets); });
+    }
 
   private:
     sim::EventQueue &queue;

@@ -66,6 +66,39 @@ Switch::setDefaultRoutes(std::vector<int> out_ports)
     defaultRoutes = std::move(out_ports);
 }
 
+void
+Switch::attachObservability(obs::Observability *o)
+{
+    obsHub = o;
+    if (!o)
+        return;
+    obsPrefix = "switch." + config.name;
+    obsTrack = o->trace.track(obsPrefix);
+    auto &reg = o->registry;
+    reg.registerProbe(obsPrefix + ".forwarded",
+                      [this] { return double(forwarded); });
+    reg.registerProbe(obsPrefix + ".dropped",
+                      [this] { return double(dropped); });
+    reg.registerProbe(obsPrefix + ".ecn_marked",
+                      [this] { return double(ecnMarked); });
+    reg.registerProbe(obsPrefix + ".pfc_frames",
+                      [this] { return double(pfcSent); });
+    reg.registerProbe(obsPrefix + ".route_misses",
+                      [this] { return double(noRoute); });
+    for (std::uint8_t prio = 0; prio < kNumTrafficClasses; ++prio) {
+        reg.registerProbe(
+            obsPrefix + ".q" + std::to_string(prio) + ".depth",
+            [this, prio] {
+                // Aggregate egress occupancy of this class (bytes).
+                std::uint64_t bytes = 0;
+                for (const auto &port : ports)
+                    if (port->tx)
+                        bytes += port->tx->queuedBytes(prio);
+                return double(bytes);
+            });
+    }
+}
+
 int
 Switch::lookupRoute(const PacketPtr &pkt) const
 {
@@ -131,6 +164,9 @@ Switch::forward(int in_port, int out_port, const PacketPtr &pkt)
         tx->queuedBytes(prio) > config.ecnThresholdBytes) {
         pkt->ecnMarked = true;
         ++ecnMarked;
+        if (obsHub && obsHub->trace.enabled())
+            obsHub->trace.instant(obsTrack, "switch",
+                                  obsPrefix + ".ecn_mark", queue.now());
     }
 
     std::function<void()> on_done;
@@ -168,6 +204,9 @@ Switch::accountIngress(int in_port, std::uint8_t prio, std::int64_t delta)
         if (ports[in_port]->tx) {
             ports[in_port]->tx->send(makePfcPause(prio, 0));
             ++pfcSent;
+            if (obsHub && obsHub->trace.enabled())
+                obsHub->trace.instant(obsTrack, "switch",
+                                      obsPrefix + ".pfc_xon", queue.now());
         }
     }
 }
@@ -183,6 +222,9 @@ Switch::maybeSendXoff(int in_port, std::uint8_t prio)
     port.xoffSent[prio] = true;
     port.tx->send(makePfcPause(prio, config.pfcPauseTime));
     ++pfcSent;
+    if (obsHub && obsHub->trace.enabled())
+        obsHub->trace.instant(obsTrack, "switch", obsPrefix + ".pfc_xoff",
+                              queue.now());
     refreshPfc(in_port, prio);
 }
 

@@ -18,6 +18,7 @@
 #include "net/channel.hpp"
 #include "net/delay_model.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 
@@ -81,6 +82,15 @@ class Switch
 
     const std::string &name() const { return config.name; }
 
+    /**
+     * Export statistics under `switch.<name>.*`: probes for the packet
+     * counters plus per-class aggregate egress depth
+     * `switch.<name>.q<prio>.depth` (bytes queued across all ports), and
+     * trace instants for PFC X-OFF/X-ON and ECN marks. Call after all
+     * ports have been added. Pass nullptr to detach.
+     */
+    void attachObservability(obs::Observability *o);
+
     // --- statistics ---
     std::uint64_t packetsForwarded() const { return forwarded; }
     std::uint64_t packetsDropped() const { return dropped; }
@@ -128,6 +138,9 @@ class Switch
     sim::EventQueue &queue;
     SwitchConfig config;
     sim::Rng rng;
+    obs::Observability *obsHub = nullptr;
+    std::string obsPrefix;  ///< "switch.<name>"
+    int obsTrack = 0;
     std::vector<std::unique_ptr<Port>> ports;
     std::unordered_map<Ipv4Addr, std::vector<int>> hostRoutes;
     std::vector<PrefixRoute> prefixRoutes;

@@ -191,4 +191,15 @@ Topology::totalSwitchDrops() const
     return total;
 }
 
+void
+Topology::attachObservability(obs::Observability *o)
+{
+    for (const auto &sw : tors)
+        sw->attachObservability(o);
+    for (const auto &sw : l1Switches)
+        sw->attachObservability(o);
+    for (const auto &sw : l2Switches)
+        sw->attachObservability(o);
+}
+
 }  // namespace ccsim::net

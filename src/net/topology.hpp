@@ -135,6 +135,12 @@ class Topology
     /** Aggregate drop count across all switches (excluding channels). */
     std::uint64_t totalSwitchDrops() const;
 
+    /**
+     * Attach every switch in the fabric to @p o (each exports under
+     * `switch.<its config name>.*`). Pass nullptr to detach.
+     */
+    void attachObservability(obs::Observability *o);
+
   private:
     sim::EventQueue &queue;
     TopologyConfig config;

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared JSON emission helpers for the observability exporters. Both the
+ * snapshot and trace writers must be byte-deterministic, so all number
+ * formatting funnels through one fixed format.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace ccsim::obs::detail {
+
+/** Minimal JSON string escaping (metric paths/names are ASCII). */
+inline void
+jsonEscape(std::ostream &os, std::string_view s)
+{
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        case '\t':
+            os << "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+/**
+ * Deterministic round-trippable double formatting. Non-finite values
+ * (empty-histogram min/max) are mapped to null, which JSON can carry.
+ */
+inline void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os << buf;
+}
+
+}  // namespace ccsim::obs::detail

@@ -1,0 +1,288 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string_view>
+
+#include "obs/json_util.hpp"
+#include "sim/logging.hpp"
+
+namespace ccsim::obs {
+
+MetricsRegistry::~MetricsRegistry()
+{
+    // Safe as long as the EventQueue outlives the registry (declare the
+    // queue first; see Observability usage in the benches/tests).
+    stopSampling();
+}
+
+void
+MetricsRegistry::checkNewPath(const std::string &path, const char *kind) const
+{
+    if (path.empty())
+        sim::panic("MetricsRegistry: empty metric path");
+    const bool taken =
+        (counters.count(path) && std::string_view(kind) != "counter") ||
+        (gauges.count(path) && std::string_view(kind) != "gauge") ||
+        (histograms.count(path) && std::string_view(kind) != "histogram") ||
+        (probes.count(path) && std::string_view(kind) != "probe");
+    if (taken)
+        sim::panicf("MetricsRegistry: path '", path,
+                    "' already registered as a different metric kind");
+}
+
+sim::Counter &
+MetricsRegistry::counter(const std::string &path)
+{
+    auto it = counters.find(path);
+    if (it == counters.end()) {
+        checkNewPath(path, "counter");
+        it = counters.try_emplace(path, path).first;
+    }
+    return it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &path)
+{
+    auto it = gauges.find(path);
+    if (it == gauges.end()) {
+        checkNewPath(path, "gauge");
+        it = gauges.try_emplace(path).first;
+    }
+    return it->second;
+}
+
+sim::LogHistogram &
+MetricsRegistry::histogram(const std::string &path, double min_value,
+                           int bins_per_octave)
+{
+    auto it = histograms.find(path);
+    if (it == histograms.end()) {
+        checkNewPath(path, "histogram");
+        it = histograms.try_emplace(path, min_value, bins_per_octave).first;
+    }
+    return it->second;
+}
+
+void
+MetricsRegistry::registerProbe(const std::string &path,
+                               std::function<double()> fn)
+{
+    if (!fn)
+        sim::panicf("MetricsRegistry: null probe for '", path, "'");
+    checkNewPath(path, "probe");
+    probes[path].fn = std::move(fn);
+}
+
+const sim::Counter *
+MetricsRegistry::findCounter(const std::string &path) const
+{
+    auto it = counters.find(path);
+    return it == counters.end() ? nullptr : &it->second;
+}
+
+const Gauge *
+MetricsRegistry::findGauge(const std::string &path) const
+{
+    auto it = gauges.find(path);
+    return it == gauges.end() ? nullptr : &it->second;
+}
+
+const sim::LogHistogram *
+MetricsRegistry::findHistogram(const std::string &path) const
+{
+    auto it = histograms.find(path);
+    return it == histograms.end() ? nullptr : &it->second;
+}
+
+bool
+MetricsRegistry::hasProbe(const std::string &path) const
+{
+    return probes.count(path) != 0;
+}
+
+double
+MetricsRegistry::probeValue(const std::string &path) const
+{
+    auto it = probes.find(path);
+    if (it == probes.end())
+        sim::panicf("MetricsRegistry: no probe at '", path, "'");
+    return it->second.fn();
+}
+
+double
+MetricsRegistry::probeTimeAverage(const std::string &path) const
+{
+    auto it = probes.find(path);
+    if (it == probes.end())
+        sim::panicf("MetricsRegistry: no probe at '", path, "'");
+    return it->second.tw.average();
+}
+
+std::vector<std::string>
+MetricsRegistry::paths() const
+{
+    std::vector<std::string> all;
+    all.reserve(counters.size() + gauges.size() + histograms.size() +
+                probes.size());
+    for (const auto &[p, _] : counters)
+        all.push_back(p);
+    for (const auto &[p, _] : gauges)
+        all.push_back(p);
+    for (const auto &[p, _] : histograms)
+        all.push_back(p);
+    for (const auto &[p, _] : probes)
+        all.push_back(p);
+    std::sort(all.begin(), all.end());
+    return all;
+}
+
+std::vector<std::string>
+MetricsRegistry::children(const std::string &prefix) const
+{
+    const std::string want = prefix.empty() ? "" : prefix + ".";
+    std::vector<std::string> kids;
+    for (const auto &path : paths()) {
+        if (path.size() <= want.size() ||
+            path.compare(0, want.size(), want) != 0)
+            continue;
+        const auto rest = path.substr(want.size());
+        kids.push_back(rest.substr(0, rest.find('.')));
+    }
+    std::sort(kids.begin(), kids.end());
+    kids.erase(std::unique(kids.begin(), kids.end()), kids.end());
+    return kids;
+}
+
+void
+MetricsRegistry::writeSnapshot(std::ostream &os) const
+{
+    using detail::jsonEscape;
+    using detail::jsonNumber;
+
+    auto key = [&os](const std::string &path, bool &first) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"";
+        jsonEscape(os, path);
+        os << "\":";
+    };
+
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[path, c] : counters) {
+        key(path, first);
+        os << c.get();
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto &[path, g] : gauges) {
+        key(path, first);
+        os << "{\"value\":";
+        jsonNumber(os, g.value());
+        os << ",\"avg\":";
+        jsonNumber(os, g.timeAverage());
+        os << ",\"peak\":";
+        jsonNumber(os, g.peak());
+        os << "}";
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto &[path, h] : histograms) {
+        key(path, first);
+        os << "{\"count\":" << h.count();
+        if (h.count() > 0) {
+            os << ",\"mean\":";
+            jsonNumber(os, h.mean());
+            os << ",\"min\":";
+            jsonNumber(os, h.min());
+            os << ",\"max\":";
+            jsonNumber(os, h.max());
+            for (auto [label, p] :
+                 {std::pair<const char *, double>{"p50", 50.0},
+                  {"p90", 90.0},
+                  {"p99", 99.0},
+                  {"p999", 99.9}}) {
+                os << ",\"" << label << "\":";
+                jsonNumber(os, h.percentile(p));
+            }
+        }
+        os << "}";
+    }
+    os << "},\"probes\":{";
+    first = true;
+    for (const auto &[path, pr] : probes) {
+        key(path, first);
+        os << "{\"value\":";
+        jsonNumber(os, pr.fn());
+        os << ",\"avg\":";
+        jsonNumber(os, pr.tw.average());
+        os << "}";
+    }
+    os << "}}";
+}
+
+std::string
+MetricsRegistry::snapshotJson() const
+{
+    std::ostringstream oss;
+    writeSnapshot(oss);
+    return oss.str();
+}
+
+void
+MetricsRegistry::startSampling(sim::EventQueue &eq, sim::TimePs period,
+                               TraceWriter *trace)
+{
+    if (period <= 0)
+        sim::fatal("MetricsRegistry::startSampling: period must be > 0");
+    stopSampling();
+    samplerQueue = &eq;
+    samplerPeriod = period;
+    samplerTrace = trace;
+    scheduleTick();
+}
+
+void
+MetricsRegistry::stopSampling()
+{
+    if (samplerEvent != sim::kNoEvent) {
+        samplerQueue->cancel(samplerEvent);
+        samplerEvent = sim::kNoEvent;
+    }
+    samplerQueue = nullptr;
+}
+
+void
+MetricsRegistry::scheduleTick()
+{
+    samplerEvent = samplerQueue->scheduleAfter(samplerPeriod, [this] {
+        samplerEvent = sim::kNoEvent;
+        sampleTick();
+        scheduleTick();
+    });
+}
+
+void
+MetricsRegistry::sampleTick()
+{
+    ++samplerTicks;
+    const sim::TimePs now = samplerQueue->now();
+    const bool tracing = samplerTrace != nullptr && samplerTrace->enabled();
+    for (auto &[path, probe] : probes) {
+        const double v = probe.fn();
+        probe.tw.update(now, v);
+        if (tracing && (!probe.everEmitted || v != probe.lastEmitted)) {
+            // Category = first dotted segment (component family).
+            const auto dot = path.find('.');
+            samplerTrace->counter(
+                std::string_view(path).substr(0, dot), path, now, v);
+            probe.everEmitted = true;
+            probe.lastEmitted = v;
+        }
+    }
+}
+
+}  // namespace ccsim::obs

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Hierarchical metrics registry.
+ *
+ * Components register named metrics under dotted paths
+ * (`ltl.node3.retransmits`, `switch.tor.0.0.q3.depth`). Four metric
+ * kinds are supported:
+ *
+ *  - **counters**   — monotonically increasing event counts;
+ *  - **histograms** — memory-bounded log-binned sample distributions;
+ *  - **gauges**     — time-weighted piecewise-constant signals set
+ *                     explicitly by the component;
+ *  - **probes**     — callback gauges that *read* a live component value
+ *                     on demand (snapshot or periodic sampling), so
+ *                     existing component statistics can be exported
+ *                     without duplicating bookkeeping in hot paths.
+ *
+ * The registry offers a deterministic JSON snapshot (paths emitted in
+ * sorted order, fixed number formatting) and a periodic sampling hook
+ * driven by the simulation EventQueue: every period the sampler reads
+ * all probes, folds the values into time-weighted averages, and (when a
+ * TraceWriter is attached) emits Chrome counter events — on the first
+ * tick for every probe, afterwards only for probes whose value changed.
+ *
+ * Observability is strictly read-only with respect to simulation state:
+ * attaching a registry, sampling, or exporting never changes component
+ * behaviour, so instrumented and bare runs are bit-identical.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+
+namespace ccsim::obs {
+
+/**
+ * A time-weighted gauge: set(t, v) records that the signal holds value
+ * @p v from simulated time @p t onward.
+ */
+class Gauge
+{
+  public:
+    void set(sim::TimePs t_ps, double v)
+    {
+        tw.update(t_ps, v);
+        current = v;
+    }
+
+    /** Most recently set value. */
+    double value() const { return current; }
+    /** Time-weighted mean over the updates seen so far. */
+    double timeAverage() const { return tw.average(); }
+    /** Peak value seen. */
+    double peak() const { return tw.peak(); }
+
+  private:
+    sim::TimeWeighted tw;
+    double current = 0.0;
+};
+
+/** Defaults for registry histograms (sub-1% relative quantile error). */
+inline constexpr double kDefaultHistMinValue = 0.5;
+inline constexpr int kDefaultHistBinsPerOctave = 96;
+
+/**
+ * The hierarchical metrics registry. Not thread-safe (one registry per
+ * simulation, like the EventQueue).
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+    ~MetricsRegistry();
+
+    // --- registration / lookup (get-or-create; references are stable) ---
+
+    /** The counter at @p path, created on first use. */
+    sim::Counter &counter(const std::string &path);
+
+    /** The gauge at @p path, created on first use. */
+    Gauge &gauge(const std::string &path);
+
+    /**
+     * The histogram at @p path, created on first use with the given
+     * binning. Later calls for an existing path ignore the binning
+     * arguments and return the original instance.
+     */
+    sim::LogHistogram &
+    histogram(const std::string &path,
+              double min_value = kDefaultHistMinValue,
+              int bins_per_octave = kDefaultHistBinsPerOctave);
+
+    /**
+     * Register a callback gauge: @p fn is invoked at snapshot time and on
+     * every sampling tick. Re-registering a path replaces the callback
+     * (components attached to a fresh prefix never collide; replacement
+     * supports re-attachment).
+     */
+    void registerProbe(const std::string &path, std::function<double()> fn);
+
+    // --- lookup without creation ---
+
+    const sim::Counter *findCounter(const std::string &path) const;
+    const Gauge *findGauge(const std::string &path) const;
+    const sim::LogHistogram *findHistogram(const std::string &path) const;
+    bool hasProbe(const std::string &path) const;
+
+    /** Invoke the probe at @p path now. Panics if no such probe. */
+    double probeValue(const std::string &path) const;
+
+    /**
+     * Time-weighted average of a probe as accumulated by the periodic
+     * sampler (0 before the first tick).
+     */
+    double probeTimeAverage(const std::string &path) const;
+
+    // --- hierarchy ---
+
+    /** Every registered path across all kinds, sorted. */
+    std::vector<std::string> paths() const;
+
+    /**
+     * Direct child segments under a dotted prefix ("" for the roots),
+     * sorted and deduplicated: with `ltl.node0.rtt` and `ltl.node1.rtt`
+     * registered, children("ltl") is {"node0", "node1"}.
+     */
+    std::vector<std::string> children(const std::string &prefix) const;
+
+    // --- snapshot export ---
+
+    /**
+     * Serialize every metric as JSON, deterministically (sorted paths,
+     * fixed formatting): byte-identical runs produce byte-identical
+     * snapshots.
+     */
+    void writeSnapshot(std::ostream &os) const;
+
+    /** writeSnapshot() to a string. */
+    std::string snapshotJson() const;
+
+    // --- periodic sampling -------------------------------------------------
+
+    /**
+     * Start sampling all probes every @p period of simulated time, with
+     * the first tick one period from now. When @p trace is non-null,
+     * each tick emits Chrome counter events (first tick: all probes;
+     * later ticks: probes whose value changed). Restarting replaces the
+     * previous schedule.
+     */
+    void startSampling(sim::EventQueue &eq, sim::TimePs period,
+                       TraceWriter *trace = nullptr);
+
+    /**
+     * Cancel the sampling schedule. Must be called before draining the
+     * queue with runAll(), since the sampler perpetually reschedules.
+     */
+    void stopSampling();
+
+    bool samplingActive() const { return samplerEvent != sim::kNoEvent; }
+
+    /** Number of sampling ticks executed. */
+    std::uint64_t samplesTaken() const { return samplerTicks; }
+
+  private:
+    struct Probe {
+        std::function<double()> fn;
+        sim::TimeWeighted tw;
+        double lastEmitted = 0.0;
+        bool everEmitted = false;
+    };
+
+    std::map<std::string, sim::Counter> counters;
+    std::map<std::string, Gauge> gauges;
+    std::map<std::string, sim::LogHistogram> histograms;
+    std::map<std::string, Probe> probes;
+
+    sim::EventQueue *samplerQueue = nullptr;
+    sim::EventId samplerEvent = sim::kNoEvent;
+    sim::TimePs samplerPeriod = 0;
+    TraceWriter *samplerTrace = nullptr;
+    std::uint64_t samplerTicks = 0;
+
+    void checkNewPath(const std::string &path, const char *kind) const;
+    void scheduleTick();
+    void sampleTick();
+};
+
+/**
+ * The observability bundle handed to components: one registry plus one
+ * trace writer per simulation. Components take it by pointer; null means
+ * "not observed" and costs nothing.
+ */
+struct Observability {
+    MetricsRegistry registry;
+    TraceWriter trace;
+};
+
+}  // namespace ccsim::obs

@@ -1,0 +1,185 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ccsim::obs {
+
+namespace {
+
+/** Minimal JSON string escaping (paths/names are ASCII identifiers). */
+void
+escapeTo(std::ostream &os, std::string_view s)
+{
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        case '\t':
+            os << "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+/** Deterministic shortest-roundtrip double formatting. */
+void
+numberTo(std::ostream &os, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os << buf;
+}
+
+/** Simulated picoseconds -> trace microseconds. */
+double
+toTraceUs(sim::TimePs ps)
+{
+    return static_cast<double>(ps) / 1e6;
+}
+
+}  // namespace
+
+int
+TraceWriter::track(const std::string &name)
+{
+    auto [it, inserted] = tracks.try_emplace(name, nextTid);
+    if (inserted)
+        ++nextTid;
+    return it->second;
+}
+
+void
+TraceWriter::complete(int tid, std::string_view cat, std::string_view name,
+                      sim::TimePs start, sim::TimePs duration)
+{
+    if (!recording)
+        return;
+    TraceEvent e;
+    e.phase = 'X';
+    e.tid = tid;
+    e.ts = start;
+    e.dur = duration;
+    e.cat = std::string(cat);
+    e.name = std::string(name);
+    events.push_back(std::move(e));
+}
+
+void
+TraceWriter::instant(int tid, std::string_view cat, std::string_view name,
+                     sim::TimePs ts)
+{
+    if (!recording)
+        return;
+    TraceEvent e;
+    e.phase = 'i';
+    e.tid = tid;
+    e.ts = ts;
+    e.cat = std::string(cat);
+    e.name = std::string(name);
+    events.push_back(std::move(e));
+}
+
+void
+TraceWriter::counter(std::string_view cat, std::string_view name,
+                     sim::TimePs ts, double value)
+{
+    if (!recording)
+        return;
+    TraceEvent e;
+    e.phase = 'C';
+    e.ts = ts;
+    e.value = value;
+    e.cat = std::string(cat);
+    e.name = std::string(name);
+    events.push_back(std::move(e));
+}
+
+std::vector<std::string>
+TraceWriter::categories() const
+{
+    std::vector<std::string> cats;
+    for (const auto &e : events)
+        cats.push_back(e.cat);
+    std::sort(cats.begin(), cats.end());
+    cats.erase(std::unique(cats.begin(), cats.end()), cats.end());
+    return cats;
+}
+
+void
+TraceWriter::write(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto &e : events) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << e.tid
+           << ",\"ts\":";
+        numberTo(os, toTraceUs(e.ts));
+        if (e.phase == 'X') {
+            os << ",\"dur\":";
+            numberTo(os, toTraceUs(e.dur));
+        }
+        os << ",\"cat\":\"";
+        escapeTo(os, e.cat);
+        os << "\",\"name\":\"";
+        escapeTo(os, e.name);
+        os << "\"";
+        if (e.phase == 'i') {
+            os << ",\"s\":\"t\"";
+        } else if (e.phase == 'C') {
+            os << ",\"args\":{\"value\":";
+            numberTo(os, e.value);
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "],\"displayTimeUnit\":\"ns\"}";
+}
+
+std::string
+TraceWriter::json() const
+{
+    std::ostringstream oss;
+    write(oss);
+    return oss.str();
+}
+
+bool
+TraceWriter::writeFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    write(f);
+    return static_cast<bool>(f);
+}
+
+std::string
+TraceWriter::envPath()
+{
+    const char *p = std::getenv("CCSIM_TRACE");
+    return p ? std::string(p) : std::string();
+}
+
+}  // namespace ccsim::obs

@@ -60,6 +60,8 @@ ElasticRouter::injectFlit(int port, const Flit &flit)
     ivc.fifo.push_back(flit);
     ++totalBuffered;
     statPeakBuffered = std::max(statPeakBuffered, totalBuffered);
+    if (port < static_cast<int>(obsFlitsIn.size()) && obsFlitsIn[port])
+        obsFlitsIn[port]->inc();
     scheduleTick();
 }
 
@@ -67,6 +69,43 @@ void
 ElasticRouter::setCreditReturnFn(int port, std::function<void(int)> fn)
 {
     inputs.at(port).creditReturn = std::move(fn);
+}
+
+void
+ElasticRouter::attachObservability(obs::Observability *o,
+                                   const std::string &node)
+{
+    obsFlitsIn.assign(cfg.numPorts, nullptr);
+    obsFlitsOut.assign(cfg.numPorts, nullptr);
+    obsCreditStalls.assign(cfg.numPorts, nullptr);
+    if (!o)
+        return;
+    const std::string prefix = "router." + node;
+    auto &reg = o->registry;
+    reg.registerProbe(prefix + ".flits_routed",
+                      [this] { return double(statFlitsRouted); });
+    reg.registerProbe(prefix + ".messages_routed",
+                      [this] { return double(statTails); });
+    reg.registerProbe(prefix + ".busy_cycles",
+                      [this] { return double(statBusyCycles); });
+    reg.registerProbe(prefix + ".buffered_flits",
+                      [this] { return double(totalBuffered); });
+    reg.registerProbe(prefix + ".peak_buffered_flits",
+                      [this] { return double(statPeakBuffered); });
+    for (int p = 0; p < cfg.numPorts; ++p) {
+        const std::string pp = prefix + ".port" + std::to_string(p);
+        obsFlitsIn[p] = &reg.counter(pp + ".flits_in");
+        obsFlitsOut[p] = &reg.counter(pp + ".flits_out");
+        obsCreditStalls[p] = &reg.counter(pp + ".credit_stalls");
+    }
+}
+
+void
+ElasticRouter::noteCreditStall(int port)
+{
+    if (port < static_cast<int>(obsCreditStalls.size()) &&
+        obsCreditStalls[port])
+        obsCreditStalls[port]->inc();
 }
 
 int
@@ -175,6 +214,9 @@ ElasticRouter::tick()
             out.rrPointer = (slot + 1) % slots;
             out.nextFree = now + out.cyclesPerFlit * cyclePs;
             ++statFlitsRouted;
+            if (out_idx < static_cast<int>(obsFlitsOut.size()) &&
+                obsFlitsOut[out_idx])
+                obsFlitsOut[out_idx]->inc();
             if (flit.isTail()) {
                 ++statTails;
                 owner = -1;
@@ -270,6 +312,8 @@ ErEndpoint::pump(int vc)
         er.injectFlit(port, q.front());
         q.pop_front();
     }
+    if (!q.empty())
+        er.noteCreditStall(port);
 }
 
 void

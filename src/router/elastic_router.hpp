@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "router/flit.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -106,6 +107,20 @@ class ElasticRouter
 
     const ErConfig &config() const { return cfg; }
 
+    /**
+     * Export statistics under `router.<node>.*`: probes for the aggregate
+     * stats plus per-port counters `router.<node>.port<p>.flits_in`,
+     * `.flits_out` and `.credit_stalls`. Pass nullptr to detach.
+     */
+    void attachObservability(obs::Observability *o, const std::string &node);
+
+    /**
+     * Record that an endpoint on @p port had flits queued but no credit
+     * (called by ErEndpoint::pump; a no-op unless observability is
+     * attached).
+     */
+    void noteCreditStall(int port);
+
     // --- statistics ---
     std::uint64_t flitsRouted() const { return statFlitsRouted; }
     std::uint64_t messagesRouted() const { return statTails; }
@@ -141,6 +156,11 @@ class ElasticRouter
     std::vector<InputPort> inputs;
     std::vector<OutputPort> outputs;
     bool tickScheduled = false;
+
+    /** Registry-owned per-port counters (null when not attached). */
+    std::vector<sim::Counter *> obsFlitsIn;
+    std::vector<sim::Counter *> obsFlitsOut;
+    std::vector<sim::Counter *> obsCreditStalls;
 
     std::uint64_t statFlitsRouted = 0;
     std::uint64_t statTails = 0;

@@ -9,6 +9,12 @@ namespace ccsim::sim {
 void
 SampleStats::add(double x)
 {
+    if (std::isnan(x)) {
+        // A NaN sample would poison the mean and break the strict weak
+        // ordering percentile sorting relies on; count it and move on.
+        ++nanSamples;
+        return;
+    }
     samples.push_back(x);
     sorted = false;
     total += x;
@@ -37,10 +43,12 @@ SampleStats::stddev() const
 double
 SampleStats::percentile(double p) const
 {
-    if (samples.empty())
-        return 0.0;
+    if (std::isnan(p))
+        panic("SampleStats::percentile: p is NaN");
     if (p < 0.0 || p > 100.0)
         panicf("SampleStats::percentile: p=", p, " out of [0,100]");
+    if (samples.empty())
+        return 0.0;
     if (!sorted) {
         std::sort(samples.begin(), samples.end());
         sorted = true;
@@ -61,6 +69,7 @@ SampleStats::clear()
     total = 0.0;
     minVal = std::numeric_limits<double>::infinity();
     maxVal = -std::numeric_limits<double>::infinity();
+    nanSamples = 0;
 }
 
 LogHistogram::LogHistogram(double min_value, int bins_per_octave)
@@ -94,6 +103,11 @@ LogHistogram::addN(double x, std::uint64_t n)
 {
     if (n == 0)
         return;
+    if (std::isnan(x)) {
+        // log2(NaN) would produce a garbage bin index; count and skip.
+        nanSamples += n;
+        return;
+    }
     const std::size_t idx = binIndex(x);
     if (idx >= bins.size())
         bins.resize(idx + 1, 0);
@@ -128,10 +142,27 @@ LogHistogram::percentile(double p) const
 }
 
 void
+LogHistogram::merge(const LogHistogram &other)
+{
+    if (minValue != other.minValue || binsPerOctave != other.binsPerOctave)
+        panic("LogHistogram::merge: binning parameters differ");
+    if (other.bins.size() > bins.size())
+        bins.resize(other.bins.size(), 0);
+    for (std::size_t i = 0; i < other.bins.size(); ++i)
+        bins[i] += other.bins[i];
+    totalCount += other.totalCount;
+    totalSum += other.totalSum;
+    nanSamples += other.nanSamples;
+    minVal = std::min(minVal, other.minVal);
+    maxVal = std::max(maxVal, other.maxVal);
+}
+
+void
 LogHistogram::clear()
 {
     bins.clear();
     totalCount = 0;
+    nanSamples = 0;
     totalSum = 0.0;
     minVal = std::numeric_limits<double>::infinity();
     maxVal = -std::numeric_limits<double>::infinity();

@@ -31,6 +31,8 @@ class SampleStats
     std::size_t count() const { return samples.size(); }
     /** True if no samples have been recorded. */
     bool empty() const { return samples.empty(); }
+    /** NaN inputs passed to add(); they are counted but not recorded. */
+    std::size_t nanCount() const { return nanSamples; }
 
     /** Arithmetic mean (0 if empty). */
     double mean() const;
@@ -46,7 +48,8 @@ class SampleStats
     /**
      * The p-th percentile using nearest-rank interpolation.
      *
-     * @param p Percentile in [0, 100].
+     * @param p Percentile in [0, 100]; NaN panics. A single-sample set
+     *          returns that sample for every p, including 0 and 100.
      */
     double percentile(double p) const;
 
@@ -65,6 +68,7 @@ class SampleStats
     double total = 0.0;
     double minVal = std::numeric_limits<double>::infinity();
     double maxVal = -std::numeric_limits<double>::infinity();
+    std::size_t nanSamples = 0;
 };
 
 /**
@@ -86,11 +90,20 @@ class LogHistogram
     /** Record one sample. */
     void add(double x) { addN(x, 1); }
 
-    /** Record @p n identical samples. */
+    /** Record @p n identical samples. NaN values are counted but not binned. */
     void addN(double x, std::uint64_t n);
 
     /** Number of samples recorded. */
     std::uint64_t count() const { return totalCount; }
+
+    /** NaN inputs passed to add()/addN() (skipped, not binned). */
+    std::uint64_t nanCount() const { return nanSamples; }
+
+    /**
+     * Fold another histogram into this one. Both must share the same
+     * min_value and bins_per_octave (panics otherwise).
+     */
+    void merge(const LogHistogram &other);
 
     /** Approximate p-th percentile (p in [0,100]). */
     double percentile(double p) const;
@@ -112,6 +125,7 @@ class LogHistogram
     double binsPerOctave;
     std::vector<std::uint64_t> bins;
     std::uint64_t totalCount = 0;
+    std::uint64_t nanSamples = 0;
     double totalSum = 0.0;
     double minVal = std::numeric_limits<double>::infinity();
     double maxVal = -std::numeric_limits<double>::infinity();

@@ -13,6 +13,7 @@
 #include "core/cloud.hpp"
 #include "host/load_generator.hpp"
 #include "host/ranking_server.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 
@@ -87,6 +88,92 @@ TEST(Determinism, LtlRttTraceIsBitIdentical)
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i)
         EXPECT_EQ(a[i], b[i]) << "sample " << i;
+}
+
+/**
+ * Run the LTL RTT workload from LtlRttTraceIsBitIdentical, optionally
+ * instrumented. Returns the raw RTT samples plus — when observed — the
+ * registry snapshot JSON and the exported Chrome trace JSON.
+ */
+struct ObservedRun {
+    std::vector<double> rtt;
+    std::string snapshot;
+    std::string trace;
+};
+
+ObservedRun
+runLtlWorkload(bool observed, bool traced)
+{
+    EventQueue eq;  // must outlive the observability hub
+    obs::Observability hub;
+    hub.trace.setEnabled(traced);
+
+    core::CloudConfig cfg;
+    cfg.topology.hostsPerRack = 4;
+    cfg.topology.racksPerPod = 2;
+    cfg.topology.l1PerPod = 2;
+    cfg.topology.pods = 1;
+    cfg.topology.l2Count = 1;
+    cfg.createNics = false;
+    cfg.shellTemplate.ltl.maxConnections = 8;
+    if (observed)
+        cfg.obs = &hub;
+    core::ConfigurableCloud cloud(eq, cfg);
+
+    struct NullRole : fpga::Role {
+        int port = -1;
+        std::string name() const override { return "null"; }
+        std::uint32_t areaAlms() const override { return 100; }
+        void attach(fpga::Shell &, int p) override { port = p; }
+        void onMessage(const router::ErMessagePtr &) override {}
+    } sink;
+    cloud.shell(5).addRole(&sink);
+    auto ch = cloud.openLtl(0, 5, sink.port);
+    auto *engine = cloud.shell(0).ltlEngine();
+    if (observed)
+        hub.registry.startSampling(eq, 50 * sim::kMicrosecond, &hub.trace);
+    for (int i = 0; i < 40; ++i) {
+        eq.scheduleAfter(i * 10 * sim::kMicrosecond,
+                         [engine, conn = ch.sendConn] {
+                             engine->sendMessage(conn, 64);
+                         });
+    }
+    eq.runFor(sim::fromMillis(2));
+    hub.registry.stopSampling();
+
+    ObservedRun out;
+    out.rtt = engine->rttUs().raw();
+    if (observed) {
+        out.snapshot = hub.registry.snapshotJson();
+        out.trace = hub.trace.json();
+    }
+    return out;
+}
+
+TEST(Determinism, ObservabilityDoesNotPerturbTheSimulation)
+{
+    // Attaching the full metrics/trace stack must not change a single
+    // RTT sample: observability is read-only by construction.
+    const auto bare = runLtlWorkload(false, false);
+    const auto observed = runLtlWorkload(true, true);
+    EXPECT_EQ(bare.rtt, observed.rtt);
+}
+
+TEST(Determinism, MetricSnapshotsAreByteIdenticalAcrossRuns)
+{
+    // Two same-seed instrumented runs: byte-identical registry
+    // snapshots and byte-identical exported traces.
+    const auto a = runLtlWorkload(true, true);
+    const auto b = runLtlWorkload(true, true);
+    EXPECT_FALSE(a.snapshot.empty());
+    EXPECT_FALSE(a.trace.empty());
+    EXPECT_EQ(a.snapshot, b.snapshot);
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_EQ(a.rtt, b.rtt);
+
+    // Tracing off must not change the metrics themselves either.
+    const auto untraced = runLtlWorkload(true, false);
+    EXPECT_EQ(untraced.snapshot, a.snapshot);
 }
 
 TEST(Determinism, RankingServerLatenciesIdenticalAcrossRuns)

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ltl/ltl_engine.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 
@@ -249,6 +250,69 @@ TEST(LtlConnections, MultipleStreamsToOneReceiverStayIsolated)
     EXPECT_EQ(expect1, 80);
     EXPECT_EQ(expect2, 10080);
 }
+
+// ---------------------------------------------------------------------
+// Frame accounting: every frame ever sent is eventually acked,
+// abandoned, or still in flight — at any instant, under any fault mix.
+// The books are read through the observability registry, the same way
+// an external monitor would.
+// ---------------------------------------------------------------------
+
+class LtlAccountingSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(LtlAccountingSweep, FrameAccountingBalancesUnderLoss)
+{
+    const double loss = GetParam();
+    obs::Observability hub;
+    FaultyPair pair;
+    pair.lossProb = loss;
+    pair.dupProb = loss / 2;
+    pair.reorderProb = loss / 2;
+    pair.a->attachObservability(&hub, "A");
+    const auto conn = pair.connect();
+
+    auto balance = [&hub, loss](const char *when) {
+        const double sent = hub.registry.probeValue("ltl.A.frames_sent");
+        const double acked = hub.registry.probeValue("ltl.A.frames_acked");
+        const double abandoned =
+            hub.registry.probeValue("ltl.A.frames_abandoned");
+        const double in_flight =
+            hub.registry.probeValue("ltl.A.frames_in_flight");
+        EXPECT_EQ(sent, acked + abandoned + in_flight)
+            << when << " (loss=" << loss << "): sent=" << sent
+            << " acked=" << acked << " abandoned=" << abandoned
+            << " in_flight=" << in_flight;
+    };
+
+    const int kMessages = 120;
+    for (int i = 0; i < kMessages; ++i) {
+        pair.eq.scheduleAfter(i * 3 * sim::kMicrosecond,
+                              [&pair, conn] {
+                                  pair.a->sendMessage(conn, 1408);
+                              });
+    }
+    // The invariant holds at arbitrary instants mid-run, with frames
+    // genuinely in flight — not only at quiescence.
+    for (const int us : {40, 100, 250, 500})
+        pair.eq.scheduleAfter(us * sim::kMicrosecond,
+                              [&balance] { balance("mid-run"); });
+    pair.eq.runUntil(sim::fromSeconds(2.0));
+
+    balance("after drain");
+    EXPECT_EQ(hub.registry.probeValue("ltl.A.frames_in_flight"), 0.0);
+    EXPECT_EQ(hub.registry.probeValue("ltl.A.frames_sent"),
+              double(pair.a->framesSent()));
+
+    // Closing the connection writes off anything unacked; the books
+    // must still balance afterwards.
+    pair.a->closeSend(conn);
+    balance("after close");
+}
+
+INSTANTIATE_TEST_SUITE_P(LossSweep, LtlAccountingSweep,
+                         ::testing::Values(0.0, 0.02, 0.08, 0.2));
 
 // ---------------------------------------------------------------------
 // Pacing accuracy of the bandwidth limiter.

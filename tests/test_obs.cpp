@@ -1,0 +1,578 @@
+/**
+ * @file
+ * Observability layer tests: metrics registry registration / lookup /
+ * hierarchy, deterministic JSON snapshots (parsed back by a minimal
+ * in-test JSON reader), Chrome trace-event export validity, and the
+ * EventQueue-driven periodic sampler checked against a hand-computed
+ * schedule.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cloud.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace ccsim;
+using obs::MetricsRegistry;
+using obs::Observability;
+using obs::TraceWriter;
+using sim::EventQueue;
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON parser, sufficient to round-trip the
+// registry snapshots and trace files the obs layer emits.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+    enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::map<std::string, JsonValue> obj;
+
+    bool has(const std::string &key) const { return obj.count(key) != 0; }
+    const JsonValue &at(const std::string &key) const { return obj.at(key); }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    /** Parse the whole document; sets ok=false on any syntax error. */
+    JsonValue parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos != s.size())
+            ok = false;
+        return v;
+    }
+
+    bool good() const { return ok; }
+
+  private:
+    const std::string &s;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    void skipWs()
+    {
+        while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' ||
+                                  s[pos] == '\n' || s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (s.compare(pos, n, word) == 0) {
+            pos += n;
+            return true;
+        }
+        ok = false;
+        return false;
+    }
+
+    JsonValue value()
+    {
+        skipWs();
+        if (pos >= s.size()) {
+            ok = false;
+            return {};
+        }
+        const char c = s[pos];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't') {
+            JsonValue v;
+            v.kind = JsonValue::kBool;
+            v.boolean = true;
+            literal("true");
+            return v;
+        }
+        if (c == 'f') {
+            JsonValue v;
+            v.kind = JsonValue::kBool;
+            literal("false");
+            return v;
+        }
+        if (c == 'n') {
+            literal("null");
+            return {};
+        }
+        return numberValue();
+    }
+
+    JsonValue object()
+    {
+        JsonValue v;
+        v.kind = JsonValue::kObject;
+        consume('{');
+        if (consume('}'))
+            return v;
+        do {
+            JsonValue key = string();
+            if (!consume(':')) {
+                ok = false;
+                return v;
+            }
+            v.obj[key.str] = value();
+        } while (consume(','));
+        if (!consume('}'))
+            ok = false;
+        return v;
+    }
+
+    JsonValue array()
+    {
+        JsonValue v;
+        v.kind = JsonValue::kArray;
+        consume('[');
+        if (consume(']'))
+            return v;
+        do {
+            v.arr.push_back(value());
+        } while (consume(','));
+        if (!consume(']'))
+            ok = false;
+        return v;
+    }
+
+    JsonValue string()
+    {
+        JsonValue v;
+        v.kind = JsonValue::kString;
+        if (!consume('"')) {
+            ok = false;
+            return v;
+        }
+        while (pos < s.size() && s[pos] != '"') {
+            char c = s[pos++];
+            if (c == '\\' && pos < s.size()) {
+                const char esc = s[pos++];
+                switch (esc) {
+                case 'n': c = '\n'; break;
+                case 't': c = '\t'; break;
+                case 'r': c = '\r'; break;
+                case 'b': c = '\b'; break;
+                case 'f': c = '\f'; break;
+                case 'u':
+                    // Only ASCII escapes are emitted by the obs layer.
+                    if (pos + 4 <= s.size()) {
+                        c = static_cast<char>(
+                            std::stoi(s.substr(pos, 4), nullptr, 16));
+                        pos += 4;
+                    } else {
+                        ok = false;
+                    }
+                    break;
+                default: c = esc; break;
+                }
+            }
+            v.str.push_back(c);
+        }
+        if (pos >= s.size() || s[pos] != '"') {
+            ok = false;
+            return v;
+        }
+        ++pos;
+        return v;
+    }
+
+    JsonValue numberValue()
+    {
+        JsonValue v;
+        v.kind = JsonValue::kNumber;
+        const std::size_t start = pos;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '-' || s[pos] == '+' || s[pos] == '.' ||
+                s[pos] == 'e' || s[pos] == 'E'))
+            ++pos;
+        if (pos == start) {
+            ok = false;
+            return v;
+        }
+        v.number = std::stod(s.substr(start, pos - start));
+        return v;
+    }
+};
+
+JsonValue
+parseJsonOrDie(const std::string &text)
+{
+    JsonParser p(text);
+    JsonValue v = p.parse();
+    EXPECT_TRUE(p.good()) << "invalid JSON: " << text.substr(0, 200);
+    return v;
+}
+
+// ---------------------------------------------------------------------------
+// Registry basics.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, CounterGetOrCreateReturnsStableReference)
+{
+    MetricsRegistry reg;
+    sim::Counter &c = reg.counter("ltl.node0.frames_sent");
+    c.inc(3);
+    // Second lookup is the same object.
+    reg.counter("ltl.node0.frames_sent").inc(2);
+    EXPECT_EQ(c.get(), 5u);
+    ASSERT_NE(reg.findCounter("ltl.node0.frames_sent"), nullptr);
+    EXPECT_EQ(reg.findCounter("ltl.node0.frames_sent")->get(), 5u);
+    EXPECT_EQ(reg.findCounter("no.such.path"), nullptr);
+}
+
+TEST(MetricsRegistry, GaugeTracksValueAverageAndPeak)
+{
+    MetricsRegistry reg;
+    obs::Gauge &g = reg.gauge("switch.tor0.q3.depth");
+    g.set(0, 10.0);
+    g.set(100, 30.0);  // 10 held for [0,100)
+    g.set(200, 0.0);   // 30 held for [100,200)
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    EXPECT_DOUBLE_EQ(g.timeAverage(), (10.0 * 100 + 30.0 * 100) / 200.0);
+    EXPECT_DOUBLE_EQ(g.peak(), 30.0);
+}
+
+TEST(MetricsRegistry, HistogramKeepsFirstBinning)
+{
+    MetricsRegistry reg;
+    sim::LogHistogram &h = reg.histogram("ltl.node0.rtt_us", 0.5, 96);
+    h.add(10.0);
+    // Re-request with different binning: same instance, args ignored.
+    sim::LogHistogram &again = reg.histogram("ltl.node0.rtt_us", 2.0, 8);
+    EXPECT_EQ(&h, &again);
+    EXPECT_EQ(again.count(), 1u);
+}
+
+TEST(MetricsRegistry, ProbesAreInvokableAndReplaceable)
+{
+    MetricsRegistry reg;
+    double live = 7.0;
+    reg.registerProbe("fpga.node0.pcie_util", [&live] { return live; });
+    EXPECT_TRUE(reg.hasProbe("fpga.node0.pcie_util"));
+    EXPECT_DOUBLE_EQ(reg.probeValue("fpga.node0.pcie_util"), 7.0);
+    live = 9.0;
+    EXPECT_DOUBLE_EQ(reg.probeValue("fpga.node0.pcie_util"), 9.0);
+    // Re-registration replaces (supports component re-attachment).
+    reg.registerProbe("fpga.node0.pcie_util", [] { return 1.0; });
+    EXPECT_DOUBLE_EQ(reg.probeValue("fpga.node0.pcie_util"), 1.0);
+}
+
+TEST(MetricsRegistryDeathTest, CrossKindPathCollisionPanics)
+{
+    MetricsRegistry reg;
+    reg.counter("ltl.node0.frames_sent");
+    EXPECT_DEATH(reg.gauge("ltl.node0.frames_sent"), "different metric kind");
+    EXPECT_DEATH(reg.registerProbe("ltl.node0.frames_sent",
+                                   [] { return 0.0; }),
+                 "different metric kind");
+}
+
+TEST(MetricsRegistry, DottedPathHierarchy)
+{
+    MetricsRegistry reg;
+    reg.counter("ltl.node0.frames_sent");
+    reg.counter("ltl.node1.frames_sent");
+    reg.gauge("switch.tor0.q3.depth");
+    reg.histogram("ltl.node0.rtt_us");
+    reg.registerProbe("fpga.node0.pcie_util", [] { return 0.0; });
+
+    const auto all = reg.paths();
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+
+    EXPECT_EQ(reg.children(""),
+              (std::vector<std::string>{"fpga", "ltl", "switch"}));
+    EXPECT_EQ(reg.children("ltl"),
+              (std::vector<std::string>{"node0", "node1"}));
+    EXPECT_EQ(reg.children("ltl.node0"),
+              (std::vector<std::string>{"frames_sent", "rtt_us"}));
+    EXPECT_TRUE(reg.children("ltl.node0.rtt_us").empty());
+    EXPECT_TRUE(reg.children("bogus").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot round-trip.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, SnapshotJsonRoundTrip)
+{
+    MetricsRegistry reg;
+    reg.counter("ltl.node0.frames_sent").inc(42);
+    obs::Gauge &g = reg.gauge("switch.tor0.q3.depth");
+    g.set(0, 4.0);
+    g.set(1000, 8.0);
+    sim::LogHistogram &h = reg.histogram("ltl.node0.rtt_us");
+    for (int i = 1; i <= 100; ++i)
+        h.add(static_cast<double>(i));
+    reg.histogram("ltl.node1.rtt_us");  // empty histogram: count only
+    reg.registerProbe("fpga.node0.pcie_util", [] { return 0.25; });
+
+    const JsonValue root = parseJsonOrDie(reg.snapshotJson());
+    ASSERT_EQ(root.kind, JsonValue::kObject);
+
+    const JsonValue &counters = root.at("counters");
+    EXPECT_DOUBLE_EQ(counters.at("ltl.node0.frames_sent").number, 42.0);
+
+    const JsonValue &gauge = root.at("gauges").at("switch.tor0.q3.depth");
+    EXPECT_DOUBLE_EQ(gauge.at("value").number, 8.0);
+    EXPECT_DOUBLE_EQ(gauge.at("avg").number, 4.0);
+    EXPECT_DOUBLE_EQ(gauge.at("peak").number, 8.0);
+
+    const JsonValue &hist = root.at("histograms").at("ltl.node0.rtt_us");
+    EXPECT_DOUBLE_EQ(hist.at("count").number, 100.0);
+    EXPECT_DOUBLE_EQ(hist.at("mean").number, 50.5);
+    EXPECT_DOUBLE_EQ(hist.at("min").number, 1.0);
+    EXPECT_DOUBLE_EQ(hist.at("max").number, 100.0);
+    // Log-binned percentiles are approximate; the registry default
+    // binning keeps relative error under ~1%.
+    EXPECT_NEAR(hist.at("p50").number, 50.0, 1.0);
+    EXPECT_NEAR(hist.at("p99").number, 99.0, 1.5);
+
+    // An empty histogram reports its count and omits the moments (no
+    // infinities may leak into the JSON).
+    const JsonValue &empty = root.at("histograms").at("ltl.node1.rtt_us");
+    EXPECT_DOUBLE_EQ(empty.at("count").number, 0.0);
+    EXPECT_FALSE(empty.has("min"));
+
+    const JsonValue &probe = root.at("probes").at("fpga.node0.pcie_util");
+    EXPECT_DOUBLE_EQ(probe.at("value").number, 0.25);
+}
+
+TEST(MetricsRegistry, SnapshotEscapesAndNonFiniteValues)
+{
+    MetricsRegistry reg;
+    reg.counter("weird.\"quoted\"\\path");
+    reg.registerProbe("bad.probe",
+                      [] { return std::nan(""); });
+    const std::string json = reg.snapshotJson();
+    const JsonValue root = parseJsonOrDie(json);
+    EXPECT_TRUE(root.at("counters").has("weird.\"quoted\"\\path"));
+    // Non-finite probe values serialize as null, keeping the JSON valid.
+    EXPECT_EQ(root.at("probes").at("bad.probe").at("value").kind,
+              JsonValue::kNull);
+}
+
+// ---------------------------------------------------------------------------
+// Trace writer.
+// ---------------------------------------------------------------------------
+
+TEST(TraceWriter, DisabledWriterRecordsNothing)
+{
+    TraceWriter tw;
+    const int t = tw.track("ltl.node0");
+    tw.complete(t, "ltl", "msg", 0, 1000);
+    tw.instant(t, "ltl", "retransmit", 500);
+    tw.counter("ltl", "rate", 0, 40.0);
+    EXPECT_EQ(tw.eventCount(), 0u);
+}
+
+TEST(TraceWriter, TracksAreStablePerName)
+{
+    TraceWriter tw;
+    const int a = tw.track("ltl.node0");
+    const int b = tw.track("ltl.node1");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(tw.track("ltl.node0"), a);
+}
+
+TEST(TraceWriter, ExportIsValidChromeTraceJson)
+{
+    TraceWriter tw;
+    tw.setEnabled(true);
+    const int t0 = tw.track("ltl.node0");
+    const int t1 = tw.track("host.rank");
+    // Simulated times in ps; exported ts/dur are microseconds.
+    tw.complete(t0, "ltl", "ltl.node0.msg", 2'000'000, 500'000);
+    tw.instant(t0, "ltl", "ltl.node0.retransmit", 2'250'000);
+    tw.counter("host", "host.rank.in_flight", 3'000'000, 12.0);
+    tw.complete(t1, "host", "host.rank.query", 0, 10'000'000);
+
+    const JsonValue root = parseJsonOrDie(tw.json());
+    ASSERT_EQ(root.kind, JsonValue::kObject);
+    ASSERT_TRUE(root.has("traceEvents"));
+    const auto &events = root.at("traceEvents").arr;
+    ASSERT_EQ(events.size(), 4u);
+
+    const JsonValue &span = events[0];
+    EXPECT_EQ(span.at("ph").str, "X");
+    EXPECT_EQ(span.at("cat").str, "ltl");
+    EXPECT_EQ(span.at("name").str, "ltl.node0.msg");
+    EXPECT_DOUBLE_EQ(span.at("ts").number, 2.0);
+    EXPECT_DOUBLE_EQ(span.at("dur").number, 0.5);
+    EXPECT_EQ(static_cast<int>(span.at("tid").number), t0);
+
+    const JsonValue &inst = events[1];
+    EXPECT_EQ(inst.at("ph").str, "i");
+    EXPECT_DOUBLE_EQ(inst.at("ts").number, 2.25);
+
+    const JsonValue &ctr = events[2];
+    EXPECT_EQ(ctr.at("ph").str, "C");
+    EXPECT_DOUBLE_EQ(ctr.at("args").at("value").number, 12.0);
+
+    EXPECT_EQ(tw.categories(),
+              (std::vector<std::string>{"host", "ltl"}));
+}
+
+// ---------------------------------------------------------------------------
+// Periodic sampler.
+// ---------------------------------------------------------------------------
+
+TEST(Sampler, FollowsHandComputedSchedule)
+{
+    EventQueue eq;
+    MetricsRegistry reg;
+    double signal = 0.0;
+    std::vector<sim::TimePs> tick_times;
+    reg.registerProbe("test.signal", [&] {
+        tick_times.push_back(0);  // size used as a call count below
+        return signal;
+    });
+
+    const sim::TimePs period = 10 * sim::kMicrosecond;
+    reg.startSampling(eq, period);
+    EXPECT_TRUE(reg.samplingActive());
+
+    // Signal becomes 100 at t=35us: ticks at 10,20,30 see 0; ticks at
+    // 40..90 see 100.
+    eq.scheduleAfter(35 * sim::kMicrosecond, [&signal] { signal = 100.0; });
+    eq.runUntil(95 * sim::kMicrosecond);
+
+    EXPECT_EQ(reg.samplesTaken(), 9u);  // ticks at 10,20,...,90 us
+    EXPECT_EQ(tick_times.size(), 9u);
+
+    // Time-weighted average over [10us, 90us): value 0 held 30us
+    // (10->40), 100 held 50us (40->90) => 100*50/80 = 62.5.
+    EXPECT_DOUBLE_EQ(reg.probeTimeAverage("test.signal"), 62.5);
+
+    reg.stopSampling();
+    EXPECT_FALSE(reg.samplingActive());
+    eq.runAll();  // must terminate: the sampler no longer reschedules
+    EXPECT_EQ(reg.samplesTaken(), 9u);
+}
+
+TEST(Sampler, EmitsTraceCountersOnFirstTickThenOnChange)
+{
+    EventQueue eq;
+    Observability hub;
+    hub.trace.setEnabled(true);
+    double changing = 0.0;
+    hub.registry.registerProbe("a.changing", [&] { return changing; });
+    hub.registry.registerProbe("b.constant", [] { return 5.0; });
+
+    hub.registry.startSampling(eq, 10 * sim::kMicrosecond, &hub.trace);
+    eq.scheduleAfter(15 * sim::kMicrosecond, [&] { changing = 1.0; });
+    eq.runUntil(45 * sim::kMicrosecond);  // ticks at 10,20,30,40
+    hub.registry.stopSampling();
+
+    // First tick: both probes emit. Later ticks: only a.changing, and
+    // only once (at t=20) when its value actually changed.
+    EXPECT_EQ(hub.trace.eventCount(), 3u);
+    EXPECT_EQ(hub.trace.categories(),
+              (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Sampler, RestartReplacesSchedule)
+{
+    EventQueue eq;
+    MetricsRegistry reg;
+    reg.registerProbe("x.v", [] { return 1.0; });
+    reg.startSampling(eq, 10 * sim::kMicrosecond);
+    reg.startSampling(eq, 25 * sim::kMicrosecond);  // replaces the first
+    eq.runUntil(60 * sim::kMicrosecond);
+    reg.stopSampling();
+    EXPECT_EQ(reg.samplesTaken(), 2u);  // ticks at 25, 50
+}
+
+// ---------------------------------------------------------------------------
+// End to end: an instrumented cloud produces a multi-component trace.
+// ---------------------------------------------------------------------------
+
+TEST(ObservabilityIntegration, SmallCloudTraceCoversAllComponentFamilies)
+{
+    EventQueue eq;  // declared before hub: queue must outlive sampler
+    Observability hub;
+    hub.trace.setEnabled(true);
+
+    core::CloudConfig cfg;
+    cfg.topology.hostsPerRack = 4;
+    cfg.topology.racksPerPod = 2;
+    cfg.topology.l1PerPod = 2;
+    cfg.topology.pods = 1;
+    cfg.topology.l2Count = 1;
+    cfg.createNics = false;
+    cfg.shellTemplate.ltl.maxConnections = 8;
+    cfg.obs = &hub;
+    core::ConfigurableCloud cloud(eq, cfg);
+
+    struct NullRole : fpga::Role {
+        int port = -1;
+        std::string name() const override { return "null"; }
+        std::uint32_t areaAlms() const override { return 100; }
+        void attach(fpga::Shell &, int p) override { port = p; }
+        void onMessage(const router::ErMessagePtr &) override {}
+    } sink;
+    cloud.shell(5).addRole(&sink);
+    auto ch = cloud.openLtl(0, 5, sink.port);
+    auto *engine = cloud.shell(0).ltlEngine();
+
+    hub.registry.startSampling(eq, 50 * sim::kMicrosecond, &hub.trace);
+    for (int i = 0; i < 20; ++i) {
+        eq.scheduleAfter(i * 10 * sim::kMicrosecond,
+                         [engine, conn = ch.sendConn] {
+                             engine->sendMessage(conn, 256);
+                         });
+    }
+    eq.runFor(sim::fromMillis(1));
+    hub.registry.stopSampling();
+
+    // The acceptance bar for the trace: valid JSON, >= 4 component
+    // families represented.
+    const JsonValue root = parseJsonOrDie(hub.trace.json());
+    EXPECT_GE(root.at("traceEvents").arr.size(), 4u);
+    const auto cats = hub.trace.categories();
+    EXPECT_GE(cats.size(), 4u);
+    for (const char *want : {"fpga", "ltl", "router", "switch"})
+        EXPECT_TRUE(std::find(cats.begin(), cats.end(), want) != cats.end())
+            << "missing category " << want;
+
+    // Registry agrees with the engine's own counters.
+    EXPECT_EQ(hub.registry.probeValue("ltl.node0.frames_sent"),
+              double(engine->framesSent()));
+    const auto *rtt = hub.registry.findHistogram("ltl.node0.rtt_us");
+    ASSERT_NE(rtt, nullptr);
+    EXPECT_EQ(rtt->count(), engine->rttUs().count());
+}
+
+}  // namespace

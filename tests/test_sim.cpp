@@ -249,6 +249,51 @@ TEST(SampleStats, Percentiles)
     EXPECT_NEAR(s.percentile(99), 99.01, 0.011);
 }
 
+TEST(SampleStats, PercentileSingleSampleEdges)
+{
+    // Regression: a single-sample set returns that sample for EVERY p,
+    // including the p=0 and p=100 edges (nearest-rank used to index
+    // out of range / pick a default here).
+    SampleStats s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 42.0);
+    EXPECT_DOUBLE_EQ(s.median(), 42.0);
+}
+
+TEST(SampleStats, PercentileOfEmptyIsZero)
+{
+    SampleStats s;
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99.9), 0.0);
+}
+
+TEST(SampleStats, NanInputsAreCountedNotRecorded)
+{
+    // Regression: a NaN sample used to poison the sort order and with
+    // it every later percentile query.
+    SampleStats s;
+    s.add(1.0);
+    s.add(std::nan(""));
+    s.add(3.0);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_EQ(s.nanCount(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 3.0);
+    s.clear();
+    EXPECT_EQ(s.nanCount(), 0u);
+}
+
+TEST(SampleStatsDeathTest, PercentileRejectsBadP)
+{
+    SampleStats s;
+    s.add(1.0);
+    EXPECT_DEATH(s.percentile(std::nan("")), "p is NaN");
+    EXPECT_DEATH(s.percentile(-0.5), "out of \\[0,100\\]");
+    EXPECT_DEATH(s.percentile(100.5), "out of \\[0,100\\]");
+}
+
 TEST(SampleStats, AddAfterPercentileQuery)
 {
     SampleStats s;
@@ -276,6 +321,46 @@ TEST(LogHistogram, PercentileAccuracy)
     }
     EXPECT_DOUBLE_EQ(h.max(), exact.max());
     EXPECT_NEAR(h.mean(), exact.mean(), 1e-9);
+}
+
+TEST(LogHistogram, NanInputsAreCountedNotBinned)
+{
+    sim::LogHistogram h;
+    h.add(2.0);
+    h.addN(std::nan(""), 3);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.nanCount(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+    h.clear();
+    EXPECT_EQ(h.nanCount(), 0u);
+}
+
+TEST(LogHistogram, MergeCombinesDistributions)
+{
+    sim::LogHistogram a(1.0, 48), b(1.0, 48);
+    for (int i = 1; i <= 50; ++i)
+        a.add(i);
+    for (int i = 51; i <= 100; ++i)
+        b.add(i);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 100u);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 100.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 50.5);
+    EXPECT_NEAR(a.percentile(50.0) / 50.0, 1.0, 0.05);
+
+    // Merging an empty histogram is a no-op on the moments.
+    sim::LogHistogram empty(1.0, 48);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 100u);
+    EXPECT_DOUBLE_EQ(a.max(), 100.0);
+}
+
+TEST(LogHistogramDeathTest, MergeRejectsMismatchedBinning)
+{
+    sim::LogHistogram a(1.0, 48), b(0.5, 48), c(1.0, 96);
+    EXPECT_DEATH(a.merge(b), "binning parameters differ");
+    EXPECT_DEATH(a.merge(c), "binning parameters differ");
 }
 
 TEST(TimeWeighted, PiecewiseConstantAverage)
