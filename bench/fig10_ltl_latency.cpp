@@ -63,7 +63,7 @@ measurePairs(core::ConfigurableCloud &cloud, sim::EventQueue &eq,
         // Idle rate: 20 us spacing, far below saturation.
         for (int i = 0; i < pings; ++i) {
             eq.scheduleAfter(i * 20 * sim::kMicrosecond,
-                             [engine, conn = ch.sendConn] {
+                             [engine, conn = ch.sendConn()] {
                                  engine->sendMessage(conn, 64);
                              });
         }

@@ -46,6 +46,7 @@ runPoint(Mode mode, double qps, double seconds)
     std::unique_ptr<roles::RankingRole> role;
     std::unique_ptr<roles::ForwarderRole> forwarder;
     std::unique_ptr<roles::RemoteRankingClient> remote_client;
+    core::LtlChannel req_ch, rep_ch;  // must stay open while serving
     host::FeatureAccelerator *accel = nullptr;
 
     if (mode == Mode::kLocalFpga) {
@@ -73,11 +74,11 @@ runPoint(Mode mode, double qps, double seconds)
         forwarder = std::make_unique<roles::ForwarderRole>();
         if (cloud->shell(client).addRole(forwarder.get()) < 0)
             sim::fatal("fig11: forwarder does not fit");
-        auto req_ch = cloud->openLtl(client, remote, fpga::kErPortRole0);
-        auto rep_ch = cloud->openLtl(remote, client, forwarder->port());
+        req_ch = cloud->openLtl(client, remote, fpga::kErPortRole0);
+        rep_ch = cloud->openLtl(remote, client, forwarder->port());
         remote_client = std::make_unique<roles::RemoteRankingClient>(
-            eq, cloud->shell(client), *forwarder, req_ch.sendConn,
-            rep_ch.sendConn);
+            eq, cloud->shell(client), *forwarder, req_ch.sendConn(),
+            rep_ch.sendConn());
         accel = remote_client.get();
     }
 

@@ -62,7 +62,7 @@ class DnnClient
                               fpga::kErPortRole0);
         t.rep = cloud.openLtl(pool_host, shellHost(cloud),
                               forwarder->port());
-        targets.push_back(t);
+        targets.push_back(std::move(t));
     }
 
     void sendRequest()
@@ -74,10 +74,10 @@ class DnnClient
         auto req = std::make_shared<roles::DnnRequest>();
         req->requestId = nextId++;
         req->clientId = clientId;
-        req->replyConn = t.rep.sendConn;
+        req->replyConn = t.rep.sendConn();
         outstanding[req->requestId] = queue.now();
         auto fwd = std::make_shared<roles::ForwarderRole::ForwardRequest>();
-        fwd->sendConn = t.req.sendConn;
+        fwd->sendConn = t.req.sendConn();
         fwd->bytes = 512;
         fwd->inner = std::move(req);
         shell.sendFromHost(forwarder->port(), 512, std::move(fwd));
@@ -87,7 +87,7 @@ class DnnClient
 
   private:
     struct Target {
-        core::ConfigurableCloud::LtlChannel req, rep;
+        core::LtlChannel req, rep;
     };
 
     sim::EventQueue &queue;

@@ -38,7 +38,7 @@ measureRttUs(core::ConfigurableCloud &cloud, sim::EventQueue &eq, int src,
     const std::size_t before = engine->rttUs().count();
     for (int i = 0; i < 100; ++i) {
         eq.scheduleAfter(i * 20 * sim::kMicrosecond,
-                         [engine, conn = ch.sendConn] {
+                         [engine, conn = ch.sendConn()] {
                              engine->sendMessage(conn, 64);
                          });
     }

@@ -77,13 +77,14 @@ main()
                 100.0 * cloud.shell(5).areaModel().freeAlms() /
                     cloud.shell(5).areaModel().totalAvailable());
 
-    // 3. Open an LTL channel 0 -> 5 and send greetings.
+    // 3. Open an LTL channel 0 -> 5 and send greetings. The returned
+    // RAII handle owns both connection-table entries and closes them
+    // when it goes out of scope.
     auto ch = cloud.openLtl(0, 5, port);
     for (int i = 0; i < 3; ++i) {
         auto text = std::make_shared<std::string>(
             "hello from FPGA 0 #" + std::to_string(i));
-        cloud.shell(0).ltlEngine()->sendMessage(
-            ch.sendConn, 64 + 16 * static_cast<std::uint32_t>(i), text);
+        ch.send(64 + 16 * static_cast<std::uint32_t>(i), text);
     }
     eq.runFor(sim::fromMicros(200));
 

@@ -66,7 +66,7 @@ main()
 
     struct Target {
         int host;
-        core::ConfigurableCloud::LtlChannel req, rep;
+        core::LtlChannel req, rep;
     };
     std::vector<Target> targets;
     auto connect_pool = [&] {
@@ -78,7 +78,7 @@ main()
                                   fpga::kErPortRole0);
             t.rep = cloud.openLtl(instance, client_host,
                                   forwarder.port());
-            targets.push_back(t);
+            targets.push_back(std::move(t));
         }
     };
     connect_pool();
@@ -115,11 +115,11 @@ main()
         const Target &t = targets[next_id % targets.size()];
         auto req = std::make_shared<roles::DnnRequest>();
         req->requestId = next_id++;
-        req->replyConn = t.rep.sendConn;
+        req->replyConn = t.rep.sendConn();
         req->input = std::make_shared<std::vector<float>>(64, 0.25f);
         outstanding[req->requestId] = eq.now();
         auto fwd = std::make_shared<roles::ForwarderRole::ForwardRequest>();
-        fwd->sendConn = t.req.sendConn;
+        fwd->sendConn = t.req.sendConn();
         fwd->bytes = 512;
         fwd->inner = std::move(req);
         cloud.shell(client_host)

@@ -4,13 +4,47 @@
 
 namespace ccsim::core {
 
+void
+ConfigurableCloud::validate(const CloudConfig &cfg)
+{
+    const auto &t = cfg.topology;
+    if (t.hostsPerRack < 1 || t.racksPerPod < 1 || t.pods < 1)
+        sim::fatalf("CloudConfig: topology has no servers (hostsPerRack=",
+                    t.hostsPerRack, ", racksPerPod=", t.racksPerPod,
+                    ", pods=", t.pods, "); every dimension must be >= 1");
+    if (t.l1PerPod < 1 || t.l2Count < 1)
+        sim::fatalf("CloudConfig: need at least one switch per fabric "
+                    "tier (l1PerPod=", t.l1PerPod, ", l2Count=", t.l2Count,
+                    ")");
+    if (t.linkGbps <= 0.0)
+        sim::fatalf("CloudConfig: linkGbps must be positive (got ",
+                    t.linkGbps, ")");
+    if (t.hostCableMeters < 0.0 || t.torToL1Meters < 0.0 ||
+        t.l1ToL2Meters < 0.0)
+        sim::fatalf("CloudConfig: cable lengths must be non-negative "
+                    "(host=", t.hostCableMeters, " m, tor-l1=",
+                    t.torToL1Meters, " m, l1-l2=", t.l1ToL2Meters, " m)");
+    if (cfg.createNics && cfg.nicCableMeters < 0.0)
+        sim::fatalf("CloudConfig: nicCableMeters must be non-negative "
+                    "(got ", cfg.nicCableMeters, ")");
+    if (cfg.obsSamplePeriod < 0)
+        sim::fatalf("CloudConfig: obsSamplePeriod must be non-negative "
+                    "(got ", cfg.obsSamplePeriod, " ps)");
+    if (cfg.obsSamplePeriod > 0 && cfg.obs == nullptr)
+        sim::fatal("CloudConfig: obsSamplePeriod set but no observability "
+                   "hub attached; call withObservability(&hub) first");
+}
+
 ConfigurableCloud::ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg)
     : queue(eq), config(std::move(cfg))
 {
+    validate(config);
     topo = std::make_unique<net::Topology>(queue, config.topology);
     if (config.obs)
         topo->attachObservability(config.obs);
     rm = std::make_unique<haas::ResourceManager>(queue);
+    if (config.obs)
+        rm->attachObservability(config.obs);
 
     const int n = topo->numHosts();
     shells.reserve(n);
@@ -54,11 +88,15 @@ ConfigurableCloud::ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg)
         shells.push_back(std::move(shell));
         fms.push_back(std::move(fm));
     }
+
+    if (config.obs && config.obsSamplePeriod > 0)
+        config.obs->registry.startSampling(queue, config.obsSamplePeriod,
+                                           &config.obs->trace);
 }
 
 ConfigurableCloud::~ConfigurableCloud() = default;
 
-ConfigurableCloud::LtlChannel
+LtlChannel
 ConfigurableCloud::openLtl(int from_host, int to_host,
                            int deliver_to_er_port, std::uint8_t vc)
 {
@@ -66,17 +104,49 @@ ConfigurableCloud::openLtl(int from_host, int to_host,
     fpga::Shell &dst = shell(to_host);
     if (src.ltlEngine() == nullptr || dst.ltlEngine() == nullptr)
         sim::fatal("ConfigurableCloud::openLtl: shells built without LTL");
-    LtlChannel ch;
-    ch.recvConn = dst.ltlEngine()->openReceive(vc);
-    dst.bindReceiveConnection(ch.recvConn, deliver_to_er_port);
-    ch.sendConn = src.ltlEngine()->openSend(dst.ip(), ch.recvConn);
-    return ch;
+    const std::uint16_t recv_conn = dst.ltlEngine()->openReceive(vc);
+    dst.bindReceiveConnection(recv_conn, deliver_to_er_port);
+    const std::uint16_t send_conn =
+        src.ltlEngine()->openSend(dst.ip(), recv_conn);
+    return LtlChannel(src.ltlEngine(), send_conn, dst.ltlEngine(),
+                      recv_conn);
 }
 
 net::Ipv4Addr
 ConfigurableCloud::addressOf(int host) const
 {
     return topo->host(host).addr;
+}
+
+void
+ConfigurableCloud::setHostLinkDown(int host, bool down)
+{
+    topo->hostLink(host).setAdminDown(down);
+}
+
+void
+ConfigurableCloud::setNicLinkDown(int host, bool down)
+{
+    if (nicLinks.empty())
+        sim::fatal("ConfigurableCloud::setNicLinkDown: cloud was built "
+                   "without NICs (createNics=false)");
+    nicLinks.at(host)->setAdminDown(down);
+}
+
+void
+ConfigurableCloud::attachFaultInjector(const void *tag)
+{
+    if (injectorTag != nullptr && injectorTag != tag)
+        sim::fatal("ConfigurableCloud: a fault injector is already "
+                   "attached; detach it before attaching another");
+    injectorTag = tag;
+}
+
+void
+ConfigurableCloud::detachFaultInjector(const void *tag)
+{
+    if (injectorTag == tag)
+        injectorTag = nullptr;
 }
 
 }  // namespace ccsim::core

@@ -17,6 +17,7 @@
 
 #include "fpga/shell.hpp"
 #include "haas/haas.hpp"
+#include "ltl/ltl_engine.hpp"
 #include "net/nic.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
@@ -24,7 +25,11 @@
 
 namespace ccsim::core {
 
-/** Datacenter configuration. */
+/**
+ * Datacenter configuration. Fields can be set directly or through the
+ * fluent with*() setters; ConfigurableCloud validates the result at
+ * construction and reports configuration errors via sim::fatal.
+ */
 struct CloudConfig {
     net::TopologyConfig topology;
     /** Template applied to every server's shell (name/ip are overridden). */
@@ -36,21 +41,150 @@ struct CloudConfig {
     /**
      * Observability hub to instrument the whole datacenter with
      * (`ltl.node<i>.*`, `router.node<i>.*`, `switch.*`, `fpga.node<i>.*`,
-     * `nic.node<i>.*`). Must outlive the cloud; null disables.
+     * `nic.node<i>.*`, `haas.*`). Must outlive the cloud; null disables.
      */
     obs::Observability *obs = nullptr;
+    /**
+     * When non-zero, the cloud starts periodic gauge sampling on the hub
+     * at this period (requires obs). The caller must stopSampling()
+     * before draining the event queue with runAll().
+     */
+    sim::TimePs obsSamplePeriod = 0;
+
+    // --- fluent setters (each returns *this for chaining) ---
+
+    CloudConfig &withTopology(net::TopologyConfig t)
+    {
+        topology = std::move(t);
+        return *this;
+    }
+    CloudConfig &withShellTemplate(fpga::ShellConfig s)
+    {
+        shellTemplate = std::move(s);
+        return *this;
+    }
+    CloudConfig &withNics(bool enabled)
+    {
+        createNics = enabled;
+        return *this;
+    }
+    CloudConfig &withNicCableMeters(double meters)
+    {
+        nicCableMeters = meters;
+        return *this;
+    }
+    CloudConfig &withObservability(obs::Observability *hub)
+    {
+        obs = hub;
+        return *this;
+    }
+    CloudConfig &withObsSamplePeriod(sim::TimePs period)
+    {
+        obsSamplePeriod = period;
+        return *this;
+    }
+};
+
+/**
+ * A move-only RAII handle for a one-directional LTL channel between two
+ * FPGAs: owns one send connection on the source engine and one receive
+ * connection on the destination engine, and closes both on destruction
+ * (so fault-triggered teardown cannot leak connection-table entries).
+ *
+ * Handles must not outlive the ConfigurableCloud that opened them.
+ */
+class LtlChannel
+{
+  public:
+    /** An empty (closed) handle. */
+    LtlChannel() = default;
+
+    LtlChannel(const LtlChannel &) = delete;
+    LtlChannel &operator=(const LtlChannel &) = delete;
+
+    LtlChannel(LtlChannel &&other) noexcept { moveFrom(other); }
+    LtlChannel &operator=(LtlChannel &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    ~LtlChannel() { close(); }
+
+    /** The send-connection index on the source shell's engine. */
+    std::uint16_t sendConn() const { return sendId; }
+    /** The receive-connection index on the destination shell's engine. */
+    std::uint16_t recvConn() const { return recvId; }
+
+    /** The engine owning the send side (nullptr if closed). */
+    ltl::LtlEngine *senderEngine() const { return sender; }
+
+    /** True while the handle owns open connections. */
+    bool isOpen() const { return sender != nullptr; }
+    explicit operator bool() const { return isOpen(); }
+
+    /** Convenience: send a message down this channel. */
+    void send(std::uint32_t bytes, std::shared_ptr<void> payload = nullptr,
+              std::uint8_t vc = 0)
+    {
+        if (sender)
+            sender->sendMessage(sendId, bytes, std::move(payload), vc);
+    }
+
+    /** True if the send side has been declared failed by LTL. */
+    bool failed() const
+    {
+        return sender != nullptr && sender->sendConnectionFailed(sendId);
+    }
+
+    /** Close both connections now (idempotent). */
+    void close()
+    {
+        if (sender)
+            sender->closeSend(sendId);
+        if (receiver)
+            receiver->closeReceive(recvId);
+        sender = nullptr;
+        receiver = nullptr;
+        sendId = 0;
+        recvId = 0;
+    }
+
+  private:
+    friend class ConfigurableCloud;
+
+    LtlChannel(ltl::LtlEngine *send_engine, std::uint16_t send_conn,
+               ltl::LtlEngine *recv_engine, std::uint16_t recv_conn)
+        : sender(send_engine), receiver(recv_engine), sendId(send_conn),
+          recvId(recv_conn)
+    {
+    }
+
+    void moveFrom(LtlChannel &other)
+    {
+        sender = other.sender;
+        receiver = other.receiver;
+        sendId = other.sendId;
+        recvId = other.recvId;
+        other.sender = nullptr;
+        other.receiver = nullptr;
+        other.sendId = 0;
+        other.recvId = 0;
+    }
+
+    ltl::LtlEngine *sender = nullptr;
+    ltl::LtlEngine *receiver = nullptr;
+    std::uint16_t sendId = 0;
+    std::uint16_t recvId = 0;
 };
 
 /** A constructed Configurable Cloud instance. */
 class ConfigurableCloud
 {
   public:
-    /** A one-directional LTL channel between two FPGAs. */
-    struct LtlChannel {
-        std::uint16_t sendConn = 0;  ///< on the source shell's engine
-        std::uint16_t recvConn = 0;  ///< on the destination shell's engine
-    };
-
     ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg);
     ~ConfigurableCloud();
 
@@ -69,12 +203,45 @@ class ConfigurableCloud
      * Open a one-directional LTL channel from @p from_host to @p to_host:
      * allocates a receive connection on the destination (delivering into
      * ER port @p deliver_to_er_port) and a send connection on the source.
+     * The returned RAII handle closes both connections when destroyed.
      */
     LtlChannel openLtl(int from_host, int to_host, int deliver_to_er_port,
                        std::uint8_t vc = 0);
 
     /** The IP address of a server (shared by its NIC and FPGA). */
     net::Ipv4Addr addressOf(int host) const;
+
+    /** The observability hub the cloud was built with (may be null). */
+    obs::Observability *observability() const { return config.obs; }
+
+    // --- fault injection hooks (ccsim::fault) ---
+
+    /** Cut / restore a server's FPGA<->TOR cable (both directions). */
+    void setHostLinkDown(int host, bool down);
+
+    /**
+     * Cut / restore a server's NIC<->FPGA cable. Requires createNics.
+     */
+    void setNicLinkDown(int host, bool down);
+
+    /** The NIC<->FPGA cable of a host (nullptr when built without NICs). */
+    net::Link *nicLink(int host)
+    {
+        return nicLinks.empty() ? nullptr : nicLinks.at(host).get();
+    }
+
+    /**
+     * Register @p tag as this cloud's single active fault injector.
+     * A second concurrent attach is a configuration error (two injectors
+     * would fight over the same admin hooks).
+     */
+    void attachFaultInjector(const void *tag);
+
+    /** Release the fault-injector slot (no-op if @p tag isn't attached). */
+    void detachFaultInjector(const void *tag);
+
+    /** The currently attached injector tag (nullptr when none). */
+    const void *faultInjector() const { return injectorTag; }
 
   private:
     sim::EventQueue &queue;
@@ -85,6 +252,9 @@ class ConfigurableCloud
     std::vector<std::unique_ptr<net::Link>> nicLinks;
     std::unique_ptr<haas::ResourceManager> rm;
     std::vector<std::unique_ptr<haas::FpgaManager>> fms;
+    const void *injectorTag = nullptr;
+
+    static void validate(const CloudConfig &cfg);
 };
 
 }  // namespace ccsim::core

@@ -1,0 +1,491 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace ccsim::fault {
+
+namespace {
+
+/** Bounds-check a host index against the cloud. */
+void
+checkHost(core::ConfigurableCloud &cloud, int host, const char *what)
+{
+    if (host < 0 || host >= cloud.numServers())
+        sim::fatalf("FaultInjector: ", what, " targets host ", host,
+                    " but the cloud has ", cloud.numServers(), " servers");
+}
+
+}  // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::kHostLinkFlap: return "host_link_flap";
+    case FaultKind::kNicLinkFlap: return "nic_link_flap";
+    case FaultKind::kTrunkLinkFlap: return "trunk_link_flap";
+    case FaultKind::kCorruptionBurst: return "corruption_burst";
+    case FaultKind::kFpgaHardFail: return "fpga_hard_fail";
+    case FaultKind::kReconfigPause: return "reconfig_pause";
+    case FaultKind::kSwitchBrownout: return "switch_brownout";
+    }
+    return "unknown";
+}
+
+FaultInjector::FaultInjector(sim::EventQueue &eq,
+                             core::ConfigurableCloud &c, FaultConfig config)
+    : queue(eq), cloud(c), cfg(std::move(config)), rng(cfg.seed)
+{
+    validate();
+    cloud.attachFaultInjector(this);
+    attachObservability();
+}
+
+FaultInjector::~FaultInjector()
+{
+    cloud.detachFaultInjector(this);
+}
+
+void
+FaultInjector::validate() const
+{
+    if (cfg.randomFlapsPerSec < 0.0)
+        sim::fatalf("FaultConfig: randomFlapsPerSec must be non-negative "
+                    "(got ", cfg.randomFlapsPerSec, ")");
+    if (cfg.randomBurstsPerSec < 0.0)
+        sim::fatalf("FaultConfig: randomBurstsPerSec must be non-negative "
+                    "(got ", cfg.randomBurstsPerSec, ")");
+    if (cfg.randomFlapsPerSec > 0.0 && cfg.randomFlapDuration <= 0)
+        sim::fatal("FaultConfig: random flaps need a positive "
+                   "randomFlapDuration");
+    if (cfg.randomBurstsPerSec > 0.0 &&
+        (cfg.randomBurstRate <= 0.0 || cfg.randomBurstRate > 1.0))
+        sim::fatalf("FaultConfig: randomBurstRate must be in (0, 1] "
+                    "(got ", cfg.randomBurstRate, ")");
+    if (cfg.randomBurstsPerSec > 0.0 && cfg.randomBurstDuration <= 0)
+        sim::fatal("FaultConfig: random bursts need a positive "
+                   "randomBurstDuration");
+    if (cfg.randomHorizon < 0)
+        sim::fatal("FaultConfig: randomHorizon must be non-negative");
+    if ((cfg.randomFlapsPerSec > 0.0 || cfg.randomBurstsPerSec > 0.0) &&
+        cfg.randomHorizon <= 0)
+        sim::fatal("FaultConfig: random faults configured but "
+                   "randomHorizon is zero; call withRandomHorizon()");
+    for (const FaultEvent &e : cfg.schedule)
+        validateEvent(e);
+}
+
+void
+FaultInjector::validateEvent(const FaultEvent &e) const
+{
+    const char *name = faultKindName(e.kind);
+    if (e.at < 0)
+        sim::fatalf("FaultConfig: ", name, " scheduled at negative time ",
+                    e.at);
+    switch (e.kind) {
+    case FaultKind::kHostLinkFlap:
+    case FaultKind::kNicLinkFlap:
+    case FaultKind::kReconfigPause:
+        checkHost(cloud, e.host, name);
+        if (e.duration <= 0)
+            sim::fatalf("FaultConfig: ", name, " needs a positive duration");
+        break;
+    case FaultKind::kFpgaHardFail:
+        checkHost(cloud, e.host, name);
+        break;
+    case FaultKind::kTrunkLinkFlap:
+        if (e.trunkIndex < 0 ||
+            e.trunkIndex >= cloud.topology().numTrunkLinks())
+            sim::fatalf("FaultConfig: trunk_link_flap targets trunk ",
+                        e.trunkIndex, " but the fabric has ",
+                        cloud.topology().numTrunkLinks(), " trunk cables");
+        if (e.duration <= 0)
+            sim::fatalf("FaultConfig: ", name, " needs a positive duration");
+        break;
+    case FaultKind::kCorruptionBurst:
+        checkHost(cloud, e.host, name);
+        if (e.rate <= 0.0 || e.rate > 1.0)
+            sim::fatalf("FaultConfig: corruption_burst rate must be in "
+                        "(0, 1] (got ", e.rate, ")");
+        if (e.duration <= 0)
+            sim::fatalf("FaultConfig: ", name, " needs a positive duration");
+        break;
+    case FaultKind::kSwitchBrownout:
+        if (e.pod < 0 || e.pod >= cloud.topology().numPods() ||
+            e.rack < 0 || e.rack >= cloud.topology().racksPerPod())
+            sim::fatalf("FaultConfig: switch_brownout targets TOR (pod ",
+                        e.pod, ", rack ", e.rack, ") outside the fabric");
+        if (e.rate < 0.0 || e.rate > 1.0)
+            sim::fatalf("FaultConfig: switch_brownout drop rate must be "
+                        "in [0, 1] (got ", e.rate, ")");
+        if (e.rate == 0.0 && !e.ecnStorm)
+            sim::fatal("FaultConfig: switch_brownout with zero drop rate "
+                       "and no ECN storm would do nothing");
+        if (e.duration <= 0)
+            sim::fatalf("FaultConfig: ", name, " needs a positive duration");
+        break;
+    }
+}
+
+void
+FaultInjector::arm()
+{
+    if (armed)
+        sim::fatal("FaultInjector::arm: already armed (arm() is one-shot; "
+                   "use the imperative API for extra faults)");
+    armed = true;
+    for (const FaultEvent &e : cfg.schedule) {
+        const sim::TimePs when = std::max(e.at, queue.now());
+        queue.schedule(when, [this, e] { execute(e); });
+    }
+    scheduleRandom();
+}
+
+void
+FaultInjector::execute(const FaultEvent &e)
+{
+    switch (e.kind) {
+    case FaultKind::kHostLinkFlap:
+        flapHostLink(e.host, e.duration);
+        break;
+    case FaultKind::kNicLinkFlap:
+        flapNicLink(e.host, e.duration);
+        break;
+    case FaultKind::kTrunkLinkFlap:
+        flapTrunkLink(e.trunkIndex, e.duration);
+        break;
+    case FaultKind::kCorruptionBurst:
+        corruptionBurst(e.host, e.rate, e.duration);
+        break;
+    case FaultKind::kFpgaHardFail:
+        failFpga(e.host);
+        break;
+    case FaultKind::kReconfigPause:
+        reconfigPause(e.host, e.duration);
+        break;
+    case FaultKind::kSwitchBrownout:
+        switchBrownout(e.pod, e.rack, e.rate, e.ecnStorm, e.duration);
+        break;
+    }
+}
+
+void
+FaultInjector::scheduleRandom()
+{
+    // All draws happen here, in a fixed order, so the whole random
+    // schedule is a pure function of the seed.
+    const sim::TimePs limit = queue.now() + cfg.randomHorizon;
+    if (cfg.randomFlapsPerSec > 0.0) {
+        const double gap = 1e12 / cfg.randomFlapsPerSec;  // ps
+        sim::TimePs t = queue.now();
+        for (;;) {
+            t += static_cast<sim::TimePs>(rng.exponential(gap));
+            if (t >= limit)
+                break;
+            const int host = rng.uniformInt(cloud.numServers());
+            queue.schedule(t, [this, host] {
+                flapHostLink(host, cfg.randomFlapDuration);
+            });
+        }
+    }
+    if (cfg.randomBurstsPerSec > 0.0) {
+        const double gap = 1e12 / cfg.randomBurstsPerSec;
+        sim::TimePs t = queue.now();
+        for (;;) {
+            t += static_cast<sim::TimePs>(rng.exponential(gap));
+            if (t >= limit)
+                break;
+            const int host = rng.uniformInt(cloud.numServers());
+            queue.schedule(t, [this, host] {
+                corruptionBurst(host, cfg.randomBurstRate,
+                                cfg.randomBurstDuration);
+            });
+        }
+    }
+}
+
+void
+FaultInjector::flapHostLink(int host, sim::TimePs down_for)
+{
+    checkHost(cloud, host, "flapHostLink");
+    if (down_for <= 0)
+        sim::fatal("FaultInjector::flapHostLink: duration must be positive");
+    ++statInjected;
+    ++statLinkFlaps;
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", queue.now(), "host link ",
+              host, " down for ", down_for, " ps");
+    traceInstant("link_down.node" + std::to_string(host));
+    holdHostLink(host);
+    queue.scheduleAfter(down_for, [this, host] {
+        releaseHostLink(host);
+        ++statRecovered;
+        CCSIM_LOG(sim::LogLevel::kInfo, "fault", queue.now(), "host link ",
+                  host, " restored");
+        traceInstant("link_up.node" + std::to_string(host));
+    });
+}
+
+void
+FaultInjector::flapNicLink(int host, sim::TimePs down_for)
+{
+    checkHost(cloud, host, "flapNicLink");
+    if (down_for <= 0)
+        sim::fatal("FaultInjector::flapNicLink: duration must be positive");
+    if (cloud.nicLink(host) == nullptr)
+        sim::fatal("FaultInjector::flapNicLink: the cloud was built "
+                   "without NICs (createNics=false)");
+    ++statInjected;
+    ++statLinkFlaps;
+    traceInstant("nic_down.node" + std::to_string(host));
+    if (nicDepth[host]++ == 0)
+        cloud.setNicLinkDown(host, true);
+    queue.scheduleAfter(down_for, [this, host] {
+        if (--nicDepth[host] == 0)
+            cloud.setNicLinkDown(host, false);
+        ++statRecovered;
+        traceInstant("nic_up.node" + std::to_string(host));
+    });
+}
+
+void
+FaultInjector::flapTrunkLink(int index, sim::TimePs down_for)
+{
+    if (index < 0 || index >= cloud.topology().numTrunkLinks())
+        sim::fatalf("FaultInjector::flapTrunkLink: trunk ", index,
+                    " out of range (fabric has ",
+                    cloud.topology().numTrunkLinks(), " trunk cables)");
+    if (down_for <= 0)
+        sim::fatal("FaultInjector::flapTrunkLink: duration must be "
+                   "positive");
+    ++statInjected;
+    ++statLinkFlaps;
+    traceInstant("trunk_down." + std::to_string(index));
+    if (trunkDepth[index]++ == 0)
+        cloud.topology().trunkLink(index).setAdminDown(true);
+    queue.scheduleAfter(down_for, [this, index] {
+        if (--trunkDepth[index] == 0)
+            cloud.topology().trunkLink(index).setAdminDown(false);
+        ++statRecovered;
+        traceInstant("trunk_up." + std::to_string(index));
+    });
+}
+
+void
+FaultInjector::corruptionBurst(int host, double drop_prob,
+                               sim::TimePs duration)
+{
+    checkHost(cloud, host, "corruptionBurst");
+    if (drop_prob <= 0.0 || drop_prob > 1.0)
+        sim::fatalf("FaultInjector::corruptionBurst: drop probability "
+                    "must be in (0, 1] (got ", drop_prob, ")");
+    if (duration <= 0)
+        sim::fatal("FaultInjector::corruptionBurst: duration must be "
+                   "positive");
+    ++statInjected;
+    ++statBursts;
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", queue.now(),
+              "corruption burst on host link ", host, " p=", drop_prob,
+              " for ", duration, " ps");
+    traceInstant("corruption_on.node" + std::to_string(host));
+    // Overlapping bursts on one link are last-writer-wins: the newest
+    // burst's probability applies, and only its expiry clears the hook.
+    const std::uint64_t gen = ++burstGen[host];
+    net::Link &link = cloud.topology().hostLink(host);
+    auto hook = [this, drop_prob](const net::PacketPtr &) {
+        return rng.bernoulli(drop_prob);
+    };
+    link.aToB().setFaultHook(hook);
+    link.bToA().setFaultHook(hook);
+    queue.scheduleAfter(duration, [this, host, gen] {
+        if (burstGen[host] != gen)
+            return;  // superseded by a newer burst
+        net::Link &l = cloud.topology().hostLink(host);
+        l.aToB().setFaultHook({});
+        l.bToA().setFaultHook({});
+        ++statRecovered;
+        traceInstant("corruption_off.node" + std::to_string(host));
+    });
+}
+
+void
+FaultInjector::failFpga(int host)
+{
+    checkHost(cloud, host, "failFpga");
+    if (hardFailed[host])
+        return;  // idempotent
+    hardFailed[host] = true;
+    ++statInjected;
+    ++statHardFails;
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", queue.now(), "FPGA ", host,
+              " hard failure");
+    traceInstant("fpga_fail.node" + std::to_string(host));
+    holdHostLink(host);
+    cloud.shell(host).bridge().setDown(true);
+    cloud.resourceManager().reportFailure(host);
+}
+
+void
+FaultInjector::repairFpga(int host)
+{
+    checkHost(cloud, host, "repairFpga");
+    if (!hardFailed[host])
+        return;
+    hardFailed[host] = false;
+    cloud.shell(host).bridge().setDown(false);
+    releaseHostLink(host);
+    cloud.resourceManager().repair(host);
+    ++statRecovered;
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", queue.now(), "FPGA ", host,
+              " repaired");
+    traceInstant("fpga_repair.node" + std::to_string(host));
+}
+
+void
+FaultInjector::reconfigPause(int host, sim::TimePs window)
+{
+    checkHost(cloud, host, "reconfigPause");
+    if (window <= 0)
+        sim::fatal("FaultInjector::reconfigPause: window must be positive");
+    ++statInjected;
+    ++statReconfigs;
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", queue.now(), "node ", host,
+              " reconfiguration pause for ", window, " ps");
+    traceInstant("reconfig_start.node" + std::to_string(host));
+    holdHostLink(host);
+    cloud.shell(host).bridge().setDown(true);
+    cloud.resourceManager().reportFailure(host);
+    queue.scheduleAfter(window, [this, host] {
+        releaseHostLink(host);
+        // A hard failure that landed during the window sticks: the node
+        // only rejoins if it is merely paused.
+        if (!hardFailed[host]) {
+            cloud.shell(host).bridge().setDown(false);
+            cloud.resourceManager().repair(host);
+        }
+        ++statRecovered;
+        traceInstant("reconfig_end.node" + std::to_string(host));
+    });
+}
+
+void
+FaultInjector::switchBrownout(int pod, int rack, double drop_prob,
+                              bool ecn_storm, sim::TimePs duration)
+{
+    if (pod < 0 || pod >= cloud.topology().numPods() || rack < 0 ||
+        rack >= cloud.topology().racksPerPod())
+        sim::fatalf("FaultInjector::switchBrownout: TOR (pod ", pod,
+                    ", rack ", rack, ") outside the fabric");
+    if (drop_prob < 0.0 || drop_prob > 1.0)
+        sim::fatalf("FaultInjector::switchBrownout: drop probability must "
+                    "be in [0, 1] (got ", drop_prob, ")");
+    if (drop_prob == 0.0 && !ecn_storm)
+        sim::fatal("FaultInjector::switchBrownout: zero drop rate and no "
+                   "ECN storm would do nothing");
+    if (duration <= 0)
+        sim::fatal("FaultInjector::switchBrownout: duration must be "
+                   "positive");
+    ++statInjected;
+    ++statBrownouts;
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", queue.now(), "TOR (", pod,
+              ",", rack, ") brownout p=", drop_prob,
+              ecn_storm ? " +ecn" : "", " for ", duration, " ps");
+    traceInstant("brownout_on.tor" + std::to_string(pod) + "." +
+                 std::to_string(rack));
+    cloud.topology().tor(pod, rack).setBrownout(drop_prob, ecn_storm);
+    queue.scheduleAfter(duration, [this, pod, rack] {
+        cloud.topology().tor(pod, rack).clearBrownout();
+        ++statRecovered;
+        traceInstant("brownout_off.tor" + std::to_string(pod) + "." +
+                     std::to_string(rack));
+    });
+}
+
+bool
+FaultInjector::nodeDown(int host) const
+{
+    auto it = darkDepth.find(host);
+    return it != darkDepth.end() && it->second > 0;
+}
+
+sim::TimePs
+FaultInjector::downtime(int host) const
+{
+    sim::TimePs total = 0;
+    if (auto it = downAccum.find(host); it != downAccum.end())
+        total = it->second;
+    if (nodeDown(host)) {
+        auto it = downSince.find(host);
+        if (it != downSince.end())
+            total += queue.now() - it->second;
+    }
+    return total;
+}
+
+void
+FaultInjector::holdHostLink(int host)
+{
+    if (darkDepth[host]++ == 0) {
+        downSince[host] = queue.now();
+        cloud.setHostLinkDown(host, true);
+    }
+}
+
+void
+FaultInjector::releaseHostLink(int host)
+{
+    if (--darkDepth[host] == 0) {
+        downAccum[host] += queue.now() - downSince[host];
+        cloud.setHostLinkDown(host, false);
+    }
+}
+
+void
+FaultInjector::attachObservability()
+{
+    obsHub = cloud.observability();
+    if (!obsHub)
+        return;
+    obsTrack = obsHub->trace.track("fault");
+    auto &reg = obsHub->registry;
+    reg.registerProbe("fault.injected",
+                      [this] { return double(statInjected); });
+    reg.registerProbe("fault.recovered",
+                      [this] { return double(statRecovered); });
+    reg.registerProbe("fault.link_flaps",
+                      [this] { return double(statLinkFlaps); });
+    reg.registerProbe("fault.corruption_bursts",
+                      [this] { return double(statBursts); });
+    reg.registerProbe("fault.fpga_failures",
+                      [this] { return double(statHardFails); });
+    reg.registerProbe("fault.reconfig_pauses",
+                      [this] { return double(statReconfigs); });
+    reg.registerProbe("fault.brownouts",
+                      [this] { return double(statBrownouts); });
+    reg.registerProbe("fault.nodes_down", [this] {
+        int n = 0;
+        for (const auto &[host, depth] : darkDepth)
+            n += depth > 0 ? 1 : 0;
+        return double(n);
+    });
+    for (int host = 0; host < cloud.numServers(); ++host) {
+        const std::string node = "fault.node" + std::to_string(host);
+        reg.registerProbe(node + ".down", [this, host] {
+            return nodeDown(host) ? 1.0 : 0.0;
+        });
+        reg.registerProbe(node + ".downtime_us", [this, host] {
+            return double(downtime(host)) /
+                   double(sim::kMicrosecond);
+        });
+    }
+}
+
+void
+FaultInjector::traceInstant(const std::string &name)
+{
+    if (obsHub && obsHub->trace.enabled())
+        obsHub->trace.instant(obsTrack, "fault", name, queue.now());
+}
+
+}  // namespace ccsim::fault

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Live fault injection for a running ConfigurableCloud (Section VII).
+ *
+ * The paper's production story (5,760 servers x 30 days) is a story
+ * about failures: hard FPGA deaths, bad cables, rolling reconfigurations
+ * — and the architecture's claim is that HaaS + LTL retransmission make
+ * all of them locally survivable. The FaultInjector executes scripted or
+ * seeded-random fault schedules against a live simulation so that claim
+ * can be demonstrated end to end:
+ *
+ *  - link down/up flaps (NIC<->FPGA, FPGA<->TOR, inter-switch trunks);
+ *  - bursty packet corruption (CRC drops -> LTL NACK/retransmit);
+ *  - FPGA hard failures (node dark + haas::ResourceManager::reportFailure,
+ *    so Service Managers fail over live);
+ *  - reconfiguration pauses (node dark for a window, then repaired and
+ *    rejoining the pool);
+ *  - switch brown-outs (drop and/or ECN storms).
+ *
+ * Every fault and recovery is observable under `fault.*` in the cloud's
+ * obs::Observability hub, and — all randomness coming from one seeded
+ * sim::Rng — schedules are deterministic per seed: same seed, byte-
+ * identical metric snapshots.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cloud.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+namespace ccsim::fault {
+
+/** The kinds of fault the injector can apply. */
+enum class FaultKind {
+    kHostLinkFlap,     ///< FPGA<->TOR cable down for `duration`
+    kNicLinkFlap,      ///< NIC<->FPGA cable down for `duration`
+    kTrunkLinkFlap,    ///< inter-switch trunk cable down for `duration`
+    kCorruptionBurst,  ///< host-link CRC drops with prob `rate`
+    kFpgaHardFail,     ///< permanent: node dark + RM failure report
+    kReconfigPause,    ///< node dark for `duration`, then repair + rejoin
+    kSwitchBrownout,   ///< TOR drop/ECN storm for `duration`
+};
+
+/** Human-readable kind name (for timelines and logs). */
+const char *faultKindName(FaultKind kind);
+
+/** One scripted fault. */
+struct FaultEvent {
+    FaultKind kind = FaultKind::kHostLinkFlap;
+    /** Absolute injection time. */
+    sim::TimePs at = 0;
+    /** Outage window (ignored for kFpgaHardFail). */
+    sim::TimePs duration = 0;
+    /** Target host (all kinds except trunk flaps / brownouts). */
+    int host = -1;
+    /** Target trunk cable (kTrunkLinkFlap). */
+    int trunkIndex = -1;
+    /** Target TOR (kSwitchBrownout). */
+    int pod = 0;
+    int rack = 0;
+    /** Corruption / brownout drop probability. */
+    double rate = 0.0;
+    /** Mark every ECN-capable packet during a brownout. */
+    bool ecnStorm = false;
+};
+
+/**
+ * Fault-schedule configuration: a scripted event list, plus an optional
+ * seeded-random background of host-link flaps and corruption bursts.
+ * Fields can be set directly or through the fluent with*() setters; the
+ * FaultInjector validates the result at construction.
+ */
+struct FaultConfig {
+    /** Seed for the injector's RNG (random schedules + corruption). */
+    std::uint64_t seed = 1;
+
+    /** Scripted faults, executed at their absolute times. */
+    std::vector<FaultEvent> schedule;
+
+    /** Random host-link flaps: mean arrivals per simulated second. */
+    double randomFlapsPerSec = 0.0;
+    /** Outage window of each random flap. */
+    sim::TimePs randomFlapDuration = 200 * sim::kMicrosecond;
+
+    /** Random corruption bursts: mean arrivals per simulated second. */
+    double randomBurstsPerSec = 0.0;
+    /** Per-packet drop probability during a random burst. */
+    double randomBurstRate = 0.01;
+    /** Length of each random burst. */
+    sim::TimePs randomBurstDuration = 500 * sim::kMicrosecond;
+
+    /** Horizon up to which random faults are generated at arm() time. */
+    sim::TimePs randomHorizon = 0;
+
+    // --- fluent setters ---
+
+    FaultConfig &withSeed(std::uint64_t s)
+    {
+        seed = s;
+        return *this;
+    }
+    FaultConfig &withEvent(FaultEvent e)
+    {
+        schedule.push_back(e);
+        return *this;
+    }
+    FaultConfig &withHostLinkFlap(sim::TimePs at, int host,
+                                  sim::TimePs down_for)
+    {
+        FaultEvent e;
+        e.kind = FaultKind::kHostLinkFlap;
+        e.at = at;
+        e.host = host;
+        e.duration = down_for;
+        return withEvent(e);
+    }
+    FaultConfig &withNicLinkFlap(sim::TimePs at, int host,
+                                 sim::TimePs down_for)
+    {
+        FaultEvent e;
+        e.kind = FaultKind::kNicLinkFlap;
+        e.at = at;
+        e.host = host;
+        e.duration = down_for;
+        return withEvent(e);
+    }
+    FaultConfig &withTrunkLinkFlap(sim::TimePs at, int trunk,
+                                   sim::TimePs down_for)
+    {
+        FaultEvent e;
+        e.kind = FaultKind::kTrunkLinkFlap;
+        e.at = at;
+        e.trunkIndex = trunk;
+        e.duration = down_for;
+        return withEvent(e);
+    }
+    FaultConfig &withCorruptionBurst(sim::TimePs at, int host, double prob,
+                                     sim::TimePs duration)
+    {
+        FaultEvent e;
+        e.kind = FaultKind::kCorruptionBurst;
+        e.at = at;
+        e.host = host;
+        e.rate = prob;
+        e.duration = duration;
+        return withEvent(e);
+    }
+    FaultConfig &withFpgaHardFail(sim::TimePs at, int host)
+    {
+        FaultEvent e;
+        e.kind = FaultKind::kFpgaHardFail;
+        e.at = at;
+        e.host = host;
+        return withEvent(e);
+    }
+    FaultConfig &withReconfigPause(sim::TimePs at, int host,
+                                   sim::TimePs window)
+    {
+        FaultEvent e;
+        e.kind = FaultKind::kReconfigPause;
+        e.at = at;
+        e.host = host;
+        e.duration = window;
+        return withEvent(e);
+    }
+    FaultConfig &withSwitchBrownout(sim::TimePs at, int pod, int rack,
+                                    double drop_prob, bool ecn_storm,
+                                    sim::TimePs duration)
+    {
+        FaultEvent e;
+        e.kind = FaultKind::kSwitchBrownout;
+        e.at = at;
+        e.pod = pod;
+        e.rack = rack;
+        e.rate = drop_prob;
+        e.ecnStorm = ecn_storm;
+        e.duration = duration;
+        return withEvent(e);
+    }
+    FaultConfig &withRandomFlaps(double per_sec, sim::TimePs down_for)
+    {
+        randomFlapsPerSec = per_sec;
+        randomFlapDuration = down_for;
+        return *this;
+    }
+    FaultConfig &withRandomBursts(double per_sec, double prob,
+                                  sim::TimePs duration)
+    {
+        randomBurstsPerSec = per_sec;
+        randomBurstRate = prob;
+        randomBurstDuration = duration;
+        return *this;
+    }
+    FaultConfig &withRandomHorizon(sim::TimePs horizon)
+    {
+        randomHorizon = horizon;
+        return *this;
+    }
+};
+
+/**
+ * Executes a FaultConfig against a running ConfigurableCloud via the
+ * EventQueue. One injector per cloud (enforced through the cloud's
+ * fault-injector slot); destroy the injector to free the slot.
+ *
+ * The imperative API (flapHostLink() etc.) can also be called directly —
+ * scripted schedules go through exactly these entry points.
+ *
+ * The injector must outlive the simulation run: scheduled faults and
+ * their recovery actions capture it.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(sim::EventQueue &eq, core::ConfigurableCloud &cloud,
+                  FaultConfig cfg = {});
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /**
+     * Schedule the scripted events, plus the seeded-random background up
+     * to randomHorizon. Call once; the events then fire as simulated
+     * time passes.
+     */
+    void arm();
+
+    // --- imperative fault API ---
+
+    /** Cut the host's FPGA<->TOR cable for @p down_for. */
+    void flapHostLink(int host, sim::TimePs down_for);
+    /** Cut the host's NIC<->FPGA cable for @p down_for. */
+    void flapNicLink(int host, sim::TimePs down_for);
+    /** Cut an inter-switch trunk cable for @p down_for. */
+    void flapTrunkLink(int index, sim::TimePs down_for);
+    /**
+     * Corrupt packets on the host's FPGA<->TOR cable (both directions)
+     * with probability @p drop_prob for @p duration. Corrupted frames
+     * fail CRC at the receiving MAC; LTL recovers via NACK/retransmit.
+     */
+    void corruptionBurst(int host, double drop_prob, sim::TimePs duration);
+    /**
+     * Hard-fail a node: bridge and host link go dark permanently and the
+     * failure is reported to the Resource Manager (Service Managers fail
+     * over through their subscription). Idempotent per node.
+     */
+    void failFpga(int host);
+    /** Repair a hard-failed node: links restored, RM repair (rejoin). */
+    void repairFpga(int host);
+    /**
+     * Reconfiguration pause: the node goes dark (and is reported failed)
+     * for @p window, then is repaired and rejoins the pool.
+     */
+    void reconfigPause(int host, sim::TimePs window);
+    /** Drop/ECN storm on a TOR for @p duration. */
+    void switchBrownout(int pod, int rack, double drop_prob, bool ecn_storm,
+                        sim::TimePs duration);
+
+    // --- introspection ---
+
+    /** Faults injected so far (scripted + random + imperative). */
+    std::uint64_t injected() const { return statInjected; }
+    /** Recovery actions completed (links restored, nodes repaired). */
+    std::uint64_t recovered() const { return statRecovered; }
+    /** True while @p host is dark due to at least one active fault. */
+    bool nodeDown(int host) const;
+    /** Cumulative dark time of @p host (including any ongoing outage). */
+    sim::TimePs downtime(int host) const;
+
+    const FaultConfig &config() const { return cfg; }
+
+  private:
+    sim::EventQueue &queue;
+    core::ConfigurableCloud &cloud;
+    FaultConfig cfg;
+    sim::Rng rng;
+    bool armed = false;
+
+    /** Nesting depth of active host-link outages per host. */
+    std::map<int, int> darkDepth;
+    std::map<int, sim::TimePs> downSince;
+    std::map<int, sim::TimePs> downAccum;
+    std::map<int, bool> hardFailed;
+    std::map<int, int> nicDepth;
+    std::map<int, int> trunkDepth;
+    /** Generation counter per host so nested bursts end last-wins. */
+    std::map<int, std::uint64_t> burstGen;
+
+    obs::Observability *obsHub = nullptr;
+    int obsTrack = 0;
+
+    std::uint64_t statInjected = 0;
+    std::uint64_t statRecovered = 0;
+    std::uint64_t statLinkFlaps = 0;
+    std::uint64_t statBursts = 0;
+    std::uint64_t statHardFails = 0;
+    std::uint64_t statReconfigs = 0;
+    std::uint64_t statBrownouts = 0;
+
+    void validate() const;
+    void validateEvent(const FaultEvent &e) const;
+    void execute(const FaultEvent &e);
+    void scheduleRandom();
+    void holdHostLink(int host);
+    void releaseHostLink(int host);
+    void attachObservability();
+    void traceInstant(const std::string &name);
+};
+
+}  // namespace ccsim::fault

@@ -90,6 +90,9 @@ ResourceManager::reportFailure(int host_index)
     auto it = nodes.find(host_index);
     if (it == nodes.end())
         return;
+    if (it->second.state == NodeState::kFailed)
+        return;  // idempotent: duplicate detections of one dead node
+    ++statFailures;
     const bool was_leased = it->second.state == NodeState::kAllocated;
     const std::uint64_t lease_id = it->second.leaseId;
     it->second.state = NodeState::kFailed;
@@ -113,10 +116,32 @@ ResourceManager::repair(int host_index)
     auto it = nodes.find(host_index);
     if (it == nodes.end())
         return;
+    if (it->second.state != NodeState::kFailed)
+        return;  // healthy or leased nodes are not "repaired"
+    ++statRepairs;
     it->second.state = NodeState::kUnallocated;
     it->second.leaseId = 0;
     if (it->second.fm)
         it->second.fm->markHealthy();
+    if (onRepair)
+        onRepair(host_index);
+}
+
+void
+ResourceManager::attachObservability(obs::Observability *o)
+{
+    if (!o)
+        return;
+    auto &reg = o->registry;
+    reg.registerProbe("haas.free", [this] { return double(freeCount()); });
+    reg.registerProbe("haas.allocated",
+                      [this] { return double(allocatedCount()); });
+    reg.registerProbe("haas.failed",
+                      [this] { return double(failedCount()); });
+    reg.registerProbe("haas.failures",
+                      [this] { return double(statFailures); });
+    reg.registerProbe("haas.repairs",
+                      [this] { return double(statRepairs); });
 }
 
 FpgaManager *
@@ -217,6 +242,19 @@ ServiceManager::pickInstance()
     const int host = hosts[rrNext % hosts.size()];
     ++rrNext;
     return host;
+}
+
+void
+ServiceManager::attachObservability(obs::Observability *o)
+{
+    if (!o)
+        return;
+    auto &reg = o->registry;
+    const std::string prefix = "haas.sm." + serviceName;
+    reg.registerProbe(prefix + ".instances",
+                      [this] { return double(hosts.size()); });
+    reg.registerProbe(prefix + ".failovers",
+                      [this] { return double(statFailovers); });
 }
 
 bool

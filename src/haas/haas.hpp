@@ -22,6 +22,7 @@
 
 #include "fpga/role.hpp"
 #include "fpga/shell.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 
 namespace ccsim::haas {
@@ -88,6 +89,8 @@ class ResourceManager
   public:
     /** Callback type for lease-affecting failures: (host, leaseId). */
     using FailureFn = std::function<void(int host, std::uint64_t lease)>;
+    /** Callback type for repairs (a node rejoined the free pool). */
+    using RepairFn = std::function<void(int host)>;
 
     explicit ResourceManager(sim::EventQueue &eq) : queue(eq) {}
 
@@ -108,14 +111,25 @@ class ResourceManager
     /**
      * Report a node failure: removes it from the pool; if leased, the
      * owning SM is notified through the failure subscription.
+     *
+     * Idempotent: the failure detectors (LTL timeouts, FM health checks,
+     * the fault injector) can all report the same dead node, but only the
+     * first report changes state or fires the callback.
      */
     void reportFailure(int host_index);
 
-    /** Return a repaired node to the pool. */
+    /**
+     * Return a repaired node to the pool and notify the repair
+     * subscription. Only failed nodes are repairable; repairing a healthy
+     * or leased node is a no-op.
+     */
     void repair(int host_index);
 
     /** Subscribe to failures of leased nodes. */
     void subscribeFailures(FailureFn fn) { onFailure = std::move(fn); }
+
+    /** Subscribe to repairs (nodes rejoining the pool). */
+    void subscribeRepairs(RepairFn fn) { onRepair = std::move(fn); }
 
     FpgaManager *manager(int host_index);
 
@@ -123,6 +137,18 @@ class ResourceManager
     int allocatedCount() const;
     int failedCount() const;
     int totalCount() const { return static_cast<int>(nodes.size()); }
+
+    /** Cumulative distinct failures reported. */
+    std::uint64_t failuresReported() const { return statFailures; }
+    /** Cumulative repairs applied. */
+    std::uint64_t repairsApplied() const { return statRepairs; }
+
+    /**
+     * Export pool statistics under `haas.*`: probes for the free /
+     * allocated / failed node counts plus cumulative failure and repair
+     * counters. Pass nullptr to detach.
+     */
+    void attachObservability(obs::Observability *o);
 
   private:
     enum class NodeState { kUnallocated, kAllocated, kFailed };
@@ -138,6 +164,9 @@ class ResourceManager
     std::map<std::uint64_t, Lease> leases;
     std::uint64_t nextLeaseId = 1;
     FailureFn onFailure;
+    RepairFn onRepair;
+    std::uint64_t statFailures = 0;
+    std::uint64_t statRepairs = 0;
 };
 
 /**
@@ -190,6 +219,12 @@ class ServiceManager
 
     std::uint64_t failovers() const { return statFailovers; }
     const std::string &name() const { return serviceName; }
+
+    /**
+     * Export service statistics under `haas.sm.<name>.*`: probes for the
+     * instance count and cumulative failovers. Pass nullptr to detach.
+     */
+    void attachObservability(obs::Observability *o);
 
   private:
     sim::EventQueue &queue;

@@ -47,6 +47,10 @@ RankingServer::attachObservability(obs::Observability *o,
                       [this] { return double(activeQueries); });
     reg.registerProbe(obsPrefix + ".queue_depth",
                       [this] { return double(waiting.size()); });
+    reg.registerProbe(obsPrefix + ".sw_feature_queries",
+                      [this] { return double(statSwFeature); });
+    reg.registerProbe(obsPrefix + ".accel_blocked",
+                      [this] { return double(blockedInAccel.size()); });
 }
 
 void
@@ -86,6 +90,7 @@ RankingServer::runQuery(PendingQuery q)
 
     if (accelerator == nullptr) {
         // Software mode: the feature stage runs on-core.
+        ++statSwFeature;
         const auto features = static_cast<sim::TimePs>(rng.lognormalMeanCv(
             static_cast<double>(params.swFeatureMean), params.swFeatureCv));
         queue.scheduleAfter(pre + features,
@@ -93,15 +98,54 @@ RankingServer::runQuery(PendingQuery q)
         return;
     }
 
-    // Accelerated mode: the core blocks while the FPGA computes.
+    // Accelerated mode: the core blocks while the FPGA computes. The
+    // continuation is parked under a token so failPendingToSoftware()
+    // can rescue it if the accelerator dies while the query is inside.
     const auto docs = static_cast<std::uint32_t>(std::max(
         1.0, rng.lognormalMeanCv(params.docsPerQueryMean,
                                  params.docsPerQueryCv)));
     queue.scheduleAfter(pre, [this, docs,
                               rp = std::move(run_post)]() mutable {
-        accelerator->compute(docs,
-                             [rp = std::move(rp)]() mutable { rp(); });
+        if (accelerator == nullptr) {
+            // The accelerator was detached while this query was in its
+            // CPU stage: complete the feature stage in software.
+            ++statSwFeature;
+            const auto features =
+                static_cast<sim::TimePs>(rng.lognormalMeanCv(
+                    static_cast<double>(params.swFeatureMean),
+                    params.swFeatureCv));
+            queue.scheduleAfter(features,
+                                [r = std::move(rp)]() mutable { r(); });
+            return;
+        }
+        const std::uint64_t token = nextBlockedToken++;
+        blockedInAccel[token] = std::move(rp);
+        accelerator->compute(docs, [this, token] {
+            auto it = blockedInAccel.find(token);
+            if (it == blockedInAccel.end())
+                return;  // already rescued to software; drop the late ack
+            auto r = std::move(it->second);
+            blockedInAccel.erase(it);
+            r();
+        });
     });
+}
+
+std::uint64_t
+RankingServer::failPendingToSoftware()
+{
+    auto pending = std::move(blockedInAccel);
+    blockedInAccel.clear();
+    std::uint64_t rescued = 0;
+    for (auto &[token, rp] : pending) {
+        ++statSwFeature;
+        ++rescued;
+        const auto features = static_cast<sim::TimePs>(rng.lognormalMeanCv(
+            static_cast<double>(params.swFeatureMean), params.swFeatureCv));
+        queue.scheduleAfter(features,
+                            [r = std::move(rp)]() mutable { r(); });
+    }
+    return rescued;
 }
 
 void

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 
 #include "obs/metrics.hpp"
@@ -121,6 +122,34 @@ class RankingServer
      */
     void submitQuery(std::function<void(sim::TimePs latency)> done = {});
 
+    /**
+     * Swap the feature accelerator at runtime (nullptr = software mode).
+     * Affects queries dispatched from now on; queries already blocked in
+     * the old accelerator keep waiting for it — combine with
+     * failPendingToSoftware() when the old accelerator is dead.
+     *
+     * This is the graceful-degradation path: when an FPGA fails, the
+     * service drops to software-mode latency while HaaS replaces the
+     * lease, then is re-pointed at the spare.
+     */
+    void setAccelerator(FeatureAccelerator *accel) { accelerator = accel; }
+
+    /** The currently attached accelerator (nullptr = software mode). */
+    FeatureAccelerator *currentAccelerator() const { return accelerator; }
+
+    /**
+     * Rescue every query currently blocked in the accelerator: their
+     * feature stage is re-run on-core at software-mode cost, as if the
+     * thread's offload call timed out and fell back. Late completions
+     * from the abandoned accelerator are ignored.
+     *
+     * @return The number of rescued queries.
+     */
+    std::uint64_t failPendingToSoftware();
+
+    /** Queries whose feature stage ran in software (incl. rescues). */
+    std::uint64_t softwareFeatureQueries() const { return statSwFeature; }
+
     /** Latencies of completed queries, milliseconds. */
     const sim::SampleStats &latencyMs() const { return statLatency; }
 
@@ -165,6 +194,10 @@ class RankingServer
     sim::SampleStats statLatency;
     std::uint64_t statCompleted = 0;
     std::uint64_t activeQueries = 0;
+    std::uint64_t statSwFeature = 0;
+    /** Continuations of queries blocked in the accelerator, by token. */
+    std::map<std::uint64_t, std::function<void()>> blockedInAccel;
+    std::uint64_t nextBlockedToken = 1;
 
     void tryDispatch();
     void runQuery(PendingQuery q);

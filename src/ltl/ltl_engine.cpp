@@ -66,6 +66,8 @@ LtlEngine::attachObservability(obs::Observability *o, const std::string &node)
                       [this] { return double(statDuplicates); });
     reg.registerProbe(obsPrefix + ".out_of_order_frames",
                       [this] { return double(statOutOfOrder); });
+    reg.registerProbe(obsPrefix + ".conn_failures",
+                      [this] { return double(statConnFailures); });
 }
 
 std::uint64_t
@@ -126,7 +128,9 @@ LtlEngine::openReceive(std::uint8_t vc)
 void
 LtlEngine::closeSend(std::uint16_t conn)
 {
-    SendConnection &sc = sendConn(conn);
+    if (conn >= sendTable.size() || !sendTable[conn].valid)
+        return;
+    SendConnection &sc = sendTable[conn];
     if (sc.timeoutEvent != sim::kNoEvent)
         queue.cancel(sc.timeoutEvent);
     if (sc.pumpEvent != sim::kNoEvent)
@@ -139,7 +143,9 @@ LtlEngine::closeSend(std::uint16_t conn)
 void
 LtlEngine::closeReceive(std::uint16_t conn)
 {
-    recvConn(conn) = ReceiveConnection{};
+    if (conn >= recvTable.size() || !recvTable[conn].valid)
+        return;
+    recvTable[conn] = ReceiveConnection{};
 }
 
 double
@@ -307,6 +313,7 @@ LtlEngine::onTimeout(std::uint16_t conn)
         obsHub->trace.instant(obsTrack, "ltl", obsPrefix + ".timeout", now);
     if (sc.consecutiveTimeouts > cfg.maxRetries) {
         sc.failed = true;
+        ++statConnFailures;
         abandonSendState(sc);  // nothing will ever be ACKed now
         CCSIM_LOG(sim::LogLevel::kWarn, "ltl", now, "connection ", conn,
                   " failed after ", cfg.maxRetries, " timeouts");

@@ -114,9 +114,13 @@ class LtlEngine
      */
     std::uint16_t openReceive(std::uint8_t vc = 0);
 
-    /** Deallocate a send connection. */
+    /**
+     * Deallocate a send connection. Closing an already-closed (or failed
+     * and reaped) connection is a no-op, so RAII handles and fault-driven
+     * teardown can race without double-free hazards.
+     */
     void closeSend(std::uint16_t conn);
-    /** Deallocate a receive connection. */
+    /** Deallocate a receive connection (no-op if already closed). */
     void closeReceive(std::uint16_t conn);
 
     // ------------------------------------------------------------------
@@ -182,6 +186,16 @@ class LtlEngine
     /** Transmitted frames currently awaiting acknowledgement. */
     std::uint64_t framesInFlight() const;
 
+    /** Send connections declared failed (maxRetries timeouts in a row). */
+    std::uint64_t connectionFailures() const { return statConnFailures; }
+
+    /** True if @p conn is an open send connection declared failed. */
+    bool sendConnectionFailed(std::uint16_t conn) const
+    {
+        return conn < sendTable.size() && sendTable[conn].valid &&
+               sendTable[conn].failed;
+    }
+
   private:
     struct PendingFrame {
         LtlHeaderPtr header;
@@ -244,6 +258,7 @@ class LtlEngine
     std::uint64_t statOutOfOrder = 0;
     std::uint64_t statFramesAcked = 0;
     std::uint64_t statFramesAbandoned = 0;
+    std::uint64_t statConnFailures = 0;
 
     SendConnection &sendConn(std::uint16_t conn);
     void abandonSendState(SendConnection &sc);

@@ -120,7 +120,18 @@ Channel::finishTransmit(TxEntry entry)
     ++txPackets;
     txBytes += entry.pkt->wireBytes();
     transmitting = false;
-    if (sink) {
+    // Fault model: a cut cable or corrupted-on-the-wire frame fails CRC
+    // at the receiving MAC and is dropped there. The transmitter never
+    // learns — ingress accounting (onTransmitted) proceeds as normal.
+    const bool lost =
+        adminDown ||
+        (faultHook && !entry.pkt->isPfc() && faultHook(entry.pkt));
+    if (lost) {
+        ++faultDropped;
+        CCSIM_LOG(sim::LogLevel::kDebug, label, queue.now(),
+                  "fault drop of packet ", entry.pkt->id,
+                  adminDown ? " (link down)" : " (corrupted)");
+    } else if (sink) {
         queue.scheduleAfter(propDelay, [this, pkt = entry.pkt] {
             sink->acceptPacket(pkt);
         });

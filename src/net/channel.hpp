@@ -75,6 +75,35 @@ class Channel
     /** Line rate in Gb/s. */
     double rateGbps() const { return gbps; }
 
+    // --- fault injection hooks (ccsim::fault) ---
+
+    /**
+     * Administratively cut this direction of the cable. While down, frames
+     * still serialize (the transmitter cannot see the cut) but every bit
+     * is lost on the wire: nothing reaches the sink. Counted in
+     * faultDrops(). Raising the channel back up does not resurrect frames
+     * lost while it was down — recovery is the transport's job (LTL).
+     */
+    void setAdminDown(bool down) { adminDown = down; }
+
+    /** True if the channel is administratively down. */
+    bool isAdminDown() const { return adminDown; }
+
+    /**
+     * Install a delivery-time fault hook, called once per non-PFC packet
+     * as it would reach the far end; return true to drop it (models CRC
+     * corruption on the wire). Pass an empty function to remove. The hook
+     * must be deterministic for reproducible runs (draw randomness from a
+     * seeded sim::Rng only).
+     */
+    void setFaultHook(std::function<bool(const PacketPtr &)> hook)
+    {
+        faultHook = std::move(hook);
+    }
+
+    /** Packets lost to admin-down or the fault hook. */
+    std::uint64_t faultDrops() const { return faultDropped; }
+
     // --- statistics ---
     std::uint64_t packetsSent() const { return txPackets; }
     std::uint64_t bytesSent() const { return txBytes; }
@@ -98,11 +127,14 @@ class Channel
     std::array<sim::TimePs, kNumTrafficClasses> pausedUntil{};
     bool transmitting = false;
     sim::EventId resumeEvent = sim::kNoEvent;
+    bool adminDown = false;
+    std::function<bool(const PacketPtr &)> faultHook;
 
     std::uint64_t txPackets = 0;
     std::uint64_t txBytes = 0;
     std::uint64_t drops = 0;
     std::uint64_t pauses = 0;
+    std::uint64_t faultDropped = 0;
 
     void tryTransmit();
     void finishTransmit(TxEntry entry);
@@ -134,6 +166,19 @@ class Link
     void attachA(PacketSink *a);
     /** Attach the device at end B (receives A-to-B traffic). */
     void attachB(PacketSink *b);
+
+    /** Cut (or restore) both directions of the cable at once. */
+    void setAdminDown(bool down)
+    {
+        ab->setAdminDown(down);
+        ba->setAdminDown(down);
+    }
+
+    /** True if either direction is administratively down. */
+    bool isAdminDown() const
+    {
+        return ab->isAdminDown() || ba->isAdminDown();
+    }
 
   private:
     /** Shim that consumes PFC frames and forwards the rest. */

@@ -85,6 +85,8 @@ Switch::attachObservability(obs::Observability *o)
                       [this] { return double(pfcSent); });
     reg.registerProbe(obsPrefix + ".route_misses",
                       [this] { return double(noRoute); });
+    reg.registerProbe(obsPrefix + ".brownout_drops",
+                      [this] { return double(brownoutDropped); });
     for (std::uint8_t prio = 0; prio < kNumTrafficClasses; ++prio) {
         reg.registerProbe(
             obsPrefix + ".q" + std::to_string(prio) + ".depth",
@@ -97,6 +99,16 @@ Switch::attachObservability(obs::Observability *o)
                 return double(bytes);
             });
     }
+}
+
+void
+Switch::setBrownout(double drop_prob, bool force_ecn)
+{
+    if (drop_prob < 0.0 || drop_prob > 1.0)
+        sim::fatal("Switch::setBrownout: drop probability must be in "
+                   "[0, 1]");
+    brownoutDropProb = drop_prob;
+    brownoutForceEcn = force_ecn;
 }
 
 int
@@ -121,6 +133,15 @@ Switch::lookupRoute(const PacketPtr &pkt) const
 void
 Switch::handlePacket(int in_port, const PacketPtr &pkt)
 {
+    // Brown-out: the frame dies at the ingress MAC, before any
+    // accounting — indistinguishable from wire corruption. The RNG is
+    // only consulted while a brown-out is active so that fault-free runs
+    // stay bit-identical to runs built without the injector.
+    if (brownoutDropProb > 0.0 && rng.bernoulli(brownoutDropProb)) {
+        ++dropped;
+        ++brownoutDropped;
+        return;
+    }
     const int out_port = lookupRoute(pkt);
     if (out_port < 0) {
         ++noRoute;
@@ -159,9 +180,11 @@ Switch::forward(int in_port, int out_port, const PacketPtr &pkt)
     }
     const std::uint8_t prio = pkt->priority;
 
-    // ECN: mark ECT packets when the egress queue has built up.
+    // ECN: mark ECT packets when the egress queue has built up (or
+    // unconditionally during an injected ECN storm).
     if (pkt->ecnCapable && !pkt->ecnMarked &&
-        tx->queuedBytes(prio) > config.ecnThresholdBytes) {
+        (brownoutForceEcn ||
+         tx->queuedBytes(prio) > config.ecnThresholdBytes)) {
         pkt->ecnMarked = true;
         ++ecnMarked;
         if (obsHub && obsHub->trace.enabled())

@@ -91,6 +91,29 @@ class Switch
      */
     void attachObservability(obs::Observability *o);
 
+    // --- fault injection hooks (ccsim::fault) ---
+
+    /**
+     * Enter a brown-out: arriving packets are dropped with probability
+     * @p drop_prob (drawn from the switch's own seeded RNG), and — when
+     * @p force_ecn — every ECN-capable packet is marked on egress
+     * regardless of queue depth (an ECN storm). Drops bypass ingress PFC
+     * accounting, exactly like a corrupted frame at the ingress MAC.
+     */
+    void setBrownout(double drop_prob, bool force_ecn);
+
+    /** Leave the brown-out. */
+    void clearBrownout() { setBrownout(0.0, false); }
+
+    /** True while a brown-out is active. */
+    bool inBrownout() const
+    {
+        return brownoutDropProb > 0.0 || brownoutForceEcn;
+    }
+
+    /** Packets lost to brown-out drops. */
+    std::uint64_t brownoutDrops() const { return brownoutDropped; }
+
     // --- statistics ---
     std::uint64_t packetsForwarded() const { return forwarded; }
     std::uint64_t packetsDropped() const { return dropped; }
@@ -146,11 +169,15 @@ class Switch
     std::vector<PrefixRoute> prefixRoutes;
     std::vector<int> defaultRoutes;
 
+    double brownoutDropProb = 0.0;
+    bool brownoutForceEcn = false;
+
     std::uint64_t forwarded = 0;
     std::uint64_t dropped = 0;
     std::uint64_t ecnMarked = 0;
     std::uint64_t pfcSent = 0;
     std::uint64_t noRoute = 0;
+    std::uint64_t brownoutDropped = 0;
 
     void handlePacket(int in_port, const PacketPtr &pkt);
     void forward(int in_port, int out_port, const PacketPtr &pkt);

@@ -118,6 +118,7 @@ Topology::build()
                     Ipv4Addr::of(10, static_cast<std::uint8_t>(pod), 0, 0),
                     16, l2Switches[j]->numPorts() - 1);
                 uplinks.push_back(up);
+                trunks.push_back(link.get());
                 links.push_back(std::move(link));
             }
             l1sw.setDefaultRoutes(uplinks);
@@ -148,6 +149,7 @@ Topology::build()
                                            0),
                               24, down);
                 uplinks.push_back(up);
+                trunks.push_back(link.get());
                 links.push_back(std::move(link));
             }
             torsw.setDefaultRoutes(uplinks);

@@ -132,6 +132,18 @@ class Topology
     Switch &l1(int pod, int idx);
     Switch &l2(int idx);
 
+    /** The host<->TOR cable of a host (for fault injection). */
+    Link &hostLink(int global_index)
+    {
+        return *hosts.at(global_index).link;
+    }
+
+    /** Number of inter-switch (TOR<->L1, L1<->L2) trunk cables. */
+    int numTrunkLinks() const { return static_cast<int>(trunks.size()); }
+
+    /** An inter-switch trunk cable by index (for fault injection). */
+    Link &trunkLink(int index) { return *trunks.at(index); }
+
     /** Aggregate drop count across all switches (excluding channels). */
     std::uint64_t totalSwitchDrops() const;
 
@@ -149,6 +161,7 @@ class Topology
     std::vector<std::unique_ptr<Switch>> l1Switches; // pod*l1PerPod+idx
     std::vector<std::unique_ptr<Switch>> l2Switches;
     std::vector<std::unique_ptr<Link>> links;
+    std::vector<Link *> trunks;  ///< inter-switch subset of `links`
     std::vector<HostPort> hosts;
     /** TOR-port index of each host link's device side channel. */
     std::vector<Channel *> hostTxChannels;

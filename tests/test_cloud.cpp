@@ -105,7 +105,7 @@ TEST_P(LtlTier, MessageAndRttAcrossTiers)
     ASSERT_GE(cloud.shell(dst).addRole(&sink), 0);
     auto ch = cloud.openLtl(src, dst, sink.port);
 
-    cloud.shell(src).ltlEngine()->sendMessage(ch.sendConn, 64,
+    cloud.shell(src).ltlEngine()->sendMessage(ch.sendConn(), 64,
                                               std::make_shared<int>(5));
     eq.runUntil(sim::fromMicros(200));
     ASSERT_EQ(sink.deliveries.size(), 1u);
@@ -135,8 +135,8 @@ TEST(Cloud, LtlBidirectionalChannels)
     auto fwd = cloud.openLtl(0, 1, sink_b.port);
     auto rev = cloud.openLtl(1, 0, sink_a.port);
 
-    cloud.shell(0).ltlEngine()->sendMessage(fwd.sendConn, 100);
-    cloud.shell(1).ltlEngine()->sendMessage(rev.sendConn, 100);
+    cloud.shell(0).ltlEngine()->sendMessage(fwd.sendConn(), 100);
+    cloud.shell(1).ltlEngine()->sendMessage(rev.sendConn(), 100);
     eq.runUntil(sim::fromMicros(100));
     EXPECT_EQ(sink_a.deliveries.size(), 1u);
     EXPECT_EQ(sink_b.deliveries.size(), 1u);
@@ -151,7 +151,7 @@ TEST(Cloud, LtlManyMessagesUnderLoadNoLoss)
     auto ch = cloud.openLtl(0, 8, sink.port);
     const int kMessages = 300;
     for (int i = 0; i < kMessages; ++i)
-        cloud.shell(0).ltlEngine()->sendMessage(ch.sendConn, 1408,
+        cloud.shell(0).ltlEngine()->sendMessage(ch.sendConn(), 1408,
                                                 std::make_shared<int>(i));
     eq.runUntil(sim::fromMicros(100000));
     ASSERT_EQ(sink.deliveries.size(), static_cast<std::size_t>(kMessages));
@@ -179,7 +179,7 @@ TEST(Cloud, PassthroughAndLtlShareTheWire)
         pkt->ipDst = cloud.addressOf(2);
         pkt->payloadBytes = 1400;
         cloud.nic(0).sendPacket(pkt);
-        cloud.shell(0).ltlEngine()->sendMessage(ch.sendConn, 512);
+        cloud.shell(0).ltlEngine()->sendMessage(ch.sendConn(), 512);
     }
     eq.runUntil(sim::fromMicros(50000));
     EXPECT_EQ(nic_received, 50);
@@ -278,8 +278,8 @@ TEST(Cloud, RemoteRankingOverLtlEndToEnd)
     auto reply_ch = cloud.openLtl(server, client, forwarder.port());
 
     roles::RemoteRankingClient remote(eq, cloud.shell(client), forwarder,
-                                      request_ch.sendConn,
-                                      reply_ch.sendConn);
+                                      request_ch.sendConn(),
+                                      reply_ch.sendConn());
     int done_count = 0;
     sim::TimePs done_at = 0;
     for (int i = 0; i < 10; ++i) {
@@ -356,14 +356,14 @@ TEST(Cloud, DnnPoolServesRemoteClientsViaHaas)
     ASSERT_GE(cloud.shell(client_host).addRole(&forwarder), 0);
 
     struct Target {
-        ConfigurableCloud::LtlChannel req, rep;
+        core::LtlChannel req, rep;
     };
     std::vector<Target> targets;
     for (int instance : sm.instances()) {
         Target t;
         t.req = cloud.openLtl(client_host, instance, fpga::kErPortRole0);
         t.rep = cloud.openLtl(instance, client_host, forwarder.port());
-        targets.push_back(t);
+        targets.push_back(std::move(t));
     }
 
     int responses = 0;
@@ -380,9 +380,9 @@ TEST(Cloud, DnnPoolServesRemoteClientsViaHaas)
         auto req = std::make_shared<roles::DnnRequest>();
         req->requestId = static_cast<std::uint64_t>(i) + 1;
         req->clientId = 0;
-        req->replyConn = targets[pick].rep.sendConn;
+        req->replyConn = targets[pick].rep.sendConn();
         auto fwd = std::make_shared<roles::ForwarderRole::ForwardRequest>();
-        fwd->sendConn = targets[pick].req.sendConn;
+        fwd->sendConn = targets[pick].req.sendConn();
         fwd->bytes = 512;
         fwd->inner = req;
         cloud.shell(client_host)

@@ -76,7 +76,7 @@ TEST(Determinism, LtlRttTraceIsBitIdentical)
         auto *engine = cloud.shell(0).ltlEngine();
         for (int i = 0; i < 40; ++i) {
             eq.scheduleAfter(i * 10 * sim::kMicrosecond,
-                             [engine, conn = ch.sendConn] {
+                             [engine, conn = ch.sendConn()] {
                                  engine->sendMessage(conn, 64);
                              });
         }
@@ -134,7 +134,7 @@ runLtlWorkload(bool observed, bool traced)
         hub.registry.startSampling(eq, 50 * sim::kMicrosecond, &hub.trace);
     for (int i = 0; i < 40; ++i) {
         eq.scheduleAfter(i * 10 * sim::kMicrosecond,
-                         [engine, conn = ch.sendConn] {
+                         [engine, conn = ch.sendConn()] {
                              engine->sendMessage(conn, 64);
                          });
     }

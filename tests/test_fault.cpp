@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Live fault injection (ccsim::fault) and the RAII LtlChannel handle:
+ * scripted link flaps recover every in-flight LTL message, FPGA hard
+ * failures drive exactly one HaaS failover, same-seed fault schedules
+ * produce byte-identical metric snapshots, closed handles free their
+ * connection-table entries, and bad configurations die loudly.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cloud.hpp"
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "roles/dnn_role.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace ccsim;
+using fault::FaultConfig;
+using fault::FaultInjector;
+using sim::EventQueue;
+
+struct NullRole : fpga::Role {
+    int port = -1;
+    int received = 0;
+    std::string name() const override { return "null"; }
+    std::uint32_t areaAlms() const override { return 100; }
+    void attach(fpga::Shell &, int p) override { port = p; }
+    void onMessage(const router::ErMessagePtr &msg) override
+    {
+        if (msg->srcEndpoint == fpga::kErPortLtl)
+            ++received;
+    }
+};
+
+core::CloudConfig
+smallCloud()
+{
+    core::CloudConfig cfg;
+    cfg.topology.hostsPerRack = 4;
+    cfg.topology.racksPerPod = 2;
+    cfg.topology.l1PerPod = 2;
+    cfg.topology.pods = 1;
+    cfg.topology.l2Count = 1;
+    cfg.createNics = false;
+    cfg.shellTemplate.ltl.maxConnections = 16;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// Tentpole: faults are survivable.
+// ---------------------------------------------------------------------
+
+TEST(FaultInjection, ScriptedLinkFlapRecoversAllInFlightMessages)
+{
+    EventQueue eq;
+    core::ConfigurableCloud cloud(eq, smallCloud());
+    NullRole sink;
+    ASSERT_GE(cloud.shell(5).addRole(&sink), 0);
+    auto ch = cloud.openLtl(0, 5, sink.port);
+
+    // Cut the sender's TOR cable for 200 us in the middle of a 2 ms
+    // message train: well inside LTL's 16 x 50 us retry budget, so the
+    // flap must be invisible at the message level.
+    FaultInjector inj(eq, cloud,
+                      FaultConfig{}.withHostLinkFlap(
+                          sim::fromMicros(500), 0, sim::fromMicros(200)));
+    inj.arm();
+
+    const int kMessages = 100;
+    auto *engine = cloud.shell(0).ltlEngine();
+    for (int i = 0; i < kMessages; ++i) {
+        eq.scheduleAfter(i * 20 * sim::kMicrosecond,
+                         [engine, conn = ch.sendConn()] {
+                             engine->sendMessage(conn, 256);
+                         });
+    }
+    eq.runFor(sim::fromMillis(10));
+
+    EXPECT_EQ(sink.received, kMessages);
+    EXPECT_GT(engine->framesRetransmitted(), 0u);  // the flap bit frames
+    EXPECT_EQ(engine->framesAbandoned(), 0u);
+    // Ledger invariant: when drained, every frame is accounted for.
+    EXPECT_EQ(engine->framesAcked() + engine->framesAbandoned(),
+              engine->framesSent());
+    EXPECT_EQ(engine->framesInFlight(), 0u);
+
+    EXPECT_EQ(inj.injected(), 1u);
+    EXPECT_EQ(inj.recovered(), 1u);
+    EXPECT_FALSE(inj.nodeDown(0));
+    EXPECT_EQ(inj.downtime(0), sim::fromMicros(200));
+    EXPECT_GT(cloud.topology().hostLink(0).aToB().faultDrops() +
+                  cloud.topology().hostLink(0).bToA().faultDrops(),
+              0u);
+}
+
+TEST(FaultInjection, CorruptionBurstIsRepairedByRetransmission)
+{
+    EventQueue eq;
+    core::ConfigurableCloud cloud(eq, smallCloud());
+    NullRole sink;
+    ASSERT_GE(cloud.shell(1).addRole(&sink), 0);
+    auto ch = cloud.openLtl(0, 1, sink.port);
+
+    FaultInjector inj(eq, cloud, FaultConfig{}.withSeed(7));
+    eq.schedule(sim::fromMicros(100), [&] {
+        inj.corruptionBurst(0, 0.5, sim::fromMicros(800));
+    });
+
+    auto *engine = cloud.shell(0).ltlEngine();
+    const int kMessages = 40;
+    for (int i = 0; i < kMessages; ++i) {
+        eq.scheduleAfter(i * 20 * sim::kMicrosecond,
+                         [engine, conn = ch.sendConn()] {
+                             engine->sendMessage(conn, 1024);
+                         });
+    }
+    eq.runFor(sim::fromMillis(20));
+
+    EXPECT_EQ(sink.received, kMessages);  // CRC drops all recovered
+    EXPECT_GT(engine->framesRetransmitted(), 0u);
+    EXPECT_EQ(engine->framesAcked() + engine->framesAbandoned(),
+              engine->framesSent());
+    // The hook is gone after the burst: no further fault drops.
+    const auto drops = cloud.topology().hostLink(0).aToB().faultDrops();
+    EXPECT_GT(drops, 0u);
+    ch.send(512);
+    eq.runFor(sim::fromMillis(1));
+    EXPECT_EQ(cloud.topology().hostLink(0).aToB().faultDrops(), drops);
+}
+
+TEST(FaultInjection, FpgaHardFailureCausesExactlyOneFailover)
+{
+    EventQueue eq;
+    core::ConfigurableCloud cloud(eq, smallCloud());
+
+    std::vector<std::unique_ptr<roles::DnnRole>> role_storage;
+    haas::ServiceManager sm(eq, cloud.resourceManager(), "dnn",
+                            [&](int) -> fpga::Role * {
+                                role_storage.push_back(
+                                    std::make_unique<roles::DnnRole>(eq));
+                                return role_storage.back().get();
+                            });
+    cloud.resourceManager().subscribeFailures(
+        [&](int h, std::uint64_t) { sm.handleFailure(h); });
+    ASSERT_TRUE(sm.deploy(2));
+    const int victim = sm.instances()[0];
+
+    FaultInjector inj(eq, cloud,
+                      FaultConfig{}.withFpgaHardFail(sim::fromMicros(50),
+                                                     victim));
+    inj.arm();
+    // A duplicate hard-fail of the same node must be swallowed.
+    eq.schedule(sim::fromMicros(60), [&] { inj.failFpga(victim); });
+    eq.runFor(sim::fromMillis(5));
+
+    EXPECT_EQ(sm.failovers(), 1u);
+    EXPECT_EQ(sm.instances().size(), 2u);
+    for (int instance : sm.instances())
+        EXPECT_NE(instance, victim);
+    EXPECT_EQ(cloud.resourceManager().failedCount(), 1);
+    EXPECT_TRUE(inj.nodeDown(victim));
+    EXPECT_EQ(inj.injected(), 1u);  // the duplicate did not count
+
+    // Repair: the node rejoins the free pool.
+    inj.repairFpga(victim);
+    EXPECT_FALSE(inj.nodeDown(victim));
+    EXPECT_EQ(cloud.resourceManager().failedCount(), 0);
+    EXPECT_EQ(inj.recovered(), 1u);
+}
+
+TEST(FaultInjection, ReconfigPauseReturnsNodeToPool)
+{
+    EventQueue eq;
+    core::ConfigurableCloud cloud(eq, smallCloud());
+    const int free_before = cloud.resourceManager().freeCount();
+
+    FaultInjector inj(eq, cloud,
+                      FaultConfig{}.withReconfigPause(
+                          sim::fromMicros(10), 3, sim::fromMicros(500)));
+    inj.arm();
+
+    eq.runUntil(sim::fromMicros(200));
+    EXPECT_TRUE(inj.nodeDown(3));
+    EXPECT_TRUE(cloud.shell(3).bridge().down());
+    EXPECT_EQ(cloud.resourceManager().failedCount(), 1);
+
+    eq.runUntil(sim::fromMillis(2));
+    EXPECT_FALSE(inj.nodeDown(3));
+    EXPECT_FALSE(cloud.shell(3).bridge().down());
+    EXPECT_EQ(cloud.resourceManager().failedCount(), 0);
+    EXPECT_EQ(cloud.resourceManager().freeCount(), free_before);
+    EXPECT_EQ(inj.downtime(3), sim::fromMicros(500));
+}
+
+TEST(FaultInjection, SwitchBrownoutDropsAndClears)
+{
+    EventQueue eq;
+    core::ConfigurableCloud cloud(eq, smallCloud());
+    NullRole sink;
+    ASSERT_GE(cloud.shell(1).addRole(&sink), 0);
+    auto ch = cloud.openLtl(0, 1, sink.port);
+
+    FaultInjector inj(eq, cloud,
+                      FaultConfig{}.withSwitchBrownout(
+                          sim::fromMicros(100), 0, 0, 0.4, true,
+                          sim::fromMicros(600)));
+    inj.arm();
+
+    auto *engine = cloud.shell(0).ltlEngine();
+    for (int i = 0; i < 60; ++i) {
+        eq.scheduleAfter(i * 10 * sim::kMicrosecond,
+                         [engine, conn = ch.sendConn()] {
+                             engine->sendMessage(conn, 1024);
+                         });
+    }
+    eq.schedule(sim::fromMicros(300), [&] {
+        EXPECT_TRUE(cloud.topology().tor(0, 0).inBrownout());
+    });
+    eq.runFor(sim::fromMillis(20));
+
+    EXPECT_FALSE(cloud.topology().tor(0, 0).inBrownout());
+    EXPECT_GT(cloud.topology().tor(0, 0).brownoutDrops(), 0u);
+    EXPECT_EQ(sink.received, 60);  // LTL recovered every drop
+    EXPECT_EQ(engine->framesAcked() + engine->framesAbandoned(),
+              engine->framesSent());
+}
+
+// ---------------------------------------------------------------------
+// Determinism: a fault schedule is a pure function of its seed.
+// ---------------------------------------------------------------------
+
+std::string
+faultRunSnapshot(std::uint64_t seed)
+{
+    EventQueue eq;
+    obs::Observability hub;
+    auto cfg = smallCloud();
+    cfg.obs = &hub;
+    core::ConfigurableCloud cloud(eq, cfg);
+    NullRole sink;
+    cloud.shell(5).addRole(&sink);
+    auto ch = cloud.openLtl(0, 5, sink.port);
+
+    FaultInjector inj(eq, cloud,
+                      FaultConfig{}
+                          .withSeed(seed)
+                          .withHostLinkFlap(sim::fromMicros(400), 0,
+                                            sim::fromMicros(150))
+                          .withRandomFlaps(2000.0, sim::fromMicros(100))
+                          .withRandomBursts(1500.0, 0.3,
+                                            sim::fromMicros(200))
+                          .withRandomHorizon(sim::fromMillis(4)));
+    inj.arm();
+
+    auto *engine = cloud.shell(0).ltlEngine();
+    for (int i = 0; i < 80; ++i) {
+        eq.scheduleAfter(i * 25 * sim::kMicrosecond,
+                         [engine, conn = ch.sendConn()] {
+                             engine->sendMessage(conn, 512);
+                         });
+    }
+    eq.runFor(sim::fromMillis(8));
+    return hub.registry.snapshotJson();
+}
+
+TEST(FaultInjection, SameSeedScheduleIsByteIdentical)
+{
+    const auto a = faultRunSnapshot(11);
+    const auto b = faultRunSnapshot(11);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+    // fault.* metrics are part of the snapshot.
+    EXPECT_NE(a.find("fault.injected"), std::string::npos);
+    EXPECT_NE(a.find("fault.node0.downtime_us"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// RAII channel handles.
+// ---------------------------------------------------------------------
+
+TEST(LtlChannelHandle, CloseFreesConnectionTableEntries)
+{
+    EventQueue eq;
+    auto cfg = smallCloud();
+    cfg.shellTemplate.ltl.maxConnections = 2;
+    core::ConfigurableCloud cloud(eq, cfg);
+    NullRole sink;
+    ASSERT_GE(cloud.shell(1).addRole(&sink), 0);
+
+    // With only 2 connection-table entries per engine, opening a channel
+    // 8 times in sequence only works if the handle's destructor really
+    // releases its entries.
+    for (int i = 0; i < 8; ++i) {
+        auto ch = cloud.openLtl(0, 1, sink.port);
+        ASSERT_TRUE(ch.isOpen());
+        ch.send(128);
+        eq.runFor(sim::fromMicros(200));
+    }
+    EXPECT_EQ(sink.received, 8);
+}
+
+TEST(LtlChannelHandle, MoveTransfersOwnership)
+{
+    EventQueue eq;
+    core::ConfigurableCloud cloud(eq, smallCloud());
+    NullRole sink;
+    ASSERT_GE(cloud.shell(1).addRole(&sink), 0);
+
+    auto ch = cloud.openLtl(0, 1, sink.port);
+    const auto send_id = ch.sendConn();
+    core::LtlChannel moved = std::move(ch);
+    EXPECT_FALSE(ch.isOpen());
+    ASSERT_TRUE(moved.isOpen());
+    EXPECT_EQ(moved.sendConn(), send_id);
+    EXPECT_EQ(moved.senderEngine(), cloud.shell(0).ltlEngine());
+
+    moved.send(64);
+    eq.runFor(sim::fromMicros(200));
+    EXPECT_EQ(sink.received, 1);
+
+    moved.close();
+    EXPECT_FALSE(moved.isOpen());
+    moved.close();  // double close is a no-op
+    EXPECT_FALSE(static_cast<bool>(moved));
+}
+
+TEST(LtlChannelHandle, FailedReflectsLtlConnectionState)
+{
+    EventQueue eq;
+    auto cfg = smallCloud();
+    cfg.shellTemplate.ltl.maxRetries = 3;
+    core::ConfigurableCloud cloud(eq, cfg);
+    NullRole sink;
+    ASSERT_GE(cloud.shell(1).addRole(&sink), 0);
+    auto ch = cloud.openLtl(0, 1, sink.port);
+
+    // Permanently cut the cable: the send connection exhausts its
+    // retries and is declared failed.
+    FaultInjector inj(eq, cloud);
+    inj.failFpga(1);
+    ch.send(256);
+    eq.runFor(sim::fromMillis(5));
+    EXPECT_TRUE(ch.failed());
+    EXPECT_GE(cloud.shell(0).ltlEngine()->connectionFailures(), 1u);
+    // Closing a failed channel is clean (tolerant teardown).
+    ch.close();
+    EXPECT_FALSE(ch.isOpen());
+}
+
+// ---------------------------------------------------------------------
+// Construction-time validation.
+// ---------------------------------------------------------------------
+
+TEST(ConfigValidation, BadCloudConfigsDie)
+{
+    EventQueue eq;
+    auto zero_servers = [&] {
+        core::CloudConfig cfg;
+        cfg.topology.hostsPerRack = 0;
+        core::ConfigurableCloud cloud(eq, cfg);
+    };
+    EXPECT_DEATH(zero_servers(), "no servers");
+
+    auto negative_cable = [&] {
+        core::CloudConfig cfg;
+        cfg.topology.hostCableMeters = -1.0;
+        core::ConfigurableCloud cloud(eq, cfg);
+    };
+    EXPECT_DEATH(negative_cable(), "cable lengths");
+
+    auto sampling_without_hub = [&] {
+        auto cfg = smallCloud();
+        cfg.obsSamplePeriod = sim::fromMicros(50);
+        core::ConfigurableCloud cloud(eq, cfg);
+    };
+    EXPECT_DEATH(sampling_without_hub(), "withObservability");
+}
+
+TEST(ConfigValidation, BadFaultConfigsDie)
+{
+    EventQueue eq;
+    core::ConfigurableCloud cloud(eq, smallCloud());
+
+    EXPECT_DEATH(FaultInjector(eq, cloud,
+                               FaultConfig{}.withHostLinkFlap(
+                                   0, 99, sim::fromMicros(10))),
+                 "targets host");
+    EXPECT_DEATH(FaultInjector(eq, cloud,
+                               FaultConfig{}.withCorruptionBurst(
+                                   0, 0, 1.5, sim::fromMicros(10))),
+                 "rate must be in");
+    EXPECT_DEATH(FaultInjector(eq, cloud,
+                               FaultConfig{}.withRandomFlaps(
+                                   10.0, sim::fromMicros(10))),
+                 "randomHorizon");
+    EXPECT_DEATH(FaultInjector(eq, cloud,
+                               FaultConfig{}.withSwitchBrownout(
+                                   0, 7, 0, 0.1, false,
+                                   sim::fromMicros(10))),
+                 "outside the fabric");
+}
+
+TEST(ConfigValidation, SecondConcurrentInjectorDies)
+{
+    EventQueue eq;
+    core::ConfigurableCloud cloud(eq, smallCloud());
+    FaultInjector first(eq, cloud);
+    EXPECT_DEATH(FaultInjector(eq, cloud), "already");
+}
+
+TEST(ConfigValidation, InjectorSlotFreedOnDestruction)
+{
+    EventQueue eq;
+    core::ConfigurableCloud cloud(eq, smallCloud());
+    {
+        FaultInjector inj(eq, cloud);
+        EXPECT_EQ(cloud.faultInjector(), &inj);
+    }
+    EXPECT_EQ(cloud.faultInjector(), nullptr);
+    FaultInjector again(eq, cloud);  // slot is reusable
+    EXPECT_EQ(cloud.faultInjector(), &again);
+}
+
+}  // namespace

@@ -136,6 +136,33 @@ TEST(ResourceManager, RepairReturnsNodeToPool)
     EXPECT_EQ(pool.rm.failedCount(), 0);
 }
 
+TEST(ResourceManager, ReportFailureIsIdempotent)
+{
+    // Fault injection and LTL-timeout detection can both report the same
+    // dead node; only the first report may have any effect.
+    Pool pool(4);
+    int notifications = 0;
+    pool.rm.subscribeFailures(
+        [&](int, std::uint64_t) { ++notifications; });
+    auto lease = pool.rm.acquire("svc", 1);
+    ASSERT_TRUE(lease.has_value());
+    const int victim = lease->hosts[0];
+
+    pool.rm.reportFailure(victim);
+    pool.rm.reportFailure(victim);
+    pool.rm.reportFailure(victim);
+    EXPECT_EQ(notifications, 1);
+    EXPECT_EQ(pool.rm.failedCount(), 1);
+    EXPECT_EQ(pool.rm.failuresReported(), 1u);
+
+    // Repairing a healthy node is equally a no-op.
+    pool.rm.repair(victim);
+    pool.rm.repair(victim);
+    EXPECT_EQ(pool.rm.failedCount(), 0);
+    EXPECT_EQ(pool.rm.repairsApplied(), 1u);
+    EXPECT_EQ(pool.rm.freeCount(), 4);
+}
+
 TEST(FpgaManager, StatusReflectsHealth)
 {
     EventQueue eq;

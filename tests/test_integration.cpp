@@ -46,7 +46,7 @@ struct PoolClient {
     roles::ForwarderRole forwarder;
     struct Target {
         int host;
-        ConfigurableCloud::LtlChannel req, rep;
+        core::LtlChannel req, rep;
     };
     std::vector<Target> targets;
     std::unordered_map<std::uint64_t, sim::TimePs> outstanding;
@@ -82,7 +82,7 @@ struct PoolClient {
             t.host = instance;
             t.req = cloud.openLtl(host, instance, fpga::kErPortRole0);
             t.rep = cloud.openLtl(instance, host, forwarder.port());
-            targets.push_back(t);
+            targets.push_back(std::move(t));
         }
     }
 
@@ -91,10 +91,10 @@ struct PoolClient {
         const Target &t = targets[nextId % targets.size()];
         auto req = std::make_shared<roles::DnnRequest>();
         req->requestId = nextId++;
-        req->replyConn = t.rep.sendConn;
+        req->replyConn = t.rep.sendConn();
         outstanding[req->requestId] = eq.now();
         auto fwd = std::make_shared<roles::ForwarderRole::ForwardRequest>();
-        fwd->sendConn = t.req.sendConn;
+        fwd->sendConn = t.req.sendConn();
         fwd->bytes = 256;
         fwd->inner = std::move(req);
         cloud.shell(host).sendFromHost(forwarder.port(), 256,
@@ -160,7 +160,7 @@ TEST(Failover, LtlTimeoutFeedsHaasFailureDetection)
 
     cloud.shell(0).ltlEngine()->setFailureHandler(
         [&](std::uint16_t conn) {
-            EXPECT_EQ(conn, ch.sendConn);
+            EXPECT_EQ(conn, ch.sendConn());
             // Control plane maps the connection to the node and reports.
             cloud.resourceManager().reportFailure(5);
         });
@@ -171,7 +171,7 @@ TEST(Failover, LtlTimeoutFeedsHaasFailureDetection)
     auto req = std::make_shared<roles::DnnRequest>();
     req->requestId = 1;
     req->replyConn = 0;
-    cloud.shell(0).ltlEngine()->sendMessage(ch.sendConn, 256, req);
+    cloud.shell(0).ltlEngine()->sendMessage(ch.sendConn(), 256, req);
     eq.runFor(sim::fromMillis(10));
     EXPECT_EQ(reported_failure, 5);
     EXPECT_EQ(cloud.resourceManager().failedCount(), 1);
@@ -226,10 +226,12 @@ TEST(Congestion, ManySendersOneReceiverAllDelivered)
 
     const std::vector<int> senders = {1, 2, 3, 4, 5, 6};
     const int kPerSender = 60;
+    std::vector<core::LtlChannel> channels;  // keep connections open
     for (int s : senders) {
         auto ch = cloud.openLtl(s, 0, sink.port);
         for (int i = 0; i < kPerSender; ++i)
-            cloud.shell(s).ltlEngine()->sendMessage(ch.sendConn, 1408);
+            cloud.shell(s).ltlEngine()->sendMessage(ch.sendConn(), 1408);
+        channels.push_back(std::move(ch));
     }
     eq.runFor(sim::fromMillis(50));
     EXPECT_EQ(sink.received,
@@ -425,7 +427,7 @@ TEST(PacketSwitch, ClassifiesLtlAndRoleTraffic)
     } sink;
     ASSERT_GE(cloud.shell(1).addRole(&sink), 0);
     auto ch = cloud.openLtl(0, 1, sink.port);
-    cloud.shell(0).ltlEngine()->sendMessage(ch.sendConn, 64);
+    cloud.shell(0).ltlEngine()->sendMessage(ch.sendConn(), 64);
     eq.runFor(sim::fromMicros(100));
     EXPECT_EQ(sink.received, 1);
     EXPECT_GE(cloud.shell(0).packetSwitch().ltlFramesSent(), 1u);

@@ -164,12 +164,14 @@ TEST(LosslessFabric, SustainedLtlLoadZeroDrops)
     // TOR-to-L1 uplinks.
     std::vector<std::unique_ptr<CountRole>> rxs;
     const int kPerSender = 120;
+    std::vector<core::LtlChannel> channels;  // keep connections open
     for (int s = 0; s < 4; ++s) {
         rxs.push_back(std::make_unique<CountRole>());
         ASSERT_GE(cloud.shell(4 + s).addRole(rxs.back().get()), 0);
         auto ch = cloud.openLtl(s, 4 + s, rxs.back()->port);
         for (int i = 0; i < kPerSender; ++i)
-            cloud.shell(s).ltlEngine()->sendMessage(ch.sendConn, 1408);
+            cloud.shell(s).ltlEngine()->sendMessage(ch.sendConn(), 1408);
+        channels.push_back(std::move(ch));
     }
     eq.runFor(sim::fromMillis(100));
     for (auto &rx : rxs)
@@ -215,7 +217,7 @@ TEST_P(Fig10Guard, TierRttWithinCalibratedBand)
     auto *engine = cloud.shell(0).ltlEngine();
     for (int i = 0; i < 60; ++i) {
         eq.scheduleAfter(i * 20 * sim::kMicrosecond,
-                         [engine, conn = ch.sendConn] {
+                         [engine, conn = ch.sendConn()] {
                              engine->sendMessage(conn, 64);
                          });
     }

@@ -550,7 +550,7 @@ TEST(ObservabilityIntegration, SmallCloudTraceCoversAllComponentFamilies)
     hub.registry.startSampling(eq, 50 * sim::kMicrosecond, &hub.trace);
     for (int i = 0; i < 20; ++i) {
         eq.scheduleAfter(i * 10 * sim::kMicrosecond,
-                         [engine, conn = ch.sendConn] {
+                         [engine, conn = ch.sendConn()] {
                              engine->sendMessage(conn, 256);
                          });
     }
