@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tiny merge-writer for the benchmark-trajectory file `BENCH_kernel.json`.
+ *
+ * Perf-sensitive binaries (micro_throughput, fig08_load_vs_latency) each
+ * record their headline numbers as a flat {"key": number} JSON object in
+ * one shared file, so every perf PR has a machine-readable baseline to
+ * compare against and CI can archive the trajectory as an artifact.
+ *
+ * Writers merge: existing keys not produced by the current run are
+ * preserved, so running the two binaries in either order yields one
+ * combined file. Keys are emitted sorted with fixed formatting, making
+ * the file diffable across runs.
+ */
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace ccsim::bench {
+
+/** Flat key → value benchmark results. */
+using BenchValues = std::map<std::string, double>;
+
+/** Parse a flat {"key": number} object (as written by writeBenchJson). */
+inline BenchValues
+parseBenchJson(const std::string &text)
+{
+    BenchValues out;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+    while (i < n) {
+        while (i < n && text[i] != '"')
+            ++i;
+        if (i >= n)
+            break;
+        const std::size_t keyStart = ++i;
+        while (i < n && text[i] != '"')
+            ++i;
+        if (i >= n)
+            break;
+        const std::string key = text.substr(keyStart, i - keyStart);
+        ++i;
+        while (i < n && (std::isspace(static_cast<unsigned char>(text[i])) ||
+                         text[i] == ':'))
+            ++i;
+        char *end = nullptr;
+        const double v = std::strtod(text.c_str() + i, &end);
+        if (end == text.c_str() + i)
+            continue;  // not a number; skip (we only write flat numbers)
+        out[key] = v;
+        i = static_cast<std::size_t>(end - text.c_str());
+    }
+    return out;
+}
+
+/**
+ * Merge @p values over whatever @p path already holds and rewrite it,
+ * keys sorted, one per line.
+ */
+inline void
+mergeBenchJson(const std::string &path, const BenchValues &values)
+{
+    BenchValues merged;
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::stringstream ss;
+            ss << in.rdbuf();
+            merged = parseBenchJson(ss.str());
+        }
+    }
+    for (const auto &[k, v] : values)
+        merged[k] = v;
+
+    std::ofstream out(path);
+    out << "{\n";
+    bool first = true;
+    for (const auto &[k, v] : merged) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        out << (first ? "" : ",\n") << "  \"" << k << "\": " << buf;
+        first = false;
+    }
+    out << "\n}\n";
+}
+
+/**
+ * Peak resident set size of this process in KiB (VmHWM), or -1 when the
+ * platform does not expose it.
+ */
+inline long
+peakRssKb()
+{
+#ifdef __linux__
+    std::ifstream in("/proc/self/status");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("VmHWM:", 0) == 0)
+            return std::strtol(line.c_str() + 6, nullptr, 10);
+    }
+#endif
+    return -1;
+}
+
+}  // namespace ccsim::bench

@@ -10,10 +10,13 @@
  *  - the FPGA datacenter absorbs more than twice the offered load;
  *  - the FPGA curve never exceeds the software curve at any load.
  */
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "host/load_generator.hpp"
 #include "host/ranking_server.hpp"
 #include "obs/metrics.hpp"
@@ -30,9 +33,16 @@ struct WindowPoint {
     double p999Ms;
 };
 
+/** Kernel-load accounting for the benchmark trajectory. */
+struct KernelLoad {
+    std::uint64_t eventsExecuted = 0;
+    std::size_t peakLiveEvents = 0;
+};
+
 std::vector<WindowPoint>
 runDatacenter(const std::vector<double> &trace, bool use_fpga,
-              double demand_peak_qps, bool balancer)
+              double demand_peak_qps, bool balancer,
+              KernelLoad *kernel = nullptr)
 {
     sim::EventQueue eq;  // must outlive the observability hub
     obs::Observability hub;
@@ -71,6 +81,11 @@ runDatacenter(const std::vector<double> &trace, bool use_fpga,
                     std::min(demand_peak_qps, admitted_cap * 1.05);
         }
     }
+    if (kernel != nullptr) {
+        kernel->eventsExecuted += eq.eventsExecuted();
+        kernel->peakLiveEvents =
+            std::max(kernel->peakLiveEvents, eq.peakLiveEvents());
+    }
     return points;
 }
 
@@ -95,18 +110,29 @@ printBinned(const char *label, const std::vector<WindowPoint> &points,
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Figure 8: 99.9%% latency vs offered load over 5 "
-                "days ===\n\n");
+    // --quick: shortened run for CI smoke + trajectory recording.
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+
+    std::printf("=== Figure 8: 99.9%% latency vs offered load over %d "
+                "day%s ===\n\n", quick ? 1 : 5, quick ? "" : "s");
 
     host::DiurnalTraceParams tp;
-    tp.days = 5;
-    tp.windowsPerDay = 48;
+    tp.days = quick ? 1 : 5;
+    tp.windowsPerDay = quick ? 12 : 48;
     const auto trace = host::makeDiurnalTrace(tp);
 
-    const auto sw = runDatacenter(trace, false, 3400.0, true);
-    const auto fpga = runDatacenter(trace, true, 4500.0, false);
+    KernelLoad kernel;
+    const auto wall0 = std::chrono::steady_clock::now();
+    const auto sw = runDatacenter(trace, false, 3400.0, true, &kernel);
+    const auto fpga = runDatacenter(trace, true, 4500.0, false, &kernel);
+    const double wallSecs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - wall0)
+                                .count();
 
     std::vector<double> sw_tails;
     for (const auto &p : sw)
@@ -148,5 +174,26 @@ main()
     }
     std::printf("FPGA latency never exceeds software at any overlapping "
                 "load: %s (paper: true)\n", never_exceeds ? "yes" : "NO");
+
+    // Benchmark trajectory: record how fast the DES kernel chewed
+    // through this figure's event load (wall-clock, so this is the
+    // end-to-end number the kernel rework is meant to move).
+    const std::string prefix = quick ? "fig08_quick." : "fig08.";
+    ccsim::bench::BenchValues v;
+    v[prefix + "wall_seconds"] = wallSecs;
+    v[prefix + "events_executed"] =
+        static_cast<double>(kernel.eventsExecuted);
+    v[prefix + "events_per_sec_wall"] =
+        static_cast<double>(kernel.eventsExecuted) / wallSecs;
+    v[prefix + "peak_live_events"] =
+        static_cast<double>(kernel.peakLiveEvents);
+    const long rss = ccsim::bench::peakRssKb();
+    if (rss >= 0)
+        v[prefix + "rss_peak_kb"] = static_cast<double>(rss);
+    ccsim::bench::mergeBenchJson("BENCH_kernel.json", v);
+    std::printf("\nwall clock %.2f s for %llu events (%.2fM events/sec) "
+                "-> BENCH_kernel.json\n", wallSecs,
+                static_cast<unsigned long long>(kernel.eventsExecuted),
+                kernel.eventsExecuted / wallSecs / 1e6);
     return 0;
 }

@@ -6,12 +6,16 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "crypto/aes.hpp"
 #include "crypto/sha1.hpp"
 #include "host/workload.hpp"
+#include "net/packet.hpp"
 #include "roles/ranking/features.hpp"
 #include "router/elastic_router.hpp"
 #include "sim/event_queue.hpp"
@@ -35,6 +39,59 @@ BM_EventQueueScheduleRun(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_EventQueueCancelChurn(benchmark::State &state)
+{
+    // Timer-heavy workloads (LTL retransmit timers, DCQCN rate timers)
+    // schedule and then cancel most of what they schedule.
+    sim::EventQueue eq;
+    std::int64_t sink = 0;
+    std::vector<sim::EventId> ids(1000);
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i)
+            ids[i] = eq.scheduleAfter(i + 1, [&sink] { ++sink; });
+        for (int i = 0; i < 1000; i += 2)
+            eq.cancel(ids[i]);
+        eq.runAll();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueCancelChurn);
+
+void
+BM_EventQueueBimodal(benchmark::State &state)
+{
+    // ccsim's real delay mix: sub-ns flit/link hops interleaved with
+    // 50 µs LTL retransmit timers, seven wheel levels apart.
+    sim::EventQueue eq;
+    std::int64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i) {
+            const sim::TimePs delay =
+                (i % 10 == 9) ? sim::fromNanos(50000) : 100 + i;
+            eq.scheduleAfter(delay, [&sink] { ++sink; });
+        }
+        eq.runAll();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueBimodal);
+
+void
+BM_PacketPoolMakePacket(benchmark::State &state)
+{
+    // Steady-state packet churn: every created packet is dropped before
+    // the next, so the pool serves each request from its freelist.
+    for (auto _ : state) {
+        auto pkt = net::makePacket();
+        benchmark::DoNotOptimize(pkt);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketPoolMakePacket);
 
 void
 BM_Rng(benchmark::State &state)
@@ -157,6 +214,93 @@ BM_ErMessageRouting(benchmark::State &state)
 }
 BENCHMARK(BM_ErMessageRouting);
 
+/**
+ * Directly timed kernel measurements for the benchmark trajectory.
+ * These deliberately bypass google-benchmark so the recorded numbers
+ * have one clean definition (fixed event count, one timed region) that
+ * stays comparable across PRs regardless of --benchmark_* flags.
+ */
+ccsim::bench::BenchValues
+measureKernelTrajectory()
+{
+    using Clock = std::chrono::steady_clock;
+    ccsim::bench::BenchValues v;
+
+    {
+        // Mirrors BM_EventQueueScheduleRun: 2M short-delay events.
+        sim::EventQueue eq;
+        std::int64_t sink = 0;
+        const auto t0 = Clock::now();
+        for (int batch = 0; batch < 2000; ++batch) {
+            for (int i = 0; i < 1000; ++i)
+                eq.scheduleAfter(i, [&sink] { ++sink; });
+            eq.runAll();
+        }
+        const double secs =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        benchmark::DoNotOptimize(sink);
+        const double events = static_cast<double>(eq.eventsExecuted());
+        v["kernel.events_per_sec"] = events / secs;
+        v["kernel.ns_per_event"] = 1e9 * secs / events;
+        v["kernel.peak_live_events"] =
+            static_cast<double>(eq.peakLiveEvents());
+    }
+    {
+        // Bimodal mix with a 50% cancel rate, the LTL-like workload.
+        sim::EventQueue eq;
+        std::int64_t sink = 0;
+        std::vector<sim::EventId> ids(1000);
+        const auto t0 = Clock::now();
+        for (int batch = 0; batch < 1000; ++batch) {
+            for (int i = 0; i < 1000; ++i) {
+                const sim::TimePs delay =
+                    (i % 10 == 9) ? sim::fromNanos(50000) : 100 + i;
+                ids[i] = eq.scheduleAfter(delay, [&sink] { ++sink; });
+            }
+            for (int i = 0; i < 1000; i += 2)
+                eq.cancel(ids[i]);
+            eq.runAll();
+        }
+        const double secs =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        benchmark::DoNotOptimize(sink);
+        const double ops =
+            static_cast<double>(eq.eventsExecuted() + eq.eventsCancelled());
+        v["kernel.bimodal_cancel.events_per_sec"] = ops / secs;
+    }
+    {
+        const auto t0 = Clock::now();
+        for (int i = 0; i < 1000000; ++i) {
+            auto pkt = net::makePacket();
+            benchmark::DoNotOptimize(pkt);
+        }
+        const double secs =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        v["kernel.packet_pool.packets_per_sec"] = 1e6 / secs;
+    }
+
+    const long rss = ccsim::bench::peakRssKb();
+    if (rss >= 0)
+        v["kernel.rss_peak_kb"] = static_cast<double>(rss);
+    return v;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    const auto values = measureKernelTrajectory();
+    ccsim::bench::mergeBenchJson("BENCH_kernel.json", values);
+    std::printf("\nwrote %zu kernel trajectory keys to BENCH_kernel.json "
+                "(%.2fM events/sec, %.1f ns/event)\n",
+                values.size(), values.at("kernel.events_per_sec") / 1e6,
+                values.at("kernel.ns_per_event"));
+    return 0;
+}

@@ -39,6 +39,8 @@ ConfigurableCloud::ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg)
     : queue(eq), config(std::move(cfg))
 {
     validate(config);
+    if (config.obs)
+        obs::registerEventQueueProbes(config.obs->registry, queue);
     topo = std::make_unique<net::Topology>(queue, config.topology);
     if (config.obs)
         topo->attachObservability(config.obs);

@@ -115,6 +115,21 @@ PacketPtr makePacket();
 /** Build a PFC pause frame for the given priority. */
 PacketPtr makePfcPause(std::uint8_t priority, sim::TimePs pause_time);
 
+/** Counters exported by the packet pool (see sim/pool.hpp). */
+struct PacketPoolStats {
+    std::uint64_t freshAllocs = 0;  ///< packet blocks taken from the heap
+    std::uint64_t reusedAllocs = 0; ///< packet blocks served from the pool
+    std::size_t freeBlocks = 0;     ///< blocks currently parked in the pool
+};
+
+/**
+ * Thread-local pool statistics for diagnostics and tests. Deliberately
+ * not an observability probe: the pool outlives individual simulations,
+ * so exposing it in snapshots would break same-seed determinism for
+ * back-to-back runs in one process.
+ */
+PacketPoolStats packetPoolStats();
+
 /**
  * Interface for anything that can accept a delivered packet: switch ports,
  * NICs, FPGA MACs.

@@ -285,4 +285,27 @@ MetricsRegistry::sampleTick()
     }
 }
 
+void
+registerEventQueueProbes(MetricsRegistry &registry, const sim::EventQueue &eq)
+{
+    const sim::EventQueue *q = &eq;
+    registry.registerProbe("sim.queue.events_per_sec", [q] {
+        // Rate over *simulated* time, so same-seed runs snapshot
+        // byte-identically regardless of host speed.
+        if (q->now() <= 0)
+            return 0.0;
+        return static_cast<double>(q->eventsExecuted()) /
+               (static_cast<double>(q->now()) * 1e-12);
+    });
+    registry.registerProbe("sim.queue.live", [q] {
+        return static_cast<double>(q->size());
+    });
+    registry.registerProbe("sim.queue.cancelled", [q] {
+        return static_cast<double>(q->eventsCancelled());
+    });
+    registry.registerProbe("sim.queue.wheel_overflow", [q] {
+        return static_cast<double>(q->wheelOverflows());
+    });
+}
+
 }  // namespace ccsim::obs

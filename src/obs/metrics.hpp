@@ -205,4 +205,20 @@ struct Observability {
     TraceWriter trace;
 };
 
+/**
+ * Export DES-kernel health probes for @p eq under `sim.queue.*`:
+ *
+ *  - `sim.queue.events_per_sec` — events executed per *simulated* second
+ *    (wall-clock rates would differ run to run and break byte-identical
+ *    same-seed snapshots);
+ *  - `sim.queue.live` — currently scheduled, uncancelled events;
+ *  - `sim.queue.cancelled` — total cancellations;
+ *  - `sim.queue.wheel_overflow` — events parked in the far-future
+ *    overflow heap (0 on the reference binary-heap backend).
+ *
+ * @p eq must outlive @p registry (or probe re-registration).
+ */
+void registerEventQueueProbes(MetricsRegistry &registry,
+                              const sim::EventQueue &eq);
+
 }  // namespace ccsim::obs

@@ -4,17 +4,37 @@
  *
  * Events are closures scheduled at absolute simulated times. Ties are broken
  * by scheduling order (FIFO among same-time events), which makes simulations
- * fully deterministic. Events may be cancelled; cancellation is O(1) via
- * tombstoning and lazily reclaimed at pop time.
+ * fully deterministic.
+ *
+ * Two interchangeable backends implement the same contract:
+ *
+ *  - **TimerWheelQueue** (the default `EventQueue`) — a hierarchical
+ *    timing wheel tuned for ccsim's bimodal delay distribution (sub-ns
+ *    flit/link hops vs. multi-µs LTL retransmit timers): 8 levels of 64
+ *    slots with 4.096 ns level-0 slots, a far-future overflow heap,
+ *    freelist-pooled event records, inline small-buffer closures
+ *    (sim::EventFn), and generation-counted handles giving O(1)
+ *    cancel() that destroys the closure — and releases everything it
+ *    captured — immediately.
+ *
+ *  - **BinaryHeapQueue** — the original binary-heap implementation, kept
+ *    as the behavioural oracle for property tests and A/B determinism
+ *    checks. Building with -DCCSIM_REFERENCE_QUEUE=1 aliases
+ *    `EventQueue` to it so any experiment can be replayed on the
+ *    reference kernel.
+ *
+ * Both backends execute events in exactly the same order ((time,
+ * schedule-order) ascending) and report identical now()/size()
+ * trajectories for identical schedule/cancel/run call sequences.
  */
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/logging.hpp"
 #include "sim/time.hpp"
 
@@ -27,18 +47,45 @@ using EventId = std::uint64_t;
 inline constexpr EventId kNoEvent = 0;
 
 /**
- * A deterministic discrete-event queue.
+ * A deterministic discrete-event queue backed by a hierarchical timing
+ * wheel.
  *
  * Not thread-safe; a simulation runs on one thread (experiments fan out by
  * running independent simulations in separate processes or threads with
  * separate EventQueues).
+ *
+ * ## Microarchitecture
+ *
+ * Scheduled events live in a freelist-backed pool of fixed records
+ * (absolute time, monotone sequence number for FIFO tie-break, a
+ * generation counter, and the inline-SBO closure). The wheel itself
+ * stores only 32-bit pool indices:
+ *
+ *  - 8 levels × 64 slots; level L slots are 2^(12+6L) ps wide, so level
+ *    0 resolves 4.096 ns (sub-slot order is restored by sorting a slot
+ *    on drain, which is cheap because slots are short at this width)
+ *    and the wheel horizon is 64·2^54 ps ≈ 13 days of simulated time.
+ *  - one 64-bit occupancy bitmap per level makes "next non-empty slot"
+ *    a find-first-set, so sparse regions of simulated time are skipped
+ *    in O(1) instead of slot-by-slot ticking.
+ *  - events beyond the horizon (e.g. kTimeNever-style sentinels) go to
+ *    a far-future overflow heap ordered by (time, seq) and migrate into
+ *    the wheel when the horizon reaches them.
+ *
+ * cancel() checks the handle's generation against the pool record and,
+ * when live, destroys the closure in place: O(1), no heap walk, and any
+ * captured PacketPtr / connection state is released at cancel time
+ * rather than when the tombstone is lazily popped. Dead records whose
+ * index is still parked in a slot are reclaimed when the slot drains,
+ * or by a bulk sweep when tombstones outnumber live events.
  */
-class EventQueue
+class TimerWheelQueue
 {
   public:
-    EventQueue() = default;
-    EventQueue(const EventQueue &) = delete;
-    EventQueue &operator=(const EventQueue &) = delete;
+    TimerWheelQueue();
+    TimerWheelQueue(const TimerWheelQueue &) = delete;
+    TimerWheelQueue &operator=(const TimerWheelQueue &) = delete;
+    ~TimerWheelQueue();
 
     /** Current simulated time. */
     TimePs now() const { return currentTime; }
@@ -49,10 +96,10 @@ class EventQueue
      * @pre when >= now() (events cannot be scheduled in the past).
      * @return A handle usable with cancel().
      */
-    EventId schedule(TimePs when, std::function<void()> fn);
+    EventId schedule(TimePs when, EventFn fn);
 
     /** Schedule @p fn to run @p delay after the current time. */
-    EventId scheduleAfter(TimePs delay, std::function<void()> fn)
+    EventId scheduleAfter(TimePs delay, EventFn fn)
     {
         return schedule(currentTime + delay, std::move(fn));
     }
@@ -60,15 +107,17 @@ class EventQueue
     /**
      * Cancel a previously scheduled event.
      *
-     * Cancelling an already-fired or already-cancelled event is a no-op.
+     * O(1). The closure (and everything it captured) is destroyed
+     * immediately. Cancelling an already-fired or already-cancelled
+     * event is a no-op.
      */
     void cancel(EventId id);
 
     /** True if no live events remain. */
-    bool empty() const { return liveIds.empty(); }
+    bool empty() const { return liveCount == 0; }
 
     /** Number of live (scheduled, uncancelled, unfired) events. */
-    std::size_t size() const { return liveIds.size(); }
+    std::size_t size() const { return liveCount; }
 
     /**
      * Run the single next event.
@@ -93,14 +142,172 @@ class EventQueue
     /** Run until the queue is completely drained. */
     void runAll();
 
-    /** Total number of events executed so far (for perf accounting). */
+    // --- kernel-health accounting (exported as sim.queue.* probes) ---
+
+    /** Total number of events executed so far. */
     std::uint64_t eventsExecuted() const { return executedCount; }
+    /** Total number of events cancelled so far. */
+    std::uint64_t eventsCancelled() const { return cancelledCount; }
+    /** Events that were routed to the far-future overflow heap. */
+    std::uint64_t wheelOverflows() const { return overflowCount; }
+    /** Highest number of simultaneously live events seen. */
+    std::size_t peakLiveEvents() const { return peakLive; }
+
+  private:
+    // Wheel geometry. Level L slots are 2^(kSlotShift0 + 6L) ps wide.
+    static constexpr int kLevels = 8;
+    static constexpr int kSlotBits = 6;
+    static constexpr int kSlots = 1 << kSlotBits;           // 64
+    static constexpr int kSlotShift0 = 12;                  // 4.096 ns
+    static constexpr int shiftOf(int level)
+    {
+        return kSlotShift0 + kSlotBits * level;
+    }
+
+    enum class SlotState : std::uint8_t { kFree, kLive, kDead };
+
+    /** A pooled event record; wheel cells hold 32-bit indices into it. */
+    struct Record {
+        TimePs when = 0;
+        std::uint64_t seq = 0;   ///< schedule order, FIFO tie-break
+        std::uint32_t gen = 0;   ///< bumped on reuse; validates handles
+        SlotState state = SlotState::kFree;
+        EventFn fn;
+    };
+
+    /** Overflow-heap key; kept tiny so sift operations stay cheap. */
+    struct FarEvent {
+        TimePs when;
+        std::uint64_t seq;
+        std::uint32_t idx;
+    };
+    struct FarLater {
+        bool operator()(const FarEvent &a, const FarEvent &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::vector<Record> pool;
+    std::vector<std::uint32_t> freeList;
+    std::vector<std::uint32_t> cells[kLevels][kSlots];
+    std::uint64_t occupied[kLevels] = {};  ///< bit s: cells[L][s] non-empty
+    std::int64_t cursor[kLevels] = {};     ///< absolute slot number per level
+    std::vector<FarEvent> overflow;        ///< min-heap by (when, seq)
+
+    /**
+     * The slot currently being drained, as packed (when, seq, idx)
+     * entries sorted by (when, seq). Packing the sort key next to the
+     * index keeps the drain sort cache-local instead of chasing pool
+     * records, and lets the common already-in-order slot skip the sort.
+     */
+    struct DueEntry {
+        TimePs when;
+        std::uint64_t seq;
+        std::uint32_t idx;
+    };
+    std::vector<DueEntry> due;
+    std::size_t duePos = 0;
+    std::int64_t dueSlotAbs = -1;  ///< absolute level-0 slot of `due`, or -1
+
+    TimePs currentTime = 0;
+    std::uint64_t nextSeq = 1;
+    std::size_t liveCount = 0;
+    std::size_t peakLive = 0;
+    std::size_t deadParked = 0;  ///< cancelled records still parked in cells
+    std::uint64_t executedCount = 0;
+    std::uint64_t cancelledCount = 0;
+    std::uint64_t overflowCount = 0;
+
+    static constexpr std::uint32_t kInvalidRecord = 0xffffffffu;
+
+    std::uint32_t allocRecord(TimePs when, EventFn &&fn);
+    void freeRecord(std::uint32_t idx);
+    /** Park @p idx in the wheel, or return false if beyond the horizon. */
+    bool placeInWheel(std::uint32_t idx, TimePs when);
+    void place(std::uint32_t idx, TimePs when);
+    /** First occupied absolute slot at @p level. @pre level non-empty. */
+    std::int64_t nextOccupiedSlot(int level);
+    /** Move one higher-level slot's events down. */
+    void cascade(int level, std::int64_t slotAbs);
+    /** Move level-0 slot @p slotAbs into the due buffer. */
+    void drainSlot(std::int64_t slotAbs);
+    /** Append new same-slot arrivals to `due` and restore sort order. */
+    void mergeDueArrivals();
+    /** Drop executed/dead prefix; true if a live due event is ready. */
+    bool dueFrontLive();
+    enum class Next { kNone, kDue, kOverflow };
+    /** Position the structures so the globally next event is readable. */
+    Next ensureNext();
+    /** Detach and return the next event's record, or kInvalidRecord. */
+    std::uint32_t takeNext();
+    /** Return unconsumed due-buffer events to the wheel (for runUntil). */
+    void unloadDue();
+    void maybeSweep();
+};
+
+/**
+ * The original binary-heap + tombstone-set event queue, kept as the
+ * reference oracle. Closures stay resident until lazily reclaimed at pop
+ * time (the retention the wheel backend fixes); ordering and time
+ * semantics are the contract both backends share.
+ */
+class BinaryHeapQueue
+{
+  public:
+    BinaryHeapQueue() = default;
+    BinaryHeapQueue(const BinaryHeapQueue &) = delete;
+    BinaryHeapQueue &operator=(const BinaryHeapQueue &) = delete;
+
+    /** Current simulated time. */
+    TimePs now() const { return currentTime; }
+
+    /** Schedule @p fn to run at absolute time @p when. */
+    EventId schedule(TimePs when, EventFn fn);
+
+    /** Schedule @p fn to run @p delay after the current time. */
+    EventId scheduleAfter(TimePs delay, EventFn fn)
+    {
+        return schedule(currentTime + delay, std::move(fn));
+    }
+
+    /** Cancel a previously scheduled event (tombstone; lazy reclaim). */
+    void cancel(EventId id);
+
+    /** True if no live events remain. */
+    bool empty() const { return liveIds.empty(); }
+
+    /** Number of live (scheduled, uncancelled, unfired) events. */
+    std::size_t size() const { return liveIds.size(); }
+
+    /** Run the single next event; false if the queue was empty. */
+    bool step();
+
+    /** Run events until simulated time exceeds @p limit (see wheel doc). */
+    void runUntil(TimePs limit);
+
+    /** Run events for @p duration of simulated time from now(). */
+    void runFor(TimePs duration) { runUntil(currentTime + duration); }
+
+    /** Run until the queue is completely drained. */
+    void runAll();
+
+    /** Total number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return executedCount; }
+    /** Total number of events cancelled so far. */
+    std::uint64_t eventsCancelled() const { return cancelledCount; }
+    /** Always 0: the reference backend has no wheel. */
+    std::uint64_t wheelOverflows() const { return 0; }
+    /** Highest number of simultaneously live events seen. */
+    std::size_t peakLiveEvents() const { return peakLive; }
 
   private:
     struct Entry {
         TimePs when;
         EventId id;
-        std::function<void()> fn;
+        EventFn fn;
     };
     struct Later {
         bool operator()(const Entry &a, const Entry &b) const
@@ -116,9 +323,17 @@ class EventQueue
     TimePs currentTime = 0;
     EventId nextId = 1;
     std::uint64_t executedCount = 0;
+    std::uint64_t cancelledCount = 0;
+    std::size_t peakLive = 0;
 
     /** Pop the next live entry, skipping tombstones. Returns false if empty. */
     bool popLive(Entry &out);
 };
+
+#ifdef CCSIM_REFERENCE_QUEUE
+using EventQueue = BinaryHeapQueue;
+#else
+using EventQueue = TimerWheelQueue;
+#endif
 
 }  // namespace ccsim::sim

@@ -422,4 +422,37 @@ TEST(Packet, FlowHashStableAndSpread)
     EXPECT_NE(a->flowHash(), b->flowHash());
 }
 
+TEST(PacketPool, RecyclesFreedBlocksThroughTheFreelist)
+{
+    // Warm the pool, then verify steady-state churn is served from the
+    // freelist instead of the heap.
+    { auto warm = net::makePacket(); }
+    const auto before = net::packetPoolStats();
+    for (int i = 0; i < 8; ++i) {
+        auto pkt = net::makePacket();
+        EXPECT_NE(pkt->id, 0u);
+    }
+    const auto after = net::packetPoolStats();
+    EXPECT_GE(after.reusedAllocs, before.reusedAllocs + 8);
+    EXPECT_EQ(after.freshAllocs, before.freshAllocs);
+    EXPECT_GE(after.freeBlocks, 1u);
+}
+
+TEST(PacketPool, ReusedPacketsAreFreshlyConstructed)
+{
+    std::uint64_t firstId = 0;
+    {
+        auto pkt = net::makePacket();
+        firstId = pkt->id;
+        pkt->payloadBytes = 777;
+        pkt->data.assign(64, 0xAB);
+        pkt->ecnMarked = true;
+    }
+    auto pkt = net::makePacket();  // most likely the recycled block
+    EXPECT_NE(pkt->id, firstId);
+    EXPECT_EQ(pkt->payloadBytes, 0u);
+    EXPECT_TRUE(pkt->data.empty());
+    EXPECT_FALSE(pkt->ecnMarked);
+}
+
 }  // namespace

@@ -573,6 +573,36 @@ TEST(ObservabilityIntegration, SmallCloudTraceCoversAllComponentFamilies)
     const auto *rtt = hub.registry.findHistogram("ltl.node0.rtt_us");
     ASSERT_NE(rtt, nullptr);
     EXPECT_EQ(rtt->count(), engine->rttUs().count());
+
+    // PR-3 kernel probes ride along on any observed cloud.
+    for (const char *probe :
+         {"sim.queue.events_per_sec", "sim.queue.live",
+          "sim.queue.cancelled", "sim.queue.wheel_overflow"})
+        EXPECT_TRUE(hub.registry.hasProbe(probe))
+            << "missing kernel probe " << probe;
+}
+
+TEST(EventQueueProbes, ExportKernelHealthDeterministically)
+{
+    EventQueue eq;
+    MetricsRegistry registry;
+    obs::registerEventQueueProbes(registry, eq);
+
+    EXPECT_EQ(registry.probeValue("sim.queue.live"), 0.0);
+    EXPECT_EQ(registry.probeValue("sim.queue.events_per_sec"), 0.0);
+
+    const auto doomed = eq.scheduleAfter(50, [] {});
+    eq.scheduleAfter(100, [] {});
+    EXPECT_EQ(registry.probeValue("sim.queue.live"), 2.0);
+    eq.cancel(doomed);
+    EXPECT_EQ(registry.probeValue("sim.queue.live"), 1.0);
+    EXPECT_EQ(registry.probeValue("sim.queue.cancelled"), 1.0);
+
+    eq.runAll();
+    EXPECT_EQ(registry.probeValue("sim.queue.live"), 0.0);
+    // The rate probe is defined over *simulated* time so same-seed runs
+    // snapshot identically: 1 event in 100 ps = 1e10 events/sec.
+    EXPECT_EQ(registry.probeValue("sim.queue.events_per_sec"), 1e10);
 }
 
 }  // namespace
