@@ -21,6 +21,7 @@
 #include "host/ranking_server.hpp"
 #include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/logging.hpp"
 
 using namespace ccsim;
 
@@ -42,10 +43,18 @@ struct KernelLoad {
 std::vector<WindowPoint>
 runDatacenter(const std::vector<double> &trace, bool use_fpga,
               double demand_peak_qps, bool balancer,
-              KernelLoad *kernel = nullptr)
+              KernelLoad *kernel = nullptr, bool attribution = false)
 {
     sim::EventQueue eq;  // must outlive the observability hub
     obs::Observability hub;
+    if (attribution) {
+        // Flight-recorder sampling: 1-in-16 keeps recording cost small
+        // while still catching the tail (worst-N exemplars per run).
+        hub.flows.setEnabled(true);
+        hub.flows.setSampleEvery(16);
+        hub.flows.setTailCapacity(16);
+        hub.flows.bindMetrics(hub.registry);
+    }
     std::unique_ptr<host::LocalFpgaAccelerator> accel;
     if (use_fpga)
         accel = std::make_unique<host::LocalFpgaAccelerator>(eq);
@@ -86,6 +95,28 @@ runDatacenter(const std::vector<double> &trace, bool use_fpga,
         kernel->peakLiveEvents =
             std::max(kernel->peakLiveEvents, eq.peakLiveEvents());
     }
+    if (attribution) {
+        const auto worst = hub.flows.worstFirst();
+        for (const obs::FlowTrace *t : worst) {
+            const obs::LatencyAttribution a = obs::attributeLatency(*t);
+            if (!a.consistent())
+                sim::fatalf("fig08: attribution invariant violated for "
+                            "trace ", t->traceId, ": components sum to ",
+                            a.sum(), " ps, measured total is ", a.total,
+                            " ps");
+        }
+        std::printf("\n-- %s datacenter: per-hop attribution of the "
+                    "worst of %zu exemplars (%llu flows sampled) --\n",
+                    use_fpga ? "FPGA" : "software", worst.size(),
+                    static_cast<unsigned long long>(
+                        hub.flows.flowsSampled()));
+        if (!worst.empty())
+            std::printf("%s",
+                        obs::formatAttributionTable(*worst.front())
+                            .c_str());
+        std::printf("attribution invariant: OK (%zu traces)\n\n",
+                    worst.size());
+    }
     return points;
 }
 
@@ -113,10 +144,15 @@ int
 main(int argc, char **argv)
 {
     // --quick: shortened run for CI smoke + trajectory recording.
+    // --attribution: flight-recorder sampling + per-hop breakdown tables.
     bool quick = false;
-    for (int i = 1; i < argc; ++i)
+    bool attribution = false;
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
+        else if (std::strcmp(argv[i], "--attribution") == 0)
+            attribution = true;
+    }
 
     std::printf("=== Figure 8: 99.9%% latency vs offered load over %d "
                 "day%s ===\n\n", quick ? 1 : 5, quick ? "" : "s");
@@ -128,8 +164,10 @@ main(int argc, char **argv)
 
     KernelLoad kernel;
     const auto wall0 = std::chrono::steady_clock::now();
-    const auto sw = runDatacenter(trace, false, 3400.0, true, &kernel);
-    const auto fpga = runDatacenter(trace, true, 4500.0, false, &kernel);
+    const auto sw =
+        runDatacenter(trace, false, 3400.0, true, &kernel, attribution);
+    const auto fpga =
+        runDatacenter(trace, true, 4500.0, false, &kernel, attribution);
     const double wallSecs = std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - wall0)
                                 .count();
@@ -177,7 +215,10 @@ main(int argc, char **argv)
 
     // Benchmark trajectory: record how fast the DES kernel chewed
     // through this figure's event load (wall-clock, so this is the
-    // end-to-end number the kernel rework is meant to move).
+    // end-to-end number the kernel rework is meant to move). Attribution
+    // runs pay for span recording, so they must not pollute the file.
+    if (attribution)
+        return 0;
     const std::string prefix = quick ? "fig08_quick." : "fig08.";
     ccsim::bench::BenchValues v;
     v[prefix + "wall_seconds"] = wallSecs;

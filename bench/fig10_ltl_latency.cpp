@@ -13,8 +13,16 @@
  * The RTT figures are read from the observability registry (the
  * `ltl.node<i>.rtt_us` histograms the engines feed), and setting
  * CCSIM_TRACE=<path> additionally exports a Chrome trace of the runs.
+ *
+ * Flags:
+ *  --quick        shortened run (fewer pings/pairs) for CI smoke;
+ *  --attribution  sample every ping through the flight recorder and
+ *                 print a per-hop latency-attribution table per tier
+ *                 (the components-sum-to-total invariant is checked for
+ *                 every exemplar; CCSIM_SPANS=<path> dumps the spans).
  */
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -82,11 +90,51 @@ printRow(const char *tier, std::uint64_t reachable, double avg, double p999,
                 paper);
 }
 
+/**
+ * Attribution-mode tier postlude: verify the sum-to-total invariant on
+ * every kept exemplar (fatal on violation), print the per-hop breakdown
+ * of the worst trace, and feed the exemplars into the Chrome trace.
+ *
+ * @return The number of exemplars whose invariant was checked.
+ */
+std::uint64_t
+tierAttribution(obs::Observability &hub, const char *tier)
+{
+    const auto worst = hub.flows.worstFirst();
+    for (const obs::FlowTrace *t : worst) {
+        const obs::LatencyAttribution a = obs::attributeLatency(*t);
+        if (!a.consistent())
+            sim::fatalf("fig10: attribution invariant violated for trace ",
+                        t->traceId, ": components sum to ", a.sum(),
+                        " ps, measured total is ", a.total, " ps");
+    }
+    if (!worst.empty()) {
+        std::printf("\n-- %s: per-hop attribution of the worst of %zu "
+                    "exemplars --\n%s", tier, worst.size(),
+                    obs::formatAttributionTable(*worst.front()).c_str());
+    }
+    if (hub.trace.enabled())
+        hub.flows.exportChromeTrace(hub.trace);
+    return worst.size();
+}
+
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool quick = false;
+    bool attribution = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--attribution") == 0)
+            attribution = true;
+        else
+            sim::fatalf("fig10: unknown flag ", argv[i],
+                        " (supported: --quick --attribution)");
+    }
+
     std::printf("=== Figure 10: LTL round-trip latency vs reachable "
                 "hosts ===\n\n");
     std::printf("Simulated: 24 hosts/rack, idle-rate ping-pong, RTT "
@@ -96,8 +144,11 @@ main()
     sim::EventQueue eq;          // must outlive the observability hub
     obs::Observability hub;
     const std::string trace_path = obs::TraceWriter::envPath();
-    if (!trace_path.empty())
+    if (!trace_path.empty()) {
         hub.trace.setEnabled(true);
+        // Salvage the buffered events even if a later stage fatals.
+        hub.trace.autoFlushOnExit(trace_path);
+    }
 
     core::CloudConfig cfg;
     cfg.topology.hostsPerRack = 24;
@@ -109,32 +160,46 @@ main()
     cfg.shellTemplate.ltl.maxConnections = 64;
     cfg.shellTemplate.roleSlots = 8;
     cfg.obs = &hub;
+    if (attribution)
+        cfg.withFlowTracing(/*sample_every=*/1, /*tail_capacity=*/32);
     core::ConfigurableCloud cloud(eq, cfg);
 
     // Periodic probe sampling: feeds time-weighted averages and (when
     // CCSIM_TRACE is set) the counter tracks of the exported trace.
     hub.registry.startSampling(eq, 100 * sim::kMicrosecond, &hub.trace);
 
-    const int kPings = 300;
+    const int kPings = quick ? 60 : 300;
+    const int kPairs = quick ? 2 : 6;
+    std::uint64_t attributionChecked = 0;
 
     // L0: pairs under one TOR.
     std::vector<std::pair<int, int>> l0_pairs;
-    for (int k = 1; k <= 6; ++k)
+    for (int k = 1; k <= kPairs; ++k)
         l0_pairs.push_back({0, k});
     auto l0 = measurePairs(cloud, eq, hub, l0_pairs, kPings);
+    if (attribution) {
+        attributionChecked += tierAttribution(hub, "L0 (same TOR)");
+        hub.flows.newWindow();
+    }
 
     // L1: pairs across racks within a pod (hosts 0..23 rack0, 24..47
     // rack1 of pod 0).
     std::vector<std::pair<int, int>> l1_pairs;
-    for (int k = 0; k < 6; ++k)
+    for (int k = 0; k < kPairs; ++k)
         l1_pairs.push_back({k, 24 + k});
     auto l1 = measurePairs(cloud, eq, hub, l1_pairs, kPings);
+    if (attribution) {
+        attributionChecked += tierAttribution(hub, "L1 (pod)");
+        hub.flows.newWindow();
+    }
 
     // L2: pairs across pods.
     std::vector<std::pair<int, int>> l2_pairs;
-    for (int k = 0; k < 6; ++k)
+    for (int k = 0; k < kPairs; ++k)
         l2_pairs.push_back({k, 48 + k});
     auto l2 = measurePairs(cloud, eq, hub, l2_pairs, kPings);
+    if (attribution)
+        attributionChecked += tierAttribution(hub, "L2 (datacenter)");
 
     hub.registry.stopSampling();
 
@@ -184,6 +249,23 @@ main()
                 static_cast<unsigned long long>(l0.count()),
                 static_cast<unsigned long long>(l1.count()),
                 static_cast<unsigned long long>(l2.count()));
+
+    if (attribution) {
+        std::printf("attribution invariant: OK (%llu traces)\n",
+                    static_cast<unsigned long long>(attributionChecked));
+        const std::string spans_path = obs::FlightRecorder::envPath();
+        if (!spans_path.empty()) {
+            // Only the last window (L2) is still kept at this point.
+            if (hub.flows.writeSpanDumpFile(spans_path))
+                std::printf("Span dump written to %s (%zu exemplars)\n",
+                            spans_path.c_str(),
+                            hub.flows.exemplars().size());
+            else
+                std::fprintf(stderr,
+                             "fig10: failed to write span dump to %s\n",
+                             spans_path.c_str());
+        }
+    }
 
     if (!trace_path.empty()) {
         if (hub.trace.writeFile(trace_path))

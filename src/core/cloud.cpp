@@ -33,6 +33,9 @@ ConfigurableCloud::validate(const CloudConfig &cfg)
     if (cfg.obsSamplePeriod > 0 && cfg.obs == nullptr)
         sim::fatal("CloudConfig: obsSamplePeriod set but no observability "
                    "hub attached; call withObservability(&hub) first");
+    if (cfg.flowSampleEvery > 0 && cfg.obs == nullptr)
+        sim::fatal("CloudConfig: flowSampleEvery set but no observability "
+                   "hub attached; call withObservability(&hub) first");
 }
 
 ConfigurableCloud::ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg)
@@ -70,6 +73,8 @@ ConfigurableCloud::ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg)
             auto link = std::make_unique<net::Link>(
                 queue, "niclink." + std::to_string(host),
                 config.topology.linkGbps, config.nicCableMeters);
+            if (config.obs)
+                link->setFlowRecorder(&config.obs->flows);
             auto nic = std::make_unique<net::Nic>(
                 queue, "nic." + std::to_string(host), hp.mac, hp.addr);
             if (config.obs)
@@ -94,6 +99,13 @@ ConfigurableCloud::ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg)
     if (config.obs && config.obsSamplePeriod > 0)
         config.obs->registry.startSampling(queue, config.obsSamplePeriod,
                                            &config.obs->trace);
+    if (config.obs && config.flowSampleEvery > 0) {
+        auto &flows = config.obs->flows;
+        flows.setEnabled(true);
+        flows.setSampleEvery(config.flowSampleEvery);
+        flows.setTailCapacity(config.flowTailCapacity);
+        flows.bindMetrics(config.obs->registry);
+    }
 }
 
 ConfigurableCloud::~ConfigurableCloud() = default;

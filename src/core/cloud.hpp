@@ -50,6 +50,14 @@ struct CloudConfig {
      * before draining the event queue with runAll().
      */
     sim::TimePs obsSamplePeriod = 0;
+    /**
+     * When non-zero, enable causal flow tracing on the hub's
+     * FlightRecorder: 1-in-N flow sampling (1 = every flow), counters
+     * bound into the registry (requires obs).
+     */
+    std::uint32_t flowSampleEvery = 0;
+    /** Worst-N exemplar traces the recorder keeps (with flow tracing). */
+    std::size_t flowTailCapacity = 64;
 
     // --- fluent setters (each returns *this for chaining) ---
 
@@ -81,6 +89,13 @@ struct CloudConfig {
     CloudConfig &withObsSamplePeriod(sim::TimePs period)
     {
         obsSamplePeriod = period;
+        return *this;
+    }
+    CloudConfig &withFlowTracing(std::uint32_t sample_every,
+                                 std::size_t tail_capacity = 64)
+    {
+        flowSampleEvery = sample_every;
+        flowTailCapacity = tail_capacity;
         return *this;
     }
 };

@@ -244,7 +244,8 @@ Shell::onLtlEndpointMessage(const router::ErMessagePtr &msg)
                   "LTL endpoint message without LtlSendRequest payload");
         return;
     }
-    ltlUnit->sendMessage(req->conn, req->bytes, req->appPayload, req->vc);
+    ltlUnit->sendMessage(req->conn, req->bytes, req->appPayload, req->vc,
+                         req->trace);
 }
 
 void
@@ -272,7 +273,9 @@ Shell::onLtlDelivery(const ltl::LtlMessage &msg)
     delivery->bytes = msg.bytes;
     delivery->appPayload = msg.payload;
     delivery->sentAt = msg.sentAt;
-    ltlEndpoint->sendMessage(port, msg.vc, msg.bytes, std::move(delivery));
+    delivery->trace = msg.trace;
+    ltlEndpoint->sendMessage(port, msg.vc, msg.bytes, std::move(delivery),
+                             msg.trace);
 }
 
 bool

@@ -43,6 +43,7 @@ struct LtlSendRequest {
     std::uint32_t bytes = 0;
     std::uint8_t vc = 0;
     std::shared_ptr<void> appPayload;
+    obs::TraceContext trace;  ///< flow context to continue on the wire
 };
 
 /** Payload of an ER message delivering a received LTL message to a role. */
@@ -52,6 +53,7 @@ struct LtlDelivery {
     std::uint32_t bytes = 0;
     std::shared_ptr<void> appPayload;
     sim::TimePs sentAt = 0;
+    obs::TraceContext trace;  ///< sender's flow context
 };
 
 /** Payload of an ER message requesting a DRAM access. */

@@ -57,7 +57,10 @@ void
 RankingServer::submitQuery(std::function<void(sim::TimePs)> done)
 {
     ++activeQueries;
-    waiting.push_back(PendingQuery{queue.now(), std::move(done)});
+    obs::TraceContext ctx;
+    if (obsHub && obsHub->flows.enabled())
+        ctx = obsHub->flows.beginFlow(obsPrefix + ".query", queue.now());
+    waiting.push_back(PendingQuery{queue.now(), std::move(done), ctx});
     tryDispatch();
 }
 
@@ -75,12 +78,27 @@ RankingServer::tryDispatch()
 void
 RankingServer::runQuery(PendingQuery q)
 {
+    const obs::TraceContext ctx = q.trace;
+    const sim::TimePs now = queue.now();
+    if (ctx.sampled && obsHub && now > q.arrivedAt) {
+        // Time spent waiting for a free core.
+        obsHub->flows.recordSpan(ctx, obsPrefix + ".queue",
+                                 obs::Component::kQueueing, q.arrivedAt,
+                                 now);
+    }
     const auto pre = static_cast<sim::TimePs>(rng.lognormalMeanCv(
         static_cast<double>(params.cpuPreMean), params.cpuCv));
     const auto post = static_cast<sim::TimePs>(rng.lognormalMeanCv(
         static_cast<double>(params.cpuPostMean), params.cpuCv));
+    if (ctx.sampled && obsHub)
+        obsHub->flows.recordSpan(ctx, obsPrefix + ".cpu_pre",
+                                 obs::Component::kCompute, now, now + pre);
 
     auto run_post = [this, q = std::move(q), post]() mutable {
+        if (q.trace.sampled && obsHub)
+            obsHub->flows.recordSpan(q.trace, obsPrefix + ".cpu_post",
+                                     obs::Component::kCompute, queue.now(),
+                                     queue.now() + post);
         queue.scheduleAfter(post, [this, q = std::move(q)] {
             ++freeCores;
             finishQuery(q);
@@ -93,6 +111,10 @@ RankingServer::runQuery(PendingQuery q)
         ++statSwFeature;
         const auto features = static_cast<sim::TimePs>(rng.lognormalMeanCv(
             static_cast<double>(params.swFeatureMean), params.swFeatureCv));
+        if (ctx.sampled && obsHub)
+            obsHub->flows.recordSpan(ctx, obsPrefix + ".sw_features",
+                                     obs::Component::kCompute, now + pre,
+                                     now + pre + features);
         queue.scheduleAfter(pre + features,
                             [rp = std::move(run_post)]() mutable { rp(); });
         return;
@@ -104,7 +126,7 @@ RankingServer::runQuery(PendingQuery q)
     const auto docs = static_cast<std::uint32_t>(std::max(
         1.0, rng.lognormalMeanCv(params.docsPerQueryMean,
                                  params.docsPerQueryCv)));
-    queue.scheduleAfter(pre, [this, docs,
+    queue.scheduleAfter(pre, [this, docs, ctx,
                               rp = std::move(run_post)]() mutable {
         if (accelerator == nullptr) {
             // The accelerator was detached while this query was in its
@@ -114,13 +136,26 @@ RankingServer::runQuery(PendingQuery q)
                 static_cast<sim::TimePs>(rng.lognormalMeanCv(
                     static_cast<double>(params.swFeatureMean),
                     params.swFeatureCv));
+            if (ctx.sampled && obsHub)
+                obsHub->flows.recordSpan(ctx, obsPrefix + ".sw_features",
+                                         obs::Component::kCompute,
+                                         queue.now(),
+                                         queue.now() + features);
             queue.scheduleAfter(features,
                                 [r = std::move(rp)]() mutable { r(); });
             return;
         }
         const std::uint64_t token = nextBlockedToken++;
         blockedInAccel[token] = std::move(rp);
-        accelerator->compute(docs, [this, token] {
+        const sim::TimePs accel_start = queue.now();
+        accelerator->compute(docs, [this, token, ctx, accel_start] {
+            if (ctx.sampled && obsHub) {
+                // Wall time inside the accelerator, including its own
+                // serial-pipeline backlog.
+                obsHub->flows.recordSpan(ctx, obsPrefix + ".accel",
+                                         obs::Component::kCompute,
+                                         accel_start, queue.now());
+            }
             auto it = blockedInAccel.find(token);
             if (it == blockedInAccel.end())
                 return;  // already rescued to software; drop the late ack
@@ -158,6 +193,8 @@ RankingServer::finishQuery(const PendingQuery &q)
     if (obsHub && obsHub->trace.enabled())
         obsHub->trace.complete(obsTrack, "host", obsPrefix + ".query",
                                q.arrivedAt, latency);
+    if (q.trace.sampled && obsHub)
+        obsHub->flows.endFlow(q.trace, queue.now());
     ++statCompleted;
     --activeQueries;
     if (q.done)

@@ -179,6 +179,7 @@ class RankingServer
     struct PendingQuery {
         sim::TimePs arrivedAt;
         std::function<void(sim::TimePs)> done;
+        obs::TraceContext trace;
     };
 
     sim::EventQueue &queue;

@@ -83,6 +83,19 @@ LtlEngine::framesInFlight() const
 void
 LtlEngine::abandonSendState(SendConnection &sc)
 {
+    if (obsHub) {
+        // Engine-begun flows whose closing frame is being written off will
+        // never be acked; drop them from the recorder's active set.
+        auto maybeAbandon = [this](const LtlHeader &h) {
+            if (h.trace.sampled && h.traceEndsFlow &&
+                h.msgOffset + h.frameBytes >= h.msgBytes)
+                obsHub->flows.abandonFlow(h.trace);
+        };
+        for (const auto &uf : sc.unacked)
+            maybeAbandon(*uf.header);
+        for (const auto &pf : sc.sendQueue)
+            maybeAbandon(*pf.header);
+    }
     statFramesAbandoned += sc.unacked.size();
     sc.unacked.clear();
     sc.unackedBytes = 0;
@@ -168,13 +181,22 @@ LtlEngine::effectiveRateGbps(const SendConnection &sc) const
 
 void
 LtlEngine::sendMessage(std::uint16_t conn, std::uint32_t bytes,
-                       std::shared_ptr<void> payload, std::uint8_t vc)
+                       std::shared_ptr<void> payload, std::uint8_t vc,
+                       obs::TraceContext parent)
 {
     SendConnection &sc = sendConn(conn);
     if (sc.failed) {
         CCSIM_LOG(sim::LogLevel::kWarn, "ltl", queue.now(),
                   "sendMessage on failed connection ", conn);
+        if (parent.sampled && obsHub)
+            obsHub->flows.abandonFlow(parent);
         return;
+    }
+    obs::TraceContext ctx = parent;
+    bool ends_flow = false;
+    if (!ctx.sampled && obsHub && obsHub->flows.enabled()) {
+        ctx = obsHub->flows.beginFlow(obsPrefix + ".msg", queue.now());
+        ends_flow = ctx.sampled;
     }
     const std::uint64_t msg_id = sc.nextMsgId++;
     const std::uint32_t size = bytes == 0 ? 1 : bytes;
@@ -193,10 +215,12 @@ LtlEngine::sendMessage(std::uint16_t conn, std::uint32_t bytes,
         header->msgOffset = offset;
         header->frameBytes = chunk;
         header->vc = vc;
+        header->trace = ctx;
+        header->traceEndsFlow = ends_flow;
         offset += chunk;
         if (offset >= size)
             header->appPayload = std::move(payload);
-        sc.sendQueue.push_back(PendingFrame{std::move(header)});
+        sc.sendQueue.push_back(PendingFrame{std::move(header), queue.now()});
     }
     pumpSend(conn);
 }
@@ -216,6 +240,7 @@ LtlEngine::buildPacket(const SendConnection &sc,
     pkt->payloadBytes = kLtlHeaderBytes + header->frameBytes;
     pkt->meta = header;
     pkt->createdAt = queue.now();
+    pkt->trace = header->trace;
     return pkt;
 }
 
@@ -240,7 +265,14 @@ LtlEngine::pumpSend(std::uint16_t conn)
             return;
         }
         LtlHeaderPtr header = sc.sendQueue.front().header;
+        const sim::TimePs queued_at = sc.sendQueue.front().queuedAt;
         sc.sendQueue.pop_front();
+        if (header->trace.sampled && obsHub && queued_at < now) {
+            // Time spent waiting for the send window / pacing tokens.
+            obsHub->flows.recordSpan(header->trace, obsPrefix + ".window",
+                                     obs::Component::kCongestionWindow,
+                                     queued_at, now);
+        }
 
         UnackedFrame uf;
         uf.header = header;
@@ -274,6 +306,12 @@ LtlEngine::transmitFrame(SendConnection &sc, const LtlHeaderPtr &header,
                                   queue.now());
     } else {
         ++statFramesSent;
+    }
+    if (header->trace.sampled && obsHub) {
+        // Packetizer + MAC egress occupancy.
+        obsHub->flows.recordSpan(header->trace, obsPrefix + ".tx",
+                                 obs::Component::kCompute, queue.now(),
+                                 queue.now() + cfg.txPathDelay);
     }
     queue.scheduleAfter(cfg.txPathDelay,
                         [this, pkt] { networkTx(pkt); });
@@ -326,6 +364,15 @@ LtlEngine::onTimeout(std::uint16_t conn)
     }
     // Go-back-N: retransmit every unacknowledged frame.
     for (auto &uf : sc.unacked) {
+        if (uf.header->trace.sampled && obsHub) {
+            // The whole wait since the lost copy went out is retransmit
+            // time; kRetransmit outranks every other component in the
+            // attribution sweep so it can never inflate `queueing`.
+            obsHub->flows.recordSpan(uf.header->trace,
+                                     obsPrefix + ".retransmit",
+                                     obs::Component::kRetransmit,
+                                     uf.lastSentAt, now);
+        }
         uf.retransmitted = true;
         uf.lastSentAt = now;
         transmitFrame(sc, uf.header, true);
@@ -345,6 +392,13 @@ LtlEngine::handleAck(std::uint16_t conn, std::uint32_t ack_seq, bool is_nack)
     bool progressed = false;
     while (!sc.unacked.empty() && sc.unacked.front().header->seq < ack_seq) {
         const UnackedFrame &uf = sc.unacked.front();
+        const LtlHeader &h = *uf.header;
+        if (h.trace.sampled && h.traceEndsFlow && obsHub &&
+            h.msgOffset + h.frameBytes >= h.msgBytes) {
+            // The message's last frame is now cumulatively acknowledged:
+            // the engine-begun flow is complete.
+            obsHub->flows.endFlow(h.trace, now);
+        }
         if (!uf.retransmitted) {
             // Karn's rule: only un-retransmitted frames give RTT samples.
             const double rtt_us = sim::toMicros(now - uf.firstSentAt);
@@ -368,6 +422,12 @@ LtlEngine::handleAck(std::uint16_t conn, std::uint32_t ack_seq, bool is_nack)
         // Fast retransmit from the requested sequence (go-back-N).
         for (auto &uf : sc.unacked) {
             if (uf.header->seq >= ack_seq) {
+                if (uf.header->trace.sampled && obsHub) {
+                    obsHub->flows.recordSpan(uf.header->trace,
+                                             obsPrefix + ".retransmit",
+                                             obs::Component::kRetransmit,
+                                             uf.lastSentAt, now);
+                }
                 uf.retransmitted = true;
                 uf.lastSentAt = now;
                 transmitFrame(sc, uf.header, true);
@@ -381,12 +441,13 @@ LtlEngine::handleAck(std::uint16_t conn, std::uint32_t ack_seq, bool is_nack)
 void
 LtlEngine::sendControl(net::Ipv4Addr to, std::uint16_t dst_conn,
                        std::uint8_t flags, std::uint32_t ack_seq,
-                       sim::TimePs delay)
+                       sim::TimePs delay, obs::TraceContext ctx)
 {
     auto header = std::make_shared<LtlHeader>();
     header->flags = flags;
     header->dstConn = dst_conn;
     header->ackSeq = ack_seq;
+    header->trace = ctx;
 
     auto pkt = net::makePacket();
     pkt->ipSrc = cfg.localIp;
@@ -398,6 +459,13 @@ LtlEngine::sendControl(net::Ipv4Addr to, std::uint16_t dst_conn,
     pkt->payloadBytes = kLtlHeaderBytes;
     pkt->meta = header;
     pkt->createdAt = queue.now();
+    pkt->trace = ctx;
+    if (ctx.sampled && obsHub) {
+        // ACK/NACK/CNP generation + egress occupancy on the reply path.
+        obsHub->flows.recordSpan(ctx, obsPrefix + ".ctrl_tx",
+                                 obs::Component::kCompute, queue.now(),
+                                 queue.now() + delay + cfg.txPathDelay);
+    }
     queue.scheduleAfter(delay + cfg.txPathDelay,
                         [this, pkt] { networkTx(pkt); });
 }
@@ -405,6 +473,12 @@ LtlEngine::sendControl(net::Ipv4Addr to, std::uint16_t dst_conn,
 void
 LtlEngine::onNetworkPacket(const net::PacketPtr &pkt)
 {
+    if (pkt->trace.sampled && obsHub) {
+        // MAC ingress + depacketizer occupancy.
+        obsHub->flows.recordSpan(pkt->trace, obsPrefix + ".rx",
+                                 obs::Component::kCompute, queue.now(),
+                                 queue.now() + cfg.rxPathDelay);
+    }
     queue.scheduleAfter(cfg.rxPathDelay, [this, pkt] {
         auto header = std::static_pointer_cast<LtlHeader>(pkt->meta);
         if (!header) {
@@ -460,7 +534,8 @@ LtlEngine::handleData(const net::PacketPtr &pkt, const LtlHeaderPtr &header)
         queue.now() - rc.lastCnpAt >= cfg.cnpMinInterval) {
         rc.lastCnpAt = queue.now();
         ++statCnpsSent;
-        sendControl(sender_ip, sender_conn, kFlagCnp, 0, 0);
+        sendControl(sender_ip, sender_conn, kFlagCnp, 0, 0,
+                    header->trace);
     }
 
     if (header->seq == rc.expectedSeq) {
@@ -484,13 +559,14 @@ LtlEngine::handleData(const net::PacketPtr &pkt, const LtlHeaderPtr &header)
                 msg.vc = rc.vc;
                 msg.payload = header->appPayload;
                 msg.sentAt = header->createdAt;
+                msg.trace = header->trace;
                 deliver(msg);
             }
         }
         // Cumulative ACK after the Ack Generation latency.
         ++statAcksSent;
         sendControl(sender_ip, sender_conn, kFlagAck, rc.expectedSeq,
-                    cfg.ackGenDelay);
+                    cfg.ackGenDelay, header->trace);
     } else if (header->seq > rc.expectedSeq) {
         // Gap: packet loss or reorder. NACK once per gap.
         ++statOutOfOrder;
@@ -501,14 +577,14 @@ LtlEngine::handleData(const net::PacketPtr &pkt, const LtlHeaderPtr &header)
                 obsHub->trace.instant(obsTrack, "ltl", obsPrefix + ".nack",
                                       queue.now());
             sendControl(sender_ip, sender_conn, kFlagNack, rc.expectedSeq,
-                        cfg.ackGenDelay);
+                        cfg.ackGenDelay, header->trace);
         }
     } else {
         // Duplicate (e.g. a retransmission raced the original): re-ACK.
         ++statDuplicates;
         ++statAcksSent;
         sendControl(sender_ip, sender_conn, kFlagAck, rc.expectedSeq,
-                    cfg.ackGenDelay);
+                    cfg.ackGenDelay, header->trace);
     }
 }
 

@@ -38,6 +38,7 @@ struct LtlMessage {
     std::uint8_t vc = 0;         ///< VC for Elastic Router delivery
     std::shared_ptr<void> payload;
     sim::TimePs sentAt = 0;      ///< when the sender created the message
+    obs::TraceContext trace;     ///< causal flow context (from the sender)
 };
 
 /** Engine configuration. */
@@ -130,10 +131,15 @@ class LtlEngine
     /**
      * Send a message on connection @p conn. Segmentation, windowing,
      * pacing, retransmission are handled internally.
+     *
+     * @param parent An existing flow context to continue. When it is not
+     *   sampled and flow tracing is enabled, the engine begins (and later
+     *   ends) a flow of its own for this message.
      */
     void sendMessage(std::uint16_t conn, std::uint32_t bytes,
                      std::shared_ptr<void> payload = nullptr,
-                     std::uint8_t vc = 0);
+                     std::uint8_t vc = 0,
+                     obs::TraceContext parent = {});
 
     /** Entry point for LTL-addressed packets delivered by the shell. */
     void onNetworkPacket(const net::PacketPtr &pkt);
@@ -199,6 +205,7 @@ class LtlEngine
   private:
     struct PendingFrame {
         LtlHeaderPtr header;
+        sim::TimePs queuedAt = 0;  ///< for congestion-window attribution
     };
     struct UnackedFrame {
         LtlHeaderPtr header;
@@ -273,7 +280,7 @@ class LtlEngine
     void handleData(const net::PacketPtr &pkt, const LtlHeaderPtr &header);
     void sendControl(net::Ipv4Addr to, std::uint16_t dst_conn,
                      std::uint8_t flags, std::uint32_t ack_seq,
-                     sim::TimePs delay);
+                     sim::TimePs delay, obs::TraceContext ctx = {});
     double effectiveRateGbps(const SendConnection &sc) const;
     net::PacketPtr buildPacket(const SendConnection &sc,
                                const LtlHeaderPtr &header) const;

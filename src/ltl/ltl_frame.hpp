@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "obs/flow_trace.hpp"
+
 namespace ccsim::ltl {
 
 /** UDP destination port LTL engines listen on. */
@@ -61,6 +63,18 @@ struct LtlHeader {
      * retransmission, so receivers measure true delivery latency.
      */
     std::int64_t createdAt = 0;
+
+    /**
+     * Causal flow context. Survives retransmission — a NACK'd frame's
+     * retransmitted copy carries the original trace id.
+     */
+    obs::TraceContext trace;
+    /**
+     * True when the engine began the flow itself (no sampled parent
+     * context was supplied); the engine then ends the flow when the
+     * message's last frame is cumulatively acknowledged.
+     */
+    bool traceEndsFlow = false;
 };
 
 using LtlHeaderPtr = std::shared_ptr<LtlHeader>;

@@ -42,17 +42,39 @@ Channel::send(const PacketPtr &pkt, std::function<void()> on_transmitted)
                   int(prio));
         return false;
     }
-    txQueues[prio].push_back(TxEntry{pkt, std::move(on_transmitted)});
+    TxEntry entry{pkt, std::move(on_transmitted)};
+    if (pkt->trace.sampled && flowRec) {
+        entry.enqueuedAt = queue.now();
+        entry.pauseBase = pausedTimeNow(prio);
+    }
+    txQueues[prio].push_back(std::move(entry));
     queueBytes[prio] += wire;
     tryTransmit();
     return true;
+}
+
+sim::TimePs
+Channel::pausedTimeNow(std::uint8_t priority) const
+{
+    const PauseClock &pc = pauseClock[priority];
+    const sim::TimePs now = queue.now();
+    const sim::TimePs cur = std::min(pc.curEnd, now) - pc.curStart;
+    return pc.accum + (cur > 0 ? cur : 0);
 }
 
 void
 Channel::pausePriority(std::uint8_t priority, sim::TimePs duration)
 {
     ++pauses;
-    pausedUntil[priority] = duration > 0 ? queue.now() + duration : 0;
+    const sim::TimePs now = queue.now();
+    // Fold the elapsed part of any current pause into the clock, then
+    // start the new interval (zero duration = X-ON, closes it).
+    PauseClock &pc = pauseClock[priority];
+    const sim::TimePs cur = std::min(pc.curEnd, now) - pc.curStart;
+    pc.accum += cur > 0 ? cur : 0;
+    pc.curStart = now;
+    pc.curEnd = duration > 0 ? now + duration : now;
+    pausedUntil[priority] = duration > 0 ? now + duration : 0;
     if (duration == 0) {
         tryTransmit();
     }
@@ -109,6 +131,27 @@ Channel::tryTransmit()
     transmitting = true;
     const sim::TimePs ser =
         sim::serializationDelay(entry.pkt->wireBytes(), gbps);
+    if (entry.pkt->trace.sampled && flowRec) {
+        // Split the queue wait into true queueing and PFC pause (the
+        // pause-clock delta, clamped to the wait, placed at its end),
+        // then the serialization occupancy.
+        const sim::TimePs now = queue.now();
+        const sim::TimePs wait = now - entry.enqueuedAt;
+        sim::TimePs pause =
+            pausedTimeNow(static_cast<std::uint8_t>(prio)) - entry.pauseBase;
+        pause = pause < 0 ? 0 : (pause > wait ? wait : pause);
+        const sim::TimePs queued = wait - pause;
+        if (queued > 0)
+            flowRec->recordSpan(entry.pkt->trace, label + ".q",
+                                obs::Component::kQueueing, entry.enqueuedAt,
+                                entry.enqueuedAt + queued);
+        if (pause > 0)
+            flowRec->recordSpan(entry.pkt->trace, label + ".pfc",
+                                obs::Component::kPfcPause,
+                                entry.enqueuedAt + queued, now);
+        flowRec->recordSpan(entry.pkt->trace, label,
+                            obs::Component::kSerialization, now, now + ser);
+    }
     queue.scheduleAfter(ser, [this, e = std::move(entry)]() mutable {
         finishTransmit(std::move(e));
     });
@@ -132,6 +175,10 @@ Channel::finishTransmit(TxEntry entry)
                   "fault drop of packet ", entry.pkt->id,
                   adminDown ? " (link down)" : " (corrupted)");
     } else if (sink) {
+        if (entry.pkt->trace.sampled && flowRec && propDelay > 0)
+            flowRec->recordSpan(entry.pkt->trace, label,
+                                obs::Component::kPropagation, queue.now(),
+                                queue.now() + propDelay);
         queue.scheduleAfter(propDelay, [this, pkt = entry.pkt] {
             sink->acceptPacket(pkt);
         });

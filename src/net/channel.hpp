@@ -104,6 +104,16 @@ class Channel
     /** Packets lost to admin-down or the fault hook. */
     std::uint64_t faultDrops() const { return faultDropped; }
 
+    // --- flow tracing (ccsim::obs) ---
+
+    /**
+     * Attach (or detach, with nullptr) a flight recorder. Sampled packets
+     * then get queueing / PFC-pause / serialization / propagation spans
+     * recorded against their flow; unsampled packets pay one predicted
+     * branch per stage.
+     */
+    void setFlowRecorder(obs::FlightRecorder *r) { flowRec = r; }
+
     // --- statistics ---
     std::uint64_t packetsSent() const { return txPackets; }
     std::uint64_t bytesSent() const { return txBytes; }
@@ -121,10 +131,26 @@ class Channel
     struct TxEntry {
         PacketPtr pkt;
         std::function<void()> onTransmitted;
+        sim::TimePs enqueuedAt = 0;  ///< sampled packets only
+        sim::TimePs pauseBase = 0;   ///< pausedTimeNow() at enqueue
+    };
+    /**
+     * Cumulative PFC pause-time clock for one priority. Folding happens
+     * in pausePriority(); pausedTimeNow() reads the running total. The
+     * difference between two reads is exactly the pause time the channel
+     * saw in between, which splits a sampled packet's queue wait into
+     * true queueing vs. PFC pause.
+     */
+    struct PauseClock {
+        sim::TimePs accum = 0;
+        sim::TimePs curStart = 0;
+        sim::TimePs curEnd = 0;
     };
     std::array<std::deque<TxEntry>, kNumTrafficClasses> txQueues;
     std::array<std::uint32_t, kNumTrafficClasses> queueBytes{};
     std::array<sim::TimePs, kNumTrafficClasses> pausedUntil{};
+    std::array<PauseClock, kNumTrafficClasses> pauseClock{};
+    obs::FlightRecorder *flowRec = nullptr;
     bool transmitting = false;
     sim::EventId resumeEvent = sim::kNoEvent;
     bool adminDown = false;
@@ -140,6 +166,7 @@ class Channel
     void finishTransmit(TxEntry entry);
     int pickQueue() const;
     sim::TimePs earliestUnpause() const;
+    sim::TimePs pausedTimeNow(std::uint8_t priority) const;
 };
 
 /** A full-duplex cable between two devices, with MAC-level PFC handling. */
@@ -178,6 +205,13 @@ class Link
     bool isAdminDown() const
     {
         return ab->isAdminDown() || ba->isAdminDown();
+    }
+
+    /** Attach a flight recorder to both directions (nullptr detaches). */
+    void setFlowRecorder(obs::FlightRecorder *r)
+    {
+        ab->setFlowRecorder(r);
+        ba->setFlowRecorder(r);
     }
 
   private:

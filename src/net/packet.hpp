@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/addr.hpp"
+#include "obs/flow_trace.hpp"
 #include "sim/time.hpp"
 
 namespace ccsim::net {
@@ -86,6 +87,8 @@ struct Packet {
     // --- bookkeeping ---
     std::uint64_t id = 0;             ///< unique per simulation, for tracing
     sim::TimePs createdAt = 0;        ///< time the packet was created
+    /** Causal flow context; `trace.sampled` gates all span recording. */
+    obs::TraceContext trace;
 
     /** Total bytes this packet occupies on the wire (incl. L1 overheads). */
     std::uint32_t wireBytes() const

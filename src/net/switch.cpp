@@ -165,6 +165,12 @@ Switch::handlePacket(int in_port, const PacketPtr &pkt)
     if (when < port.lastForwardAt)
         when = port.lastForwardAt;
     port.lastForwardAt = when;
+    if (pkt->trace.sampled && obsHub) {
+        // Pipeline occupancy from ingress to the egress-queue handoff.
+        obsHub->flows.recordSpan(pkt->trace, obsPrefix,
+                                 obs::Component::kCompute, queue.now(),
+                                 when);
+    }
     queue.schedule(when, [this, in_port, out_port, pkt] {
         forward(in_port, out_port, pkt);
     });

@@ -202,6 +202,8 @@ Topology::attachObservability(obs::Observability *o)
         sw->attachObservability(o);
     for (const auto &sw : l2Switches)
         sw->attachObservability(o);
+    for (const auto &l : links)
+        l->setFlowRecorder(o ? &o->flows : nullptr);
 }
 
 }  // namespace ccsim::net

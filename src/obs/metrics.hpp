@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flow_trace.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
@@ -203,6 +204,7 @@ class MetricsRegistry
 struct Observability {
     MetricsRegistry registry;
     TraceWriter trace;
+    FlightRecorder flows;
 };
 
 /**

@@ -56,7 +56,63 @@ toTraceUs(sim::TimePs ps)
     return static_cast<double>(ps) / 1e6;
 }
 
+/**
+ * Auto-flush registry. A function-local static constructed *before* the
+ * std::atexit handler is registered (see autoFlushOnExit), so the
+ * handler — which runs in LIFO order relative to static destruction —
+ * always sees a live vector.
+ */
+std::vector<TraceWriter *> &
+flushRegistry()
+{
+    static std::vector<TraceWriter *> reg;
+    return reg;
+}
+
 }  // namespace
+
+void
+traceWriterFlushAllAtExit()
+{
+    for (TraceWriter *w : flushRegistry())
+        w->flushIfDirty();
+}
+
+TraceWriter::~TraceWriter()
+{
+    flushIfDirty();
+    auto &reg = flushRegistry();
+    reg.erase(std::remove(reg.begin(), reg.end(), this), reg.end());
+}
+
+void
+TraceWriter::autoFlushOnExit(const std::string &path)
+{
+    auto &reg = flushRegistry();  // construct the registry static first
+    static const bool installed = [] {
+        std::atexit(traceWriterFlushAllAtExit);
+        return true;
+    }();
+    (void)installed;
+    flushPath = path;
+    if (std::find(reg.begin(), reg.end(), this) == reg.end())
+        reg.push_back(this);
+}
+
+void
+TraceWriter::cancelAutoFlush()
+{
+    flushPath.clear();
+    auto &reg = flushRegistry();
+    reg.erase(std::remove(reg.begin(), reg.end(), this), reg.end());
+}
+
+void
+TraceWriter::flushIfDirty()
+{
+    if (!flushPath.empty() && hasUnwritten)
+        writeFile(flushPath);
+}
 
 int
 TraceWriter::track(const std::string &name)
@@ -81,6 +137,7 @@ TraceWriter::complete(int tid, std::string_view cat, std::string_view name,
     e.cat = std::string(cat);
     e.name = std::string(name);
     events.push_back(std::move(e));
+    hasUnwritten = true;
 }
 
 void
@@ -96,6 +153,7 @@ TraceWriter::instant(int tid, std::string_view cat, std::string_view name,
     e.cat = std::string(cat);
     e.name = std::string(name);
     events.push_back(std::move(e));
+    hasUnwritten = true;
 }
 
 void
@@ -111,6 +169,25 @@ TraceWriter::counter(std::string_view cat, std::string_view name,
     e.cat = std::string(cat);
     e.name = std::string(name);
     events.push_back(std::move(e));
+    hasUnwritten = true;
+}
+
+void
+TraceWriter::flowPoint(char phase, int tid, std::string_view cat,
+                       std::string_view name, sim::TimePs ts,
+                       std::uint64_t flow_id)
+{
+    if (!recording)
+        return;
+    TraceEvent e;
+    e.phase = phase;
+    e.tid = tid;
+    e.ts = ts;
+    e.flowId = flow_id;
+    e.cat = std::string(cat);
+    e.name = std::string(name);
+    events.push_back(std::move(e));
+    hasUnwritten = true;
 }
 
 std::vector<std::string>
@@ -151,10 +228,15 @@ TraceWriter::write(std::ostream &os) const
             os << ",\"args\":{\"value\":";
             numberTo(os, e.value);
             os << "}";
+        } else if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+            os << ",\"id\":" << e.flowId;
+            if (e.phase == 'f')
+                os << ",\"bp\":\"e\"";
         }
         os << "}";
     }
     os << "],\"displayTimeUnit\":\"ns\"}";
+    hasUnwritten = false;
 }
 
 std::string

@@ -27,11 +27,13 @@ namespace ccsim::obs {
 
 /** One recorded trace event (internal representation, pre-serialization). */
 struct TraceEvent {
-    char phase = 'i';        ///< 'X' complete, 'i' instant, 'C' counter
+    char phase = 'i';        ///< 'X' complete, 'i' instant, 'C' counter,
+                             ///< 's'/'t'/'f' flow start/step/finish
     int tid = 0;             ///< track id (see TraceWriter::track)
     sim::TimePs ts = 0;      ///< event start, simulated picoseconds
     sim::TimePs dur = 0;     ///< duration for 'X' events
     double value = 0.0;      ///< counter value for 'C' events
+    std::uint64_t flowId = 0; ///< flow binding id for 's'/'t'/'f' events
     std::string cat;         ///< category (top-level component family)
     std::string name;        ///< event name
 };
@@ -42,6 +44,13 @@ struct TraceEvent {
 class TraceWriter
 {
   public:
+    TraceWriter() = default;
+    /** Flushes via the auto-flush path if one is armed and dirty. */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
     /** Enable or disable recording (disabled by default). */
     void setEnabled(bool on) { recording = on; }
     /** True if record calls are currently captured. */
@@ -65,6 +74,15 @@ class TraceWriter
     void counter(std::string_view cat, std::string_view name, sim::TimePs ts,
                  double value);
 
+    /**
+     * Record one point of a Chrome *flow* ('s' start, 't' step, 'f'
+     * finish). Points sharing @p flow_id render as one arrow chain across
+     * tracks; the finish point binds to the enclosing slice ("bp":"e").
+     */
+    void flowPoint(char phase, int tid, std::string_view cat,
+                   std::string_view name, sim::TimePs ts,
+                   std::uint64_t flow_id);
+
     /** Number of events recorded so far. */
     std::size_t eventCount() const { return events.size(); }
 
@@ -84,6 +102,24 @@ class TraceWriter
     bool writeFile(const std::string &path) const;
 
     /**
+     * Arm an abnormal-termination flush: if the process exits (normally
+     * or via std::exit, e.g. sim::fatal) while this writer still holds
+     * unwritten events, they are flushed to @p path so truncated runs
+     * yield a loadable trace. Safe against static destruction order: the
+     * flush registry is a function-local static constructed before the
+     * std::atexit handler is registered, and the writer deregisters
+     * itself on destruction. Writing (write/writeFile/json) marks the
+     * buffer clean; new record calls re-dirty it.
+     */
+    void autoFlushOnExit(const std::string &path);
+
+    /** Disarm a previously armed auto-flush. */
+    void cancelAutoFlush();
+
+    /** True if events were recorded since the last write. */
+    bool dirty() const { return hasUnwritten; }
+
+    /**
      * The trace output path requested via the CCSIM_TRACE environment
      * variable, or "" if unset. Benches use this to gate trace export.
      */
@@ -91,9 +127,14 @@ class TraceWriter
 
   private:
     bool recording = false;
+    mutable bool hasUnwritten = false;
+    std::string flushPath;  ///< non-empty while auto-flush is armed
     std::vector<TraceEvent> events;
     std::map<std::string, int> tracks;
     int nextTid = 1;
+
+    void flushIfDirty();
+    friend void traceWriterFlushAllAtExit();
 };
 
 }  // namespace ccsim::obs

@@ -78,6 +78,8 @@ ElasticRouter::attachObservability(obs::Observability *o,
     obsFlitsIn.assign(cfg.numPorts, nullptr);
     obsFlitsOut.assign(cfg.numPorts, nullptr);
     obsCreditStalls.assign(cfg.numPorts, nullptr);
+    flowRec = o ? &o->flows : nullptr;
+    obsHop = "router." + node;
     if (!o)
         return;
     const std::string prefix = "router." + node;
@@ -221,6 +223,14 @@ ElasticRouter::tick()
                 ++statTails;
                 owner = -1;
                 ivc.lockedOutput = -1;
+                if (flit.msg->trace.sampled && flowRec) {
+                    // Whole crossbar traversal: injection through the
+                    // pipeline to the output sink handoff.
+                    flowRec->recordSpan(flit.msg->trace, obsHop,
+                                        obs::Component::kCompute,
+                                        flit.msg->createdAt,
+                                        now + cfg.pipelineCycles * cyclePs);
+                }
             }
             releaseCredit(in_idx, vc);
             FlitSink *sink = out.sink;
@@ -255,7 +265,8 @@ ErEndpoint::backlogFlits() const
 
 void
 ErEndpoint::sendMessage(int dst_endpoint, int vc, std::uint32_t size_bytes,
-                        std::shared_ptr<void> payload)
+                        std::shared_ptr<void> payload,
+                        obs::TraceContext trace)
 {
     auto msg = std::make_shared<ErMessage>();
     msg->dstEndpoint = dst_endpoint;
@@ -264,6 +275,7 @@ ErEndpoint::sendMessage(int dst_endpoint, int vc, std::uint32_t size_bytes,
     msg->sizeBytes = size_bytes;
     msg->payload = std::move(payload);
     msg->createdAt = queue.now();
+    msg->trace = trace;
     sendMessage(msg);
 }
 

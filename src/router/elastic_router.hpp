@@ -161,6 +161,8 @@ class ElasticRouter
     std::vector<sim::Counter *> obsFlitsIn;
     std::vector<sim::Counter *> obsFlitsOut;
     std::vector<sim::Counter *> obsCreditStalls;
+    obs::FlightRecorder *flowRec = nullptr;
+    std::string obsHop;  ///< "router.<node>"
 
     std::uint64_t statFlitsRouted = 0;
     std::uint64_t statTails = 0;
@@ -200,10 +202,12 @@ class ErEndpoint : public FlitSink
 
     /**
      * Send a message (asynchronously segmented and injected under credit
-     * flow control).
+     * flow control). @p trace tags the message with an existing flow
+     * context for span recording across the crossbar.
      */
     void sendMessage(int dst_endpoint, int vc, std::uint32_t size_bytes,
-                     std::shared_ptr<void> payload = nullptr);
+                     std::shared_ptr<void> payload = nullptr,
+                     obs::TraceContext trace = {});
 
     /** Send a pre-built message. */
     void sendMessage(const ErMessagePtr &msg);

@@ -12,6 +12,8 @@
 #include <functional>
 #include <memory>
 
+#include "obs/flow_trace.hpp"
+
 namespace ccsim::router {
 
 /** A message travelling through one or more Elastic Routers. */
@@ -30,6 +32,8 @@ struct ErMessage {
     std::uint64_t id = 0;
     /** Creation time (ps) for latency accounting. */
     std::int64_t createdAt = 0;
+    /** Causal flow context carried across the crossbar. */
+    obs::TraceContext trace;
 };
 
 using ErMessagePtr = std::shared_ptr<ErMessage>;

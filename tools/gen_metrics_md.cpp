@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Generates docs/METRICS.md from the canonical pattern table in
+ * src/obs/metric_names.hpp. Run from the repo root:
+ *
+ *     ./build/tools/gen_metrics_md > docs/METRICS.md
+ *
+ * The committed document is checked against this table by the
+ * MetricNames.* tests, so regenerate it whenever the table changes.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/metric_names.hpp"
+
+namespace {
+
+/** The subsystem prefix of a pattern: everything before the first dot. */
+std::string
+prefixOf(const char *pattern)
+{
+    const char *dot = std::strchr(pattern, '.');
+    return dot ? std::string(pattern, dot) : std::string(pattern);
+}
+
+const char *
+sectionTitle(const std::string &prefix)
+{
+    if (prefix == "sim")
+        return "DES kernel (`sim.queue.*`)";
+    if (prefix == "trace")
+        return "Flow tracing (`trace.*`)";
+    if (prefix == "ltl")
+        return "LTL transport (`ltl.node<i>.*`)";
+    if (prefix == "switch")
+        return "Fabric switches (`switch.<name>.*`)";
+    if (prefix == "router")
+        return "Elastic Router (`router.node<i>.*`)";
+    if (prefix == "fpga")
+        return "FPGA shell (`fpga.node<i>.*`)";
+    if (prefix == "nic")
+        return "NICs (`nic.node<i>.*`)";
+    if (prefix == "host")
+        return "Ranking servers (`host.<node>.*`)";
+    if (prefix == "haas")
+        return "Hardware-as-a-Service (`haas.*`)";
+    if (prefix == "fault")
+        return "Fault injection (`fault.*`)";
+    return "Other";
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("# Metrics reference\n\n");
+    std::printf("Every metric path the simulator registers, by subsystem. "
+                "`*` in a\npattern stands for an instance name "
+                "(`node3`, `tor.0.1`, a service\nname, ...). Generated "
+                "from `src/obs/metric_names.hpp` by\n"
+                "`tools/gen_metrics_md`; do not edit by hand.\n\n");
+    std::printf("Kinds: **counter** (monotonic event count), **gauge** "
+                "(live value read\nby probe at snapshot/sampling time), "
+                "**histogram** (log-binned sample\ndistribution).\n");
+
+    std::string current;
+    for (const auto &mp : ccsim::obs::kMetricPatterns) {
+        const std::string prefix = prefixOf(mp.pattern);
+        if (prefix != current) {
+            current = prefix;
+            std::printf("\n## %s\n\n", sectionTitle(prefix));
+            std::printf("| Metric | Kind | Description |\n");
+            std::printf("|---|---|---|\n");
+        }
+        std::printf("| `%s` | %s | %s |\n", mp.pattern, mp.kind, mp.help);
+    }
+    return 0;
+}
