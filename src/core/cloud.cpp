@@ -132,6 +132,40 @@ ConfigurableCloud::addressOf(int host) const
     return topo->host(host).addr;
 }
 
+int
+ConfigurableCloud::hostByAddress(net::Ipv4Addr addr) const
+{
+    for (int host = 0; host < numServers(); ++host) {
+        if (topo->host(host).addr.value == addr.value)
+            return host;
+    }
+    return -1;
+}
+
+bool
+ConfigurableCloud::nodeReachable(int host) const
+{
+    return !shells.at(host)->bridge().down() &&
+           !topo->hostLink(host).isAdminDown();
+}
+
+void
+ConfigurableCloud::attachHealthMonitor(haas::HealthMonitor &hm)
+{
+    hm.setProbe([this](int host) { return nodeReachable(host); });
+    for (int host = 0; host < numServers(); ++host) {
+        ltl::LtlEngine *eng = shells[host]->ltlEngine();
+        if (eng == nullptr)
+            continue;
+        eng->setTimeoutObserver(
+            [this, &hm](std::uint16_t, int streak, net::Ipv4Addr remote) {
+                const int peer = hostByAddress(remote);
+                if (peer >= 0)
+                    hm.reportTimeoutStreak(peer, streak);
+            });
+    }
+}
+
 void
 ConfigurableCloud::setHostLinkDown(int host, bool down)
 {

@@ -17,6 +17,7 @@
 
 #include "fpga/shell.hpp"
 #include "haas/haas.hpp"
+#include "haas/health_monitor.hpp"
 #include "ltl/ltl_engine.hpp"
 #include "net/nic.hpp"
 #include "net/topology.hpp"
@@ -155,6 +156,21 @@ class LtlChannel
         return sender != nullptr && sender->sendConnectionFailed(sendId);
     }
 
+    /**
+     * Re-handshake after the far end rejoined (repair or reconfiguration
+     * complete): both ends rewind to sequence 0 and the send side's
+     * failure flag and retry budget are cleared, as when the control
+     * plane re-establishes the connection on real hardware. Any frames
+     * still unaccounted for are written off.
+     */
+    void rehandshake()
+    {
+        if (sender)
+            sender->resyncSend(sendId);
+        if (receiver)
+            receiver->resyncReceive(recvId);
+    }
+
     /** Close both connections now (idempotent). */
     void close()
     {
@@ -225,6 +241,26 @@ class ConfigurableCloud
 
     /** The IP address of a server (shared by its NIC and FPGA). */
     net::Ipv4Addr addressOf(int host) const;
+
+    /** The host index owning @p addr, or -1 if no server has it. */
+    int hostByAddress(net::Ipv4Addr addr) const;
+
+    /**
+     * Management-path reachability: true while the server's FPGA would
+     * answer an FPGA-Manager probe (bridge up and FPGA<->TOR cable not
+     * administratively down). This is what a HealthMonitor heartbeat
+     * observes.
+     */
+    bool nodeReachable(int host) const;
+
+    /**
+     * Wire @p hm to this cloud: installs the management-path
+     * reachability probe and subscribes every shell's LTL engine so
+     * retransmission-timeout streaks feed the monitor's passive
+     * suspicion (remote IPs are resolved to host indices). Call before
+     * hm.start(); @p hm must outlive the cloud's simulation run.
+     */
+    void attachHealthMonitor(haas::HealthMonitor &hm);
 
     /** The observability hub the cloud was built with (may be null). */
     obs::Observability *observability() const { return config.obs; }

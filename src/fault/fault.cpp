@@ -30,6 +30,7 @@ faultKindName(FaultKind kind)
     case FaultKind::kFpgaHardFail: return "fpga_hard_fail";
     case FaultKind::kReconfigPause: return "reconfig_pause";
     case FaultKind::kSwitchBrownout: return "switch_brownout";
+    case FaultKind::kGracefulReconfig: return "graceful_reconfig";
     }
     return "unknown";
 }
@@ -88,6 +89,7 @@ FaultInjector::validateEvent(const FaultEvent &e) const
     case FaultKind::kHostLinkFlap:
     case FaultKind::kNicLinkFlap:
     case FaultKind::kReconfigPause:
+    case FaultKind::kGracefulReconfig:
         checkHost(cloud, e.host, name);
         if (e.duration <= 0)
             sim::fatalf("FaultConfig: ", name, " needs a positive duration");
@@ -164,6 +166,9 @@ FaultInjector::execute(const FaultEvent &e)
         break;
     case FaultKind::kReconfigPause:
         reconfigPause(e.host, e.duration);
+        break;
+    case FaultKind::kGracefulReconfig:
+        gracefulReconfig(e.host, e.duration);
         break;
     case FaultKind::kSwitchBrownout:
         switchBrownout(e.pod, e.rack, e.rate, e.ecnStorm, e.duration);
@@ -323,7 +328,8 @@ FaultInjector::failFpga(int host)
     traceInstant("fpga_fail.node" + std::to_string(host));
     holdHostLink(host);
     cloud.shell(host).bridge().setDown(true);
-    cloud.resourceManager().reportFailure(host);
+    if (cfg.selfReport)
+        cloud.resourceManager().reportFailure(host);
 }
 
 void
@@ -335,7 +341,8 @@ FaultInjector::repairFpga(int host)
     hardFailed[host] = false;
     cloud.shell(host).bridge().setDown(false);
     releaseHostLink(host);
-    cloud.resourceManager().repair(host);
+    if (cfg.selfReport)
+        cloud.resourceManager().repair(host);
     ++statRecovered;
     CCSIM_LOG(sim::LogLevel::kInfo, "fault", queue.now(), "FPGA ", host,
               " repaired");
@@ -355,18 +362,62 @@ FaultInjector::reconfigPause(int host, sim::TimePs window)
     traceInstant("reconfig_start.node" + std::to_string(host));
     holdHostLink(host);
     cloud.shell(host).bridge().setDown(true);
-    cloud.resourceManager().reportFailure(host);
+    if (cfg.selfReport)
+        cloud.resourceManager().reportFailure(host);
     queue.scheduleAfter(window, [this, host] {
         releaseHostLink(host);
         // A hard failure that landed during the window sticks: the node
         // only rejoins if it is merely paused.
         if (!hardFailed[host]) {
             cloud.shell(host).bridge().setDown(false);
-            cloud.resourceManager().repair(host);
+            if (cfg.selfReport)
+                cloud.resourceManager().repair(host);
         }
         ++statRecovered;
         traceInstant("reconfig_end.node" + std::to_string(host));
     });
+}
+
+void
+FaultInjector::gracefulReconfig(int host, sim::TimePs window)
+{
+    checkHost(cloud, host, "gracefulReconfig");
+    if (window <= 0)
+        sim::fatal("FaultInjector::gracefulReconfig: window must be "
+                   "positive");
+    ++statInjected;
+    ++statGraceful;
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", queue.now(), "node ", host,
+              " graceful reconfiguration (quiesce first) for ", window,
+              " ps");
+    traceInstant("graceful_quiesce.node" + std::to_string(host));
+    auto cut = [this, host, window] {
+        traceInstant("graceful_dark.node" + std::to_string(host));
+        holdHostLink(host);
+        cloud.shell(host).bridge().setDown(true);
+        if (cfg.selfReport)
+            cloud.resourceManager().reportFailure(host);
+        queue.scheduleAfter(window, [this, host] {
+            releaseHostLink(host);
+            // As with reconfigPause, a hard failure during the window
+            // sticks; the engine then stays quiesced (rejecting).
+            if (!hardFailed[host]) {
+                cloud.shell(host).bridge().setDown(false);
+                if (auto *eng = cloud.shell(host).ltlEngine())
+                    eng->endQuiesce();
+                if (cfg.selfReport)
+                    cloud.resourceManager().repair(host);
+            }
+            ++statRecovered;
+            traceInstant("graceful_end.node" + std::to_string(host));
+        });
+    };
+    ltl::LtlEngine *eng = cloud.shell(host).ltlEngine();
+    if (eng)
+        eng->beginQuiesce(eng->config().quiesceDrainTimeout,
+                          std::move(cut));
+    else
+        cut();
 }
 
 void
@@ -461,6 +512,8 @@ FaultInjector::attachObservability()
                       [this] { return double(statHardFails); });
     reg.registerProbe("fault.reconfig_pauses",
                       [this] { return double(statReconfigs); });
+    reg.registerProbe("fault.graceful_reconfigs",
+                      [this] { return double(statGraceful); });
     reg.registerProbe("fault.brownouts",
                       [this] { return double(statBrownouts); });
     reg.registerProbe("fault.nodes_down", [this] {

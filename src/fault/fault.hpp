@@ -44,6 +44,13 @@ enum class FaultKind {
     kFpgaHardFail,     ///< permanent: node dark + RM failure report
     kReconfigPause,    ///< node dark for `duration`, then repair + rejoin
     kSwitchBrownout,   ///< TOR drop/ECN storm for `duration`
+    /**
+     * Planned reconfiguration done right: the node's LTL engine is
+     * quiesced (drain, then reject) before the node goes dark for
+     * `duration`, and LTL admission reopens on rejoin. Contrast with
+     * kReconfigPause, which yanks the node mid-traffic.
+     */
+    kGracefulReconfig,
 };
 
 /** Human-readable kind name (for timelines and logs). */
@@ -96,6 +103,16 @@ struct FaultConfig {
 
     /** Horizon up to which random faults are generated at arm() time. */
     sim::TimePs randomHorizon = 0;
+
+    /**
+     * Report failures/repairs to the Resource Manager from inside the
+     * injector (the pre-health-monitor behaviour, and the default).
+     * Set false when a haas::HealthMonitor is attached: the injector
+     * then only manipulates the hardware state, and detection/repair
+     * must come from the monitor — the configuration every
+     * detection-latency experiment wants.
+     */
+    bool selfReport = true;
 
     // --- fluent setters ---
 
@@ -167,6 +184,21 @@ struct FaultConfig {
         e.host = host;
         e.duration = window;
         return withEvent(e);
+    }
+    FaultConfig &withGracefulReconfig(sim::TimePs at, int host,
+                                      sim::TimePs window)
+    {
+        FaultEvent e;
+        e.kind = FaultKind::kGracefulReconfig;
+        e.at = at;
+        e.host = host;
+        e.duration = window;
+        return withEvent(e);
+    }
+    FaultConfig &withSelfReport(bool report)
+    {
+        selfReport = report;
+        return *this;
     }
     FaultConfig &withSwitchBrownout(sim::TimePs at, int pod, int rack,
                                     double drop_prob, bool ecn_storm,
@@ -258,6 +290,14 @@ class FaultInjector
      * for @p window, then is repaired and rejoins the pool.
      */
     void reconfigPause(int host, sim::TimePs window);
+    /**
+     * Graceful reconfiguration: quiesce the node's LTL engine (drain,
+     * then administratively reject stragglers), then dark for @p window,
+     * then restore links + LTL admission. With selfReport the RM is
+     * told at cut and rejoin; without, detection is the health
+     * monitor's job.
+     */
+    void gracefulReconfig(int host, sim::TimePs window);
     /** Drop/ECN storm on a TOR for @p duration. */
     void switchBrownout(int pod, int rack, double drop_prob, bool ecn_storm,
                         sim::TimePs duration);
@@ -301,6 +341,7 @@ class FaultInjector
     std::uint64_t statBursts = 0;
     std::uint64_t statHardFails = 0;
     std::uint64_t statReconfigs = 0;
+    std::uint64_t statGraceful = 0;
     std::uint64_t statBrownouts = 0;
 
     void validate() const;

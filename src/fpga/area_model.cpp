@@ -36,6 +36,18 @@ AreaModel::clearRoles()
     std::erase_if(parts, [](const ShellComponent &c) { return !c.isShell; });
 }
 
+bool
+AreaModel::removeComponent(const std::string &name)
+{
+    for (auto it = parts.begin(); it != parts.end(); ++it) {
+        if (it->name == name) {
+            parts.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
 std::uint32_t
 AreaModel::totalUsed() const
 {

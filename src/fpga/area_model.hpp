@@ -50,6 +50,12 @@ class AreaModel
     /** Remove all role (non-shell) components, e.g. on reconfiguration. */
     void clearRoles();
 
+    /**
+     * Remove the first component named @p name (role eviction frees its
+     * area for the next configuration). Returns false if not present.
+     */
+    bool removeComponent(const std::string &name);
+
     const std::vector<ShellComponent> &components() const { return parts; }
 
     std::uint32_t totalAvailable() const { return totalAlms; }

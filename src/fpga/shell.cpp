@@ -156,6 +156,17 @@ Shell::addRole(Role *role)
     return -1;
 }
 
+void
+Shell::removeRole(int role_port)
+{
+    const int slot = role_port - kErPortRole0;
+    if (slot < 0 || slot >= cfg.roleSlots || roles[slot] == nullptr)
+        return;
+    area.removeComponent("Role: " + roles[slot]->name());
+    roles[slot] = nullptr;
+    roleActive[slot] = false;
+}
+
 router::ErEndpoint &
 Shell::roleEndpoint(int role_port)
 {
@@ -203,10 +214,24 @@ Shell::sendFromHost(int role_port, std::uint32_t bytes,
 }
 
 void
+Shell::setHostRxHandler(int role_port, HostRxFn fn)
+{
+    if (fn)
+        hostRxByPort[role_port] = std::move(fn);
+    else
+        hostRxByPort.erase(role_port);
+}
+
+void
 Shell::onPcieMessage(const router::ErMessagePtr &msg)
 {
     // A role pushed data toward the host: DMA it up, then notify.
     pcieUnit.fpgaToHost(msg->sizeBytes, [this, msg] {
+        auto it = hostRxByPort.find(msg->srcEndpoint);
+        if (it != hostRxByPort.end()) {
+            it->second(msg->srcEndpoint, msg);
+            return;
+        }
         if (hostRx)
             hostRx(msg->srcEndpoint, msg);
     });
@@ -344,6 +369,23 @@ Shell::reconfigureFull(std::function<void()> done)
                             if (done)
                                 done();
                         });
+}
+
+void
+Shell::reconfigureFullQuiesced(std::function<void()> done)
+{
+    if (!ltlUnit) {
+        reconfigureFull(std::move(done));
+        return;
+    }
+    ltlUnit->beginQuiesce(
+        cfg.ltl.quiesceDrainTimeout, [this, done = std::move(done)] {
+            reconfigureFull([this, done = std::move(done)] {
+                ltlUnit->endQuiesce();
+                if (done)
+                    done();
+            });
+        });
 }
 
 void

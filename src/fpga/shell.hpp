@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -121,6 +122,13 @@ class Shell
      */
     int addRole(Role *role);
 
+    /**
+     * Evict the role at @p role_port: its slot and area are freed for
+     * the next configuration (messages still in the ER are dropped and
+     * counted as inactive drops). No-op if the slot is already empty.
+     */
+    void removeRole(int role_port);
+
     /** Role tap on the bridge (network acceleration, e.g. crypto). */
     void setRoleTap(Bridge::TapFn fn) { roleTap = std::move(fn); }
 
@@ -132,6 +140,14 @@ class Shell
 
     /** Handler for messages a role sends to the host (ER port 0). */
     void setHostRxHandler(HostRxFn fn) { hostRx = std::move(fn); }
+
+    /**
+     * Route host-bound messages from the role at @p role_port to @p fn,
+     * overriding the global handler for that port only. Lets several
+     * host-side clients share one shell, each listening to its own
+     * role (e.g. a forwarder pool). Pass nullptr to remove.
+     */
+    void setHostRxHandler(int role_port, HostRxFn fn);
 
     // --- remote acceleration (LTL) ------------------------------------------
 
@@ -164,6 +180,16 @@ class Shell
      * (most applications tolerate the brief outage).
      */
     void reconfigureFull(std::function<void()> done = {});
+
+    /**
+     * Graceful full reconfiguration: quiesce the LTL engine first (stop
+     * admitting sends, drain in-flight frames, reject late arrivals),
+     * then reconfigure, then reopen LTL admission. @p done fires when
+     * the node is back up. Peers whose frames are rejected mid-window
+     * fail over immediately instead of silently losing traffic. Without
+     * an LTL block this degrades to reconfigureFull().
+     */
+    void reconfigureFullQuiesced(std::function<void()> done = {});
 
     /**
      * Flash and load an application image (full reconfiguration). If the
@@ -245,6 +271,7 @@ class Shell
 
     Bridge::TapFn roleTap;
     HostRxFn hostRx;
+    std::map<int, HostRxFn> hostRxByPort;  // per-port overrides
     std::vector<int> connToPort;  // LTL receive conn -> ER port
 
     // Reliability state.

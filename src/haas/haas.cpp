@@ -12,9 +12,20 @@ FpgaManager::configureRole(fpga::Role *role)
     if (!healthy || shellPtr == nullptr)
         return -1;
     const int port = shellPtr->addRole(role);
-    if (port >= 0)
+    if (port >= 0) {
         configuredRole = role->name();
+        configuredPort = port;
+    }
     return port;
+}
+
+void
+FpgaManager::clearRole()
+{
+    if (shellPtr != nullptr && configuredPort >= 0)
+        shellPtr->removeRole(configuredPort);
+    configuredRole.clear();
+    configuredPort = -1;
 }
 
 FpgaManager::Status
@@ -79,6 +90,9 @@ ResourceManager::release(std::uint64_t lease_id)
             nit->second.leaseId == lease_id) {
             nit->second.state = NodeState::kUnallocated;
             nit->second.leaseId = 0;
+            // Reclaimed boards are handed back blank.
+            if (nit->second.fm)
+                nit->second.fm->clearRole();
         }
     }
     leases.erase(it);
@@ -105,8 +119,9 @@ ResourceManager::reportFailure(int host_index)
             std::erase(lit->second.hosts, host_index);
         }
         it->second.leaseId = 0;
-        if (onFailure)
-            onFailure(host_index, lease_id);
+        // Index loop: a callback may subscribe further callbacks.
+        for (std::size_t i = 0; i < onFailure.size(); ++i)
+            onFailure[i](host_index, lease_id);
     }
 }
 
@@ -121,10 +136,24 @@ ResourceManager::repair(int host_index)
     ++statRepairs;
     it->second.state = NodeState::kUnallocated;
     it->second.leaseId = 0;
-    if (it->second.fm)
+    if (it->second.fm) {
         it->second.fm->markHealthy();
-    if (onRepair)
-        onRepair(host_index);
+        // Repair re-images the board: the old role region is gone, so
+        // the node can be re-leased and reconfigured from scratch.
+        it->second.fm->clearRole();
+    }
+    for (std::size_t i = 0; i < onRepair.size(); ++i)
+        onRepair[i](host_index);
+}
+
+std::vector<int>
+ResourceManager::hostIndices() const
+{
+    std::vector<int> out;
+    out.reserve(nodes.size());
+    for (const auto &[host, node] : nodes)
+        out.push_back(host);
+    return out;
 }
 
 void
@@ -255,10 +284,31 @@ ServiceManager::attachObservability(obs::Observability *o)
                       [this] { return double(hosts.size()); });
     reg.registerProbe(prefix + ".failovers",
                       [this] { return double(statFailovers); });
+    reg.registerProbe(prefix + ".auto_heals",
+                      [this] { return double(statAutoHeals); });
+}
+
+void
+ServiceManager::enableAutoHeal(int target, LeaseConstraints constraints)
+{
+    healTarget = target;
+    healConstraints = constraints;
+    if (healSubscribed)
+        return;
+    healSubscribed = true;
+    rm.subscribeFailures([this](int host, std::uint64_t) {
+        handleFailure(host, healConstraints);
+    });
+    rm.subscribeRepairs([this](int) {
+        const auto before = hosts.size();
+        if (static_cast<int>(before) < healTarget)
+            scaleTo(healTarget, healConstraints);
+        statAutoHeals += hosts.size() - before;
+    });
 }
 
 bool
-ServiceManager::handleFailure(int host)
+ServiceManager::handleFailure(int host, LeaseConstraints constraints)
 {
     auto it = std::find(hosts.begin(), hosts.end(), host);
     if (it == hosts.end())
@@ -269,7 +319,7 @@ ServiceManager::handleFailure(int host)
     hostLease.erase(hostLease.begin() + static_cast<std::ptrdiff_t>(idx));
 
     // The pool has an abundance of spares: grab a replacement.
-    auto lease = rm.acquire(serviceName, 1);
+    auto lease = rm.acquire(serviceName, 1, constraints);
     if (!lease)
         return false;
     const int replacement = lease->hosts.front();

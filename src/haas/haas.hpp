@@ -51,6 +51,13 @@ class FpgaManager
      */
     int configureRole(fpga::Role *role);
 
+    /**
+     * Wipe the role region (full reconfiguration back to the golden
+     * image). The RM calls this when a board is repaired or its lease
+     * is released, so a reused board always starts blank.
+     */
+    void clearRole();
+
     /** Report status. */
     Status status() const;
 
@@ -68,6 +75,7 @@ class FpgaManager
     int hostIndex;
     bool healthy = true;
     std::string configuredRole;
+    int configuredPort = -1;
 };
 
 /** Placement constraints for a component lease. */
@@ -125,13 +133,29 @@ class ResourceManager
      */
     void repair(int host_index);
 
-    /** Subscribe to failures of leased nodes. */
-    void subscribeFailures(FailureFn fn) { onFailure = std::move(fn); }
+    /**
+     * Subscribe to failures of leased nodes. Multiple subscribers are
+     * supported (e.g. one Service Manager per service plus a health
+     * monitor); callbacks fire in subscription order, and a node's
+     * subscribers are notified in host-index order when several nodes
+     * fail at one instant, so same-seed runs stay byte-identical.
+     */
+    void subscribeFailures(FailureFn fn)
+    {
+        onFailure.push_back(std::move(fn));
+    }
 
-    /** Subscribe to repairs (nodes rejoining the pool). */
-    void subscribeRepairs(RepairFn fn) { onRepair = std::move(fn); }
+    /** Subscribe to repairs (nodes rejoining the pool); same ordering
+     * guarantees as subscribeFailures(). */
+    void subscribeRepairs(RepairFn fn)
+    {
+        onRepair.push_back(std::move(fn));
+    }
 
     FpgaManager *manager(int host_index);
+
+    /** All registered host indices, ascending. */
+    std::vector<int> hostIndices() const;
 
     int freeCount() const;
     int allocatedCount() const;
@@ -163,8 +187,8 @@ class ResourceManager
     std::map<int, Node> nodes;
     std::map<std::uint64_t, Lease> leases;
     std::uint64_t nextLeaseId = 1;
-    FailureFn onFailure;
-    RepairFn onRepair;
+    std::vector<FailureFn> onFailure;
+    std::vector<RepairFn> onRepair;
     std::uint64_t statFailures = 0;
     std::uint64_t statRepairs = 0;
 };
@@ -211,13 +235,26 @@ class ServiceManager
 
     /**
      * Failure handling: called by the RM failure subscription. Requests a
-     * replacement lease and reconfigures the role on the new node.
+     * replacement lease (honoring @p constraints) and reconfigures the
+     * role on the new node.
      *
      * @return true if a replacement was found.
      */
-    bool handleFailure(int host);
+    bool handleFailure(int host, LeaseConstraints constraints = {});
+
+    /**
+     * Self-healing: subscribe this SM to the Resource Manager so it
+     * (a) fails over automatically when one of its instances is reported
+     * failed and (b) re-acquires leases back up to @p target instances
+     * when repaired nodes rejoin the pool — @p constraints (requirePod
+     * etc.) are honored on every replacement and re-acquisition.
+     * Idempotent; a second call just updates the target/constraints.
+     */
+    void enableAutoHeal(int target, LeaseConstraints constraints = {});
 
     std::uint64_t failovers() const { return statFailovers; }
+    /** Instances re-acquired by auto-heal after repairs. */
+    std::uint64_t autoHeals() const { return statAutoHeals; }
     const std::string &name() const { return serviceName; }
 
     /**
@@ -235,6 +272,10 @@ class ServiceManager
     std::vector<std::uint64_t> hostLease;  // parallel to hosts
     std::size_t rrNext = 0;
     std::uint64_t statFailovers = 0;
+    std::uint64_t statAutoHeals = 0;
+    bool healSubscribed = false;
+    int healTarget = 0;
+    LeaseConstraints healConstraints;
 };
 
 }  // namespace ccsim::haas

@@ -1,0 +1,204 @@
+#include "haas/health_monitor.hpp"
+
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace ccsim::haas {
+
+HealthMonitor::HealthMonitor(sim::EventQueue &eq, ResourceManager &rmgr,
+                             HealthMonitorConfig config)
+    : queue(eq), rm(rmgr), cfg(config)
+{
+    if (cfg.heartbeatPeriod <= 0)
+        sim::fatal("HealthMonitor: heartbeatPeriod must be positive");
+    if (cfg.heartbeatRtt < 0)
+        sim::fatal("HealthMonitor: heartbeatRtt must be non-negative");
+    if (cfg.missWeight <= 0.0 || cfg.suspicionThreshold <= 0.0)
+        sim::fatal("HealthMonitor: missWeight and suspicionThreshold "
+                   "must be positive");
+    if (cfg.rejoinHeartbeats < 1)
+        sim::fatal("HealthMonitor: rejoinHeartbeats must be >= 1");
+}
+
+HealthMonitor::~HealthMonitor()
+{
+    stop();
+}
+
+void
+HealthMonitor::start()
+{
+    if (!probe)
+        sim::fatal("HealthMonitor::start: no reachability probe installed "
+                   "(call setProbe, or wire through "
+                   "ConfigurableCloud::attachHealthMonitor)");
+    if (running)
+        return;
+    running = true;
+    for (int host : rm.hostIndices())
+        nodesHealth.try_emplace(host);
+    sweepEvent = queue.scheduleAfter(cfg.heartbeatPeriod, [this] {
+        sweepEvent = sim::kNoEvent;
+        sweep();
+    });
+}
+
+void
+HealthMonitor::stop()
+{
+    running = false;
+    if (sweepEvent != sim::kNoEvent) {
+        queue.cancel(sweepEvent);
+        sweepEvent = sim::kNoEvent;
+    }
+}
+
+void
+HealthMonitor::sweep()
+{
+    if (!running)
+        return;
+    // Ping in host-index order; all responses land at now + rtt, and the
+    // queue is FIFO at one timestamp, so results (and any failure or
+    // repair reports they trigger) are evaluated in host-index order.
+    for (auto &[host, nh] : nodesHealth) {
+        ++statHeartbeats;
+        const int h = host;
+        queue.scheduleAfter(cfg.heartbeatRtt, [this, h] {
+            // Reachability is evaluated when the pong would arrive, so a
+            // node that died (or rejoined) mid-flight is judged by its
+            // state at response time.
+            onHeartbeatResult(h, probe(h));
+        });
+    }
+    sweepEvent = queue.scheduleAfter(cfg.heartbeatPeriod, [this] {
+        sweepEvent = sim::kNoEvent;
+        sweep();
+    });
+}
+
+void
+HealthMonitor::onHeartbeatResult(int host, bool reachable)
+{
+    NodeHealth &nh = nodesHealth[host];
+    if (reachable) {
+        nh.suspicion = 0.0;
+        nh.lastStreakCredited = 0;
+        if (nh.reported) {
+            ++nh.healthyStreak;
+            if (nh.healthyStreak >= cfg.rejoinHeartbeats) {
+                nh.reported = false;
+                nh.healthyStreak = 0;
+                ++statRejoins;
+                CCSIM_LOG(sim::LogLevel::kInfo, "haas.health", queue.now(),
+                          "node ", host, " rejoined after ",
+                          cfg.rejoinHeartbeats, " healthy heartbeats");
+                if (cfg.autoRepair)
+                    rm.repair(host);
+            }
+        }
+        return;
+    }
+    ++statMisses;
+    nh.healthyStreak = 0;
+    addSuspicion(host, cfg.missWeight);
+}
+
+void
+HealthMonitor::reportTimeoutStreak(int host, int streak)
+{
+    auto it = nodesHealth.find(host);
+    if (it == nodesHealth.end()) {
+        if (rm.manager(host) == nullptr)
+            return;  // not a registered node
+        it = nodesHealth.try_emplace(host).first;
+    }
+    if (streak < cfg.minLtlStreak)
+        return;
+    NodeHealth &nh = it->second;
+    // One credit per new timeout in the streak: streaks grow by one per
+    // report, and parallel connections to the same dead node only count
+    // the deepest streak (conservative, and order-independent).
+    if (streak <= nh.lastStreakCredited)
+        return;
+    nh.lastStreakCredited = streak;
+    ++statStreakReports;
+    addSuspicion(host, cfg.streakWeight);
+}
+
+void
+HealthMonitor::addSuspicion(int host, double weight)
+{
+    NodeHealth &nh = nodesHealth[host];
+    if (nh.reported)
+        return;  // already declared failed; wait for rejoin
+    nh.suspicion += weight;
+    if (nh.suspicion < cfg.suspicionThreshold)
+        return;
+    nh.reported = true;
+    nh.healthyStreak = 0;
+    ++statDetections;
+    CCSIM_LOG(sim::LogLevel::kWarn, "haas.health", queue.now(), "node ",
+              host, " declared failed (suspicion ", nh.suspicion, ")");
+    if (cfg.autoReport)
+        rm.reportFailure(host);
+}
+
+sim::TimePs
+HealthMonitor::detectionBound() const
+{
+    const auto beats = static_cast<sim::TimePs>(
+        std::ceil(cfg.suspicionThreshold / cfg.missWeight));
+    return (beats + 1) * cfg.heartbeatPeriod + cfg.heartbeatRtt;
+}
+
+double
+HealthMonitor::suspicion(int host) const
+{
+    auto it = nodesHealth.find(host);
+    return it == nodesHealth.end() ? 0.0 : it->second.suspicion;
+}
+
+bool
+HealthMonitor::suspected(int host) const
+{
+    auto it = nodesHealth.find(host);
+    return it != nodesHealth.end() &&
+           (it->second.reported || it->second.suspicion > 0.0);
+}
+
+void
+HealthMonitor::attachObservability(obs::Observability *o)
+{
+    obsHub = o;
+    if (!o)
+        return;
+    auto &reg = o->registry;
+    reg.registerProbe("haas.health.heartbeats",
+                      [this] { return double(statHeartbeats); });
+    reg.registerProbe("haas.health.misses",
+                      [this] { return double(statMisses); });
+    reg.registerProbe("haas.health.detections",
+                      [this] { return double(statDetections); });
+    reg.registerProbe("haas.health.rejoins",
+                      [this] { return double(statRejoins); });
+    reg.registerProbe("haas.health.streak_reports",
+                      [this] { return double(statStreakReports); });
+    reg.registerProbe("haas.health.suspected", [this] {
+        int n = 0;
+        for (const auto &[host, nh] : nodesHealth)
+            n += (nh.reported || nh.suspicion > 0.0) ? 1 : 0;
+        return double(n);
+    });
+    reg.registerProbe("haas.health.monitored", [this] {
+        return double(rm.hostIndices().size());
+    });
+    for (int host : rm.hostIndices()) {
+        reg.registerProbe(
+            "haas.health.node" + std::to_string(host) + ".suspicion",
+            [this, host] { return suspicion(host); });
+    }
+}
+
+}  // namespace ccsim::haas

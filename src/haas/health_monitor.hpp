@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Autonomous failure detection for the HaaS layer (Section V-F).
+ *
+ * The paper's FPGA Managers monitor node health and the Service Managers
+ * react to failures; ccsim's fault injector could always *create*
+ * failures, but until now something external had to notice them. The
+ * HealthMonitor closes that loop with two independent evidence streams:
+ *
+ *  - **Active heartbeats**: a periodic management-path ping of every
+ *    registered node (modeled as a fixed round-trip through the FM side
+ *    channel). A node that cannot be reached — bridge dark or host link
+ *    administratively down — misses the beat.
+ *  - **Passive LTL suspicion**: the transport layer's retransmission
+ *    timeout doubles as fast failure detection (Section V-A). Consecutive
+ *    timeout streaks observed by any LTL engine toward a node feed the
+ *    same per-node suspicion score, so a dead peer is usually suspected
+ *    well before the next heartbeat sweep.
+ *
+ * Evidence accumulates into a per-node suspicion score (a discretized
+ * phi-accrual detector); crossing the threshold reports the node to the
+ * ResourceManager — Service Managers fail over through their RM
+ * subscriptions. Consecutive healthy heartbeats after the node becomes
+ * reachable again drive the repair path. All scheduling is host-index
+ * ordered, so same-seed runs are byte-identical.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "haas/haas.hpp"
+#include "obs/metrics.hpp"
+#include "sim/event_queue.hpp"
+
+namespace ccsim::haas {
+
+/** HealthMonitor tuning. */
+struct HealthMonitorConfig {
+    /** Heartbeat sweep period (all nodes pinged each sweep). */
+    sim::TimePs heartbeatPeriod = 100 * sim::kMicrosecond;
+    /** Modeled management-path ping round-trip time. */
+    sim::TimePs heartbeatRtt = 10 * sim::kMicrosecond;
+    /** Suspicion added per missed heartbeat. */
+    double missWeight = 1.0;
+    /** Suspicion added per qualifying LTL timeout-streak report. */
+    double streakWeight = 1.0;
+    /** Minimum consecutive LTL timeouts before a streak adds suspicion. */
+    int minLtlStreak = 3;
+    /** Suspicion at which the node is declared failed. */
+    double suspicionThreshold = 3.0;
+    /** Consecutive healthy heartbeats before a failed node is repaired. */
+    int rejoinHeartbeats = 2;
+    /** Report detected failures to the RM (else observe-only). */
+    bool autoReport = true;
+    /** Repair rejoined nodes on the RM (else observe-only). */
+    bool autoRepair = true;
+
+    // --- fluent setters ---
+
+    HealthMonitorConfig &withHeartbeat(sim::TimePs period, sim::TimePs rtt)
+    {
+        heartbeatPeriod = period;
+        heartbeatRtt = rtt;
+        return *this;
+    }
+    HealthMonitorConfig &withSuspicion(double threshold, double miss_weight,
+                                       double streak_weight)
+    {
+        suspicionThreshold = threshold;
+        missWeight = miss_weight;
+        streakWeight = streak_weight;
+        return *this;
+    }
+    HealthMonitorConfig &withMinLtlStreak(int streak)
+    {
+        minLtlStreak = streak;
+        return *this;
+    }
+    HealthMonitorConfig &withRejoinHeartbeats(int beats)
+    {
+        rejoinHeartbeats = beats;
+        return *this;
+    }
+    HealthMonitorConfig &withAutoReport(bool report, bool repair)
+    {
+        autoReport = report;
+        autoRepair = repair;
+        return *this;
+    }
+};
+
+/**
+ * Periodic heartbeat prober + passive-suspicion accumulator driving
+ * ResourceManager::reportFailure / repair automatically.
+ *
+ * The monitor does not know how to reach a node — the owner supplies a
+ * reachability probe (ConfigurableCloud::attachHealthMonitor wires the
+ * management-path view: bridge up and host link not admin-down). The
+ * monitor must outlive start()..stop() and any engine feeding
+ * reportTimeoutStreak().
+ */
+class HealthMonitor
+{
+  public:
+    /** Management-path reachability probe: can the FM reach this node? */
+    using ProbeFn = std::function<bool(int host)>;
+
+    HealthMonitor(sim::EventQueue &eq, ResourceManager &rm,
+                  HealthMonitorConfig cfg = {});
+    ~HealthMonitor();
+
+    HealthMonitor(const HealthMonitor &) = delete;
+    HealthMonitor &operator=(const HealthMonitor &) = delete;
+
+    /** Install the reachability probe (required before start()). */
+    void setProbe(ProbeFn fn) { probe = std::move(fn); }
+
+    /**
+     * Begin heartbeat sweeps over every node currently registered with
+     * the ResourceManager. Nodes are pinged in host-index order each
+     * sweep; the first sweep runs one period after start().
+     */
+    void start();
+
+    /** Cancel the sweep (passive suspicion reports still accumulate). */
+    void stop();
+
+    /**
+     * Passive evidence feed: an LTL engine observed @p streak consecutive
+     * retransmission timeouts toward @p host. Streaks below
+     * minLtlStreak are ignored; qualifying streaks add streakWeight
+     * suspicion per timeout beyond the floor's first hit.
+     */
+    void reportTimeoutStreak(int host, int streak);
+
+    /**
+     * Worst-case time from a node going dark to its failure report,
+     * assuming heartbeats alone (passive suspicion only shortens it):
+     * the beats needed to accumulate the threshold, plus one period of
+     * phase offset, plus the ping round trip.
+     */
+    sim::TimePs detectionBound() const;
+
+    // --- introspection ---
+
+    double suspicion(int host) const;
+    bool suspected(int host) const;
+    std::uint64_t detections() const { return statDetections; }
+    std::uint64_t rejoins() const { return statRejoins; }
+    std::uint64_t heartbeatsSent() const { return statHeartbeats; }
+    std::uint64_t heartbeatsMissed() const { return statMisses; }
+    std::uint64_t streakReports() const { return statStreakReports; }
+    const HealthMonitorConfig &config() const { return cfg; }
+
+    /**
+     * Export detector statistics under `haas.health.*`: sweep/miss/
+     * detection/rejoin counters plus a per-node suspicion gauge. Pass
+     * nullptr to detach.
+     */
+    void attachObservability(obs::Observability *o);
+
+  private:
+    struct NodeHealth {
+        double suspicion = 0.0;
+        /** Consecutive reachable heartbeats while marked failed. */
+        int healthyStreak = 0;
+        /** This monitor has reported the node failed and not yet seen
+         * it rejoin. */
+        bool reported = false;
+        /** Last LTL streak length credited (avoid double counting). */
+        int lastStreakCredited = 0;
+    };
+
+    sim::EventQueue &queue;
+    ResourceManager &rm;
+    HealthMonitorConfig cfg;
+    ProbeFn probe;
+    std::map<int, NodeHealth> nodesHealth;
+    sim::EventId sweepEvent = sim::kNoEvent;
+    bool running = false;
+
+    obs::Observability *obsHub = nullptr;
+
+    std::uint64_t statHeartbeats = 0;
+    std::uint64_t statMisses = 0;
+    std::uint64_t statDetections = 0;
+    std::uint64_t statRejoins = 0;
+    std::uint64_t statStreakReports = 0;
+
+    void sweep();
+    void onHeartbeatResult(int host, bool reachable);
+    void addSuspicion(int host, double weight);
+};
+
+}  // namespace ccsim::haas

@@ -1,6 +1,9 @@
 #include "host/ranking_server.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hpp"
 
 namespace ccsim::host {
 
@@ -50,7 +53,40 @@ RankingServer::attachObservability(obs::Observability *o,
     reg.registerProbe(obsPrefix + ".sw_feature_queries",
                       [this] { return double(statSwFeature); });
     reg.registerProbe(obsPrefix + ".accel_blocked",
-                      [this] { return double(blockedInAccel.size()); });
+                      [this] { return double(accelOps.size()); });
+    reg.registerProbe(obsPrefix + ".retry.deadline_expired",
+                      [this] { return double(statDeadlineExpired); });
+    reg.registerProbe(obsPrefix + ".retry.attempts",
+                      [this] { return double(statRetries); });
+    reg.registerProbe(obsPrefix + ".retry.hedges",
+                      [this] { return double(statHedges); });
+    reg.registerProbe(obsPrefix + ".retry.hedge_wins",
+                      [this] { return double(statHedgeWins); });
+    reg.registerProbe(obsPrefix + ".retry.sw_fallbacks",
+                      [this] { return double(statSwFallback); });
+    reg.registerProbe(obsPrefix + ".retry.hedge_delay_us", [this] {
+        return sim::toMicros(hedgeDelayNow());
+    });
+}
+
+void
+RankingServer::setRetryPolicy(QueryRetryPolicy p)
+{
+    if (p.accelDeadline < 0 || p.backoffBase < 0 || p.hedgeDelay < 0 ||
+        p.hedgeMinDelay < 0)
+        sim::fatal("QueryRetryPolicy: times must be non-negative");
+    if (p.maxAttempts < 1)
+        sim::fatalf("QueryRetryPolicy: maxAttempts must be >= 1 (got ",
+                    p.maxAttempts, ")");
+    if (p.backoffJitter < 0.0 || p.backoffJitter > 1.0)
+        sim::fatalf("QueryRetryPolicy: backoffJitter must be in [0, 1] "
+                    "(got ", p.backoffJitter, ")");
+    if (p.hedgeQuantile <= 0.0 || p.hedgeQuantile > 100.0)
+        sim::fatalf("QueryRetryPolicy: hedgeQuantile must be in (0, 100] "
+                    "(got ", p.hedgeQuantile, ")");
+    policy = p;
+    hedgeCached = 0;
+    hedgeCachedAt = 0;
 }
 
 void
@@ -122,63 +158,212 @@ RankingServer::runQuery(PendingQuery q)
 
     // Accelerated mode: the core blocks while the FPGA computes. The
     // continuation is parked under a token so failPendingToSoftware()
-    // can rescue it if the accelerator dies while the query is inside.
+    // can rescue it if the accelerator dies while the query is inside,
+    // and so deadline/retry/hedge timers can reference it.
     const auto docs = static_cast<std::uint32_t>(std::max(
         1.0, rng.lognormalMeanCv(params.docsPerQueryMean,
                                  params.docsPerQueryCv)));
     queue.scheduleAfter(pre, [this, docs, ctx,
                               rp = std::move(run_post)]() mutable {
+        const std::uint64_t token = nextAccelToken++;
+        AccelOp &op = accelOps[token];
+        op.resume = std::move(rp);
+        op.docs = docs;
+        op.ctx = ctx;
+        op.startedAt = queue.now();
         if (accelerator == nullptr) {
-            // The accelerator was detached while this query was in its
-            // CPU stage: complete the feature stage in software.
-            ++statSwFeature;
-            const auto features =
-                static_cast<sim::TimePs>(rng.lognormalMeanCv(
-                    static_cast<double>(params.swFeatureMean),
-                    params.swFeatureCv));
-            if (ctx.sampled && obsHub)
-                obsHub->flows.recordSpan(ctx, obsPrefix + ".sw_features",
-                                         obs::Component::kCompute,
-                                         queue.now(),
-                                         queue.now() + features);
-            queue.scheduleAfter(features,
-                                [r = std::move(rp)]() mutable { r(); });
+            // No accelerator lease at dispatch time (degraded mode):
+            // complete the feature stage in software.
+            ++statSwFallback;
+            AccelOp detached = std::move(op);
+            accelOps.erase(token);
+            softwareFeatureRerun(std::move(detached));
             return;
         }
-        const std::uint64_t token = nextBlockedToken++;
-        blockedInAccel[token] = std::move(rp);
-        const sim::TimePs accel_start = queue.now();
-        accelerator->compute(docs, [this, token, ctx, accel_start] {
-            if (ctx.sampled && obsHub) {
-                // Wall time inside the accelerator, including its own
-                // serial-pipeline backlog.
-                obsHub->flows.recordSpan(ctx, obsPrefix + ".accel",
-                                         obs::Component::kCompute,
-                                         accel_start, queue.now());
-            }
-            auto it = blockedInAccel.find(token);
-            if (it == blockedInAccel.end())
-                return;  // already rescued to software; drop the late ack
-            auto r = std::move(it->second);
-            blockedInAccel.erase(it);
-            r();
-        });
+        if (policy.hedge) {
+            op.hedgeEvent =
+                queue.scheduleAfter(hedgeDelayNow(), [this, token] {
+                    auto it = accelOps.find(token);
+                    if (it == accelOps.end())
+                        return;
+                    it->second.hedgeEvent = sim::kNoEvent;
+                    onHedgeTimer(token);
+                });
+        }
+        launchAttempt(token, accelerator);
     });
+}
+
+void
+RankingServer::launchAttempt(std::uint64_t token, FeatureAccelerator *target,
+                             bool hedged)
+{
+    AccelOp &op = accelOps.at(token);
+    ++op.attempts;
+    const std::uint64_t attempt_id = nextAttemptId++;
+    if (hedged)
+        op.hedgeAttemptId = attempt_id;
+    if (policy.accelDeadline > 0) {
+        // One deadline per op, re-armed for the newest attempt. Armed
+        // before compute(): a synchronous completion erases the op (and
+        // cancels this timer) before we return.
+        if (op.deadlineEvent != sim::kNoEvent)
+            queue.cancel(op.deadlineEvent);
+        op.deadlineEvent =
+            queue.scheduleAfter(policy.accelDeadline, [this, token] {
+                auto it = accelOps.find(token);
+                if (it == accelOps.end())
+                    return;
+                it->second.deadlineEvent = sim::kNoEvent;
+                onDeadline(token);
+            });
+    }
+    const std::uint32_t docs = op.docs;
+    target->compute(docs, [this, token, attempt_id] {
+        onAttemptDone(token, attempt_id);
+    });
+}
+
+void
+RankingServer::onAttemptDone(std::uint64_t token, std::uint64_t attempt_id)
+{
+    auto it = accelOps.find(token);
+    if (it == accelOps.end())
+        return;  // late ack from a rescued query or a losing attempt
+    AccelOp op = std::move(it->second);
+    accelOps.erase(it);
+    cancelOpTimers(op);
+    if (op.hedgeAttemptId != 0 && attempt_id == op.hedgeAttemptId)
+        ++statHedgeWins;
+    const sim::TimePs now = queue.now();
+    accelLatencyUs.add(std::max(0.5, sim::toMicros(now - op.startedAt)));
+    if (op.ctx.sampled && obsHub) {
+        // Wall time inside the accelerator(s), including retries and
+        // any serial-pipeline backlog.
+        obsHub->flows.recordSpan(op.ctx, obsPrefix + ".accel",
+                                 obs::Component::kCompute, op.startedAt,
+                                 now);
+    }
+    op.resume();
+}
+
+void
+RankingServer::onDeadline(std::uint64_t token)
+{
+    AccelOp &op = accelOps.at(token);
+    ++statDeadlineExpired;
+    if (op.attempts >= policy.maxAttempts) {
+        // Retry budget exhausted: give up on acceleration entirely.
+        ++statSwFallback;
+        AccelOp detached = std::move(op);
+        accelOps.erase(token);
+        cancelOpTimers(detached);
+        softwareFeatureRerun(std::move(detached));
+        return;
+    }
+    ++statRetries;
+    const int retry_no = op.attempts;  // 1-based count of prior attempts
+    auto backoff = static_cast<double>(policy.backoffBase) *
+                   std::ldexp(1.0, retry_no - 1);
+    backoff *= 1.0 + policy.backoffJitter * (2.0 * rng.uniform() - 1.0);
+    const auto delay = std::max<sim::TimePs>(
+        1, static_cast<sim::TimePs>(backoff));
+    op.backoffEvent = queue.scheduleAfter(delay, [this, token] {
+        auto it = accelOps.find(token);
+        if (it == accelOps.end())
+            return;
+        it->second.backoffEvent = sim::kNoEvent;
+        FeatureAccelerator *target =
+            replicaPicker ? replicaPicker() : nullptr;
+        if (target == nullptr)
+            target = accelerator;
+        if (target == nullptr) {
+            // No replica and no primary lease left.
+            ++statSwFallback;
+            AccelOp detached = std::move(it->second);
+            accelOps.erase(it);
+            cancelOpTimers(detached);
+            softwareFeatureRerun(std::move(detached));
+            return;
+        }
+        launchAttempt(token, target);
+    });
+}
+
+void
+RankingServer::onHedgeTimer(std::uint64_t token)
+{
+    AccelOp &op = accelOps.at(token);
+    if (op.attempts >= policy.maxAttempts)
+        return;  // budget already spent on retries
+    FeatureAccelerator *replica = replicaPicker ? replicaPicker() : nullptr;
+    if (replica == nullptr)
+        return;  // nowhere to hedge to
+    ++statHedges;
+    launchAttempt(token, replica, /*hedged=*/true);
+}
+
+void
+RankingServer::softwareFeatureRerun(AccelOp op)
+{
+    ++statSwFeature;
+    const auto features = static_cast<sim::TimePs>(rng.lognormalMeanCv(
+        static_cast<double>(params.swFeatureMean), params.swFeatureCv));
+    if (op.ctx.sampled && obsHub)
+        obsHub->flows.recordSpan(op.ctx, obsPrefix + ".sw_features",
+                                 obs::Component::kCompute, queue.now(),
+                                 queue.now() + features);
+    queue.scheduleAfter(features,
+                        [r = std::move(op.resume)]() mutable { r(); });
+}
+
+void
+RankingServer::cancelOpTimers(AccelOp &op)
+{
+    if (op.deadlineEvent != sim::kNoEvent) {
+        queue.cancel(op.deadlineEvent);
+        op.deadlineEvent = sim::kNoEvent;
+    }
+    if (op.hedgeEvent != sim::kNoEvent) {
+        queue.cancel(op.hedgeEvent);
+        op.hedgeEvent = sim::kNoEvent;
+    }
+    if (op.backoffEvent != sim::kNoEvent) {
+        queue.cancel(op.backoffEvent);
+        op.backoffEvent = sim::kNoEvent;
+    }
+}
+
+sim::TimePs
+RankingServer::hedgeDelayNow() const
+{
+    if (policy.hedgeDelay > 0)
+        return policy.hedgeDelay;
+    const std::uint64_t n = accelLatencyUs.count();
+    if (n < 32)
+        return policy.hedgeMinDelay;  // not enough signal yet
+    if (hedgeCachedAt == 0 || n >= hedgeCachedAt + 64) {
+        // Recompute the tail estimate only as samples accumulate; the
+        // histogram percentile is cheap but not free per query.
+        hedgeCached = static_cast<sim::TimePs>(
+            accelLatencyUs.percentile(policy.hedgeQuantile) *
+            sim::kMicrosecond);
+        hedgeCachedAt = n;
+    }
+    return std::max(policy.hedgeMinDelay, hedgeCached);
 }
 
 std::uint64_t
 RankingServer::failPendingToSoftware()
 {
-    auto pending = std::move(blockedInAccel);
-    blockedInAccel.clear();
+    auto pending = std::move(accelOps);
+    accelOps.clear();
     std::uint64_t rescued = 0;
-    for (auto &[token, rp] : pending) {
-        ++statSwFeature;
+    for (auto &[token, op] : pending) {
+        cancelOpTimers(op);
+        ++statSwFallback;
         ++rescued;
-        const auto features = static_cast<sim::TimePs>(rng.lognormalMeanCv(
-            static_cast<double>(params.swFeatureMean), params.swFeatureCv));
-        queue.scheduleAfter(features,
-                            [r = std::move(rp)]() mutable { r(); });
+        softwareFeatureRerun(std::move(op));
     }
     return rescued;
 }

@@ -105,6 +105,65 @@ class LocalFpgaAccelerator : public FeatureAccelerator
     std::uint64_t statRequests = 0;
 };
 
+/**
+ * Failure-handling policy for the accelerated feature stage: the
+ * tail-at-scale toolkit of per-attempt deadlines, bounded retry with
+ * exponential backoff + jitter, and hedged duplicates to a replica.
+ * Defaults leave everything off (the pre-policy behaviour: a query
+ * blocks in the accelerator until someone calls failPendingToSoftware).
+ */
+struct QueryRetryPolicy {
+    /** Per-attempt accelerator deadline; 0 disables deadlines/retries. */
+    sim::TimePs accelDeadline = 0;
+    /**
+     * Total accelerator attempts per query, counting the first launch
+     * and any hedged duplicate. At exhaustion the feature stage falls
+     * back to software.
+     */
+    int maxAttempts = 2;
+    /** Backoff before retry k (k = 1, 2, ...): base * 2^(k-1). */
+    sim::TimePs backoffBase = 50 * sim::kMicrosecond;
+    /** Relative jitter on each backoff, drawn uniformly in [-j, +j]. */
+    double backoffJitter = 0.2;
+    /** Issue a hedged duplicate to a replica after the hedge delay. */
+    bool hedge = false;
+    /**
+     * Fixed hedge delay; 0 = adaptive — the hedgeQuantile of observed
+     * accelerator latency, never below hedgeMinDelay.
+     */
+    sim::TimePs hedgeDelay = 0;
+    double hedgeQuantile = 99.0;
+    /** Adaptive floor (also used until enough samples accumulate). */
+    sim::TimePs hedgeMinDelay = 200 * sim::kMicrosecond;
+
+    // --- fluent setters ---
+
+    QueryRetryPolicy &withDeadline(sim::TimePs deadline, int max_attempts)
+    {
+        accelDeadline = deadline;
+        maxAttempts = max_attempts;
+        return *this;
+    }
+    QueryRetryPolicy &withBackoff(sim::TimePs base, double jitter)
+    {
+        backoffBase = base;
+        backoffJitter = jitter;
+        return *this;
+    }
+    QueryRetryPolicy &withHedge(sim::TimePs delay = 0)
+    {
+        hedge = true;
+        hedgeDelay = delay;
+        return *this;
+    }
+    QueryRetryPolicy &withHedgeQuantile(double q, sim::TimePs min_delay)
+    {
+        hedgeQuantile = q;
+        hedgeMinDelay = min_delay;
+        return *this;
+    }
+};
+
 /** One ranking server. */
 class RankingServer
 {
@@ -141,14 +200,57 @@ class RankingServer
      * Rescue every query currently blocked in the accelerator: their
      * feature stage is re-run on-core at software-mode cost, as if the
      * thread's offload call timed out and fell back. Late completions
-     * from the abandoned accelerator are ignored.
+     * from the abandoned accelerator are ignored. Any armed deadline,
+     * backoff or hedge timers are cancelled.
      *
      * @return The number of rescued queries.
      */
     std::uint64_t failPendingToSoftware();
 
+    /**
+     * Install a failure-handling policy for accelerated feature stages
+     * (deadlines, bounded retry, hedging). Applies to queries dispatched
+     * from now on.
+     */
+    void setRetryPolicy(QueryRetryPolicy p);
+
+    const QueryRetryPolicy &retryPolicy() const { return policy; }
+
+    /**
+     * Supplier of an alternate healthy accelerator for retries and
+     * hedged requests (typically another instance of the same HaaS
+     * service). May return nullptr when no replica is available; then
+     * retries go back to the primary and hedges are skipped.
+     */
+    void setReplicaPicker(std::function<FeatureAccelerator *()> fn)
+    {
+        replicaPicker = std::move(fn);
+    }
+
+    /**
+     * The hedge delay a query dispatched now would use: the fixed
+     * policy delay, or the adaptive estimate from observed accelerator
+     * latency (recomputed lazily as samples accumulate).
+     */
+    sim::TimePs currentHedgeDelay() const { return hedgeDelayNow(); }
+
     /** Queries whose feature stage ran in software (incl. rescues). */
     std::uint64_t softwareFeatureQueries() const { return statSwFeature; }
+
+    /** Accelerator attempts that outlived their per-attempt deadline. */
+    std::uint64_t deadlinesExpired() const { return statDeadlineExpired; }
+    /** Retry attempts issued after a deadline expiry. */
+    std::uint64_t retriesIssued() const { return statRetries; }
+    /** Hedged duplicate requests issued. */
+    std::uint64_t hedgesIssued() const { return statHedges; }
+    /** Queries completed by the hedged duplicate, not the primary. */
+    std::uint64_t hedgeWins() const { return statHedgeWins; }
+    /**
+     * Queries that started toward an accelerator but finished their
+     * feature stage in software (retry exhaustion, no replacement
+     * accelerator, or a failPendingToSoftware rescue).
+     */
+    std::uint64_t softwareFallbacks() const { return statSwFallback; }
 
     /** Latencies of completed queries, milliseconds. */
     const sim::SampleStats &latencyMs() const { return statLatency; }
@@ -182,6 +284,20 @@ class RankingServer
         obs::TraceContext trace;
     };
 
+    /** One query's in-flight accelerated feature stage. */
+    struct AccelOp {
+        std::function<void()> resume;  ///< runs the post-feature stage
+        std::uint32_t docs = 0;
+        obs::TraceContext ctx;
+        sim::TimePs startedAt = 0;
+        int attempts = 0;
+        /** Attempt id of the hedged duplicate (0 = none issued). */
+        std::uint64_t hedgeAttemptId = 0;
+        sim::EventId deadlineEvent = sim::kNoEvent;
+        sim::EventId hedgeEvent = sim::kNoEvent;
+        sim::EventId backoffEvent = sim::kNoEvent;
+    };
+
     sim::EventQueue &queue;
     RankingServiceParams params;
     FeatureAccelerator *accelerator;
@@ -196,13 +312,40 @@ class RankingServer
     std::uint64_t statCompleted = 0;
     std::uint64_t activeQueries = 0;
     std::uint64_t statSwFeature = 0;
-    /** Continuations of queries blocked in the accelerator, by token. */
-    std::map<std::uint64_t, std::function<void()>> blockedInAccel;
-    std::uint64_t nextBlockedToken = 1;
+    QueryRetryPolicy policy;
+    std::function<FeatureAccelerator *()> replicaPicker;
+    /** In-flight accelerated feature stages, by token. */
+    std::map<std::uint64_t, AccelOp> accelOps;
+    std::uint64_t nextAccelToken = 1;
+    /** Distinguishes a winning attempt from late losers per query. */
+    std::uint64_t nextAttemptId = 1;
+    /** Observed accelerator latency, for the adaptive hedge delay. */
+    sim::LogHistogram accelLatencyUs{0.5, 8};
+    mutable sim::TimePs hedgeCached = 0;
+    mutable std::uint64_t hedgeCachedAt = 0;
+    std::uint64_t statDeadlineExpired = 0;
+    std::uint64_t statRetries = 0;
+    std::uint64_t statHedges = 0;
+    std::uint64_t statHedgeWins = 0;
+    std::uint64_t statSwFallback = 0;
 
     void tryDispatch();
     void runQuery(PendingQuery q);
     void finishQuery(const PendingQuery &q);
+    /**
+     * Issue one accelerator attempt (the hedge flag marks it as the
+     * hedged duplicate for win accounting). The target's compute() may
+     * complete synchronously, erasing the op before this returns.
+     */
+    void launchAttempt(std::uint64_t token, FeatureAccelerator *target,
+                       bool hedged = false);
+    void onAttemptDone(std::uint64_t token, std::uint64_t attempt_id);
+    void onDeadline(std::uint64_t token);
+    void onHedgeTimer(std::uint64_t token);
+    /** Re-run a detached op's feature stage on-core. */
+    void softwareFeatureRerun(AccelOp op);
+    void cancelOpTimers(AccelOp &op);
+    sim::TimePs hedgeDelayNow() const;
 };
 
 }  // namespace ccsim::host

@@ -68,6 +68,14 @@ LtlEngine::attachObservability(obs::Observability *o, const std::string &node)
                       [this] { return double(statOutOfOrder); });
     reg.registerProbe(obsPrefix + ".conn_failures",
                       [this] { return double(statConnFailures); });
+    reg.registerProbe(obsPrefix + ".sends_rejected",
+                      [this] { return double(statSendsRejected); });
+    reg.registerProbe(obsPrefix + ".rejects_sent",
+                      [this] { return double(statRejectsSent); });
+    reg.registerProbe(obsPrefix + ".rejects_received",
+                      [this] { return double(statRejectsReceived); });
+    reg.registerProbe(obsPrefix + ".quiesces",
+                      [this] { return double(statQuiesces); });
 }
 
 std::uint64_t
@@ -185,6 +193,17 @@ LtlEngine::sendMessage(std::uint16_t conn, std::uint32_t bytes,
                        obs::TraceContext parent)
 {
     SendConnection &sc = sendConn(conn);
+    if (qState != QuiesceState::kActive) {
+        // Draining or quiesced for reconfiguration: refuse admission
+        // loudly instead of queueing frames that could never drain.
+        ++statSendsRejected;
+        CCSIM_LOG(sim::LogLevel::kWarn, "ltl", queue.now(),
+                  "sendMessage on connection ", conn,
+                  " refused: engine quiescing");
+        if (parent.sampled && obsHub)
+            obsHub->flows.abandonFlow(parent);
+        return;
+    }
     if (sc.failed) {
         CCSIM_LOG(sim::LogLevel::kWarn, "ltl", queue.now(),
                   "sendMessage on failed connection ", conn);
@@ -349,17 +368,10 @@ LtlEngine::onTimeout(std::uint16_t conn)
     ++sc.consecutiveTimeouts;
     if (obsHub && obsHub->trace.enabled())
         obsHub->trace.instant(obsTrack, "ltl", obsPrefix + ".timeout", now);
+    if (onTimeoutStreak)
+        onTimeoutStreak(conn, sc.consecutiveTimeouts, sc.remoteIp);
     if (sc.consecutiveTimeouts > cfg.maxRetries) {
-        sc.failed = true;
-        ++statConnFailures;
-        abandonSendState(sc);  // nothing will ever be ACKed now
-        CCSIM_LOG(sim::LogLevel::kWarn, "ltl", now, "connection ", conn,
-                  " failed after ", cfg.maxRetries, " timeouts");
-        if (obsHub && obsHub->trace.enabled())
-            obsHub->trace.instant(obsTrack, "ltl",
-                                  obsPrefix + ".conn_failed", now);
-        if (onFailure)
-            onFailure(conn);
+        failConnection(conn, "retry exhaustion");
         return;
     }
     // Go-back-N: retransmit every unacknowledged frame.
@@ -378,6 +390,148 @@ LtlEngine::onTimeout(std::uint16_t conn)
         transmitFrame(sc, uf.header, true);
     }
     armTimeout(conn);
+}
+
+void
+LtlEngine::failConnection(std::uint16_t conn, const char *why)
+{
+    SendConnection &sc = sendTable[conn];
+    if (!sc.valid || sc.failed)
+        return;
+    sc.failed = true;
+    ++statConnFailures;
+    if (sc.timeoutEvent != sim::kNoEvent) {
+        queue.cancel(sc.timeoutEvent);
+        sc.timeoutEvent = sim::kNoEvent;
+    }
+    if (sc.pumpEvent != sim::kNoEvent) {
+        queue.cancel(sc.pumpEvent);
+        sc.pumpEvent = sim::kNoEvent;
+    }
+    abandonSendState(sc);  // nothing will ever be ACKed now
+    CCSIM_LOG(sim::LogLevel::kWarn, "ltl", queue.now(), "connection ",
+              conn, " failed: ", why);
+    if (obsHub && obsHub->trace.enabled())
+        obsHub->trace.instant(obsTrack, "ltl", obsPrefix + ".conn_failed",
+                              queue.now());
+    if (onFailure)
+        onFailure(conn);
+    if (qState == QuiesceState::kDraining)
+        maybeFinishDrain();  // a dead conn no longer blocks the drain
+}
+
+bool
+LtlEngine::allDrained() const
+{
+    for (const auto &sc : sendTable) {
+        if (sc.valid && !sc.failed &&
+            (!sc.unacked.empty() || !sc.sendQueue.empty()))
+            return false;
+    }
+    return true;
+}
+
+void
+LtlEngine::maybeFinishDrain()
+{
+    if (qState != QuiesceState::kDraining || !allDrained())
+        return;
+    if (drainDeadlineEvent != sim::kNoEvent) {
+        queue.cancel(drainDeadlineEvent);
+        drainDeadlineEvent = sim::kNoEvent;
+    }
+    finishQuiesce();
+}
+
+void
+LtlEngine::finishQuiesce()
+{
+    qState = QuiesceState::kQuiesced;
+    CCSIM_LOG(sim::LogLevel::kInfo, "ltl", queue.now(), "engine quiesced");
+    if (obsHub && obsHub->trace.enabled())
+        obsHub->trace.instant(obsTrack, "ltl", obsPrefix + ".quiesced",
+                              queue.now());
+    auto cb = std::move(drainedCb);
+    drainedCb = {};
+    if (cb)
+        cb();
+}
+
+void
+LtlEngine::beginQuiesce(sim::TimePs drain_timeout,
+                        std::function<void()> drained)
+{
+    if (qState == QuiesceState::kQuiesced) {
+        if (drained)
+            drained();  // already there
+        return;
+    }
+    if (qState == QuiesceState::kDraining)
+        sim::fatal("LtlEngine::beginQuiesce: a drain is already in "
+                   "progress (one quiesce initiator at a time)");
+    if (drain_timeout <= 0)
+        sim::fatal("LtlEngine::beginQuiesce: drain_timeout must be "
+                   "positive");
+    ++statQuiesces;
+    qState = QuiesceState::kDraining;
+    drainedCb = std::move(drained);
+    if (allDrained()) {
+        finishQuiesce();
+        return;
+    }
+    drainDeadlineEvent = queue.scheduleAfter(drain_timeout, [this] {
+        drainDeadlineEvent = sim::kNoEvent;
+        // Drain deadline: write off whatever refuses to complete so
+        // reconfiguration is never held hostage by a dead peer.
+        for (auto &sc : sendTable) {
+            if (sc.valid && !sc.failed &&
+                (!sc.unacked.empty() || !sc.sendQueue.empty()))
+                abandonSendState(sc);
+        }
+        finishQuiesce();
+    });
+}
+
+void
+LtlEngine::endQuiesce()
+{
+    if (qState == QuiesceState::kDraining) {
+        // Aborting an unfinished drain: keep the leftovers, drop the
+        // pending deadline and completion callback.
+        if (drainDeadlineEvent != sim::kNoEvent) {
+            queue.cancel(drainDeadlineEvent);
+            drainDeadlineEvent = sim::kNoEvent;
+        }
+        drainedCb = {};
+    }
+    qState = QuiesceState::kActive;
+}
+
+void
+LtlEngine::resyncSend(std::uint16_t conn)
+{
+    SendConnection &sc = sendConn(conn);
+    if (sc.timeoutEvent != sim::kNoEvent) {
+        queue.cancel(sc.timeoutEvent);
+        sc.timeoutEvent = sim::kNoEvent;
+    }
+    if (sc.pumpEvent != sim::kNoEvent) {
+        queue.cancel(sc.pumpEvent);
+        sc.pumpEvent = sim::kNoEvent;
+    }
+    abandonSendState(sc);
+    sc.failed = false;
+    sc.consecutiveTimeouts = 0;
+    sc.nextSeq = 0;
+    sc.nextSendTime = 0;
+}
+
+void
+LtlEngine::resyncReceive(std::uint16_t conn)
+{
+    ReceiveConnection &rc = recvConn(conn);
+    rc.expectedSeq = 0;
+    rc.lastNackSeq = UINT32_MAX;
 }
 
 void
@@ -436,6 +590,8 @@ LtlEngine::handleAck(std::uint16_t conn, std::uint32_t ack_seq, bool is_nack)
     }
     armTimeout(conn);
     pumpSend(conn);
+    if (progressed && qState == QuiesceState::kDraining)
+        maybeFinishDrain();
 }
 
 void
@@ -504,6 +660,15 @@ LtlEngine::onNetworkPacket(const net::PacketPtr &pkt)
             }
             return;
         }
+        if (header->flags & kFlagReject) {
+            // The peer is quiesced for reconfiguration: fail this send
+            // connection now instead of waiting out the retry budget.
+            ++statRejectsReceived;
+            if (header->dstConn < sendTable.size() &&
+                sendTable[header->dstConn].valid)
+                failConnection(header->dstConn, "rejected by peer");
+            return;
+        }
         if (header->flags & (kFlagAck | kFlagNack)) {
             handleAck(header->dstConn, header->ackSeq,
                       header->flags & kFlagNack);
@@ -528,6 +693,15 @@ LtlEngine::handleData(const net::PacketPtr &pkt, const LtlHeaderPtr &header)
     ReceiveConnection &rc = recvTable[header->dstConn];
     const net::Ipv4Addr sender_ip = pkt->ipSrc;
     const std::uint16_t sender_conn = header->srcConn;
+
+    if (qState == QuiesceState::kQuiesced) {
+        // Mid-reconfiguration: answer with an administrative reject so
+        // the sender is not black-holed into 16 blind retransmissions.
+        ++statRejectsSent;
+        sendControl(sender_ip, sender_conn, kFlagReject, 0,
+                    cfg.ackGenDelay, header->trace);
+        return;
+    }
 
     // DC-QCN notification point: reflect ECN marks as CNPs (rate-limited).
     if (pkt->ecnMarked &&

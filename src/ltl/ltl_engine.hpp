@@ -77,6 +77,12 @@ struct LtlConfig {
     DcqcnConfig dcqcn;
 
     std::uint16_t maxConnections = 1024;
+
+    /**
+     * How long beginQuiesce() waits for in-flight frames to drain before
+     * abandoning the stragglers and declaring the engine quiesced.
+     */
+    sim::TimePs quiesceDrainTimeout = 200 * sim::kMicrosecond;
 };
 
 /**
@@ -150,6 +156,57 @@ class LtlEngine
     /** Register the connection-failure consumer (HaaS). */
     void setFailureHandler(FailureFn fn) { onFailure = std::move(fn); }
 
+    /**
+     * Observer of retransmission-timeout streaks: called on every timeout
+     * with the connection's consecutive-timeout count and its remote
+     * address. Feeds passive failure suspicion (haas::HealthMonitor).
+     */
+    using TimeoutObserver = std::function<void(
+        std::uint16_t conn, int streak, net::Ipv4Addr remote)>;
+    void setTimeoutObserver(TimeoutObserver fn)
+    {
+        onTimeoutStreak = std::move(fn);
+    }
+
+    // ------------------------------------------------------------------
+    // Quiesce / drain (planned-reconfiguration protocol).
+    // ------------------------------------------------------------------
+
+    /** Engine admission state. */
+    enum class QuiesceState {
+        kActive,    ///< normal operation
+        kDraining,  ///< no new sends; in-flight frames completing
+        kQuiesced,  ///< idle; incoming data answered with kFlagReject
+    };
+
+    /**
+     * Stop admitting new sends and wait for every send connection to
+     * drain (all queued frames transmitted and acknowledged), then call
+     * @p drained. Connections that cannot drain within @p drain_timeout
+     * have their remaining frames abandoned (counted) so reconfiguration
+     * is never blocked by a dead peer. While quiesced, arriving data
+     * frames are answered with kFlagReject instead of being silently
+     * dropped — the sender fails over immediately.
+     */
+    void beginQuiesce(sim::TimePs drain_timeout,
+                      std::function<void()> drained = {});
+
+    /** Resume admitting sends (after reconfiguration completes). */
+    void endQuiesce();
+
+    QuiesceState quiesceState() const { return qState; }
+
+    /**
+     * Reset a send connection to a fresh handshake: sequence numbers
+     * rewound, failure flag and retry budget cleared, any leftover
+     * frames abandoned. Pair with resyncReceive() on the peer (see
+     * core::LtlChannel::rehandshake) after the remote node rejoined.
+     */
+    void resyncSend(std::uint16_t conn);
+
+    /** Reset a receive connection to expect a fresh handshake (seq 0). */
+    void resyncReceive(std::uint16_t conn);
+
     // ------------------------------------------------------------------
     // Observability.
     // ------------------------------------------------------------------
@@ -192,8 +249,17 @@ class LtlEngine
     /** Transmitted frames currently awaiting acknowledgement. */
     std::uint64_t framesInFlight() const;
 
-    /** Send connections declared failed (maxRetries timeouts in a row). */
+    /** Send connections declared failed (retry exhaustion or reject). */
     std::uint64_t connectionFailures() const { return statConnFailures; }
+
+    /** Sends refused because the engine was draining or quiesced. */
+    std::uint64_t sendsRejected() const { return statSendsRejected; }
+    /** Reject control frames sent for data arriving while quiesced. */
+    std::uint64_t rejectsSent() const { return statRejectsSent; }
+    /** Reject frames received (each fails its send connection). */
+    std::uint64_t rejectsReceived() const { return statRejectsReceived; }
+    /** beginQuiesce() calls. */
+    std::uint64_t quiesces() const { return statQuiesces; }
 
     /** True if @p conn is an open send connection declared failed. */
     bool sendConnectionFailed(std::uint16_t conn) const
@@ -243,9 +309,14 @@ class LtlEngine
     NetworkTx networkTx;
     DeliveryFn deliver;
     FailureFn onFailure;
+    TimeoutObserver onTimeoutStreak;
 
     std::vector<SendConnection> sendTable;
     std::vector<ReceiveConnection> recvTable;
+
+    QuiesceState qState = QuiesceState::kActive;
+    std::function<void()> drainedCb;
+    sim::EventId drainDeadlineEvent = sim::kNoEvent;
 
     obs::Observability *obsHub = nullptr;
     std::string obsPrefix;                       ///< "ltl.<node>"
@@ -266,10 +337,18 @@ class LtlEngine
     std::uint64_t statFramesAcked = 0;
     std::uint64_t statFramesAbandoned = 0;
     std::uint64_t statConnFailures = 0;
+    std::uint64_t statSendsRejected = 0;
+    std::uint64_t statRejectsSent = 0;
+    std::uint64_t statRejectsReceived = 0;
+    std::uint64_t statQuiesces = 0;
 
     SendConnection &sendConn(std::uint16_t conn);
     void abandonSendState(SendConnection &sc);
     ReceiveConnection &recvConn(std::uint16_t conn);
+    void failConnection(std::uint16_t conn, const char *why);
+    bool allDrained() const;
+    void maybeFinishDrain();
+    void finishQuiesce();
 
     void pumpSend(std::uint16_t conn);
     void transmitFrame(SendConnection &sc, const LtlHeaderPtr &header,

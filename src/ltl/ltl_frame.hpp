@@ -25,7 +25,14 @@ enum LtlFlags : std::uint8_t {
     kFlagData = 1 << 0,
     kFlagAck = 1 << 1,
     kFlagNack = 1 << 2,
-    kFlagCnp = 1 << 3,  ///< DC-QCN Congestion Notification Packet
+    kFlagCnp = 1 << 3,     ///< DC-QCN Congestion Notification Packet
+    /**
+     * Administrative rejection: the receiver is quiesced (draining for
+     * reconfiguration) and will not accept data. The sender declares the
+     * connection failed immediately instead of burning through its
+     * retransmission budget against a peer that answered.
+     */
+    kFlagReject = 1 << 4,
 };
 
 /** Fixed LTL header size on the wire (modeled). */

@@ -70,7 +70,15 @@ inline constexpr MetricPattern kMetricPatterns[] = {
     {"ltl.*.out_of_order_frames", "gauge",
      "Received frames ahead of the expected sequence."},
     {"ltl.*.conn_failures", "gauge",
-     "Send connections declared failed (retry exhaustion)."},
+     "Send connections declared failed (retry exhaustion or reject)."},
+    {"ltl.*.sends_rejected", "gauge",
+     "sendMessage calls refused while the engine was quiescing."},
+    {"ltl.*.rejects_sent", "gauge",
+     "REJECT control frames sent to peers of a quiesced engine."},
+    {"ltl.*.rejects_received", "gauge",
+     "REJECT control frames received (peer quiesced; conn failed fast)."},
+    {"ltl.*.quiesces", "gauge",
+     "Quiesce/drain cycles started on this engine."},
 
     // --- switch.<name>.* : fabric switches ---
     {"switch.*.forwarded", "gauge", "Packets forwarded to an output port."},
@@ -127,6 +135,18 @@ inline constexpr MetricPattern kMetricPatterns[] = {
      "Queries whose feature stage ran in software (incl. rescues)."},
     {"host.*.accel_blocked", "gauge",
      "Queries currently blocked inside the accelerator."},
+    {"host.*.retry.deadline_expired", "gauge",
+     "Accelerator attempts that outlived their per-attempt deadline."},
+    {"host.*.retry.attempts", "gauge",
+     "Retry attempts issued after a deadline expiry."},
+    {"host.*.retry.hedges", "gauge",
+     "Hedged duplicate requests issued to a replica."},
+    {"host.*.retry.hedge_wins", "gauge",
+     "Queries completed by the hedged duplicate, not the primary."},
+    {"host.*.retry.sw_fallbacks", "gauge",
+     "Accelerated queries that fell back to the software feature path."},
+    {"host.*.retry.hedge_delay_us", "gauge",
+     "Hedge delay a query dispatched now would use (microseconds)."},
 
     // --- haas.* : Hardware-as-a-Service resource manager ---
     {"haas.free", "gauge", "FPGAs in the free pool."},
@@ -138,6 +158,24 @@ inline constexpr MetricPattern kMetricPatterns[] = {
      "Healthy instances backing one managed service."},
     {"haas.sm.*.failovers", "gauge",
      "Failovers performed for one managed service."},
+    {"haas.sm.*.auto_heals", "gauge",
+     "Instances re-acquired by auto-heal after node repairs."},
+
+    // --- haas.health.* : the failure detector (HealthMonitor) ---
+    {"haas.health.heartbeats", "gauge",
+     "FPGA-Manager heartbeat probes issued."},
+    {"haas.health.misses", "gauge", "Heartbeat probes that went unanswered."},
+    {"haas.health.detections", "gauge",
+     "Nodes declared failed by the detector."},
+    {"haas.health.rejoins", "gauge",
+     "Nodes readmitted after sustained healthy heartbeats."},
+    {"haas.health.streak_reports", "gauge",
+     "LTL retransmit-timeout streaks credited as passive suspicion."},
+    {"haas.health.suspected", "gauge",
+     "Nodes currently above the suspicion threshold."},
+    {"haas.health.monitored", "gauge", "Nodes under health monitoring."},
+    {"haas.health.node*.suspicion", "gauge",
+     "Current phi-style suspicion score of one node."},
 
     // --- fault.* : live fault injection (ccsim::fault) ---
     {"fault.injected", "gauge", "Faults injected so far."},
@@ -148,6 +186,8 @@ inline constexpr MetricPattern kMetricPatterns[] = {
     {"fault.fpga_failures", "gauge", "FPGA hard-failure faults injected."},
     {"fault.reconfig_pauses", "gauge",
      "Reconfiguration-pause faults injected."},
+    {"fault.graceful_reconfigs", "gauge",
+     "Graceful (quiesce-first) reconfiguration faults injected."},
     {"fault.brownouts", "gauge", "Switch brownout faults injected."},
     {"fault.nodes_down", "gauge", "Servers currently impaired."},
     {"fault.node*.down", "gauge", "1 while this server is impaired."},

@@ -129,10 +129,18 @@ RemoteRankingClient::RemoteRankingClient(sim::EventQueue &eq,
     : queue(eq), shell(sh), forwarder(fw), sendConn(send_conn),
       replyConn(reply_conn), bytesPerDoc(request_bytes_per_doc)
 {
+    // Per-port registration: several clients (one per forwarder) can
+    // share the shell without clobbering each other's receive path.
     shell.setHostRxHandler(
+        forwarder.port(),
         [this](int role_port, const router::ErMessagePtr &msg) {
             onHostRx(role_port, msg);
         });
+}
+
+RemoteRankingClient::~RemoteRankingClient()
+{
+    shell.setHostRxHandler(forwarder.port(), nullptr);
 }
 
 void

@@ -149,6 +149,7 @@ class RemoteRankingClient : public host::FeatureAccelerator
                         ForwarderRole &forwarder, std::uint16_t send_conn,
                         std::uint16_t reply_conn,
                         std::uint32_t request_bytes_per_doc = 16);
+    ~RemoteRankingClient();
 
     void compute(std::uint32_t doc_count,
                  std::function<void()> done) override;

@@ -163,6 +163,61 @@ TEST(ResourceManager, ReportFailureIsIdempotent)
     EXPECT_EQ(pool.rm.freeCount(), 4);
 }
 
+TEST(ResourceManager, RepairedNodeSatisfiesPodConstraintAgain)
+{
+    Pool pool(4, 2);  // hosts 1 and 3 land in pod 1
+    LeaseConstraints c;
+    c.requirePod = 1;
+    auto lease = pool.rm.acquire("svc", 2, c);
+    ASSERT_TRUE(lease.has_value());
+
+    pool.rm.reportFailure(1);
+    EXPECT_FALSE(pool.rm.acquire("svc", 1, c).has_value());  // pod empty
+
+    // Repair makes the node eligible for pod-constrained leases again.
+    pool.rm.repair(1);
+    auto again = pool.rm.acquire("svc", 1, c);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->hosts.front(), 1);
+}
+
+TEST(ResourceManager, MultipleSubscribersFireInSubscriptionOrder)
+{
+    // Several control-plane components (Service Managers, monitors,
+    // loggers) subscribe independently; each event reaches all of them
+    // in the order they subscribed.
+    Pool pool(4);
+    std::vector<std::string> calls;
+    pool.rm.subscribeFailures(
+        [&](int host, std::uint64_t) {
+            calls.push_back("A.fail." + std::to_string(host));
+        });
+    pool.rm.subscribeFailures(
+        [&](int host, std::uint64_t) {
+            calls.push_back("B.fail." + std::to_string(host));
+        });
+    pool.rm.subscribeRepairs([&](int host) {
+        calls.push_back("A.repair." + std::to_string(host));
+    });
+    pool.rm.subscribeRepairs([&](int host) {
+        calls.push_back("B.repair." + std::to_string(host));
+    });
+
+    auto lease = pool.rm.acquire("svc", 1);
+    ASSERT_TRUE(lease.has_value());
+    const int victim = lease->hosts[0];
+    pool.rm.reportFailure(victim);
+    pool.rm.repair(victim);
+
+    const std::vector<std::string> expected = {
+        "A.fail." + std::to_string(victim),
+        "B.fail." + std::to_string(victim),
+        "A.repair." + std::to_string(victim),
+        "B.repair." + std::to_string(victim),
+    };
+    EXPECT_EQ(calls, expected);
+}
+
 TEST(FpgaManager, StatusReflectsHealth)
 {
     EventQueue eq;
