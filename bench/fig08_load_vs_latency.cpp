@@ -12,6 +12,7 @@
  */
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <vector>
@@ -22,6 +23,8 @@
 #include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/logging.hpp"
+#include "sim/random.hpp"
+#include "sim/sharded_queue.hpp"
 
 using namespace ccsim;
 
@@ -120,6 +123,88 @@ runDatacenter(const std::vector<double> &trace, bool use_fpga,
     return points;
 }
 
+/** One pod of the sharded benchmark: a full ranking-datacenter replica. */
+struct BenchPod {
+    std::unique_ptr<obs::Observability> hub;
+    std::unique_ptr<host::LocalFpgaAccelerator> accel;
+    std::unique_ptr<host::RankingServer> server;
+    std::unique_ptr<host::PoissonLoadGenerator> gen;
+    const sim::LogHistogram *latency = nullptr;
+    double admittedCap = 0;
+    double admitted = 0;
+};
+
+/**
+ * The parallel-kernel benchmark: @p pods independent replicas of the
+ * Figure 8 datacenter, one per partition (logical process), executed by
+ * @p threads workers. Each pod draws its service and arrival randomness
+ * from Rng::forStream(master, pod) — the same per-pod sequences at
+ * every thread count — and runs its own load-balancer control loop, so
+ * the workload is embarrassingly parallel by construction and measures
+ * pure kernel scaling (events/s/core).
+ */
+KernelLoad
+runShardedDatacenter(const std::vector<double> &trace, bool use_fpga,
+                     double demand_peak_qps, bool balancer, int pods,
+                     int threads)
+{
+    sim::ShardedEventQueue::Config qc;
+    qc.partitions = pods;
+    qc.threads = threads;
+    sim::ShardedEventQueue sq(qc);
+
+    std::vector<BenchPod> fleet(static_cast<std::size_t>(pods));
+    for (int p = 0; p < pods; ++p) {
+        BenchPod &pod = fleet[static_cast<std::size_t>(p)];
+        sim::EventQueue &eq = sq.partition(p);
+        pod.hub = std::make_unique<obs::Observability>();
+        if (use_fpga)
+            pod.accel = std::make_unique<host::LocalFpgaAccelerator>(eq);
+        pod.server = std::make_unique<host::RankingServer>(
+            eq, host::RankingServiceParams{}, pod.accel.get(),
+            sim::Rng::forStream(21, static_cast<std::uint64_t>(p)).next());
+        pod.server->attachObservability(pod.hub.get());
+        pod.gen = std::make_unique<host::PoissonLoadGenerator>(
+            eq, 100.0, [srv = pod.server.get()] { srv->submitQuery(); },
+            sim::Rng::forStream(23, static_cast<std::uint64_t>(p)).next());
+        pod.gen->start();
+        pod.latency =
+            pod.hub->registry.findHistogram("host.rank.latency_ms");
+        pod.admittedCap = demand_peak_qps;
+    }
+
+    for (double load : trace) {
+        for (auto &pod : fleet) {
+            pod.admitted = load * demand_peak_qps;
+            if (balancer)
+                pod.admitted = std::min(pod.admitted, pod.admittedCap);
+            pod.gen->setRate(pod.admitted);
+        }
+        sq.runFor(sim::fromSeconds(1.5));
+        for (auto &pod : fleet)
+            pod.server->clearStats();
+        sq.runFor(sim::fromSeconds(4.0));
+        if (balancer) {
+            for (auto &pod : fleet) {
+                const double p999 = pod.latency->percentile(99.9);
+                if (p999 > 40.0)
+                    pod.admittedCap = std::max(0.85 * pod.admitted,
+                                               0.5 * demand_peak_qps);
+                else
+                    pod.admittedCap = std::min(demand_peak_qps,
+                                               pod.admittedCap * 1.05);
+            }
+        }
+    }
+
+    KernelLoad k;
+    k.eventsExecuted = sq.eventsExecuted();
+    for (int p = 0; p < pods; ++p)
+        k.peakLiveEvents = std::max(k.peakLiveEvents,
+                                    sq.partition(p).peakLiveEvents());
+    return k;
+}
+
 void
 printBinned(const char *label, const std::vector<WindowPoint> &points,
             double tail_norm)
@@ -145,22 +230,73 @@ main(int argc, char **argv)
 {
     // --quick: shortened run for CI smoke + trajectory recording.
     // --attribution: flight-recorder sampling + per-hop breakdown tables.
+    // --shards N: parallel-kernel mode — 8 pod replicas on the sharded
+    //             kernel with N worker threads; records the
+    //             events/s/core scaling series instead of the figure.
+    // --smoke: minimal sharded run for sanitizer CI (no BENCH output).
     bool quick = false;
     bool attribution = false;
+    bool smoke = false;
+    int shards = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
         else if (std::strcmp(argv[i], "--attribution") == 0)
             attribution = true;
+        else if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = quick = true;
+        else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc)
+            shards = std::atoi(argv[++i]);
+    }
+
+    host::DiurnalTraceParams tp;
+    tp.days = quick ? 1 : 5;
+    tp.windowsPerDay = smoke ? 3 : (quick ? 12 : 48);
+    const auto trace = host::makeDiurnalTrace(tp);
+
+    if (shards > 0) {
+        if (attribution)
+            sim::fatal("fig08: --attribution is not supported with "
+                       "--shards (per-pod recorders are not merged here)");
+        constexpr int kPods = 8;
+        std::printf("=== Figure 8 kernel scaling: %d pod replicas, "
+                    "--shards %d ===\n\n", kPods, shards);
+        const auto wall0 = std::chrono::steady_clock::now();
+        const KernelLoad k = runShardedDatacenter(trace, true, 4500.0,
+                                                  false, kPods, shards);
+        const double wallSecs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall0)
+                .count();
+        const int cores = std::min(shards, kPods);
+        const double perSec =
+            static_cast<double>(k.eventsExecuted) / wallSecs;
+        std::printf("wall clock %.2f s for %llu events: %.2fM events/s "
+                    "(%.2fM events/s/core on %d worker%s)\n", wallSecs,
+                    static_cast<unsigned long long>(k.eventsExecuted),
+                    perSec / 1e6, perSec / cores / 1e6, cores,
+                    cores == 1 ? "" : "s");
+        if (!smoke) {
+            const std::string prefix =
+                (quick ? std::string("fig08_quick.") : std::string("fig08."))
+                + "shards" + std::to_string(shards) + ".";
+            ccsim::bench::BenchValues v;
+            v[prefix + "wall_seconds"] = wallSecs;
+            v[prefix + "events_executed"] =
+                static_cast<double>(k.eventsExecuted);
+            v[prefix + "events_per_sec_wall"] = perSec;
+            v[prefix + "events_per_sec_core"] = perSec / cores;
+            v[prefix + "workers"] = static_cast<double>(cores);
+            v[prefix + "peak_live_events"] =
+                static_cast<double>(k.peakLiveEvents);
+            ccsim::bench::mergeBenchJson("BENCH_kernel.json", v);
+            std::printf("-> BENCH_kernel.json (%s*)\n", prefix.c_str());
+        }
+        return 0;
     }
 
     std::printf("=== Figure 8: 99.9%% latency vs offered load over %d "
                 "day%s ===\n\n", quick ? 1 : 5, quick ? "" : "s");
-
-    host::DiurnalTraceParams tp;
-    tp.days = quick ? 1 : 5;
-    tp.windowsPerDay = quick ? 12 : 48;
-    const auto trace = host::makeDiurnalTrace(tp);
 
     KernelLoad kernel;
     const auto wall0 = std::chrono::steady_clock::now();

@@ -1,5 +1,6 @@
 #include "core/cloud.hpp"
 
+#include "obs/sharded_obs.hpp"
 #include "sim/logging.hpp"
 
 namespace ccsim::core {
@@ -30,10 +31,12 @@ ConfigurableCloud::validate(const CloudConfig &cfg)
     if (cfg.obsSamplePeriod < 0)
         sim::fatalf("CloudConfig: obsSamplePeriod must be non-negative "
                     "(got ", cfg.obsSamplePeriod, " ps)");
-    if (cfg.obsSamplePeriod > 0 && cfg.obs == nullptr)
+    if (cfg.obsSamplePeriod > 0 && cfg.obs == nullptr &&
+        cfg.shardObs == nullptr)
         sim::fatal("CloudConfig: obsSamplePeriod set but no observability "
                    "hub attached; call withObservability(&hub) first");
-    if (cfg.flowSampleEvery > 0 && cfg.obs == nullptr)
+    if (cfg.flowSampleEvery > 0 && cfg.obs == nullptr &&
+        cfg.shardObs == nullptr)
         sim::fatal("CloudConfig: flowSampleEvery set but no observability "
                    "hub attached; call withObservability(&hub) first");
 }
@@ -42,28 +45,91 @@ ConfigurableCloud::ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg)
     : queue(eq), config(std::move(cfg))
 {
     validate(config);
-    if (config.obs)
-        obs::registerEventQueueProbes(config.obs->registry, queue);
-    topo = std::make_unique<net::Topology>(queue, config.topology);
-    if (config.obs)
-        topo->attachObservability(config.obs);
+    if (config.shardObs != nullptr)
+        sim::fatal("CloudConfig: shardObs set on a single-queue cloud; "
+                   "construct with a ShardedEventQueue (shardPlan) or use "
+                   "withObservability instead");
+    build();
+}
+
+ConfigurableCloud::ConfigurableCloud(sim::ShardedEventQueue &sq,
+                                     CloudConfig cfg)
+    // The spine partition doubles as the "default" queue: it hosts the
+    // L2 switches and the HaaS resource manager.
+    : queue(sq.partition(cfg.topology.pods)), config(std::move(cfg)),
+      shards(&sq)
+{
+    validate(config);
+    validateSharded();
+    build();
+}
+
+void
+ConfigurableCloud::validateSharded() const
+{
+    if (config.obs != nullptr)
+        sim::fatal("CloudConfig: a sharded cloud takes per-partition hubs "
+                   "via withShardedObservability, not withObservability "
+                   "(one hub per worker keeps the hot path lock-free)");
+    if (shards->partitionCount() != config.topology.pods + 1)
+        sim::fatalf("ConfigurableCloud: sharded build needs pods + 1 = ",
+                    config.topology.pods + 1, " partitions (one per pod "
+                    "plus the spine), got ", shards->partitionCount(),
+                    "; build the queue from shardPlan(cfg)");
+    if (config.shardObs != nullptr &&
+        config.shardObs->shardCount() < config.topology.pods + 1)
+        sim::fatalf("ConfigurableCloud: shardObs needs at least pods + 1 "
+                    "= ", config.topology.pods + 1, " hubs, got ",
+                    config.shardObs->shardCount());
+}
+
+obs::Observability *
+ConfigurableCloud::hubFor(int partition)
+{
+    if (shards == nullptr)
+        return config.obs;
+    return config.shardObs ? &config.shardObs->shard(partition) : nullptr;
+}
+
+void
+ConfigurableCloud::build()
+{
+    const int spinePartition = config.topology.pods;
+    if (shards == nullptr) {
+        if (config.obs)
+            obs::registerEventQueueProbes(config.obs->registry, queue);
+        topo = std::make_unique<net::Topology>(queue, config.topology);
+        if (config.obs)
+            topo->attachObservability(config.obs);
+    } else {
+        // Kernel-health probes land in shard 0's registry; they are read
+        // only at barriers (sampleAt runs from a barrier hook), where the
+        // per-partition counters are quiescent.
+        if (config.shardObs)
+            obs::registerShardProbes(config.shardObs->shard(0).registry,
+                                     *shards);
+        topo = std::make_unique<net::Topology>(*shards, config.topology);
+        if (config.shardObs)
+            topo->attachObservability(config.shardObs);
+    }
     rm = std::make_unique<haas::ResourceManager>(queue);
-    if (config.obs)
-        rm->attachObservability(config.obs);
+    if (auto *hub = hubFor(spinePartition))
+        rm->attachObservability(hub);
 
     const int n = topo->numHosts();
     shells.reserve(n);
     fms.reserve(n);
     for (int host = 0; host < n; ++host) {
         const auto &hp = topo->host(host);
+        sim::EventQueue &hq = queueFor(host);
+        obs::Observability *hub = hubFor(partitionOf(host));
 
         fpga::ShellConfig sc = config.shellTemplate;
         sc.name = "shell." + std::to_string(host);
         sc.ip = hp.addr;
-        auto shell = std::make_unique<fpga::Shell>(queue, sc);
-        if (config.obs)
-            shell->attachObservability(config.obs,
-                                       "node" + std::to_string(host));
+        auto shell = std::make_unique<fpga::Shell>(hq, sc);
+        if (hub)
+            shell->attachObservability(hub, "node" + std::to_string(host));
 
         // Splice the FPGA between the TOR and (optionally) the NIC.
         topo->attachHostDevice(host, shell->torSideSink());
@@ -71,14 +137,14 @@ ConfigurableCloud::ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg)
 
         if (config.createNics) {
             auto link = std::make_unique<net::Link>(
-                queue, "niclink." + std::to_string(host),
+                hq, "niclink." + std::to_string(host),
                 config.topology.linkGbps, config.nicCableMeters);
-            if (config.obs)
-                link->setFlowRecorder(&config.obs->flows);
+            if (hub)
+                link->setFlowRecorder(&hub->flows);
             auto nic = std::make_unique<net::Nic>(
-                queue, "nic." + std::to_string(host), hp.mac, hp.addr);
-            if (config.obs)
-                nic->attachObservability(config.obs,
+                hq, "nic." + std::to_string(host), hp.mac, hp.addr);
+            if (hub)
+                nic->attachObservability(hub,
                                          "node" + std::to_string(host));
             nic->setTxChannel(&link->aToB());
             link->attachA(nic.get());
@@ -88,7 +154,7 @@ ConfigurableCloud::ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg)
             nicLinks.push_back(std::move(link));
         }
 
-        auto fm = std::make_unique<haas::FpgaManager>(queue, shell.get(),
+        auto fm = std::make_unique<haas::FpgaManager>(hq, shell.get(),
                                                       host);
         rm->registerNode(host, fm.get(), hp.pod);
 
@@ -96,15 +162,30 @@ ConfigurableCloud::ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg)
         fms.push_back(std::move(fm));
     }
 
-    if (config.obs && config.obsSamplePeriod > 0)
-        config.obs->registry.startSampling(queue, config.obsSamplePeriod,
-                                           &config.obs->trace);
-    if (config.obs && config.flowSampleEvery > 0) {
-        auto &flows = config.obs->flows;
-        flows.setEnabled(true);
-        flows.setSampleEvery(config.flowSampleEvery);
-        flows.setTailCapacity(config.flowTailCapacity);
-        flows.bindMetrics(config.obs->registry);
+    if (shards == nullptr) {
+        if (config.obs && config.obsSamplePeriod > 0)
+            config.obs->registry.startSampling(queue, config.obsSamplePeriod,
+                                               &config.obs->trace);
+        if (config.obs && config.flowSampleEvery > 0) {
+            auto &flows = config.obs->flows;
+            flows.setEnabled(true);
+            flows.setSampleEvery(config.flowSampleEvery);
+            flows.setTailCapacity(config.flowTailCapacity);
+            flows.bindMetrics(config.obs->registry);
+        }
+    } else if (config.shardObs) {
+        if (config.obsSamplePeriod > 0)
+            config.shardObs->startSampling(*shards, config.obsSamplePeriod);
+        if (config.flowSampleEvery > 0) {
+            for (int s = 0; s < config.shardObs->shardCount(); ++s) {
+                auto &flows = config.shardObs->shard(s).flows;
+                flows.setEnabled(true);
+                flows.setSampleEvery(config.flowSampleEvery);
+                flows.setTailCapacity(config.flowTailCapacity);
+                // No bindMetrics: the trace.* counter paths would
+                // collide across shard registries at snapshot merge.
+            }
+        }
     }
 }
 
@@ -152,6 +233,12 @@ ConfigurableCloud::nodeReachable(int host) const
 void
 ConfigurableCloud::attachHealthMonitor(haas::HealthMonitor &hm)
 {
+    if (shards != nullptr)
+        sim::fatal("ConfigurableCloud::attachHealthMonitor: health "
+                   "monitoring is not yet partition-aware; its probes and "
+                   "timeout observers would call across logical processes "
+                   "mid-window. Use the single-queue build for failure-"
+                   "detection studies");
     hm.setProbe([this](int host) { return nodeReachable(host); });
     for (int host = 0; host < numServers(); ++host) {
         ltl::LtlEngine *eng = shells[host]->ltlEngine();
@@ -169,12 +256,21 @@ ConfigurableCloud::attachHealthMonitor(haas::HealthMonitor &hm)
 void
 ConfigurableCloud::setHostLinkDown(int host, bool down)
 {
+    if (shards != nullptr)
+        sim::fatal("ConfigurableCloud::setHostLinkDown: fault injection "
+                   "is not yet partition-aware (admin state would be "
+                   "mutated while a worker owns the link). Use the "
+                   "single-queue build for fault studies");
     topo->hostLink(host).setAdminDown(down);
 }
 
 void
 ConfigurableCloud::setNicLinkDown(int host, bool down)
 {
+    if (shards != nullptr)
+        sim::fatal("ConfigurableCloud::setNicLinkDown: fault injection "
+                   "is not yet partition-aware. Use the single-queue "
+                   "build for fault studies");
     if (nicLinks.empty())
         sim::fatal("ConfigurableCloud::setNicLinkDown: cloud was built "
                    "without NICs (createNics=false)");
@@ -184,6 +280,10 @@ ConfigurableCloud::setNicLinkDown(int host, bool down)
 void
 ConfigurableCloud::attachFaultInjector(const void *tag)
 {
+    if (shards != nullptr)
+        sim::fatal("ConfigurableCloud::attachFaultInjector: fault "
+                   "injection is not yet partition-aware. Use the "
+                   "single-queue build for fault studies");
     if (injectorTag != nullptr && injectorTag != tag)
         sim::fatal("ConfigurableCloud: a fault injector is already "
                    "attached; detach it before attaching another");

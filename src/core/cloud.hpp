@@ -23,6 +23,11 @@
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/sharded_queue.hpp"
+
+namespace ccsim::obs {
+class ShardedObservability;
+}
 
 namespace ccsim::core {
 
@@ -59,6 +64,25 @@ struct CloudConfig {
     std::uint32_t flowSampleEvery = 0;
     /** Worst-N exemplar traces the recorder keeps (with flow tracing). */
     std::size_t flowTailCapacity = 64;
+
+    /**
+     * Worker threads for the parallel kernel (sharded construction
+     * only; used by shardPlan()). 0 or 1 runs the partitioned build on
+     * a single thread — still byte-identical to any other thread count.
+     */
+    int shards = 0;
+    /**
+     * Explicit conservative-sync window (lookahead) in picoseconds for
+     * the sharded kernel; 0 derives it from the shortest registered
+     * cross-partition link (the L1<->L2 trunk propagation delay).
+     */
+    sim::TimePs shardWindow = 0;
+    /**
+     * Per-shard observability hubs for the sharded build (one hub per
+     * partition: pods + spine). Mutually exclusive with `obs`; must
+     * outlive the cloud. Null disables instrumentation.
+     */
+    obs::ShardedObservability *shardObs = nullptr;
 
     // --- fluent setters (each returns *this for chaining) ---
 
@@ -97,6 +121,21 @@ struct CloudConfig {
     {
         flowSampleEvery = sample_every;
         flowTailCapacity = tail_capacity;
+        return *this;
+    }
+    CloudConfig &withShards(int n)
+    {
+        shards = n;
+        return *this;
+    }
+    CloudConfig &withShardWindow(sim::TimePs window)
+    {
+        shardWindow = window;
+        return *this;
+    }
+    CloudConfig &withShardedObservability(obs::ShardedObservability *so)
+    {
+        shardObs = so;
         return *this;
     }
 };
@@ -217,7 +256,35 @@ class ConfigurableCloud
 {
   public:
     ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg);
+
+    /**
+     * Partitioned construction on the parallel kernel: pod p's servers,
+     * switches, and cables live on @p sq.partition(p) and the L2 spine
+     * (plus the HaaS resource manager) on partition `pods`. Build
+     * @p sq from shardPlan(cfg) so the partition count and window match
+     * the topology. Instrumentation must come through
+     * cfg.shardObs (one hub per partition) rather than cfg.obs; health
+     * monitoring and fault injection are not yet partition-aware and
+     * are rejected on a sharded cloud.
+     */
+    ConfigurableCloud(sim::ShardedEventQueue &sq, CloudConfig cfg);
+
     ~ConfigurableCloud();
+
+    /**
+     * The kernel shape a sharded build of @p cfg needs: one logical
+     * process per pod plus one for the spine, cfg.shards worker
+     * threads, and cfg.shardWindow lookahead (0 = derive from the
+     * trunk cables at start).
+     */
+    static sim::ShardedEventQueue::Config shardPlan(const CloudConfig &cfg)
+    {
+        sim::ShardedEventQueue::Config qc;
+        qc.partitions = cfg.topology.pods + 1;
+        qc.threads = cfg.shards > 0 ? cfg.shards : 1;
+        qc.window = cfg.shardWindow;
+        return qc;
+    }
 
     ConfigurableCloud(const ConfigurableCloud &) = delete;
     ConfigurableCloud &operator=(const ConfigurableCloud &) = delete;
@@ -265,6 +332,31 @@ class ConfigurableCloud
     /** The observability hub the cloud was built with (may be null). */
     obs::Observability *observability() const { return config.obs; }
 
+    /** True when built on the parallel (sharded) kernel. */
+    bool sharded() const { return shards != nullptr; }
+
+    /** The sharded hubs the cloud was built with (null when legacy). */
+    obs::ShardedObservability *shardedObservability() const
+    {
+        return config.shardObs;
+    }
+
+    /**
+     * The logical process a server executes on (== its pod). Valid in
+     * both modes; in the legacy build it is informational only.
+     */
+    int partitionOf(int host) const
+    {
+        const auto &t = config.topology;
+        return host / (t.racksPerPod * t.hostsPerRack);
+    }
+
+    /** The event queue a server's devices schedule on. */
+    sim::EventQueue &queueFor(int host)
+    {
+        return shards ? shards->partition(partitionOf(host)) : queue;
+    }
+
     // --- fault injection hooks (ccsim::fault) ---
 
     /** Cut / restore a server's FPGA<->TOR cable (both directions). */
@@ -295,8 +387,9 @@ class ConfigurableCloud
     const void *faultInjector() const { return injectorTag; }
 
   private:
-    sim::EventQueue &queue;
+    sim::EventQueue &queue;  ///< sharded mode: the spine partition
     CloudConfig config;
+    sim::ShardedEventQueue *shards = nullptr;
     std::unique_ptr<net::Topology> topo;
     std::vector<std::unique_ptr<fpga::Shell>> shells;
     std::vector<std::unique_ptr<net::Nic>> nics;
@@ -306,6 +399,10 @@ class ConfigurableCloud
     const void *injectorTag = nullptr;
 
     static void validate(const CloudConfig &cfg);
+    void validateSharded() const;
+    /** The hub components on @p partition register with (may be null). */
+    obs::Observability *hubFor(int partition);
+    void build();
 };
 
 }  // namespace ccsim::core

@@ -1,6 +1,7 @@
 #include "net/channel.hpp"
 
 #include "sim/logging.hpp"
+#include "sim/sharded_queue.hpp"
 
 namespace ccsim::net {
 
@@ -179,28 +180,66 @@ Channel::finishTransmit(TxEntry entry)
             flowRec->recordSpan(entry.pkt->trace, label,
                                 obs::Component::kPropagation, queue.now(),
                                 queue.now() + propDelay);
-        queue.scheduleAfter(propDelay, [this, pkt = entry.pkt] {
-            sink->acceptPacket(pkt);
-        });
+        if (crossShard) {
+            // Partition boundary: everything up to here ran on the
+            // sender's partition; only the in-flight hop crosses, and
+            // its delay >= the sync window keeps the delivery outside
+            // the current barrier window (conservative lookahead).
+            crossShard->postCross(crossSrc, crossDst,
+                                  queue.now() + propDelay,
+                                  [this, pkt = entry.pkt] {
+                                      sink->acceptPacket(pkt);
+                                  });
+        } else {
+            queue.scheduleAfter(propDelay, [this, pkt = entry.pkt] {
+                sink->acceptPacket(pkt);
+            });
+        }
     }
     if (entry.onTransmitted)
         entry.onTransmitted();
     tryTransmit();
 }
 
+void
+Channel::setCrossShardDelivery(sim::ShardedEventQueue *sq, int src_lp,
+                               int dst_lp)
+{
+    crossShard = sq;
+    crossSrc = src_lp;
+    crossDst = dst_lp;
+}
+
 Link::Link(sim::EventQueue &eq, std::string name, double gbps,
            double length_meters, std::uint32_t queue_cap_bytes)
+    : Link(eq, eq, std::move(name), gbps, length_meters, queue_cap_bytes)
+{
+}
+
+Link::Link(sim::EventQueue &eq_a, sim::EventQueue &eq_b, std::string name,
+           double gbps, double length_meters, std::uint32_t queue_cap_bytes)
 {
     const sim::TimePs prop = sim::propagationDelay(length_meters);
-    ab = std::make_unique<Channel>(eq, name + ".ab", gbps, prop,
+    ab = std::make_unique<Channel>(eq_a, name + ".ab", gbps, prop,
                                    queue_cap_bytes);
-    ba = std::make_unique<Channel>(eq, name + ".ba", gbps, prop,
+    ba = std::make_unique<Channel>(eq_b, name + ".ba", gbps, prop,
                                    queue_cap_bytes);
     // PFC received at end A throttles A's transmitter (the ab channel).
+    // Both shims live on their own end's queue: shimA runs inside
+    // B-to-A delivery events (A's partition) and touches only ab.
     shimA = std::make_unique<PfcShim>(ab.get());
     shimB = std::make_unique<PfcShim>(ba.get());
     ba->setSink(shimA.get());  // traffic toward A passes through A's shim
     ab->setSink(shimB.get());
+}
+
+void
+Link::setCrossShard(sim::ShardedEventQueue &sq, int lp_a, int lp_b)
+{
+    sq.registerCrossEdge(lp_a, lp_b, ab->propagationDelay());
+    sq.registerCrossEdge(lp_b, lp_a, ba->propagationDelay());
+    ab->setCrossShardDelivery(&sq, lp_a, lp_b);
+    ba->setCrossShardDelivery(&sq, lp_b, lp_a);
 }
 
 void

@@ -19,6 +19,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 
+namespace ccsim::sim {
+class ShardedEventQueue;
+}
+
 namespace ccsim::net {
 
 /** One direction of a link. */
@@ -74,6 +78,24 @@ class Channel
 
     /** Line rate in Gb/s. */
     double rateGbps() const { return gbps; }
+
+    // --- partitioned execution (ccsim::sim::ShardedEventQueue) ---
+
+    /**
+     * Route deliveries across a partition boundary. The transmit side
+     * (queueing, PFC, serialization, fault check, tracing) stays on this
+     * channel's own queue — partition @p src_lp — and only the final
+     * propagation hop is handed to partition @p dst_lp as a cross-shard
+     * message. The channel's propagation delay is the edge's lookahead
+     * contribution, so it must be >= the kernel's sync window (enforced
+     * by ShardedEventQueue::registerCrossEdge, which the caller — in
+     * practice Link::setCrossShard / the topology builder — invokes).
+     */
+    void setCrossShardDelivery(sim::ShardedEventQueue *sq, int src_lp,
+                               int dst_lp);
+
+    /** One-way propagation delay (the lookahead this channel provides). */
+    sim::TimePs propagationDelay() const { return propDelay; }
 
     // --- fault injection hooks (ccsim::fault) ---
 
@@ -155,6 +177,9 @@ class Channel
     sim::EventId resumeEvent = sim::kNoEvent;
     bool adminDown = false;
     std::function<bool(const PacketPtr &)> faultHook;
+    sim::ShardedEventQueue *crossShard = nullptr;
+    int crossSrc = 0;
+    int crossDst = 0;
 
     std::uint64_t txPackets = 0;
     std::uint64_t txBytes = 0;
@@ -183,6 +208,25 @@ class Link
     Link(sim::EventQueue &eq, std::string name, double gbps,
          double length_meters,
          std::uint32_t queue_cap_bytes = 1024 * 1024);
+
+    /**
+     * Partition-spanning link: end A (and the A-to-B transmitter) lives
+     * on @p eq_a, end B (and the B-to-A transmitter) on @p eq_b. Wire
+     * up delivery with setCrossShard() when the two queues are
+     * partitions of a ShardedEventQueue.
+     */
+    Link(sim::EventQueue &eq_a, sim::EventQueue &eq_b, std::string name,
+         double gbps, double length_meters,
+         std::uint32_t queue_cap_bytes = 1024 * 1024);
+
+    /**
+     * Register this link as the (lp_a <-> lp_b) partition crossing:
+     * registers both cross edges with lookahead = propagation delay and
+     * routes both directions' deliveries through @p sq. Requires the
+     * two-queue constructor with eq_a == sq.partition(lp_a) and
+     * eq_b == sq.partition(lp_b).
+     */
+    void setCrossShard(sim::ShardedEventQueue &sq, int lp_a, int lp_b);
 
     /** The A-to-B direction (device A transmits here). */
     Channel &aToB() { return *ab; }

@@ -1,11 +1,28 @@
 #include "net/topology.hpp"
 
+#include "obs/sharded_obs.hpp"
 #include "sim/logging.hpp"
+#include "sim/sharded_queue.hpp"
 
 namespace ccsim::net {
 
 Topology::Topology(sim::EventQueue &eq, TopologyConfig cfg)
     : queue(eq), config(std::move(cfg))
+{
+    validateConfig();
+    build();
+}
+
+Topology::Topology(sim::ShardedEventQueue &sq, TopologyConfig cfg)
+    // The spine partition doubles as the "default" queue reference.
+    : queue(sq.partition(cfg.pods)), config(std::move(cfg)), shards(&sq)
+{
+    validateConfig();
+    build();
+}
+
+void
+Topology::validateConfig() const
 {
     if (config.hostsPerRack < 1 || config.hostsPerRack > 254)
         sim::fatal("Topology: hostsPerRack must be in [1, 254]");
@@ -15,7 +32,12 @@ Topology::Topology(sim::EventQueue &eq, TopologyConfig cfg)
         sim::fatal("Topology: pods must be in [1, 255]");
     if (config.l1PerPod < 1 || config.l2Count < 1)
         sim::fatal("Topology: need at least one switch per fabric tier");
-    build();
+}
+
+sim::EventQueue &
+Topology::podQueue(int pod)
+{
+    return shards ? shards->partition(pod) : queue;
 }
 
 std::shared_ptr<DelayModel>
@@ -87,7 +109,7 @@ Topology::build()
     std::uint64_t seed = config.seed;
     auto next_seed = [&seed] { return ++seed; };
 
-    // --- L2 spine ---
+    // --- L2 spine (the spine partition in sharded mode) ---
     for (int i = 0; i < config.l2Count; ++i) {
         l2Switches.push_back(std::make_unique<Switch>(
             queue, makeSwitchConfig("l2." + std::to_string(i),
@@ -95,20 +117,30 @@ Topology::build()
     }
 
     // --- pods: L1 switches and TORs ---
+    // Per-switch seeds advance in construction order, which is the same
+    // whether or not the build is sharded: partitioning never changes a
+    // switch's jitter stream.
     for (int pod = 0; pod < config.pods; ++pod) {
         for (int i = 0; i < config.l1PerPod; ++i) {
             auto name = "l1." + std::to_string(pod) + "." + std::to_string(i);
             l1Switches.push_back(std::make_unique<Switch>(
-                queue,
+                podQueue(pod),
                 makeSwitchConfig(name, config.l1Params, next_seed())));
             Switch &l1sw = *l1Switches.back();
 
-            // Uplinks: this L1 to every L2.
+            // Uplinks: this L1 to every L2. These are the only cables
+            // that cross a partition boundary in sharded mode: the
+            // A end (L1 transmitter) lives on the pod's queue, the B
+            // end (L2 transmitter) on the spine's, and the cable's
+            // propagation delay becomes the registered lookahead.
             std::vector<int> uplinks;
             for (int j = 0; j < config.l2Count; ++j) {
                 auto link = std::make_unique<Link>(
-                    queue, name + "-l2." + std::to_string(j),
+                    podQueue(pod), queue, name + "-l2." + std::to_string(j),
                     config.linkGbps, config.l1ToL2Meters);
+                if (shards)
+                    link->setCrossShard(*shards, podPartition(pod),
+                                        spinePartition());
                 const int up = l1sw.addPort(&link->aToB());
                 link->attachB(l2Switches[j]->portSink(
                     l2Switches[j]->addPort(&link->bToA())));
@@ -119,6 +151,8 @@ Topology::build()
                     16, l2Switches[j]->numPorts() - 1);
                 uplinks.push_back(up);
                 trunks.push_back(link.get());
+                linkEndPartitions.emplace_back(podPartition(pod),
+                                               spinePartition());
                 links.push_back(std::move(link));
             }
             l1sw.setDefaultRoutes(uplinks);
@@ -128,7 +162,7 @@ Topology::build()
             auto tor_name =
                 "tor." + std::to_string(pod) + "." + std::to_string(rack);
             tors.push_back(std::make_unique<Switch>(
-                queue,
+                podQueue(pod),
                 makeSwitchConfig(tor_name, config.torParams, next_seed())));
             Switch &torsw = *tors.back();
 
@@ -137,7 +171,7 @@ Topology::build()
             for (int i = 0; i < config.l1PerPod; ++i) {
                 Switch &l1sw = *l1Switches[pod * config.l1PerPod + i];
                 auto link = std::make_unique<Link>(
-                    queue, tor_name + "-l1", config.linkGbps,
+                    podQueue(pod), tor_name + "-l1", config.linkGbps,
                     config.torToL1Meters);
                 const int up = torsw.addPort(&link->aToB());
                 const int down = l1sw.addPort(&link->bToA());
@@ -150,6 +184,8 @@ Topology::build()
                               24, down);
                 uplinks.push_back(up);
                 trunks.push_back(link.get());
+                linkEndPartitions.emplace_back(podPartition(pod),
+                                               podPartition(pod));
                 links.push_back(std::move(link));
             }
             torsw.setDefaultRoutes(uplinks);
@@ -157,7 +193,7 @@ Topology::build()
             // Hosts in this rack.
             for (int h = 0; h < config.hostsPerRack; ++h) {
                 auto link = std::make_unique<Link>(
-                    queue,
+                    podQueue(pod),
                     tor_name + ".host" + std::to_string(h),
                     config.linkGbps, config.hostCableMeters);
                 const int down = torsw.addPort(&link->bToA());
@@ -174,6 +210,8 @@ Topology::build()
                                  static_cast<std::uint64_t>(addr.value)};
                 hp.link = link.get();
                 hosts.push_back(hp);
+                linkEndPartitions.emplace_back(podPartition(pod),
+                                               podPartition(pod));
                 links.push_back(std::move(link));
             }
         }
@@ -204,6 +242,32 @@ Topology::attachObservability(obs::Observability *o)
         sw->attachObservability(o);
     for (const auto &l : links)
         l->setFlowRecorder(o ? &o->flows : nullptr);
+}
+
+void
+Topology::attachObservability(obs::ShardedObservability *so)
+{
+    if (so && so->shardCount() < config.pods + 1)
+        sim::fatalf("Topology::attachObservability: need ", config.pods + 1,
+                    " shards (pods + spine), got ", so->shardCount());
+    for (std::size_t t = 0; t < tors.size(); ++t) {
+        const int pod = static_cast<int>(t) / config.racksPerPod;
+        tors[t]->attachObservability(so ? &so->shard(pod) : nullptr);
+    }
+    for (std::size_t i = 0; i < l1Switches.size(); ++i) {
+        const int pod = static_cast<int>(i) / config.l1PerPod;
+        l1Switches[i]->attachObservability(so ? &so->shard(pod) : nullptr);
+    }
+    for (const auto &sw : l2Switches)
+        sw->attachObservability(so ? &so->shard(spinePartition()) : nullptr);
+    // Flow spans are recorded transmit-side (Channel queues, serializes,
+    // and traces on its own partition), so each direction of a
+    // partition-crossing trunk gets its own end's recorder.
+    for (std::size_t i = 0; i < links.size(); ++i) {
+        const auto [pa, pb] = linkEndPartitions[i];
+        links[i]->aToB().setFlowRecorder(so ? &so->shard(pa).flows : nullptr);
+        links[i]->bToA().setFlowRecorder(so ? &so->shard(pb).flows : nullptr);
+    }
 }
 
 }  // namespace ccsim::net

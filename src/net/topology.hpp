@@ -20,6 +20,13 @@
 #include "net/switch.hpp"
 #include "sim/event_queue.hpp"
 
+namespace ccsim::sim {
+class ShardedEventQueue;
+}
+namespace ccsim::obs {
+class ShardedObservability;
+}
+
 namespace ccsim::net {
 
 /** Per-tier switch parameters. */
@@ -99,6 +106,16 @@ class Topology
 
     Topology(sim::EventQueue &eq, TopologyConfig cfg);
 
+    /**
+     * Partitioned construction: pod p's switches, links, and hosts live
+     * on @p sq.partition(p); the L2 spine lives on partition `pods`
+     * (so @p sq needs pods + 1 partitions). The only partition-crossing
+     * cables are the L1<->L2 trunks; they are registered as cross edges
+     * with lookahead = their propagation delay (l1ToL2Meters), which
+     * becomes the kernel's conservative sync window.
+     */
+    Topology(sim::ShardedEventQueue &sq, TopologyConfig cfg);
+
     int numHosts() const { return static_cast<int>(hosts.size()); }
     int numPods() const { return config.pods; }
     int racksPerPod() const { return config.racksPerPod; }
@@ -153,14 +170,31 @@ class Topology
      */
     void attachObservability(obs::Observability *o);
 
+    /**
+     * Partition-aware attach: every component registers with the hub of
+     * the shard it executes on (pod switches with shard(pod), the spine
+     * with shard(pods)), and each trunk channel records flow spans into
+     * its *transmit-side* shard's recorder, so no hub is ever touched by
+     * two worker threads. Pass nullptr to detach.
+     */
+    void attachObservability(obs::ShardedObservability *so);
+
+    /** The partition a pod's components run on (== the pod index). */
+    int podPartition(int pod) const { return pod; }
+    /** The partition the L2 spine runs on. */
+    int spinePartition() const { return config.pods; }
+
   private:
-    sim::EventQueue &queue;
+    sim::EventQueue &queue;  ///< sharded mode: the spine partition
     TopologyConfig config;
+    sim::ShardedEventQueue *shards = nullptr;
 
     std::vector<std::unique_ptr<Switch>> tors;       // pod*racksPerPod+rack
     std::vector<std::unique_ptr<Switch>> l1Switches; // pod*l1PerPod+idx
     std::vector<std::unique_ptr<Switch>> l2Switches;
     std::vector<std::unique_ptr<Link>> links;
+    /** (end A, end B) partitions of each link, aligned with `links`. */
+    std::vector<std::pair<int, int>> linkEndPartitions;
     std::vector<Link *> trunks;  ///< inter-switch subset of `links`
     std::vector<HostPort> hosts;
     /** TOR-port index of each host link's device side channel. */
@@ -169,7 +203,9 @@ class Topology
     static std::shared_ptr<DelayModel> makeJitter(const TierParams &p);
     SwitchConfig makeSwitchConfig(const std::string &name,
                                   const TierParams &p, std::uint64_t seed);
+    sim::EventQueue &podQueue(int pod);
     void build();
+    void validateConfig() const;
 };
 
 }  // namespace ccsim::net

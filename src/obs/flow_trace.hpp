@@ -179,6 +179,17 @@ class FlightRecorder
     void setMaxSpansPerTrace(std::size_t n) { maxSpans = n; }
 
     /**
+     * Start allocating flow ids at @p first (default 1; 0 is reserved
+     * for "untraced"). A sharded simulation gives each partition's
+     * recorder a disjoint id region (e.g. shard index << 48) so ids in
+     * merged span dumps never collide across shards.
+     */
+    void setTraceIdStart(std::uint64_t first)
+    {
+        nextTraceId = first == 0 ? 1 : first;
+    }
+
+    /**
      * Create the `trace.sampled_flows` / `trace.dropped_spans` counter
      * pair in @p reg and keep them updated. @p reg must outlive this
      * recorder (or a re-bind).

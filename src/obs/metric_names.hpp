@@ -40,6 +40,18 @@ inline constexpr MetricPattern kMetricPatterns[] = {
     {"sim.queue.wheel_overflow", "gauge",
      "Events parked in the far-future overflow heap."},
 
+    // --- sim.shard.* : parallel kernel health (registerShardProbes) ---
+    {"sim.shard.partitions", "gauge",
+     "Logical processes (per-pod partitions) in the sharded kernel."},
+    {"sim.shard.windows", "gauge",
+     "Conservative synchronization windows executed."},
+    {"sim.shard.cross_messages", "gauge",
+     "Cross-partition messages delivered at window barriers."},
+    {"sim.shard.events", "gauge",
+     "Events executed, summed over all partitions."},
+    {"sim.shard.partition*.events", "gauge",
+     "Events executed by one partition (load-balance view)."},
+
     // --- trace.* : flow tracing (FlightRecorder::bindMetrics) ---
     {"trace.sampled_flows", "counter",
      "Flows admitted by the 1-in-N flow sampler."},

@@ -158,6 +158,36 @@ MetricsRegistry::children(const std::string &prefix) const
 void
 MetricsRegistry::writeSnapshot(std::ostream &os) const
 {
+    writeMergedSnapshot(os, {this});
+}
+
+namespace {
+
+/**
+ * Merge the @p kind maps of several registries into one sorted view,
+ * panicking on a duplicate path (components must shard disjointly).
+ */
+template <typename Map>
+std::map<std::string, const typename Map::mapped_type *>
+mergeMaps(const std::vector<const Map *> &maps, const char *kind)
+{
+    std::map<std::string, const typename Map::mapped_type *> merged;
+    for (const Map *m : maps) {
+        for (const auto &[path, v] : *m) {
+            if (!merged.emplace(path, &v).second)
+                sim::panicf("MetricsRegistry: ", kind, " path '", path,
+                            "' registered in more than one shard");
+        }
+    }
+    return merged;
+}
+
+}  // namespace
+
+void
+MetricsRegistry::writeMergedSnapshot(
+    std::ostream &os, const std::vector<const MetricsRegistry *> &regs)
+{
     using detail::jsonEscape;
     using detail::jsonNumber;
 
@@ -170,58 +200,78 @@ MetricsRegistry::writeSnapshot(std::ostream &os) const
         os << "\":";
     };
 
+    std::vector<const std::map<std::string, sim::Counter> *> cmaps;
+    std::vector<const std::map<std::string, Gauge> *> gmaps;
+    std::vector<const std::map<std::string, sim::LogHistogram> *> hmaps;
+    std::vector<const std::map<std::string, Probe> *> pmaps;
+    for (const MetricsRegistry *r : regs) {
+        cmaps.push_back(&r->counters);
+        gmaps.push_back(&r->gauges);
+        hmaps.push_back(&r->histograms);
+        pmaps.push_back(&r->probes);
+    }
+
     os << "{\"counters\":{";
     bool first = true;
-    for (const auto &[path, c] : counters) {
+    for (const auto &[path, c] : mergeMaps(cmaps, "counter")) {
         key(path, first);
-        os << c.get();
+        os << c->get();
     }
     os << "},\"gauges\":{";
     first = true;
-    for (const auto &[path, g] : gauges) {
+    for (const auto &[path, g] : mergeMaps(gmaps, "gauge")) {
         key(path, first);
         os << "{\"value\":";
-        jsonNumber(os, g.value());
+        jsonNumber(os, g->value());
         os << ",\"avg\":";
-        jsonNumber(os, g.timeAverage());
+        jsonNumber(os, g->timeAverage());
         os << ",\"peak\":";
-        jsonNumber(os, g.peak());
+        jsonNumber(os, g->peak());
         os << "}";
     }
     os << "},\"histograms\":{";
     first = true;
-    for (const auto &[path, h] : histograms) {
+    for (const auto &[path, h] : mergeMaps(hmaps, "histogram")) {
         key(path, first);
-        os << "{\"count\":" << h.count();
-        if (h.count() > 0) {
+        os << "{\"count\":" << h->count();
+        if (h->count() > 0) {
             os << ",\"mean\":";
-            jsonNumber(os, h.mean());
+            jsonNumber(os, h->mean());
             os << ",\"min\":";
-            jsonNumber(os, h.min());
+            jsonNumber(os, h->min());
             os << ",\"max\":";
-            jsonNumber(os, h.max());
+            jsonNumber(os, h->max());
             for (auto [label, p] :
                  {std::pair<const char *, double>{"p50", 50.0},
                   {"p90", 90.0},
                   {"p99", 99.0},
                   {"p999", 99.9}}) {
                 os << ",\"" << label << "\":";
-                jsonNumber(os, h.percentile(p));
+                jsonNumber(os, h->percentile(p));
             }
         }
         os << "}";
     }
     os << "},\"probes\":{";
     first = true;
-    for (const auto &[path, pr] : probes) {
+    for (const auto &[path, pr] : mergeMaps(pmaps, "probe")) {
         key(path, first);
         os << "{\"value\":";
-        jsonNumber(os, pr.fn());
+        jsonNumber(os, pr->fn());
         os << ",\"avg\":";
-        jsonNumber(os, pr.tw.average());
+        jsonNumber(os, pr->tw.average());
         os << "}";
     }
     os << "}}";
+}
+
+std::string
+MetricsRegistry::mergedSnapshotJson(
+    const std::vector<const MetricsRegistry *> &regs)
+{
+    std::ostringstream oss;
+    writeMergedSnapshot(oss, regs);
+    return oss.str();
 }
 
 std::string
@@ -268,8 +318,13 @@ MetricsRegistry::scheduleTick()
 void
 MetricsRegistry::sampleTick()
 {
+    sampleAt(samplerQueue->now());
+}
+
+void
+MetricsRegistry::sampleAt(sim::TimePs now)
+{
     ++samplerTicks;
-    const sim::TimePs now = samplerQueue->now();
     const bool tracing = samplerTrace != nullptr && samplerTrace->enabled();
     for (auto &[path, probe] : probes) {
         const double v = probe.fn();

@@ -149,6 +149,22 @@ class MetricsRegistry
     /** writeSnapshot() to a string. */
     std::string snapshotJson() const;
 
+    /**
+     * Serialize several registries as one combined snapshot, in exactly
+     * writeSnapshot()'s format (a single-element list is byte-identical
+     * to that registry's own snapshot). Paths must be disjoint across
+     * the registries — in a sharded simulation every component registers
+     * under its own shard, so a duplicate path is a partitioning bug and
+     * panics.
+     */
+    static void
+    writeMergedSnapshot(std::ostream &os,
+                        const std::vector<const MetricsRegistry *> &regs);
+
+    /** writeMergedSnapshot() to a string. */
+    static std::string
+    mergedSnapshotJson(const std::vector<const MetricsRegistry *> &regs);
+
     // --- periodic sampling -------------------------------------------------
 
     /**
@@ -171,6 +187,16 @@ class MetricsRegistry
 
     /** Number of sampling ticks executed. */
     std::uint64_t samplesTaken() const { return samplerTicks; }
+
+    /**
+     * Take one sampling tick at simulated time @p now without an event
+     * schedule: reads every probe and folds it into the time-weighted
+     * averages (and the Chrome trace, when one was attached via
+     * startSampling). The periodic sampler calls this from its event;
+     * a sharded simulation calls it from a barrier hook so probes are
+     * read at deterministic sync points rather than mid-window.
+     */
+    void sampleAt(sim::TimePs now);
 
   private:
     struct Probe {

@@ -351,6 +351,21 @@ TimerWheelQueue::unloadDue()
     dueSlotAbs = -1;
 }
 
+TimePs
+TimerWheelQueue::nextEventTime()
+{
+    const Next src = ensureNext();
+    TimePs when = kTimeNever;
+    if (src == Next::kDue)
+        when = due[duePos].when;
+    else if (src == Next::kOverflow)
+        when = overflow.front().when;
+    // Release the committed due slot: holding it across subsequent
+    // schedule() calls could let later-slot events hide behind it.
+    unloadDue();
+    return when;
+}
+
 EventId
 TimerWheelQueue::schedule(TimePs when, EventFn fn)
 {
@@ -564,6 +579,14 @@ BinaryHeapQueue::runAll()
 {
     while (step()) {
     }
+}
+
+TimePs
+BinaryHeapQueue::nextEventTime()
+{
+    while (!heap.empty() && liveIds.count(heap.top().id) == 0)
+        heap.pop();  // tombstoned by cancel(); drop lazily as popLive does
+    return heap.empty() ? kTimeNever : heap.top().when;
 }
 
 }  // namespace ccsim::sim

@@ -142,6 +142,16 @@ class TimerWheelQueue
     /** Run until the queue is completely drained. */
     void runAll();
 
+    /**
+     * Timestamp of the next live event without executing it, or
+     * kTimeNever if the queue is empty.
+     *
+     * Used by ShardedEventQueue to compute conservative sync windows.
+     * Not const: positioning the wheel may cascade slots and reclaim
+     * tombstones, but the observable (time, seq) order is unchanged.
+     */
+    TimePs nextEventTime();
+
     // --- kernel-health accounting (exported as sim.queue.* probes) ---
 
     /** Total number of events executed so far. */
@@ -293,6 +303,9 @@ class BinaryHeapQueue
 
     /** Run until the queue is completely drained. */
     void runAll();
+
+    /** Next live event's timestamp, or kTimeNever (see wheel doc). */
+    TimePs nextEventTime();
 
     /** Total number of events executed so far. */
     std::uint64_t eventsExecuted() const { return executedCount; }

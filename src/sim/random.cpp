@@ -179,4 +179,20 @@ Rng::split()
     return Rng(next() ^ 0xD1B54A32D192ED03ull);
 }
 
+Rng
+Rng::forStream(std::uint64_t master, std::uint64_t stream)
+{
+    // Diffuse the stream counter through one SplitMix64 finalization so
+    // consecutive ids (0, 1, 2, ...) select unrelated child seeds, then
+    // fold it into a master-derived value. The xor constant decouples
+    // stream 0 from the plain Rng(master) seeding path. The combined
+    // seed feeds the normal reseed() expansion (4 further SplitMix64
+    // steps into xoshiro256** state).
+    std::uint64_t c = stream;
+    const std::uint64_t mixedStream = splitmix64(c);
+    std::uint64_t m = master ^ 0xA3EC647659359ACDull;
+    const std::uint64_t mixedMaster = splitmix64(m);
+    return Rng(mixedMaster ^ mixedStream);
+}
+
 }  // namespace ccsim::sim

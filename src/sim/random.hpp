@@ -86,6 +86,19 @@ class Rng
     /** Split off an independent child stream (for per-component RNGs). */
     Rng split();
 
+    /**
+     * Derive the @p stream-th child stream of a master seed.
+     *
+     * Counter-based (unlike split(), which advances the parent): the
+     * child depends only on the (master, stream) pair, never on how many
+     * sibling streams exist or the order they are created. A partitioned
+     * simulation seeds partition p with forStream(masterSeed, p), so the
+     * same master seed yields the same per-partition sequences whether
+     * the run uses 1 worker thread or 8 — per-seed determinism survives
+     * resharding.
+     */
+    static Rng forStream(std::uint64_t master, std::uint64_t stream);
+
   private:
     std::uint64_t s[4];
     bool hasCachedNormal = false;

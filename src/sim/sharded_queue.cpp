@@ -1,0 +1,338 @@
+#include "sim/sharded_queue.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace ccsim::sim {
+
+ShardedEventQueue::ShardedEventQueue(Config cfg) : config(cfg)
+{
+    if (cfg.partitions < 1)
+        panicf("ShardedEventQueue: partitions must be >= 1, got ",
+               cfg.partitions);
+    if (cfg.threads < 1)
+        panicf("ShardedEventQueue: threads must be >= 1, got ", cfg.threads);
+    if (cfg.window < 0)
+        panicf("ShardedEventQueue: window must be >= 0, got ", cfg.window);
+    nThreads = std::min(cfg.threads, cfg.partitions);
+    parts.reserve(static_cast<std::size_t>(cfg.partitions));
+    for (int p = 0; p < cfg.partitions; ++p) {
+        auto part = std::make_unique<Partition>();
+        part->outbox.resize(static_cast<std::size_t>(cfg.partitions));
+        parts.push_back(std::move(part));
+    }
+    edgeLatency.assign(static_cast<std::size_t>(cfg.partitions),
+                       std::vector<TimePs>(
+                           static_cast<std::size_t>(cfg.partitions), 0));
+}
+
+ShardedEventQueue::~ShardedEventQueue()
+{
+    if (!workers.empty()) {
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            shutdown = true;
+        }
+        cvStart.notify_all();
+        for (std::thread &t : workers)
+            t.join();
+    }
+}
+
+EventQueue &
+ShardedEventQueue::partition(int p)
+{
+    if (p < 0 || p >= partitionCount())
+        panicf("ShardedEventQueue::partition: index ", p, " out of range [0, ",
+               partitionCount(), ")");
+    return parts[static_cast<std::size_t>(p)]->eq;
+}
+
+const EventQueue &
+ShardedEventQueue::partition(int p) const
+{
+    if (p < 0 || p >= partitionCount())
+        panicf("ShardedEventQueue::partition: index ", p, " out of range [0, ",
+               partitionCount(), ")");
+    return parts[static_cast<std::size_t>(p)]->eq;
+}
+
+void
+ShardedEventQueue::registerCrossEdge(int src, int dst, TimePs minLatency)
+{
+    if (started)
+        panic("ShardedEventQueue::registerCrossEdge: cannot register edges "
+              "after the first run");
+    if (src < 0 || src >= partitionCount() || dst < 0 ||
+        dst >= partitionCount())
+        panicf("ShardedEventQueue::registerCrossEdge: bad edge (", src, " -> ",
+               dst, ") for ", partitionCount(), " partitions");
+    if (src == dst)
+        panicf("ShardedEventQueue::registerCrossEdge: self-edge on partition ",
+               src, " (schedule directly instead)");
+    if (minLatency < 1)
+        panicf("ShardedEventQueue::registerCrossEdge: edge (", src, " -> ",
+               dst, ") needs positive lookahead, got ", minLatency);
+    if (config.window > 0 && minLatency < config.window)
+        panicf("ShardedEventQueue: sub-lookahead link: edge (", src, " -> ",
+               dst, ") latency ", minLatency,
+               " ps is below the configured sync window ", config.window,
+               " ps; a message could arrive inside the window it was sent "
+               "in. Shorten the window or slow the link.");
+    TimePs &cell =
+        edgeLatency[static_cast<std::size_t>(src)][static_cast<std::size_t>(
+            dst)];
+    cell = cell == 0 ? minLatency : std::min(cell, minLatency);
+}
+
+void
+ShardedEventQueue::postCross(int src, int dst, TimePs when, EventFn fn)
+{
+    if (src < 0 || src >= partitionCount() || dst < 0 ||
+        dst >= partitionCount() || src == dst)
+        panicf("ShardedEventQueue::postCross: bad route (", src, " -> ", dst,
+               ")");
+    if (edgeLatency[static_cast<std::size_t>(src)][static_cast<std::size_t>(
+            dst)] == 0)
+        panicf("ShardedEventQueue::postCross: no registered cross edge (",
+               src, " -> ", dst,
+               "); cross-partition interaction must flow through registered "
+               "channels");
+    // Early floor check; the barrier flush re-checks against the window
+    // that actually executed (the authoritative causality assertion).
+    if (when <= floorTime)
+        panicf("ShardedEventQueue::postCross: causality violation: event at ",
+               when, " ps is at or below the window floor ", floorTime,
+               " ps (edge ", src, " -> ", dst, ")");
+    Partition &sp = *parts[static_cast<std::size_t>(src)];
+    sp.outbox[static_cast<std::size_t>(dst)].push_back(
+        CrossMsg{when, sp.crossSeq++, std::move(fn)});
+}
+
+void
+ShardedEventQueue::atBarrier(BarrierHook hook, TimePs firstDeadline)
+{
+    const TimePs deadline = firstDeadline == kTimeNever
+                                ? kTimeNever
+                                : std::max(firstDeadline, floorTime + 1);
+    hooks.push_back(Hook{std::move(hook), deadline});
+}
+
+std::uint64_t
+ShardedEventQueue::eventsExecuted() const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : parts)
+        total += p->eq.eventsExecuted();
+    return total;
+}
+
+void
+ShardedEventQueue::start()
+{
+    if (started)
+        return;
+    started = true;
+    if (config.window > 0) {
+        resolvedWindow = config.window;
+    } else {
+        resolvedWindow = kTimeNever;
+        for (const auto &row : edgeLatency)
+            for (const TimePs lat : row)
+                if (lat > 0)
+                    resolvedWindow = std::min(resolvedWindow, lat);
+    }
+    if (nThreads > 1)
+        for (int w = 1; w < nThreads; ++w)
+            workers.emplace_back(&ShardedEventQueue::workerLoop, this, w);
+}
+
+void
+ShardedEventQueue::runPartitionShare(int workerIdx)
+{
+    // Phase state is stable while the phase runs: the coordinator wrote
+    // it under `mu` before waking the workers and does not touch it
+    // again until every worker has checked in.
+    for (int p = workerIdx; p < partitionCount(); p += nThreads) {
+        EventQueue &eq = parts[static_cast<std::size_t>(p)]->eq;
+        if (phaseDrain)
+            eq.runAll();
+        else
+            eq.runUntil(phaseEnd);
+    }
+}
+
+void
+ShardedEventQueue::workerLoop(int workerIdx)
+{
+    std::uint64_t seenEpoch = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            cvStart.wait(lk, [&] {
+                return shutdown || phaseEpoch != seenEpoch;
+            });
+            if (shutdown)
+                return;
+            seenEpoch = phaseEpoch;
+        }
+        runPartitionShare(workerIdx);
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            --phasePending;
+        }
+        cvDone.notify_one();
+    }
+}
+
+void
+ShardedEventQueue::runWindow(TimePs e, bool drain)
+{
+    phaseEnd = e;
+    phaseDrain = drain;
+    if (nThreads == 1) {
+        runPartitionShare(0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        phasePending = nThreads - 1;
+        ++phaseEpoch;
+    }
+    cvStart.notify_all();
+    runPartitionShare(0);
+    std::unique_lock<std::mutex> lk(mu);
+    cvDone.wait(lk, [&] { return phasePending == 0; });
+}
+
+TimePs
+ShardedEventQueue::minNextEventTime()
+{
+    TimePs t0 = kTimeNever;
+    for (auto &p : parts)
+        t0 = std::min(t0, p->eq.nextEventTime());
+    return t0;
+}
+
+TimePs
+ShardedEventQueue::windowEndFor(TimePs t0) const
+{
+    if (resolvedWindow == kTimeNever)
+        return kTimeNever;
+    if (t0 >= kTimeNever - (resolvedWindow - 1))
+        return kTimeNever;  // saturate
+    return t0 + resolvedWindow - 1;
+}
+
+void
+ShardedEventQueue::flushOutboxes()
+{
+    const int P = partitionCount();
+    struct Item {
+        TimePs when;
+        int src;
+        std::uint64_t seq;
+        EventFn *fn;
+    };
+    std::vector<Item> items;
+    for (int dst = 0; dst < P; ++dst) {
+        items.clear();
+        for (int src = 0; src < P; ++src) {
+            for (CrossMsg &m :
+                 parts[static_cast<std::size_t>(src)]
+                     ->outbox[static_cast<std::size_t>(dst)])
+                items.push_back(Item{m.when, src, m.seq, &m.fn});
+        }
+        if (items.empty())
+            continue;
+        // (when, src partition, per-src post order): a total order that
+        // does not depend on thread count or barrier wall-clock timing.
+        std::sort(items.begin(), items.end(),
+                  [](const Item &a, const Item &b) {
+                      if (a.when != b.when)
+                          return a.when < b.when;
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      return a.seq < b.seq;
+                  });
+        EventQueue &deq = parts[static_cast<std::size_t>(dst)]->eq;
+        for (Item &it : items) {
+            if (it.when <= floorTime)
+                panicf("ShardedEventQueue: causality violation at barrier: "
+                       "cross event from partition ",
+                       it.src, " to partition ", dst, " at ", it.when,
+                       " ps is at or below the window floor ", floorTime,
+                       " ps (lookahead too small for the sending link?)");
+            deq.schedule(it.when, std::move(*it.fn));
+            ++crossMessageCount;
+        }
+        for (int src = 0; src < P; ++src)
+            parts[static_cast<std::size_t>(src)]
+                ->outbox[static_cast<std::size_t>(dst)]
+                .clear();
+    }
+}
+
+void
+ShardedEventQueue::fireHooks(TimePs e)
+{
+    for (Hook &h : hooks) {
+        const TimePs next = h.fn(e);
+        h.deadline = next == kTimeNever ? kTimeNever : std::max(next, e + 1);
+    }
+}
+
+void
+ShardedEventQueue::runUntil(TimePs limit)
+{
+    start();
+    flushOutboxes();  // deliver build-time posts
+    while (floorTime < limit) {
+        TimePs e = limit;
+        const TimePs t0 = minNextEventTime();
+        if (t0 != kTimeNever) {
+            const TimePs we = windowEndFor(t0);
+            if (we != kTimeNever && we < e)
+                e = we;
+        }
+        for (const Hook &h : hooks)
+            if (h.deadline != kTimeNever && h.deadline < e)
+                e = h.deadline;
+        if (e <= floorTime)
+            e = floorTime + 1;  // defensive: deadlines are clamped > floor
+        runWindow(e, /*drain=*/false);
+        floorTime = e;
+        flushOutboxes();
+        fireHooks(e);
+        ++windowsRunCount;
+    }
+}
+
+void
+ShardedEventQueue::runAll()
+{
+    start();
+    flushOutboxes();
+    while (true) {
+        const TimePs t0 = minNextEventTime();
+        if (t0 == kTimeNever)
+            break;
+        const TimePs e = windowEndFor(t0);
+        if (e == kTimeNever) {
+            // Unbounded window: partitions are fully independent (no
+            // cross edges), so each can drain in one phase.
+            runWindow(0, /*drain=*/true);
+            for (const auto &p : parts)
+                floorTime = std::max(floorTime, p->eq.now());
+        } else {
+            runWindow(e, /*drain=*/false);
+            floorTime = e;
+        }
+        flushOutboxes();
+        fireHooks(floorTime);
+        ++windowsRunCount;
+    }
+}
+
+}  // namespace ccsim::sim
