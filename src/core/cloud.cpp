@@ -39,6 +39,8 @@ ConfigurableCloud::validate(const CloudConfig &cfg)
         cfg.shardObs == nullptr)
         sim::fatal("CloudConfig: flowSampleEvery set but no observability "
                    "hub attached; call withObservability(&hub) first");
+    if (cfg.servingEnabled)
+        serving::validateServingConfig(cfg.serving);
 }
 
 ConfigurableCloud::ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg)
@@ -251,6 +253,28 @@ ConfigurableCloud::attachHealthMonitor(haas::HealthMonitor &hm)
                     hm.reportTimeoutStreak(peer, streak);
             });
     }
+}
+
+std::unique_ptr<serving::ClusterClient>
+ConfigurableCloud::makeClusterClient(haas::ServiceManager &sm,
+                                     const std::string &name,
+                                     haas::HealthMonitor *hm)
+{
+    if (shards != nullptr)
+        sim::fatal("ConfigurableCloud::makeClusterClient: the serving "
+                   "layer is not yet partition-aware; routing would read "
+                   "another logical process's lease set mid-window. Use "
+                   "the single-queue build for serving studies");
+    auto client = std::make_unique<serving::ClusterClient>(
+        queue, name, [&sm] { return sm.instances(); }, config.serving);
+    if (hm != nullptr)
+        client->outliers().setEvidenceSink(
+            [hm, source = "serving." + name](int host, double weight) {
+                hm->reportEvidence(host, source, weight);
+            });
+    if (config.obs != nullptr)
+        client->attachObservability(config.obs);
+    return client;
 }
 
 void

@@ -22,6 +22,7 @@
 #include "net/nic.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
+#include "serving/cluster_client.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/sharded_queue.hpp"
 
@@ -64,6 +65,16 @@ struct CloudConfig {
     std::uint32_t flowSampleEvery = 0;
     /** Worst-N exemplar traces the recorder keeps (with flow tracing). */
     std::size_t flowTailCapacity = 64;
+
+    /**
+     * Cluster-serving defaults applied to every ClusterClient built via
+     * makeClusterClient(): balancer policy, admission limits, ejection
+     * thresholds, request policy. Set through withServing(); validated
+     * at cloud construction like the rest of the config.
+     */
+    serving::ServingConfig serving;
+    /** True once withServing() was called (validates + enables). */
+    bool servingEnabled = false;
 
     /**
      * Worker threads for the parallel kernel (sharded construction
@@ -121,6 +132,12 @@ struct CloudConfig {
     {
         flowSampleEvery = sample_every;
         flowTailCapacity = tail_capacity;
+        return *this;
+    }
+    CloudConfig &withServing(serving::ServingConfig s)
+    {
+        serving = std::move(s);
+        servingEnabled = true;
         return *this;
     }
     CloudConfig &withShards(int n)
@@ -328,6 +345,22 @@ class ConfigurableCloud
      * hm.start(); @p hm must outlive the cloud's simulation run.
      */
     void attachHealthMonitor(haas::HealthMonitor &hm);
+
+    /**
+     * Build a serving facade over @p sm's lease set, configured from the
+     * cloud-level ServingConfig (withServing): the instance source is
+     * the service manager's live instance list, the client registers
+     * with the cloud's observability hub under `serving.<name>`, and —
+     * when @p hm is given — every outlier ejection feeds the monitor's
+     * evidence score from source "serving.<name>" (idempotent per
+     * episode). Callers still register a data-plane endpoint per
+     * instance. @p sm and @p hm must outlive the returned client.
+     * Not yet supported on a sharded cloud (rejected like health
+     * monitoring).
+     */
+    std::unique_ptr<serving::ClusterClient> makeClusterClient(
+        haas::ServiceManager &sm, const std::string &name,
+        haas::HealthMonitor *hm = nullptr);
 
     /** The observability hub the cloud was built with (may be null). */
     obs::Observability *observability() const { return config.obs; }

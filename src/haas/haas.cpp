@@ -268,9 +268,13 @@ ServiceManager::pickInstance()
 {
     if (hosts.empty())
         return -1;
-    const int host = hosts[rrNext % hosts.size()];
-    ++rrNext;
-    return host;
+    // Thin shim over the serving layer's round-robin balancer. The
+    // balancer's free-running counter has exactly the legacy `rrNext`
+    // semantics (it survives membership changes), so pick sequences are
+    // bit-identical to the pre-serving implementation — pinned by
+    // ServiceManager.PickInstanceMatchesLegacySequence.
+    rrBalancer.setHosts(hosts);
+    return rrBalancer.pick(0, {});
 }
 
 void

@@ -23,6 +23,7 @@
 #include "fpga/role.hpp"
 #include "fpga/shell.hpp"
 #include "obs/metrics.hpp"
+#include "serving/balancer.hpp"
 #include "sim/event_queue.hpp"
 
 namespace ccsim::haas {
@@ -227,7 +228,14 @@ class ServiceManager
      */
     bool scaleTo(int instances, LeaseConstraints constraints = {});
 
-    /** Round-robin load balancing over healthy instances (-1 if none). */
+    /**
+     * Round-robin load balancing over healthy instances (-1 if none).
+     *
+     * Legacy path: new code should route through serving::ClusterClient,
+     * which layers outlier ejection and pluggable policies on top of the
+     * same balancer. This shim delegates to a serving::RoundRobinBalancer
+     * and keeps the historical pick sequence bit-for-bit.
+     */
     int pickInstance();
 
     /** Currently serving hosts. */
@@ -270,7 +278,8 @@ class ServiceManager
     RoleFactory roleFactory;
     std::vector<int> hosts;
     std::vector<std::uint64_t> hostLease;  // parallel to hosts
-    std::size_t rrNext = 0;
+    /** Legacy pickInstance() shim; serving::ClusterClient supersedes it. */
+    serving::RoundRobinBalancer rrBalancer;
     std::uint64_t statFailovers = 0;
     std::uint64_t statAutoHeals = 0;
     bool healSubscribed = false;

@@ -85,6 +85,9 @@ HealthMonitor::onHeartbeatResult(int host, bool reachable)
     if (reachable) {
         nh.suspicion = 0.0;
         nh.lastStreakCredited = 0;
+        // A healthy beat ends the episode: every evidence source may
+        // count again if the node degrades anew.
+        nh.evidenceLatched.clear();
         if (nh.reported) {
             ++nh.healthyStreak;
             if (nh.healthyStreak >= cfg.rejoinHeartbeats) {
@@ -125,6 +128,27 @@ HealthMonitor::reportTimeoutStreak(int host, int streak)
     nh.lastStreakCredited = streak;
     ++statStreakReports;
     addSuspicion(host, cfg.streakWeight);
+}
+
+void
+HealthMonitor::reportEvidence(int host, const std::string &source,
+                              double weight)
+{
+    auto it = nodesHealth.find(host);
+    if (it == nodesHealth.end()) {
+        if (rm.manager(host) == nullptr)
+            return;  // not a registered node
+        it = nodesHealth.try_emplace(host).first;
+    }
+    // Idempotent per (host, source) and episode: the serving layer's
+    // detector re-ejects a still-grey node with doubling durations, and
+    // without the latch each re-ejection would add weight until the
+    // monitor reported a node whose management path is perfectly
+    // healthy on this source's say-so alone.
+    if (!it->second.evidenceLatched.insert(source).second)
+        return;
+    ++statEvidenceReports;
+    addSuspicion(host, weight);
 }
 
 void
@@ -185,6 +209,8 @@ HealthMonitor::attachObservability(obs::Observability *o)
                       [this] { return double(statRejoins); });
     reg.registerProbe("haas.health.streak_reports",
                       [this] { return double(statStreakReports); });
+    reg.registerProbe("haas.health.evidence_reports",
+                      [this] { return double(statEvidenceReports); });
     reg.registerProbe("haas.health.suspected", [this] {
         int n = 0;
         for (const auto &[host, nh] : nodesHealth)

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 
 #include "haas/haas.hpp"
@@ -137,6 +138,18 @@ class HealthMonitor
     void reportTimeoutStreak(int host, int streak);
 
     /**
+     * Named-source evidence feed (e.g. a serving-layer outlier detector
+     * reporting an ejection). Idempotent per (host, source): a source's
+     * weight counts once per unhealthy episode, however many times it
+     * re-reports, so a detector that keeps re-ejecting a grey node
+     * cannot pump the suspicion score by itself. The latch clears when
+     * the node answers a heartbeat (proving the management path healthy
+     * again), re-arming the source for the next episode. Unregistered
+     * hosts are ignored.
+     */
+    void reportEvidence(int host, const std::string &source, double weight);
+
+    /**
      * Worst-case time from a node going dark to its failure report,
      * assuming heartbeats alone (passive suspicion only shortens it):
      * the beats needed to accumulate the threshold, plus one period of
@@ -153,6 +166,8 @@ class HealthMonitor
     std::uint64_t heartbeatsSent() const { return statHeartbeats; }
     std::uint64_t heartbeatsMissed() const { return statMisses; }
     std::uint64_t streakReports() const { return statStreakReports; }
+    /** reportEvidence calls that credited suspicion (latch misses). */
+    std::uint64_t evidenceReports() const { return statEvidenceReports; }
     const HealthMonitorConfig &config() const { return cfg; }
 
     /**
@@ -172,6 +187,8 @@ class HealthMonitor
         bool reported = false;
         /** Last LTL streak length credited (avoid double counting). */
         int lastStreakCredited = 0;
+        /** Sources whose evidence already counted this episode. */
+        std::set<std::string> evidenceLatched;
     };
 
     sim::EventQueue &queue;
@@ -189,6 +206,7 @@ class HealthMonitor
     std::uint64_t statDetections = 0;
     std::uint64_t statRejoins = 0;
     std::uint64_t statStreakReports = 0;
+    std::uint64_t statEvidenceReports = 0;
 
     void sweep();
     void onHeartbeatResult(int host, bool reachable);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "serving/cluster_client.hpp"
 #include "sim/logging.hpp"
 
 namespace ccsim::host {
@@ -52,6 +53,8 @@ RankingServer::attachObservability(obs::Observability *o,
                       [this] { return double(waiting.size()); });
     reg.registerProbe(obsPrefix + ".sw_feature_queries",
                       [this] { return double(statSwFeature); });
+    reg.registerProbe(obsPrefix + ".shed",
+                      [this] { return double(statShed); });
     reg.registerProbe(obsPrefix + ".accel_blocked",
                       [this] { return double(accelOps.size()); });
     reg.registerProbe(obsPrefix + ".retry.deadline_expired",
@@ -72,32 +75,46 @@ RankingServer::attachObservability(obs::Observability *o,
 void
 RankingServer::setRetryPolicy(QueryRetryPolicy p)
 {
-    if (p.accelDeadline < 0 || p.backoffBase < 0 || p.hedgeDelay < 0 ||
-        p.hedgeMinDelay < 0)
-        sim::fatal("QueryRetryPolicy: times must be non-negative");
-    if (p.maxAttempts < 1)
-        sim::fatalf("QueryRetryPolicy: maxAttempts must be >= 1 (got ",
-                    p.maxAttempts, ")");
-    if (p.backoffJitter < 0.0 || p.backoffJitter > 1.0)
-        sim::fatalf("QueryRetryPolicy: backoffJitter must be in [0, 1] "
-                    "(got ", p.backoffJitter, ")");
-    if (p.hedgeQuantile <= 0.0 || p.hedgeQuantile > 100.0)
-        sim::fatalf("QueryRetryPolicy: hedgeQuantile must be in (0, 100] "
-                    "(got ", p.hedgeQuantile, ")");
+    serving::validateRequestPolicy(p);
     policy = p;
     hedgeCached = 0;
     hedgeCachedAt = 0;
 }
 
 void
+RankingServer::attachCluster(serving::ClusterClient &cluster,
+                             std::string tenant)
+{
+    accelerator = &cluster;
+    defaultTenant = std::move(tenant);
+    admitFn = [&cluster](const std::string &t) { return cluster.admit(t); };
+    // The cluster routes every attempt itself, so a separate replica
+    // picker would only bypass its outlier filtering.
+    replicaPicker = nullptr;
+    setRetryPolicy(cluster.requestPolicy());
+}
+
+bool
 RankingServer::submitQuery(std::function<void(sim::TimePs)> done)
 {
+    return submitQuery(defaultTenant, std::move(done));
+}
+
+bool
+RankingServer::submitQuery(const std::string &tenant,
+                           std::function<void(sim::TimePs)> done)
+{
+    if (admitFn && !admitFn(tenant)) {
+        ++statShed;
+        return false;
+    }
     ++activeQueries;
     obs::TraceContext ctx;
     if (obsHub && obsHub->flows.enabled())
         ctx = obsHub->flows.beginFlow(obsPrefix + ".query", queue.now());
     waiting.push_back(PendingQuery{queue.now(), std::move(done), ctx});
     tryDispatch();
+    return true;
 }
 
 void
@@ -219,7 +236,9 @@ RankingServer::launchAttempt(std::uint64_t token, FeatureAccelerator *target,
             });
     }
     const std::uint32_t docs = op.docs;
-    target->compute(docs, [this, token, attempt_id] {
+    // computeTraced so a routed pool (ClusterClient) can annotate the
+    // query's flow with the backend each attempt landed on.
+    target->computeTraced(docs, op.ctx, [this, token, attempt_id] {
         onAttemptDone(token, attempt_id);
     });
 }

@@ -22,30 +22,18 @@
 #include <map>
 #include <memory>
 
+#include "host/feature_accelerator.hpp"
 #include "obs/metrics.hpp"
+#include "serving/request_policy.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
 
+namespace ccsim::serving {
+class ClusterClient;
+}  // namespace ccsim::serving
+
 namespace ccsim::host {
-
-/**
- * Interface to whatever computes the feature stage. Implementations:
- * software (on-core), local FPGA (PCIe + role pipeline), remote FPGA
- * (LTL through the real simulated network).
- */
-class FeatureAccelerator
-{
-  public:
-    virtual ~FeatureAccelerator() = default;
-
-    /**
-     * Compute features for one query of @p doc_count candidate documents;
-     * invoke @p done when the results are back in host memory.
-     */
-    virtual void compute(std::uint32_t doc_count,
-                         std::function<void()> done) = 0;
-};
 
 /** Tunable service-time parameters (calibrated in DESIGN.md section 4). */
 struct RankingServiceParams {
@@ -106,63 +94,12 @@ class LocalFpgaAccelerator : public FeatureAccelerator
 };
 
 /**
- * Failure-handling policy for the accelerated feature stage: the
- * tail-at-scale toolkit of per-attempt deadlines, bounded retry with
- * exponential backoff + jitter, and hedged duplicates to a replica.
- * Defaults leave everything off (the pre-policy behaviour: a query
- * blocks in the accelerator until someone calls failPendingToSoftware).
+ * Failure-handling policy for the accelerated feature stage. Grown into
+ * the serving layer (PR 7): the policy type is serving::RequestPolicy so
+ * the same tail-at-scale toolkit applies to every client of the pool;
+ * this alias keeps existing RankingServer call sites compiling.
  */
-struct QueryRetryPolicy {
-    /** Per-attempt accelerator deadline; 0 disables deadlines/retries. */
-    sim::TimePs accelDeadline = 0;
-    /**
-     * Total accelerator attempts per query, counting the first launch
-     * and any hedged duplicate. At exhaustion the feature stage falls
-     * back to software.
-     */
-    int maxAttempts = 2;
-    /** Backoff before retry k (k = 1, 2, ...): base * 2^(k-1). */
-    sim::TimePs backoffBase = 50 * sim::kMicrosecond;
-    /** Relative jitter on each backoff, drawn uniformly in [-j, +j]. */
-    double backoffJitter = 0.2;
-    /** Issue a hedged duplicate to a replica after the hedge delay. */
-    bool hedge = false;
-    /**
-     * Fixed hedge delay; 0 = adaptive — the hedgeQuantile of observed
-     * accelerator latency, never below hedgeMinDelay.
-     */
-    sim::TimePs hedgeDelay = 0;
-    double hedgeQuantile = 99.0;
-    /** Adaptive floor (also used until enough samples accumulate). */
-    sim::TimePs hedgeMinDelay = 200 * sim::kMicrosecond;
-
-    // --- fluent setters ---
-
-    QueryRetryPolicy &withDeadline(sim::TimePs deadline, int max_attempts)
-    {
-        accelDeadline = deadline;
-        maxAttempts = max_attempts;
-        return *this;
-    }
-    QueryRetryPolicy &withBackoff(sim::TimePs base, double jitter)
-    {
-        backoffBase = base;
-        backoffJitter = jitter;
-        return *this;
-    }
-    QueryRetryPolicy &withHedge(sim::TimePs delay = 0)
-    {
-        hedge = true;
-        hedgeDelay = delay;
-        return *this;
-    }
-    QueryRetryPolicy &withHedgeQuantile(double q, sim::TimePs min_delay)
-    {
-        hedgeQuantile = q;
-        hedgeMinDelay = min_delay;
-        return *this;
-    }
-};
+using QueryRetryPolicy = serving::RequestPolicy;
 
 /** One ranking server. */
 class RankingServer
@@ -178,8 +115,37 @@ class RankingServer
     /**
      * Submit one query; @p done receives the total sojourn time
      * (arrival to completion).
+     *
+     * @return false when the admission gate sheds the query: it never
+     *         enters the server (no queue slot, no core, @p done never
+     *         runs) and the front-end should answer degraded. Always
+     *         true when no admission gate is installed.
      */
-    void submitQuery(std::function<void(sim::TimePs latency)> done = {});
+    bool submitQuery(std::function<void(sim::TimePs latency)> done = {});
+
+    /** submitQuery() with a tenant tag for per-tenant admission. */
+    bool submitQuery(const std::string &tenant,
+                     std::function<void(sim::TimePs latency)> done);
+
+    /**
+     * Install an admission gate consulted at submission, before any
+     * queueing (e.g. `[&cc](const std::string &t) { return cc.admit(t); }`).
+     * Pass nullptr to remove. Shed queries count in shedQueries().
+     */
+    void setAdmission(std::function<bool(const std::string &tenant)> fn)
+    {
+        admitFn = std::move(fn);
+    }
+
+    /**
+     * Point this server at a serving cluster: the cluster becomes the
+     * feature accelerator (routing per attempt) and the admission gate
+     * (tagged @p tenant), the cluster's RequestPolicy is installed, and
+     * the replica picker is cleared — retries and hedges route through
+     * the cluster, which picks a (possibly different) backend per call.
+     */
+    void attachCluster(serving::ClusterClient &cluster,
+                       std::string tenant = {});
 
     /**
      * Swap the feature accelerator at runtime (nullptr = software mode).
@@ -236,6 +202,9 @@ class RankingServer
 
     /** Queries whose feature stage ran in software (incl. rescues). */
     std::uint64_t softwareFeatureQueries() const { return statSwFeature; }
+
+    /** Queries refused by the admission gate at submission. */
+    std::uint64_t shedQueries() const { return statShed; }
 
     /** Accelerator attempts that outlived their per-attempt deadline. */
     std::uint64_t deadlinesExpired() const { return statDeadlineExpired; }
@@ -312,6 +281,10 @@ class RankingServer
     std::uint64_t statCompleted = 0;
     std::uint64_t activeQueries = 0;
     std::uint64_t statSwFeature = 0;
+    std::uint64_t statShed = 0;
+    std::function<bool(const std::string &)> admitFn;
+    /** Tenant tag stamped on untagged submissions (set by attachCluster). */
+    std::string defaultTenant;
     QueryRetryPolicy policy;
     std::function<FeatureAccelerator *()> replicaPicker;
     /** In-flight accelerated feature stages, by token. */

@@ -145,6 +145,8 @@ inline constexpr MetricPattern kMetricPatterns[] = {
     {"host.*.queue_depth", "gauge", "Queries waiting for a free core."},
     {"host.*.sw_feature_queries", "gauge",
      "Queries whose feature stage ran in software (incl. rescues)."},
+    {"host.*.shed", "gauge",
+     "Queries refused by the admission gate at submission."},
     {"host.*.accel_blocked", "gauge",
      "Queries currently blocked inside the accelerator."},
     {"host.*.retry.deadline_expired", "gauge",
@@ -183,11 +185,41 @@ inline constexpr MetricPattern kMetricPatterns[] = {
      "Nodes readmitted after sustained healthy heartbeats."},
     {"haas.health.streak_reports", "gauge",
      "LTL retransmit-timeout streaks credited as passive suspicion."},
+    {"haas.health.evidence_reports", "gauge",
+     "Named-source evidence reports credited (idempotent per episode)."},
     {"haas.health.suspected", "gauge",
      "Nodes currently above the suspicion threshold."},
     {"haas.health.monitored", "gauge", "Nodes under health monitoring."},
     {"haas.health.node*.suspicion", "gauge",
      "Current phi-style suspicion score of one node."},
+
+    // --- serving.<service>.* : the cluster serving layer ---
+    {"serving.*.routed", "gauge",
+     "Requests routed to a backend by the cluster client."},
+    {"serving.*.no_backend", "gauge",
+     "Requests dropped because no routable backend remained."},
+    {"serving.*.outstanding", "gauge",
+     "Requests in flight across the pool."},
+    {"serving.*.host.*.outstanding", "gauge",
+     "Requests in flight toward one backend."},
+    {"serving.*.admission.admitted", "gauge",
+     "Requests admitted by the token-bucket gate."},
+    {"serving.*.admission.shed", "gauge",
+     "Requests refused by the token-bucket gate."},
+    {"serving.*.admission.tenant.*.shed", "gauge",
+     "Requests shed against one tenant's rate limit."},
+    {"serving.*.outlier.ejections", "gauge",
+     "Outlier ejections performed (all signals)."},
+    {"serving.*.outlier.ejections_errors", "gauge",
+     "Ejections triggered by consecutive routed-request errors."},
+    {"serving.*.outlier.ejections_latency", "gauge",
+     "Ejections triggered by the latency-percentile signal."},
+    {"serving.*.outlier.ejections_suppressed", "gauge",
+     "Ejections suppressed by the max-ejected-fraction guard."},
+    {"serving.*.outlier.errors", "gauge",
+     "Routed-request errors recorded by the outlier detector."},
+    {"serving.*.outlier.ejected", "gauge",
+     "Backends currently ejected from the routable set."},
 
     // --- fault.* : live fault injection (ccsim::fault) ---
     {"fault.injected", "gauge", "Faults injected so far."},

@@ -1,0 +1,135 @@
+#include "serving/admission.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace ccsim::serving {
+
+void
+validateAdmissionConfig(const AdmissionConfig &cfg)
+{
+    if (cfg.ratePerSec < 0.0)
+        sim::fatalf("AdmissionConfig: ratePerSec must be non-negative "
+                    "(got ", cfg.ratePerSec, ")");
+    if (cfg.ratePerSec > 0.0 && cfg.burst < 1.0)
+        sim::fatalf("AdmissionConfig: burst must be >= 1 request (got ",
+                    cfg.burst, ")");
+    for (const TenantLimit &t : cfg.tenants) {
+        if (t.tenant.empty())
+            sim::fatal("AdmissionConfig: tenant name must be non-empty");
+        if (t.ratePerSec <= 0.0)
+            sim::fatalf("AdmissionConfig: tenant '", t.tenant,
+                        "' ratePerSec must be positive (got ",
+                        t.ratePerSec, ")");
+        if (t.burst < 1.0)
+            sim::fatalf("AdmissionConfig: tenant '", t.tenant,
+                        "' burst must be >= 1 request (got ", t.burst,
+                        ")");
+    }
+    for (std::size_t i = 0; i < cfg.tenants.size(); ++i)
+        for (std::size_t j = i + 1; j < cfg.tenants.size(); ++j)
+            if (cfg.tenants[i].tenant == cfg.tenants[j].tenant)
+                sim::fatalf("AdmissionConfig: duplicate tenant '",
+                            cfg.tenants[i].tenant, "'");
+}
+
+bool
+AdmissionController::Bucket::available(sim::TimePs now)
+{
+    if (now > lastRefill) {
+        tokens = std::min(
+            burst, tokens + rate * sim::toSeconds(now - lastRefill));
+        lastRefill = now;
+    }
+    return tokens >= 1.0;
+}
+
+AdmissionController::AdmissionController(sim::EventQueue &eq,
+                                         AdmissionConfig config)
+    : queue(eq), cfg(std::move(config))
+{
+    validateAdmissionConfig(cfg);
+    globalEnabled = cfg.ratePerSec > 0.0;
+    global.rate = cfg.ratePerSec;
+    global.burst = cfg.burst;
+    global.tokens = cfg.burst;  // buckets start full
+    global.lastRefill = eq.now();
+    for (const TenantLimit &t : cfg.tenants) {
+        Bucket b;
+        b.rate = t.ratePerSec;
+        b.burst = t.burst;
+        b.tokens = t.burst;
+        b.lastRefill = eq.now();
+        tenantBuckets.emplace_back(t.tenant, b);
+    }
+}
+
+AdmissionController::Bucket *
+AdmissionController::bucketFor(const std::string &tenant)
+{
+    for (auto &[name, bucket] : tenantBuckets)
+        if (name == tenant)
+            return &bucket;
+    return nullptr;
+}
+
+bool
+AdmissionController::unlimited() const
+{
+    return !globalEnabled && tenantBuckets.empty();
+}
+
+bool
+AdmissionController::tryAdmit(const std::string &tenant)
+{
+    const sim::TimePs now = queue.now();
+    Bucket *tb = tenant.empty() ? nullptr : bucketFor(tenant);
+    const bool global_ok = !globalEnabled || global.available(now);
+    const bool tenant_ok = tb == nullptr || tb->available(now);
+    if (global_ok && tenant_ok) {
+        if (globalEnabled)
+            global.take();
+        if (tb != nullptr)
+            tb->take();
+        ++statAdmitted;
+        return true;
+    }
+    ++statShed;
+    // Charge the shed to the binding constraint: the tenant bucket when
+    // it refused, else the global one.
+    if (tb != nullptr && !tenant_ok)
+        ++tb->shed;
+    else
+        ++global.shed;
+    return false;
+}
+
+std::uint64_t
+AdmissionController::shedFor(const std::string &tenant) const
+{
+    for (const auto &[name, bucket] : tenantBuckets)
+        if (name == tenant)
+            return bucket.shed;
+    return 0;
+}
+
+void
+AdmissionController::attachObservability(obs::Observability *o,
+                                         const std::string &prefix)
+{
+    if (!o)
+        return;
+    auto &reg = o->registry;
+    reg.registerProbe(prefix + ".admitted",
+                      [this] { return double(statAdmitted); });
+    reg.registerProbe(prefix + ".shed",
+                      [this] { return double(statShed); });
+    for (auto &[name, bucket] : tenantBuckets) {
+        const Bucket *b = &bucket;
+        reg.registerProbe(prefix + ".tenant." + name + ".shed",
+                          [b] { return double(b->shed); });
+    }
+}
+
+}  // namespace ccsim::serving

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Token-bucket admission control with per-tenant rate limits.
+ *
+ * Overload must degrade by *shedding* rather than collapsing: once the
+ * offered load passes the pool's saturation point, every admitted query
+ * only lengthens the queue and pushes all queries past their deadline —
+ * goodput falls off a cliff. The admission controller caps the admitted
+ * rate with a global token bucket plus optional per-tenant buckets, so
+ * excess arrivals are refused up front (cheap) and the queries that are
+ * admitted still meet their SLO (the goodput plateau asserted by the
+ * overload ablation).
+ *
+ * Buckets refill lazily from simulated time, so admission decisions are
+ * a pure function of the arrival timeline — deterministic per seed, and
+ * a fixed arrival trace sheds the exact same requests every run.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/event_queue.hpp"
+
+namespace ccsim::serving {
+
+/** One tenant's rate limit. */
+struct TenantLimit {
+    std::string tenant;
+    /** Sustained admitted requests per second of simulated time. */
+    double ratePerSec = 0.0;
+    /** Bucket capacity (burst tolerance), in requests; >= 1. */
+    double burst = 1.0;
+};
+
+/** Admission-control configuration. */
+struct AdmissionConfig {
+    /**
+     * Global sustained admitted rate (requests per second of simulated
+     * time); 0 disables the global bucket (tenant buckets still apply).
+     */
+    double ratePerSec = 0.0;
+    /** Global bucket capacity, in requests. */
+    double burst = 1.0;
+    /** Per-tenant limits, checked in addition to the global bucket. */
+    std::vector<TenantLimit> tenants;
+
+    // --- fluent setters ---
+
+    AdmissionConfig &withRate(double rate_per_sec, double burst_requests)
+    {
+        ratePerSec = rate_per_sec;
+        burst = burst_requests;
+        return *this;
+    }
+    AdmissionConfig &withTenant(std::string tenant, double rate_per_sec,
+                                double burst_requests)
+    {
+        tenants.push_back(
+            {std::move(tenant), rate_per_sec, burst_requests});
+        return *this;
+    }
+};
+
+/** Fatal on any out-of-range field. */
+void validateAdmissionConfig(const AdmissionConfig &cfg);
+
+/**
+ * The token-bucket gate. One instance per ClusterClient; hosts consult
+ * it at query submission, before any queue is entered.
+ */
+class AdmissionController
+{
+  public:
+    AdmissionController(sim::EventQueue &eq, AdmissionConfig cfg);
+
+    /**
+     * Try to admit one request for @p tenant (empty = untagged traffic,
+     * global bucket only). A request is admitted only when the global
+     * bucket *and* the tenant's bucket (if one is configured) both hold
+     * a token; both are debited together, so a shed never consumes
+     * tokens. Unknown tenants face only the global bucket.
+     */
+    bool tryAdmit(const std::string &tenant = {});
+
+    /** True when neither a global nor any tenant limit is configured. */
+    bool unlimited() const;
+
+    std::uint64_t admitted() const { return statAdmitted; }
+    std::uint64_t shed() const { return statShed; }
+    /** Sheds charged to one tenant (0 for unknown tenants). */
+    std::uint64_t shedFor(const std::string &tenant) const;
+
+    const AdmissionConfig &config() const { return cfg; }
+
+    /**
+     * Export counters under `<prefix>.admitted`, `<prefix>.shed`, and
+     * `<prefix>.tenant.<name>.shed`. Pass nullptr to detach.
+     */
+    void attachObservability(obs::Observability *o,
+                             const std::string &prefix);
+
+  private:
+    struct Bucket {
+        double rate = 0.0;    ///< tokens per second
+        double burst = 1.0;   ///< capacity
+        double tokens = 0.0;  ///< current fill
+        sim::TimePs lastRefill = 0;
+        std::uint64_t shed = 0;
+
+        /** Refill from elapsed simulated time, then peek for one token. */
+        bool available(sim::TimePs now);
+        void take() { tokens -= 1.0; }
+    };
+
+    sim::EventQueue &queue;
+    AdmissionConfig cfg;
+    Bucket global;
+    bool globalEnabled = false;
+    /** Tenant buckets in configuration order (deterministic export). */
+    std::vector<std::pair<std::string, Bucket>> tenantBuckets;
+    std::uint64_t statAdmitted = 0;
+    std::uint64_t statShed = 0;
+
+    Bucket *bucketFor(const std::string &tenant);
+};
+
+}  // namespace ccsim::serving

@@ -1,0 +1,211 @@
+#include "serving/cluster_client.hpp"
+
+#include <algorithm>
+
+#include "obs/flow_trace.hpp"
+#include "sim/logging.hpp"
+
+namespace ccsim::serving {
+
+void
+validateServingConfig(const ServingConfig &cfg)
+{
+    if (cfg.balancer == BalancerPolicy::kBoundedLoadConsistentHash) {
+        if (cfg.chVnodes < 1)
+            sim::fatalf("ServingConfig: chVnodes must be >= 1 (got ",
+                        cfg.chVnodes, ")");
+        if (cfg.chLoadBound <= 1.0)
+            sim::fatalf("ServingConfig: chLoadBound must be > 1 (got ",
+                        cfg.chLoadBound, ")");
+    }
+    validateAdmissionConfig(cfg.admission);
+    validateEjectionConfig(cfg.ejection);
+    validateRequestPolicy(cfg.request);
+}
+
+ClusterClient::ClusterClient(sim::EventQueue &eq, std::string name,
+                             InstanceSource instances, ServingConfig cfg)
+    : queue(eq),
+      serviceName(std::move(name)),
+      source(std::move(instances)),
+      config((validateServingConfig(cfg), cfg)),
+      lb(makeBalancer(cfg.balancer, cfg.chVnodes, cfg.chLoadBound)),
+      admissionCtl(eq, cfg.admission),
+      detector(eq, cfg.ejection),
+      rng(sim::Rng::forStream(cfg.seed, 0x5e21u))
+{
+    if (!source)
+        sim::fatal("ClusterClient: instance source must be set");
+}
+
+void
+ClusterClient::registerEndpoint(int host, host::FeatureAccelerator *endpoint)
+{
+    if (endpoint == nullptr)
+        sim::fatalf("ClusterClient(", serviceName,
+                    "): null endpoint for host ", host);
+    endpoints[host] = endpoint;
+    if (obsHub != nullptr) {
+        // Replacement semantics make re-registration after a
+        // scale-down/up cycle safe.
+        obsHub->registry.registerProbe(
+            obsPrefix + ".host." + std::to_string(host) + ".outstanding",
+            [this, host] { return double(outstandingOn(host)); });
+    }
+}
+
+void
+ClusterClient::unregisterEndpoint(int host)
+{
+    endpoints.erase(host);
+}
+
+bool
+ClusterClient::admit(const std::string &tenant)
+{
+    return admissionCtl.tryAdmit(tenant);
+}
+
+int
+ClusterClient::route(std::uint64_t key)
+{
+    const std::vector<int> instances = source();
+    detector.trackHosts(instances);
+    candidates.clear();
+    for (int host : instances)
+        if (endpoints.count(host) != 0 && !detector.ejected(host))
+            candidates.push_back(host);
+    if (candidates.empty())
+        return -1;
+    lb->setHosts(candidates);
+    if (key == 0)
+        key = rng.next();
+    const int host = lb->pick(key, [this](int h) {
+        return outstandingOn(h);
+    });
+    if (host >= 0)
+        ++statRouted;
+    return host;
+}
+
+void
+ClusterClient::compute(std::uint32_t doc_count, std::function<void()> done)
+{
+    computeTraced(doc_count, obs::TraceContext{}, std::move(done));
+}
+
+void
+ClusterClient::computeTraced(std::uint32_t doc_count,
+                             const obs::TraceContext &ctx,
+                             std::function<void()> done)
+{
+    const int host = route();
+    if (host < 0) {
+        // No routable backend: drop rather than fake a completion. The
+        // caller's per-attempt deadline fires and it falls back (e.g. to
+        // the software feature path), exactly as for a dead accelerator.
+        ++statNoBackend;
+        return;
+    }
+    forward(host, doc_count, ctx, std::move(done));
+}
+
+void
+ClusterClient::forward(int host, std::uint32_t doc_count,
+                       const obs::TraceContext &ctx,
+                       std::function<void()> done)
+{
+    const std::uint64_t token = nextToken++;
+    PendingRequest &req = pending[token];
+    req.host = host;
+    req.startedAt = queue.now();
+    if (config.ejection.attemptTimeout > 0)
+        req.timeoutEvent = queue.scheduleAfter(
+            config.ejection.attemptTimeout,
+            [this, token] { onTimeout(token); });
+    ++outstanding[host];
+    if (ctx.sampled && obsHub != nullptr) {
+        // Zero-width annotation: names the chosen backend in the span
+        // dump without covering any time, so attribution still sums
+        // exactly.
+        obsHub->flows.recordSpan(
+            ctx, obsPrefix + ".host" + std::to_string(host),
+            obs::Component::kCompute, queue.now(), queue.now());
+    }
+    endpoints[host]->computeTraced(
+        doc_count, ctx, [this, token, cb = std::move(done)] {
+            onResponse(token);
+            if (cb)
+                cb();
+        });
+}
+
+void
+ClusterClient::onResponse(std::uint64_t token)
+{
+    auto it = pending.find(token);
+    if (it == pending.end())
+        return;  // already counted as an error by the attempt timeout
+    const PendingRequest req = it->second;
+    pending.erase(it);
+    if (req.timeoutEvent != sim::kNoEvent)
+        queue.cancel(req.timeoutEvent);
+    auto out = outstanding.find(req.host);
+    if (out != outstanding.end() && out->second > 0)
+        --out->second;
+    detector.recordSuccess(req.host, queue.now() - req.startedAt);
+}
+
+void
+ClusterClient::onTimeout(std::uint64_t token)
+{
+    auto it = pending.find(token);
+    if (it == pending.end())
+        return;
+    const int host = it->second.host;
+    pending.erase(it);
+    auto out = outstanding.find(host);
+    if (out != outstanding.end() && out->second > 0)
+        --out->second;
+    detector.recordError(host);
+}
+
+int
+ClusterClient::outstandingOn(int host) const
+{
+    auto it = outstanding.find(host);
+    return it == outstanding.end() ? 0 : it->second;
+}
+
+int
+ClusterClient::outstandingTotal() const
+{
+    int total = 0;
+    for (const auto &[host, n] : outstanding)
+        total += n;
+    return total;
+}
+
+void
+ClusterClient::attachObservability(obs::Observability *o)
+{
+    obsHub = o;
+    if (o == nullptr)
+        return;
+    obsPrefix = "serving." + serviceName;
+    auto &reg = o->registry;
+    reg.registerProbe(obsPrefix + ".routed",
+                      [this] { return double(statRouted); });
+    reg.registerProbe(obsPrefix + ".no_backend",
+                      [this] { return double(statNoBackend); });
+    reg.registerProbe(obsPrefix + ".outstanding",
+                      [this] { return double(outstandingTotal()); });
+    for (const auto &[host, endpoint] : endpoints)
+        reg.registerProbe(
+            obsPrefix + ".host." + std::to_string(host) + ".outstanding",
+            [this, h = host] { return double(outstandingOn(h)); });
+    admissionCtl.attachObservability(o, obsPrefix + ".admission");
+    detector.attachObservability(o, obsPrefix + ".outlier");
+}
+
+}  // namespace ccsim::serving

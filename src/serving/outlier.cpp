@@ -1,0 +1,228 @@
+#include "serving/outlier.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace ccsim::serving {
+
+namespace {
+
+/** Latency evaluations are amortized: one per this many successes. */
+constexpr int kEvalEvery = 16;
+
+}  // namespace
+
+void
+validateEjectionConfig(const EjectionConfig &cfg)
+{
+    if (cfg.consecutiveErrors < 0)
+        sim::fatalf("EjectionConfig: consecutiveErrors must be >= 0 "
+                    "(got ", cfg.consecutiveErrors, ")");
+    if (cfg.attemptTimeout < 0)
+        sim::fatal("EjectionConfig: attemptTimeout must be non-negative");
+    if (cfg.baseEjectionTime <= 0)
+        sim::fatal("EjectionConfig: baseEjectionTime must be positive");
+    if (cfg.maxEjectionMultiplier < 1)
+        sim::fatalf("EjectionConfig: maxEjectionMultiplier must be >= 1 "
+                    "(got ", cfg.maxEjectionMultiplier, ")");
+    if (cfg.latencyFactor < 0.0)
+        sim::fatal("EjectionConfig: latencyFactor must be non-negative");
+    if (cfg.latencyPercentile <= 0.0 || cfg.latencyPercentile > 100.0)
+        sim::fatalf("EjectionConfig: latencyPercentile must be in "
+                    "(0, 100] (got ", cfg.latencyPercentile, ")");
+    if (cfg.minLatencySamples < 2)
+        sim::fatalf("EjectionConfig: minLatencySamples must be >= 2 "
+                    "(got ", cfg.minLatencySamples, ")");
+    if (cfg.latencyWindow < cfg.minLatencySamples)
+        sim::fatalf("EjectionConfig: latencyWindow (", cfg.latencyWindow,
+                    ") must be >= minLatencySamples (",
+                    cfg.minLatencySamples, ")");
+    if (cfg.maxEjectedFraction < 0.0 || cfg.maxEjectedFraction > 1.0)
+        sim::fatalf("EjectionConfig: maxEjectedFraction must be in "
+                    "[0, 1] (got ", cfg.maxEjectedFraction, ")");
+    if (cfg.evidenceWeight < 0.0)
+        sim::fatal("EjectionConfig: evidenceWeight must be non-negative");
+}
+
+OutlierDetector::OutlierDetector(sim::EventQueue &eq, EjectionConfig config)
+    : queue(eq), cfg(config)
+{
+    validateEjectionConfig(cfg);
+}
+
+void
+OutlierDetector::trackHosts(const std::vector<int> &hosts)
+{
+    for (int host : hosts)
+        hostsState.try_emplace(host);
+    for (auto it = hostsState.begin(); it != hostsState.end();) {
+        if (std::find(hosts.begin(), hosts.end(), it->first) == hosts.end())
+            it = hostsState.erase(it);
+        else
+            ++it;
+    }
+}
+
+bool
+OutlierDetector::ejected(int host) const
+{
+    auto it = hostsState.find(host);
+    return it != hostsState.end() && it->second.ejectedUntil > queue.now();
+}
+
+int
+OutlierDetector::ejectedCount() const
+{
+    int n = 0;
+    for (const auto &[host, hs] : hostsState)
+        n += hs.ejectedUntil > queue.now() ? 1 : 0;
+    return n;
+}
+
+sim::TimePs
+OutlierDetector::lastEjectedAt(int host) const
+{
+    auto it = hostsState.find(host);
+    return it == hostsState.end() ? -1 : it->second.lastEjection;
+}
+
+sim::TimePs
+OutlierDetector::windowPercentile(const std::vector<sim::TimePs> &w,
+                                  double pct)
+{
+    if (w.empty())
+        return 0;
+    std::vector<sim::TimePs> sorted(w);
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(std::max(
+        0.0,
+        pct / 100.0 * static_cast<double>(sorted.size()) - 1.0));
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+bool
+OutlierDetector::latencyOutlier(const HostState &hs) const
+{
+    if (cfg.latencyFactor <= 0.0 ||
+        static_cast<int>(hs.window.size()) < cfg.minLatencySamples)
+        return false;
+    // Cluster reference: the same percentile over every tracked host's
+    // window (the degraded host's own samples included — conservative).
+    std::vector<sim::TimePs> all;
+    for (const auto &[host, other] : hostsState)
+        all.insert(all.end(), other.window.begin(), other.window.end());
+    const sim::TimePs cluster =
+        windowPercentile(all, cfg.latencyPercentile);
+    if (cluster <= 0)
+        return false;
+    const sim::TimePs mine =
+        windowPercentile(hs.window, cfg.latencyPercentile);
+    return static_cast<double>(mine) >
+           cfg.latencyFactor * static_cast<double>(cluster);
+}
+
+void
+OutlierDetector::recordSuccess(int host, sim::TimePs latency)
+{
+    auto it = hostsState.find(host);
+    if (it == hostsState.end())
+        return;
+    HostState &hs = it->second;
+    hs.consecutiveErrors = 0;
+    if (static_cast<int>(hs.window.size()) < cfg.latencyWindow) {
+        hs.window.push_back(latency);
+    } else {
+        hs.window[hs.windowNext] = latency;
+        hs.windowNext = (hs.windowNext + 1) %
+                        static_cast<std::size_t>(cfg.latencyWindow);
+    }
+    if (++hs.sinceEval < kEvalEvery)
+        return;
+    hs.sinceEval = 0;
+    if (hs.ejectedUntil > queue.now())
+        return;  // already out; late completions change nothing
+    if (latencyOutlier(hs))
+        eject(host, hs, EjectionReason::kLatencyPercentile);
+}
+
+void
+OutlierDetector::recordError(int host)
+{
+    auto it = hostsState.find(host);
+    if (it == hostsState.end())
+        return;
+    ++statErrors;
+    HostState &hs = it->second;
+    ++hs.consecutiveErrors;
+    if (hs.ejectedUntil > queue.now())
+        return;
+    if (cfg.consecutiveErrors > 0 &&
+        hs.consecutiveErrors >= cfg.consecutiveErrors)
+        eject(host, hs, EjectionReason::kConsecutiveErrors);
+}
+
+void
+OutlierDetector::eject(int host, HostState &hs, EjectionReason reason)
+{
+    // Never eject the whole pool: a cluster-wide slowdown (or a bad
+    // threshold) must leave at least one routable instance.
+    const int limit = std::max(
+        1, static_cast<int>(std::floor(
+               cfg.maxEjectedFraction *
+               static_cast<double>(hostsState.size()))));
+    if (ejectedCount() + 1 > limit) {
+        ++statSuppressed;
+        return;
+    }
+    const int mult = std::min(hs.ejectionCount, cfg.maxEjectionMultiplier - 1);
+    const auto duration = static_cast<sim::TimePs>(
+        static_cast<double>(cfg.baseEjectionTime) * std::ldexp(1.0, mult));
+    hs.ejectedUntil = queue.now() + duration;
+    hs.lastEjection = queue.now();
+    ++hs.ejectionCount;
+    // Readmit with a clean slate: stale pre-ejection samples must not
+    // immediately re-eject a recovered host.
+    hs.consecutiveErrors = 0;
+    hs.window.clear();
+    hs.windowNext = 0;
+    hs.sinceEval = 0;
+    ++statEjections;
+    if (reason == EjectionReason::kConsecutiveErrors)
+        ++statByErrors;
+    else
+        ++statByLatency;
+    CCSIM_LOG(sim::LogLevel::kWarn, "serving.outlier", queue.now(),
+              "host ", host, " ejected for ", sim::toMicros(duration),
+              " us (",
+              reason == EjectionReason::kConsecutiveErrors
+                  ? "consecutive errors"
+                  : "latency percentile",
+              ")");
+    if (evidence)
+        evidence(host, cfg.evidenceWeight);
+}
+
+void
+OutlierDetector::attachObservability(obs::Observability *o,
+                                     const std::string &prefix)
+{
+    if (!o)
+        return;
+    auto &reg = o->registry;
+    reg.registerProbe(prefix + ".ejections",
+                      [this] { return double(statEjections); });
+    reg.registerProbe(prefix + ".ejections_errors",
+                      [this] { return double(statByErrors); });
+    reg.registerProbe(prefix + ".ejections_latency",
+                      [this] { return double(statByLatency); });
+    reg.registerProbe(prefix + ".ejections_suppressed",
+                      [this] { return double(statSuppressed); });
+    reg.registerProbe(prefix + ".errors",
+                      [this] { return double(statErrors); });
+    reg.registerProbe(prefix + ".ejected",
+                      [this] { return double(ejectedCount()); });
+}
+
+}  // namespace ccsim::serving

@@ -1,0 +1,24 @@
+#include "serving/request_policy.hpp"
+
+#include "sim/logging.hpp"
+
+namespace ccsim::serving {
+
+void
+validateRequestPolicy(const RequestPolicy &p)
+{
+    if (p.accelDeadline < 0 || p.backoffBase < 0 || p.hedgeDelay < 0 ||
+        p.hedgeMinDelay < 0)
+        sim::fatal("RequestPolicy: times must be non-negative");
+    if (p.maxAttempts < 1)
+        sim::fatalf("RequestPolicy: maxAttempts must be >= 1 (got ",
+                    p.maxAttempts, ")");
+    if (p.backoffJitter < 0.0 || p.backoffJitter > 1.0)
+        sim::fatalf("RequestPolicy: backoffJitter must be in [0, 1] "
+                    "(got ", p.backoffJitter, ")");
+    if (p.hedgeQuantile <= 0.0 || p.hedgeQuantile > 100.0)
+        sim::fatalf("RequestPolicy: hedgeQuantile must be in (0, 100] "
+                    "(got ", p.hedgeQuantile, ")");
+}
+
+}  // namespace ccsim::serving

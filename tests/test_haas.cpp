@@ -1,7 +1,8 @@
 /**
  * @file
  * HaaS unit tests: lease lifecycle, constraints, pool accounting,
- * failure reporting and SM failover, and FM configuration.
+ * failure reporting and SM failover, FM configuration, and the
+ * HealthMonitor's per-source evidence idempotence.
  */
 #include <gtest/gtest.h>
 
@@ -9,7 +10,10 @@
 #include <set>
 #include <vector>
 
+#include "core/cloud.hpp"
 #include "haas/haas.hpp"
+#include "haas/health_monitor.hpp"
+#include "roles/dnn_role.hpp"
 #include "sim/event_queue.hpp"
 
 namespace {
@@ -243,6 +247,121 @@ TEST(ServiceManager, RoundRobinLoadBalancing)
     ServiceManager sm(pool.eq, pool.rm, "svc",
                       [&](int) { return pool.makeRole(); });
     EXPECT_EQ(sm.pickInstance(), -1);  // nothing deployed
+}
+
+TEST(ServiceManager, PickInstanceMatchesLegacySequence)
+{
+    // pickInstance() is now a shim over serving::RoundRobinBalancer.
+    // Replay the pre-serving implementation — `hosts[rrNext %
+    // hosts.size()]; ++rrNext;` with a free-running counter — side by
+    // side through deploys, scale-downs, scale-ups, and a failover, and
+    // require bit-identical pick sequences throughout.
+    EventQueue eq;
+    core::CloudConfig cfg;
+    cfg.topology.hostsPerRack = 4;
+    cfg.topology.racksPerPod = 2;
+    cfg.topology.l1PerPod = 2;
+    cfg.topology.pods = 1;
+    cfg.topology.l2Count = 1;
+    cfg.createNics = false;
+    core::ConfigurableCloud cloud(eq, cfg);
+
+    std::vector<std::unique_ptr<roles::DnnRole>> role_storage;
+    ServiceManager sm(eq, cloud.resourceManager(), "dnn",
+                      [&](int) -> fpga::Role * {
+                          role_storage.push_back(
+                              std::make_unique<roles::DnnRole>(eq));
+                          return role_storage.back().get();
+                      });
+
+    std::size_t legacy_next = 0;
+    auto legacy_pick = [&]() -> int {
+        const auto &hosts = sm.instances();
+        if (hosts.empty())
+            return -1;
+        const int host = hosts[legacy_next % hosts.size()];
+        ++legacy_next;
+        return host;
+    };
+    auto expect_same_picks = [&](int picks) {
+        for (int i = 0; i < picks; ++i) {
+            const int expected = legacy_pick();
+            EXPECT_EQ(sm.pickInstance(), expected)
+                << "diverged at pick " << i << " with "
+                << sm.instances().size() << " instances";
+        }
+    };
+
+    ASSERT_TRUE(sm.deploy(3));
+    expect_same_picks(7);  // not a multiple of 3: counter mid-cycle
+    ASSERT_TRUE(sm.scaleTo(2));
+    expect_same_picks(5);
+    ASSERT_TRUE(sm.scaleTo(5));
+    expect_same_picks(9);
+    // Failover replaces a host mid-sequence (membership change without
+    // a size change).
+    const int victim = sm.instances().front();
+    cloud.resourceManager().reportFailure(victim);
+    ASSERT_TRUE(sm.handleFailure(victim));
+    expect_same_picks(11);
+}
+
+TEST(HealthMonitor, EvidenceIdempotentPerSource)
+{
+    Pool pool(4);
+    haas::HealthMonitorConfig cfg;
+    cfg.suspicionThreshold = 3.0;
+    haas::HealthMonitor hm(pool.eq, pool.rm, cfg);
+
+    // The same source re-reporting adds no further suspicion: a serving
+    // detector that re-ejects a grey node every 30 ms must not reach the
+    // reporting threshold on its own.
+    hm.reportEvidence(1, "serving.rank", 1.0);
+    hm.reportEvidence(1, "serving.rank", 1.0);
+    hm.reportEvidence(1, "serving.rank", 1.0);
+    hm.reportEvidence(1, "serving.rank", 1.0);
+    EXPECT_DOUBLE_EQ(hm.suspicion(1), 1.0);
+    EXPECT_EQ(hm.evidenceReports(), 1u);
+    EXPECT_EQ(pool.rm.failedCount(), 0);
+
+    // Distinct sources corroborate: each credits once.
+    hm.reportEvidence(1, "serving.crypto", 1.0);
+    EXPECT_DOUBLE_EQ(hm.suspicion(1), 2.0);
+    hm.reportEvidence(1, "serving.dnn", 1.0);
+    // Third source crossed the threshold: reported to the RM once.
+    EXPECT_EQ(pool.rm.failedCount(), 1);
+    EXPECT_EQ(hm.detections(), 1u);
+
+    // While reported, even a fresh source cannot double-report.
+    hm.reportEvidence(1, "serving.other", 5.0);
+    EXPECT_EQ(pool.rm.failedCount(), 1);
+    EXPECT_EQ(hm.detections(), 1u);
+
+    // Evidence against unregistered hosts is ignored.
+    hm.reportEvidence(99, "serving.rank", 1.0);
+    EXPECT_DOUBLE_EQ(hm.suspicion(99), 0.0);
+}
+
+TEST(HealthMonitor, EvidenceLatchClearsOnHealthyHeartbeat)
+{
+    Pool pool(2);
+    haas::HealthMonitorConfig cfg;
+    cfg.suspicionThreshold = 3.0;
+    haas::HealthMonitor hm(pool.eq, pool.rm, cfg);
+    hm.setProbe([](int) { return true; });
+    hm.start();
+
+    hm.reportEvidence(0, "serving.rank", 1.0);
+    EXPECT_DOUBLE_EQ(hm.suspicion(0), 1.0);
+
+    // A reachable heartbeat ends the episode: suspicion resets and the
+    // source may count again when the node degrades anew.
+    pool.eq.runFor(cfg.heartbeatPeriod + cfg.heartbeatRtt + 1);
+    hm.stop();
+    EXPECT_DOUBLE_EQ(hm.suspicion(0), 0.0);
+    hm.reportEvidence(0, "serving.rank", 1.0);
+    EXPECT_DOUBLE_EQ(hm.suspicion(0), 1.0);
+    EXPECT_EQ(hm.evidenceReports(), 2u);
 }
 
 }  // namespace

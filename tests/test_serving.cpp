@@ -1,0 +1,690 @@
+/**
+ * @file
+ * Cluster serving layer tests: balancer policies (round-robin parity,
+ * least-outstanding determinism, bounded-load consistent hashing),
+ * token-bucket admission (deterministic shedding, tenant isolation),
+ * outlier ejection (consecutive errors, latency percentile, the
+ * max-ejected-fraction guard), the ClusterClient facade end-to-end with
+ * a RankingServer, config validation, and same-seed snapshot identity
+ * per balancer policy.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "host/feature_accelerator.hpp"
+#include "host/ranking_server.hpp"
+#include "obs/flow_trace.hpp"
+#include "obs/metrics.hpp"
+#include "serving/admission.hpp"
+#include "serving/balancer.hpp"
+#include "serving/cluster_client.hpp"
+#include "serving/outlier.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace ccsim;
+using serving::AdmissionConfig;
+using serving::AdmissionController;
+using serving::BalancerPolicy;
+using serving::ClusterClient;
+using serving::EjectionConfig;
+using serving::OutlierDetector;
+using serving::ServingConfig;
+using sim::EventQueue;
+
+/** Fixed-latency accelerator endpoint standing in for a remote FPGA. */
+class StubAccelerator : public host::FeatureAccelerator
+{
+  public:
+    StubAccelerator(EventQueue &eq, sim::TimePs latency)
+        : queue(eq), serviceTime(latency)
+    {
+    }
+
+    void compute(std::uint32_t, std::function<void()> done) override
+    {
+        ++requests;
+        if (dead)
+            return;  // swallow: the request never completes
+        queue.scheduleAfter(serviceTime, [d = std::move(done)] {
+            if (d)
+                d();
+        });
+    }
+
+    void setLatency(sim::TimePs latency) { serviceTime = latency; }
+    void setDead(bool d) { dead = d; }
+
+    EventQueue &queue;
+    sim::TimePs serviceTime;
+    bool dead = false;
+    int requests = 0;
+};
+
+// ---------------------------------------------------------------------
+// Balancers
+// ---------------------------------------------------------------------
+
+TEST(Balancer, RoundRobinCyclesAndSurvivesMembershipChanges)
+{
+    auto lb = serving::makeBalancer(BalancerPolicy::kRoundRobin);
+    lb->setHosts({4, 7, 9});
+    // Legacy semantics: free-running counter, index = counter % size.
+    EXPECT_EQ(lb->pick(0, {}), 4);
+    EXPECT_EQ(lb->pick(0, {}), 7);
+    EXPECT_EQ(lb->pick(0, {}), 9);
+    EXPECT_EQ(lb->pick(0, {}), 4);
+    // Counter is at 4; with 2 hosts the next pick is index 4 % 2 = 0.
+    lb->setHosts({4, 7});
+    EXPECT_EQ(lb->pick(0, {}), 4);
+    EXPECT_EQ(lb->pick(0, {}), 7);
+    lb->setHosts({});
+    EXPECT_EQ(lb->pick(0, {}), -1);
+}
+
+TEST(Balancer, LeastOutstandingPicksFewestWithFirstSeenTieBreak)
+{
+    auto lb = serving::makeBalancer(BalancerPolicy::kLeastOutstanding);
+    lb->setHosts({3, 1, 5});
+    std::map<int, int> load{{3, 2}, {1, 1}, {5, 1}};
+    auto out = [&](int h) { return load[h]; };
+    // 1 and 5 tie at one outstanding; the first seen in set order wins.
+    EXPECT_EQ(lb->pick(0, out), 1);
+    load[1] = 3;
+    EXPECT_EQ(lb->pick(0, out), 5);
+    load[5] = 4;
+    EXPECT_EQ(lb->pick(0, out), 3);
+    // No outstanding function at all: first host wins (all count 0).
+    EXPECT_EQ(lb->pick(0, {}), 3);
+}
+
+TEST(Balancer, ConsistentHashGivesStableAffinity)
+{
+    auto lb = serving::makeBalancer(
+        BalancerPolicy::kBoundedLoadConsistentHash, 64, 8.0);
+    lb->setHosts({0, 1, 2, 3});
+    // With a generous load bound and no outstanding load, a key's pick
+    // is its ring home — identical on every call.
+    for (std::uint64_t key = 1; key <= 200; ++key) {
+        const int first = lb->pick(key, {});
+        EXPECT_EQ(lb->pick(key, {}), first) << "key " << key;
+        EXPECT_GE(first, 0);
+    }
+}
+
+TEST(Balancer, ConsistentHashMovesFewKeysOnMembershipChange)
+{
+    auto lb = serving::makeBalancer(
+        BalancerPolicy::kBoundedLoadConsistentHash, 64, 8.0);
+    lb->setHosts({0, 1, 2, 3});
+    std::map<std::uint64_t, int> before;
+    for (std::uint64_t key = 1; key <= 500; ++key)
+        before[key] = lb->pick(key, {});
+    lb->setHosts({0, 1, 2, 3, 4});
+    int moved = 0, movedElsewhere = 0;
+    for (std::uint64_t key = 1; key <= 500; ++key) {
+        const int now = lb->pick(key, {});
+        if (now != before[key]) {
+            ++moved;
+            if (now != 4)
+                ++movedElsewhere;  // should only move TO the new host
+        }
+    }
+    // Consistent hashing moves ~1/n of the keys, all toward the new
+    // host; a modulo hash would reshuffle ~4/5 of them.
+    EXPECT_GT(moved, 0);
+    EXPECT_LT(moved, 250);  // well under half; expectation ~100
+    EXPECT_EQ(movedElsewhere, 0);
+}
+
+TEST(Balancer, ConsistentHashRespectsBoundedLoad)
+{
+    auto lb = serving::makeBalancer(
+        BalancerPolicy::kBoundedLoadConsistentHash, 64, 1.25);
+    lb->setHosts({0, 1, 2});
+    // Find a key homed on some host, then saturate that host: the same
+    // key must spill to a different host instead of queueing behind it.
+    const std::uint64_t key = 42;
+    const int home = lb->pick(key, {});
+    std::map<int, int> load;
+    // cap = ceil(1.25 * (total + 1) / 3); total = 9 -> cap = ceil(4.16)
+    // = 5. Put 6 on the home host, 2 and 1 on the others.
+    int other = -1;
+    for (int h : {0, 1, 2})
+        if (h != home && other < 0)
+            other = h;
+    load[home] = 6;
+    load[other] = 2;
+    load[3 - home - other] = 1;
+    auto out = [&](int h) { return load[h]; };
+    const int spilled = lb->pick(key, out);
+    EXPECT_NE(spilled, home);
+    EXPECT_GE(spilled, 0);
+}
+
+TEST(Balancer, FactoryNames)
+{
+    EXPECT_STREQ(serving::makeBalancer(BalancerPolicy::kRoundRobin)->name(),
+                 "round_robin");
+    EXPECT_STREQ(
+        serving::makeBalancer(BalancerPolicy::kLeastOutstanding)->name(),
+        "least_outstanding");
+    EXPECT_STREQ(
+        serving::makeBalancer(BalancerPolicy::kBoundedLoadConsistentHash)
+            ->name(),
+        "bounded_load_ch");
+}
+
+// ---------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------
+
+TEST(Admission, UnlimitedByDefault)
+{
+    EventQueue eq;
+    AdmissionController ac(eq, {});
+    EXPECT_TRUE(ac.unlimited());
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(ac.tryAdmit());
+    EXPECT_EQ(ac.shed(), 0u);
+}
+
+TEST(Admission, ShedsDeterministicallyUnderFixedArrivalTrace)
+{
+    // 1000 req/s = one token per millisecond; burst of 2. Submit 3
+    // back-to-back, then one every 0.7 ms: the admit/shed pattern is a
+    // pure function of the arrival timeline. (0.7 ms keeps every
+    // token-count comparison at least 0.1 tokens away from the
+    // admission threshold, far outside float rounding.)
+    auto run = [&] {
+        EventQueue eq;
+        AdmissionController ac(
+            eq, AdmissionConfig{}.withRate(1000.0, 2.0));
+        std::vector<int> decisions;
+        auto submit = [&] { decisions.push_back(ac.tryAdmit() ? 1 : 0); };
+        submit();  // t=0: burst token 1
+        submit();  // t=0: burst token 2
+        submit();  // t=0: empty -> shed
+        for (int i = 1; i <= 9; ++i) {
+            eq.scheduleAfter(i * 700 * sim::kMicrosecond, submit);
+        }
+        eq.runAll();
+        return decisions;
+    };
+    const std::vector<int> first = run();
+    // Token level at each arrival (refill 0.7/arrival, take on admit):
+    // 0.7 shed, 1.4 admit, 1.1 admit, 0.8 shed, 1.5 admit, 1.2 admit,
+    // 0.9 shed, 1.6 admit, 1.3 admit.
+    const std::vector<int> expected = {1, 1, 0, 0, 1, 1, 0, 1, 1, 0, 1, 1};
+    EXPECT_EQ(first, expected);
+    EXPECT_EQ(run(), first);  // same trace, same decisions, every run
+}
+
+TEST(Admission, TenantBucketsIsolateAndChargeTheBindingConstraint)
+{
+    EventQueue eq;
+    AdmissionController ac(
+        eq, AdmissionConfig{}
+                .withRate(1'000'000.0, 100.0)  // global: effectively open
+                .withTenant("noisy", 1000.0, 1.0)
+                .withTenant("quiet", 1000.0, 5.0));
+    // The noisy tenant exhausts its own bucket; the quiet tenant and
+    // untagged traffic are untouched.
+    EXPECT_TRUE(ac.tryAdmit("noisy"));
+    EXPECT_FALSE(ac.tryAdmit("noisy"));
+    EXPECT_FALSE(ac.tryAdmit("noisy"));
+    EXPECT_TRUE(ac.tryAdmit("quiet"));
+    EXPECT_TRUE(ac.tryAdmit());
+    EXPECT_TRUE(ac.tryAdmit("unknown-tenant"));  // only the global gate
+    EXPECT_EQ(ac.shedFor("noisy"), 2u);
+    EXPECT_EQ(ac.shedFor("quiet"), 0u);
+    EXPECT_EQ(ac.shed(), 2u);
+    EXPECT_EQ(ac.admitted(), 4u);
+}
+
+TEST(Admission, ShedDoesNotConsumeTokens)
+{
+    EventQueue eq;
+    AdmissionController ac(eq, AdmissionConfig{}
+                                   .withRate(1000.0, 10.0)
+                                   .withTenant("t", 1000.0, 1.0));
+    // Tenant bucket refuses; the global bucket must not be debited.
+    EXPECT_TRUE(ac.tryAdmit("t"));
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FALSE(ac.tryAdmit("t"));
+    // 9 global tokens must remain for untagged traffic.
+    for (int i = 0; i < 9; ++i)
+        EXPECT_TRUE(ac.tryAdmit()) << "global token " << i << " missing";
+    EXPECT_FALSE(ac.tryAdmit());
+}
+
+TEST(AdmissionDeathTest, InvalidConfigsAreFatal)
+{
+    EventQueue eq;
+    EXPECT_DEATH(AdmissionController(
+                     eq, AdmissionConfig{}.withRate(-1.0, 1.0)),
+                 "ratePerSec");
+    EXPECT_DEATH(AdmissionController(
+                     eq, AdmissionConfig{}.withRate(10.0, 0.5)),
+                 "burst");
+    EXPECT_DEATH(AdmissionController(eq, AdmissionConfig{}
+                                             .withTenant("a", 10.0, 1.0)
+                                             .withTenant("a", 5.0, 1.0)),
+                 "duplicate");
+}
+
+// ---------------------------------------------------------------------
+// Outlier detection
+// ---------------------------------------------------------------------
+
+TEST(Outlier, ConsecutiveErrorsEjectTemporarily)
+{
+    EventQueue eq;
+    EjectionConfig cfg;
+    cfg.consecutiveErrors = 3;
+    cfg.baseEjectionTime = 10 * sim::kMillisecond;
+    OutlierDetector det(eq, cfg);
+    det.trackHosts({0, 1});
+
+    det.recordError(0);
+    det.recordError(0);
+    EXPECT_FALSE(det.ejected(0));
+    det.recordSuccess(0, sim::kMillisecond);  // success resets the run
+    det.recordError(0);
+    det.recordError(0);
+    EXPECT_FALSE(det.ejected(0));
+    det.recordError(0);
+    EXPECT_TRUE(det.ejected(0));
+    EXPECT_FALSE(det.ejected(1));
+    EXPECT_EQ(det.ejectionsByErrors(), 1u);
+
+    // Ejection expires lazily at base ejection time.
+    eq.scheduleAfter(cfg.baseEjectionTime + 1, [] {});
+    eq.runAll();
+    EXPECT_FALSE(det.ejected(0));
+}
+
+TEST(Outlier, RepeatEjectionDurationDoubles)
+{
+    EventQueue eq;
+    EjectionConfig cfg;
+    cfg.consecutiveErrors = 1;
+    cfg.baseEjectionTime = 10 * sim::kMillisecond;
+    cfg.maxEjectedFraction = 1.0;
+    OutlierDetector det(eq, cfg);
+    det.trackHosts({0, 1});
+
+    det.recordError(0);
+    EXPECT_TRUE(det.ejected(0));
+    // After the first ejection expires, a second one lasts 2x.
+    eq.scheduleAfter(10 * sim::kMillisecond + 1, [&] {
+        EXPECT_FALSE(det.ejected(0));
+        det.recordError(0);
+        EXPECT_TRUE(det.ejected(0));
+    });
+    eq.scheduleAfter(25 * sim::kMillisecond, [&] {
+        EXPECT_TRUE(det.ejected(0)) << "second ejection must last 20 ms";
+    });
+    eq.scheduleAfter(31 * sim::kMillisecond, [&] {
+        EXPECT_FALSE(det.ejected(0));
+    });
+    eq.runAll();
+    EXPECT_EQ(det.ejections(), 2u);
+}
+
+TEST(Outlier, LatencyPercentileEjectsGreyHost)
+{
+    EventQueue eq;
+    EjectionConfig cfg;
+    cfg.consecutiveErrors = 0;  // isolate the latency signal
+    cfg.latencyFactor = 3.0;
+    cfg.latencyPercentile = 50.0;
+    cfg.minLatencySamples = 32;
+    cfg.latencyWindow = 64;
+    OutlierDetector det(eq, cfg);
+    det.trackHosts({0, 1, 2});
+
+    // Hosts 1 and 2 answer in 1 ms; host 0 answers but 20x slower — the
+    // classic grey failure heartbeats cannot see.
+    for (int i = 0; i < 64; ++i) {
+        det.recordSuccess(1, sim::kMillisecond);
+        det.recordSuccess(2, sim::kMillisecond);
+        det.recordSuccess(0, 20 * sim::kMillisecond);
+    }
+    EXPECT_TRUE(det.ejected(0));
+    EXPECT_FALSE(det.ejected(1));
+    EXPECT_FALSE(det.ejected(2));
+    EXPECT_EQ(det.ejectionsByLatency(), 1u);
+    EXPECT_EQ(det.ejectionsByErrors(), 0u);
+}
+
+TEST(Outlier, MaxEjectedFractionNeverEmptiesThePool)
+{
+    EventQueue eq;
+    EjectionConfig cfg;
+    cfg.consecutiveErrors = 1;
+    cfg.maxEjectedFraction = 0.5;
+    OutlierDetector det(eq, cfg);
+    det.trackHosts({0, 1, 2, 3});
+
+    det.recordError(0);
+    det.recordError(1);
+    EXPECT_TRUE(det.ejected(0));
+    EXPECT_TRUE(det.ejected(1));
+    // Limit is floor(0.5 * 4) = 2: further ejections are suppressed.
+    det.recordError(2);
+    det.recordError(3);
+    EXPECT_FALSE(det.ejected(2));
+    EXPECT_FALSE(det.ejected(3));
+    EXPECT_EQ(det.ejectionsSuppressed(), 2u);
+    EXPECT_EQ(det.ejectedCount(), 2);
+}
+
+TEST(Outlier, EvidenceSinkFiresPerEjection)
+{
+    EventQueue eq;
+    EjectionConfig cfg;
+    cfg.consecutiveErrors = 1;
+    cfg.evidenceWeight = 2.5;
+    OutlierDetector det(eq, cfg);
+    det.trackHosts({0, 1});
+    std::vector<std::pair<int, double>> reports;
+    det.setEvidenceSink([&](int host, double w) {
+        reports.emplace_back(host, w);
+    });
+    det.recordError(1);
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].first, 1);
+    EXPECT_DOUBLE_EQ(reports[0].second, 2.5);
+}
+
+TEST(OutlierDeathTest, InvalidConfigsAreFatal)
+{
+    EventQueue eq;
+    EjectionConfig bad_fraction;
+    bad_fraction.maxEjectedFraction = 1.5;
+    EXPECT_DEATH(OutlierDetector(eq, bad_fraction), "maxEjectedFraction");
+    EjectionConfig bad_window;
+    bad_window.latencyWindow = 4;
+    bad_window.minLatencySamples = 8;
+    EXPECT_DEATH(OutlierDetector(eq, bad_window), "latencyWindow");
+}
+
+// ---------------------------------------------------------------------
+// ClusterClient
+// ---------------------------------------------------------------------
+
+struct Fleet {
+    EventQueue eq;
+    std::vector<int> instanceList;
+    std::vector<std::unique_ptr<StubAccelerator>> accels;
+    std::unique_ptr<ClusterClient> client;
+
+    explicit Fleet(int n, ServingConfig cfg = {},
+                   sim::TimePs latency = sim::kMillisecond)
+    {
+        for (int i = 0; i < n; ++i) {
+            instanceList.push_back(i);
+            accels.push_back(
+                std::make_unique<StubAccelerator>(eq, latency));
+        }
+        client = std::make_unique<ClusterClient>(
+            eq, "svc", [this] { return instanceList; }, cfg);
+        for (int i = 0; i < n; ++i)
+            client->registerEndpoint(i, accels[i].get());
+    }
+};
+
+TEST(ClusterClient, RoutesAcrossPoolAndCountsOutstanding)
+{
+    ServingConfig cfg;
+    cfg.balancer = BalancerPolicy::kRoundRobin;
+    Fleet fleet(3, cfg);
+    int completions = 0;
+    for (int i = 0; i < 6; ++i)
+        fleet.client->compute(100, [&] { ++completions; });
+    EXPECT_EQ(fleet.client->outstandingTotal(), 6);
+    // Round robin: two requests per backend.
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(fleet.client->outstandingOn(i), 2);
+    fleet.eq.runAll();
+    EXPECT_EQ(completions, 6);
+    EXPECT_EQ(fleet.client->outstandingTotal(), 0);
+    EXPECT_EQ(fleet.client->routed(), 6u);
+}
+
+TEST(ClusterClient, LeastOutstandingNeverPicksEjectedInstance)
+{
+    ServingConfig cfg;
+    cfg.balancer = BalancerPolicy::kLeastOutstanding;
+    cfg.ejection.consecutiveErrors = 1;
+    Fleet fleet(4, cfg);
+    // Eject host 2 via the detector, then route many times with uneven
+    // outstanding load: the pick must never be the ejected host, even
+    // though its outstanding count (0) would normally win. (The first
+    // route() seeds the detector's tracked set from the lease view.)
+    fleet.client->route();
+    fleet.client->outliers().recordError(2);
+    ASSERT_TRUE(fleet.client->outliers().ejected(2));
+    for (int i = 0; i < 64; ++i) {
+        const int picked = fleet.client->route();
+        ASSERT_NE(picked, 2) << "routed to an ejected instance";
+        fleet.client->compute(10, {});
+    }
+}
+
+TEST(ClusterClient, NoRoutableBackendDropsRequest)
+{
+    Fleet fleet(1);
+    fleet.client->unregisterEndpoint(0);
+    bool done_called = false;
+    fleet.client->compute(10, [&] { done_called = true; });
+    fleet.eq.runAll();
+    EXPECT_FALSE(done_called);
+    EXPECT_EQ(fleet.client->noBackend(), 1u);
+    EXPECT_EQ(fleet.client->routed(), 0u);
+}
+
+TEST(ClusterClient, AttemptTimeoutFeedsErrorSignalAndEjects)
+{
+    ServingConfig cfg;
+    cfg.ejection.consecutiveErrors = 2;
+    cfg.ejection.attemptTimeout = 5 * sim::kMillisecond;
+    Fleet fleet(2, cfg);
+    // Host 0 dies silently (requests never complete); two timed-out
+    // requests must eject it without any heartbeat machinery.
+    fleet.accels[0]->setDead(true);
+    // RR picks 0, 1, 0, 1: two requests land on the dead host.
+    for (int i = 0; i < 4; ++i)
+        fleet.client->compute(10, {});
+    fleet.eq.runAll();
+    EXPECT_TRUE(fleet.client->outliers().ejected(0));
+    EXPECT_FALSE(fleet.client->outliers().ejected(1));
+    EXPECT_EQ(fleet.client->outliers().errorsRecorded(), 2u);
+    // Outstanding accounting survived the timeouts.
+    EXPECT_EQ(fleet.client->outstandingTotal(), 0);
+}
+
+TEST(ClusterClient, AdmissionShedsAndCharges)
+{
+    ServingConfig cfg;
+    cfg.admission.withRate(1000.0, 2.0).withTenant("bing", 1000.0, 1.0);
+    Fleet fleet(2, cfg);
+    EXPECT_TRUE(fleet.client->admit("bing"));
+    EXPECT_FALSE(fleet.client->admit("bing"));  // tenant bucket empty
+    EXPECT_TRUE(fleet.client->admit());         // global token remains
+    EXPECT_FALSE(fleet.client->admit());        // global empty too
+    EXPECT_EQ(fleet.client->admission().shed(), 2u);
+    EXPECT_EQ(fleet.client->admission().shedFor("bing"), 1u);
+}
+
+TEST(ClusterClient, EndToEndWithRankingServerShedsAndServes)
+{
+    ServingConfig cfg;
+    cfg.admission.withRate(2000.0, 4.0);
+    cfg.request.withDeadline(50 * sim::kMillisecond, 2);
+    Fleet fleet(2, cfg, 2 * sim::kMillisecond);
+
+    host::RankingServiceParams params;
+    params.cores = 8;
+    host::RankingServer server(fleet.eq, params, nullptr, 42);
+    server.attachCluster(*fleet.client, "bing");
+    EXPECT_EQ(server.retryPolicy().accelDeadline, 50 * sim::kMillisecond);
+
+    int completed = 0, shed = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (!server.submitQuery([&](sim::TimePs) { ++completed; }))
+            ++shed;
+    }
+    fleet.eq.runAll();
+    // Burst of 4 admitted, 6 shed at t=0; the admitted queries complete
+    // through the cluster-routed accelerators.
+    EXPECT_EQ(shed, 6);
+    EXPECT_EQ(completed, 4);
+    EXPECT_EQ(server.shedQueries(), 6u);
+    EXPECT_EQ(fleet.client->admission().shed(), 6u);
+    EXPECT_GE(fleet.client->routed(), 4u);
+    EXPECT_EQ(server.softwareFallbacks(), 0u);
+}
+
+TEST(ClusterClient, SampledFlowCarriesServingAnnotation)
+{
+    obs::Observability hub;
+    hub.flows.setEnabled(true);
+    hub.flows.setSampleEvery(1);
+
+    ServingConfig cfg;
+    Fleet fleet(2, cfg);
+    fleet.client->attachObservability(&hub);
+
+    host::RankingServiceParams params;
+    host::RankingServer server(fleet.eq, params, nullptr, 7);
+    server.attachObservability(&hub, "rank0");
+    server.setAccelerator(fleet.client.get());
+    int done = 0;
+    server.submitQuery([&](sim::TimePs) { ++done; });
+    fleet.eq.runAll();
+    ASSERT_EQ(done, 1);
+
+    // The completed flow must carry a zero-width serving annotation
+    // naming the backend, and attribution must still sum exactly.
+    ASSERT_FALSE(hub.flows.exemplars().empty());
+    const obs::FlowTrace &t = hub.flows.exemplars().front();
+    bool has_serving_hop = false;
+    for (const obs::Span &s : t.spans) {
+        if (s.hop.rfind("serving.svc.host", 0) == 0) {
+            has_serving_hop = true;
+            EXPECT_EQ(s.start, s.end) << "annotation must be zero-width";
+        }
+    }
+    EXPECT_TRUE(has_serving_hop);
+    EXPECT_TRUE(obs::attributeLatency(t).consistent());
+}
+
+TEST(ClusterClientDeathTest, InvalidServingConfigsAreFatal)
+{
+    EventQueue eq;
+    auto make = [&](ServingConfig cfg) {
+        ClusterClient cc(eq, "svc", [] { return std::vector<int>{}; },
+                         cfg);
+    };
+    ServingConfig bad_bound;
+    bad_bound.withConsistentHash(64, 1.0);
+    EXPECT_DEATH(make(bad_bound), "chLoadBound");
+    ServingConfig bad_vnodes;
+    bad_vnodes.withConsistentHash(0, 1.25);
+    EXPECT_DEATH(make(bad_vnodes), "chVnodes");
+    ServingConfig bad_policy;
+    bad_policy.request.maxAttempts = 0;
+    EXPECT_DEATH(make(bad_policy), "maxAttempts");
+    ServingConfig bad_admission;
+    bad_admission.admission.ratePerSec = -2.0;
+    EXPECT_DEATH(make(bad_admission), "ratePerSec");
+}
+
+// ---------------------------------------------------------------------
+// Determinism: same seed, same snapshot, per policy
+// ---------------------------------------------------------------------
+
+struct ScenarioResult {
+    std::string snapshot;
+    std::vector<int> backendRequests;
+};
+
+ScenarioResult
+servingScenario(BalancerPolicy policy, std::uint64_t seed)
+{
+    obs::Observability hub;
+    ServingConfig cfg;
+    cfg.balancer = policy;
+    cfg.seed = seed;
+    cfg.ejection.attemptTimeout = 20 * sim::kMillisecond;
+    cfg.admission.withRate(5000.0, 8.0);
+
+    EventQueue eq;
+    std::vector<int> instances{0, 1, 2};
+    std::vector<std::unique_ptr<StubAccelerator>> accels;
+    // Deterministic but distinct service times per backend.
+    for (int i = 0; i < 3; ++i)
+        accels.push_back(std::make_unique<StubAccelerator>(
+            eq, (i + 1) * sim::kMillisecond));
+    ClusterClient client(eq, "svc", [&] { return instances; }, cfg);
+    for (int i = 0; i < 3; ++i)
+        client.registerEndpoint(i, accels[i].get());
+    client.attachObservability(&hub);
+
+    // A fixed arrival trace: 40 requests, 0.4 ms apart, some shed by
+    // admission, the rest routed by the policy under test.
+    for (int i = 0; i < 40; ++i) {
+        eq.scheduleAfter((1 + i) * 400 * sim::kMicrosecond, [&] {
+            if (client.admit())
+                client.compute(50, {});
+        });
+    }
+    eq.runAll();
+    ScenarioResult result;
+    result.snapshot = hub.registry.snapshotJson();
+    for (const auto &a : accels)
+        result.backendRequests.push_back(a->requests);
+    return result;
+}
+
+TEST(ServingDeterminism, SameSeedSameSnapshotPerPolicy)
+{
+    for (BalancerPolicy policy :
+         {BalancerPolicy::kRoundRobin, BalancerPolicy::kLeastOutstanding,
+          BalancerPolicy::kBoundedLoadConsistentHash}) {
+        const ScenarioResult a = servingScenario(policy, 1234);
+        const ScenarioResult b = servingScenario(policy, 1234);
+        EXPECT_EQ(a.snapshot, b.snapshot)
+            << "policy " << serving::balancerPolicyName(policy)
+            << " not byte-identical across same-seed runs";
+        EXPECT_EQ(a.backendRequests, b.backendRequests);
+        EXPECT_FALSE(a.snapshot.empty());
+    }
+}
+
+TEST(ServingDeterminism, PoliciesActuallyRouteDifferently)
+{
+    // Sanity: the three policies are not secretly the same code path.
+    // RR splits the 40-request trace 14/13/13 regardless of backend
+    // speed; LOR shifts load toward the fastest backend; CH spreads by
+    // per-request random key.
+    const auto rr = servingScenario(BalancerPolicy::kRoundRobin, 99);
+    const auto lor =
+        servingScenario(BalancerPolicy::kLeastOutstanding, 99);
+    const auto ch = servingScenario(
+        BalancerPolicy::kBoundedLoadConsistentHash, 99);
+    EXPECT_EQ(rr.backendRequests, (std::vector<int>{14, 13, 13}));
+    EXPECT_NE(lor.backendRequests, rr.backendRequests);
+    EXPECT_NE(ch.backendRequests, rr.backendRequests);
+}
+
+}  // namespace

@@ -45,6 +45,8 @@ sectionTitle(const std::string &prefix)
         return "Ranking servers (`host.<node>.*`)";
     if (prefix == "haas")
         return "Hardware-as-a-Service (`haas.*`)";
+    if (prefix == "serving")
+        return "Cluster serving layer (`serving.<service>.*`)";
     if (prefix == "fault")
         return "Fault injection (`fault.*`)";
     return "Other";
