@@ -13,17 +13,78 @@
  *
  * Each 30-minute trace window is simulated as a compressed steady-state
  * slice on a representative server (1.5 s warm-up + 4 s measurement).
+ * Both datacenters and every window share ONE warm EventQueue: the
+ * hierarchical wheel, freelists, and allocation pools stay hot instead
+ * of being rebuilt per datacenter, which is what the `fig07.*` keys in
+ * BENCH_scale.json track.
+ *
+ * Flags:
+ *  --quick        shortened run (1 day, 12 windows, shorter slices);
+ *  --fabric rack  the classic representative-server study (default);
+ *  --fabric l2    the paper-scale campaign: a flyweight 249,600-host
+ *                 L2 fabric (24 hosts x 40 racks x 260 pods), cross-pod
+ *                 LTL round-trip probes, a diurnal fluid background
+ *                 (flows crossing the probe trunks are promoted to
+ *                 packet fidelity at the conservation-checked boundary),
+ *                 and HaaS lease churn touching flyweight stubs. Peak
+ *                 RSS is asserted against a 4 GB budget and the
+ *                 headline numbers land in BENCH_scale.json;
+ *  --shards N     run the l2 campaign on the parallel kernel with N
+ *                 worker threads (byte-identical to any other N).
  */
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "bench_json.hpp"
+#include "core/cloud.hpp"
 #include "host/load_generator.hpp"
 #include "host/ranking_server.hpp"
+#include "net/fluid.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sharded_obs.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/sharded_queue.hpp"
+#include "sim/stats.hpp"
 
 using namespace ccsim;
 
 namespace {
+
+constexpr const char *kBenchFile = "BENCH_scale.json";
+constexpr long kRssBudgetKb = 4L * 1024 * 1024;  // 4 GiB
+
+double
+wallSeconds(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         since)
+        .count();
+}
+
+/** Assert + report the peak-RSS budget (shared by both fabrics). */
+long
+checkRssBudget()
+{
+    const long rss_kb = bench::peakRssKb();
+    if (rss_kb < 0) {
+        std::printf("rss budget: SKIP (platform does not expose VmHWM)\n");
+        return rss_kb;
+    }
+    if (rss_kb > kRssBudgetKb)
+        sim::fatalf("fig07: peak RSS ", rss_kb / 1024, " MB exceeds the ",
+                    kRssBudgetKb / 1024, " MB budget");
+    std::printf("rss budget: OK (%ld MB <= %ld MB)\n", rss_kb / 1024,
+                kRssBudgetKb / 1024);
+    return rss_kb;
+}
+
+// ---------------------------------------------------------------------------
+// --fabric rack: the classic two-datacenter representative-server study
+// ---------------------------------------------------------------------------
 
 constexpr double kSoftwareNominalQps = 3100.0;
 constexpr double kSoftwareDemandQps = 3400.0;  // organic demand at peak
@@ -41,11 +102,18 @@ struct WindowResult {
     double p999Ms;
 };
 
+/**
+ * Simulate one datacenter's trace on @p eq. The queue is shared and
+ * stays warm across calls: the generator is stopped and in-flight
+ * queries drained before the server goes away, so the next datacenter
+ * reuses the same wheel without rebuild. Poisson gaps and service times
+ * are relative, so results do not depend on the queue's start time.
+ */
 std::vector<WindowResult>
-runDatacenter(const std::vector<double> &trace, bool use_fpga,
-              bool load_balancer_cap)
+runDatacenter(sim::EventQueue &eq, const std::vector<double> &trace,
+              bool use_fpga, bool load_balancer_cap, double settle_s,
+              double measure_s)
 {
-    sim::EventQueue eq;
     std::unique_ptr<host::LocalFpgaAccelerator> accel;
     if (use_fpga)
         accel = std::make_unique<host::LocalFpgaAccelerator>(eq);
@@ -65,9 +133,9 @@ runDatacenter(const std::vector<double> &trace, bool use_fpga,
         if (load_balancer_cap)
             admitted = std::min(admitted, admitted_cap);
         gen.setRate(admitted);
-        eq.runFor(sim::fromSeconds(1.5));  // settle at the new rate
+        eq.runFor(sim::fromSeconds(settle_s));  // settle at the new rate
         server.clearStats();
-        eq.runFor(sim::fromSeconds(4.0));
+        eq.runFor(sim::fromSeconds(measure_s));
         const double p999 = server.latencyMs().percentile(99.9);
         results.push_back({offered, admitted, p999});
 
@@ -80,24 +148,31 @@ runDatacenter(const std::vector<double> &trace, bool use_fpga,
                 admitted_cap = std::min(demand_peak, admitted_cap * 1.05);
         }
     }
+    // Drain in-flight queries before the server is destroyed; the warm
+    // queue outlives this datacenter and must hold no dangling events.
+    gen.stop();
+    eq.runFor(sim::fromSeconds(0.5));
     return results;
 }
 
-}  // namespace
-
 int
-main()
+runRackStudy(bool quick)
 {
     std::printf("=== Figure 7: 5-day production throughput & 99.9%% "
                 "latency, two datacenters ===\n\n");
+    const auto t0 = std::chrono::steady_clock::now();
 
     host::DiurnalTraceParams tp;
-    tp.days = 5;
-    tp.windowsPerDay = 48;  // 30-minute windows
+    tp.days = quick ? 1 : 5;
+    tp.windowsPerDay = quick ? 12 : 48;  // 30-minute windows (full run)
     const auto trace = host::makeDiurnalTrace(tp);
+    const double settle_s = quick ? 0.5 : 1.5;
+    const double measure_s = quick ? 1.5 : 4.0;
 
-    auto sw = runDatacenter(trace, false, true);
-    auto fpga = runDatacenter(trace, true, false);
+    // One warm EventQueue across both datacenters and all windows.
+    sim::EventQueue eq;
+    auto sw = runDatacenter(eq, trace, false, true, settle_s, measure_s);
+    auto fpga = runDatacenter(eq, trace, true, false, settle_s, measure_s);
 
     // Normalize: load by the software nominal operating point; latency
     // by the software datacenter's median p99.9 (its healthy tail).
@@ -147,6 +222,400 @@ main()
                 "shows high-rate latency spikes\nas load varies (balancer "
                 "sheds load at peaks); the FPGA-accelerated datacenter "
                 "absorbs\n> 2x the load with much lower, tighter-bound "
-                "tail latencies.\n");
+                "tail latencies.\n\n");
+
+    const double wall_s = wallSeconds(t0);
+    const long rss_kb = checkRssBudget();
+    const std::string prefix = quick ? "fig07_quick." : "fig07.";
+    bench::BenchValues out;
+    out[prefix + "windows"] = static_cast<double>(trace.size());
+    out[prefix + "events"] = static_cast<double>(eq.eventsExecuted());
+    out[prefix + "events_per_s"] =
+        wall_s > 0 ? static_cast<double>(eq.eventsExecuted()) / wall_s : 0;
+    out[prefix + "wall_s"] = wall_s;
+    if (rss_kb >= 0)
+        out[prefix + "rss_peak_mb"] = static_cast<double>(rss_kb) / 1024.0;
+    out[prefix + "sw_avg_load"] = sw_load_sum / n;
+    out[prefix + "fpga_avg_load"] = fpga_load_sum / n;
+    bench::mergeBenchJson(kBenchFile, out);
+    std::printf("wrote %s (%swindows/wall_s/events_per_s/rss_peak_mb)\n",
+                kBenchFile, prefix.c_str());
     return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --fabric l2: the paper-scale 250k-host campaign
+// ---------------------------------------------------------------------------
+
+/** A no-op role so LTL deliveries have a destination. */
+struct NullRole : fpga::Role {
+    int port = -1;
+    std::string name() const override { return "null"; }
+    std::uint32_t areaAlms() const override { return 100; }
+    void attach(fpga::Shell &, int p) override { port = p; }
+    void onMessage(const router::ErMessagePtr &) override {}
+};
+
+/** Deterministic 64-bit mix (same construction as the fluid ECMP hash). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** One cross-pod LTL probe pair and its send-side state. */
+struct ProbePair {
+    int src = 0;
+    int dst = 0;
+    std::unique_ptr<NullRole> role;
+    core::LtlChannel channel;
+};
+
+/** One background flow promoted to packet fidelity for a window. */
+struct PromotedFlow {
+    std::uint64_t id = 0;
+    int dstHost = 0;
+    std::unique_ptr<NullRole> role;
+    core::LtlChannel channel;
+    std::uint64_t bytesSent = 0;
+};
+
+struct L2Params {
+    int pods = 260;         // 24 x 40 x 260 = 249,600 hosts
+    int racksPerPod = 40;
+    int hostsPerRack = 24;
+    int l2Count = 4;
+    int windows = 24;
+    sim::TimePs windowLen = 5 * sim::kMillisecond;
+    int pairs = 48;         // cross-pod probe pairs
+    int pingsPerWindow = 100;
+    int flows = 20000;      // fluid background flows
+    int promotePerWindow = 16;
+    int leasesPerWindow = 4;
+    int hostsPerLease = 8;
+    std::uint64_t baseFlowBps = 400ull * 1000 * 1000;  // 400 Mbit/s
+};
+
+int
+runL2Campaign(bool quick, int shard_threads)
+{
+    L2Params p;
+    if (quick) {
+        p.windows = 6;
+        p.windowLen = 2 * sim::kMillisecond;
+        p.pairs = 12;
+        p.pingsPerWindow = 40;
+        p.flows = 5000;
+        p.promotePerWindow = 8;
+    }
+    const int hosts = p.pods * p.racksPerPod * p.hostsPerRack;
+    std::printf("=== Figure 7 (L2 campaign): %d-host flyweight fabric, "
+                "hybrid fluid/packet background ===\n\n", hosts);
+    std::printf("  %d pods x %d racks x %d hosts, %d probe pairs, %d fluid "
+                "flows,\n  %d diurnal windows of %.1f ms, kernel: %s\n\n",
+                p.pods, p.racksPerPod, p.hostsPerRack, p.pairs, p.flows,
+                p.windows, sim::toMillis(p.windowLen),
+                shard_threads > 0 ? "sharded" : "single-queue");
+    const auto t0 = std::chrono::steady_clock::now();
+
+    core::CloudConfig cfg;
+    cfg.topology.hostsPerRack = p.hostsPerRack;
+    cfg.topology.racksPerPod = p.racksPerPod;
+    cfg.topology.l1PerPod = 2;
+    cfg.topology.pods = p.pods;
+    cfg.topology.l2Count = p.l2Count;
+    cfg.createNics = false;  // pure-LTL study: no host NICs
+    cfg.lazyHosts = true;
+    cfg.shellTemplate.ltl.maxConnections = 64;
+    // A shell can be probe destination and promoted-flow sink at once.
+    cfg.shellTemplate.roleSlots = 8;
+
+    // Either kernel; the campaign is byte-identical across thread counts.
+    std::unique_ptr<sim::EventQueue> eq;
+    std::unique_ptr<sim::ShardedEventQueue> sq;
+    std::unique_ptr<obs::Observability> hub;
+    std::unique_ptr<obs::ShardedObservability> shardHubs;
+    std::unique_ptr<core::ConfigurableCloud> cloud;
+    if (shard_threads > 0) {
+        cfg.shards = shard_threads;
+        shardHubs =
+            std::make_unique<obs::ShardedObservability>(p.pods + 1);
+        cfg.shardObs = shardHubs.get();
+        sq = std::make_unique<sim::ShardedEventQueue>(
+            core::ConfigurableCloud::shardPlan(cfg));
+        cloud = std::make_unique<core::ConfigurableCloud>(*sq, cfg);
+    } else {
+        hub = std::make_unique<obs::Observability>();
+        cfg.obs = hub.get();
+        eq = std::make_unique<sim::EventQueue>();
+        cloud = std::make_unique<core::ConfigurableCloud>(*eq, cfg);
+    }
+    net::Topology &topo = cloud->topology();
+    const double build_s = wallSeconds(t0);
+    std::printf("build: %.2f s, %d/%d servers materialized\n", build_s,
+                cloud->materializedServers(), cloud->numServers());
+
+    const auto runFor = [&](sim::TimePs d) {
+        if (sq)
+            sq->runFor(d);
+        else
+            eq->runFor(d);
+    };
+    const auto eventsExecuted = [&] {
+        return sq ? sq->eventsExecuted() : eq->eventsExecuted();
+    };
+    const auto histFor = [&](int src) -> sim::LogHistogram & {
+        obs::Observability &h =
+            sq ? shardHubs->shard(cloud->partitionOf(src)) : *hub;
+        return h.registry.histogram("ltl.node" + std::to_string(src) +
+                                    ".rtt_us");
+    };
+
+    // --- cross-pod probe pairs (distinct pods, so src engines are
+    // distinct and each rtt histogram belongs to exactly one pair) ---
+    std::vector<ProbePair> probes;
+    for (int k = 0; k < p.pairs; ++k) {
+        ProbePair pr;
+        const int src_pod = (4 * k + 1) % p.pods;
+        const int dst_pod = (4 * k + 3) % p.pods;
+        pr.src = topo.hostIndex(src_pod, k % p.racksPerPod,
+                                k % p.hostsPerRack);
+        pr.dst = topo.hostIndex(dst_pod, (3 * k + 1) % p.racksPerPod,
+                                (5 * k + 2) % p.hostsPerRack);
+        pr.role = std::make_unique<NullRole>();
+        if (cloud->shell(pr.dst).addRole(pr.role.get()) < 0)
+            sim::fatal("fig07 l2: no role slot on probe destination");
+        pr.channel = cloud->openLtl(pr.src, pr.dst, pr.role->port);
+        probes.push_back(std::move(pr));
+    }
+
+    // --- hybrid fluid/packet background ---
+    auto fluid = sq ? std::make_unique<net::FluidTrafficModel>(*sq, topo)
+                    : std::make_unique<net::FluidTrafficModel>(*eq, topo);
+    // The probe paths are the monitored paths: background flows whose
+    // ECMP path shares a probe trunk get promoted to packet fidelity.
+    for (const auto &pr : probes)
+        for (net::Channel *c : topo.fluidPath(pr.src, pr.dst))
+            fluid->setMonitored(c, true);
+
+    std::vector<std::uint64_t> flowIds;
+    flowIds.reserve(static_cast<std::size_t>(p.flows));
+    for (int i = 0; i < p.flows; ++i) {
+        const auto u = static_cast<std::uint64_t>(i);
+        const int src = static_cast<int>(mix64(u * 2 + 1) %
+                                         static_cast<std::uint64_t>(hosts));
+        int dst = static_cast<int>(mix64(u * 2 + 2) %
+                                   static_cast<std::uint64_t>(hosts));
+        if (dst == src)
+            dst = (dst + 1) % hosts;
+        flowIds.push_back(fluid->addFlow(src, dst, p.baseFlowBps));
+    }
+
+    host::DiurnalTraceParams tp;
+    tp.days = 1;
+    tp.windowsPerDay = p.windows;
+    const auto trace = host::makeDiurnalTrace(tp);
+
+    // Per-window flow rate: diurnal multiplier with a per-pod imbalance
+    // factor in [0.5, 1.5) so some trunks run hot.
+    const auto flowRate = [&](std::uint64_t id, int window) {
+        const net::FluidFlow *f = fluid->flow(id);
+        const int src_pod = cloud->partitionOf(f->srcHost);
+        const std::uint64_t h =
+            mix64((static_cast<std::uint64_t>(src_pod) << 20) ^
+                  static_cast<std::uint64_t>(window));
+        const double imbalance = 0.5 + static_cast<double>(h % 1000) / 1000.0;
+        return static_cast<std::uint64_t>(
+            static_cast<double>(p.baseFlowBps) * trace[window] * imbalance);
+    };
+
+    // --- the campaign ---
+    sim::LogHistogram rtt(obs::kDefaultHistMinValue,
+                          obs::kDefaultHistBinsPerOctave);
+    haas::ResourceManager &rm = cloud->resourceManager();
+    std::uint64_t leaseChurn = 0, promotedTotal = 0;
+    std::printf("\n  %6s %8s %10s %10s %10s\n", "window", "load",
+                "promoted", "leases", "matrlzd");
+    for (int w = 0; w < p.windows; ++w) {
+        // (1) retune every background flow to this window's rate (the
+        // fold is exact: totals are independent of this schedule).
+        for (std::uint64_t id : flowIds)
+            fluid->setRate(id, flowRate(id, w));
+
+        // (2) promote flows crossing the monitored probe trunks; their
+        // bytes run as real LTL traffic for this window.
+        std::vector<PromotedFlow> promoted;
+        for (std::uint64_t id : fluid->flowsCrossingMonitored()) {
+            if (static_cast<int>(promoted.size()) >= p.promotePerWindow)
+                break;
+            const net::FluidFlow *f = fluid->flow(id);
+            PromotedFlow pf;
+            pf.id = id;
+            pf.dstHost = f->dstHost;
+            pf.role = std::make_unique<NullRole>();
+            if (cloud->shell(f->dstHost).addRole(pf.role.get()) < 0)
+                continue;  // destination shell's role slots exhausted
+            fluid->promote(id);
+            pf.channel =
+                cloud->openLtl(f->srcHost, f->dstHost, pf.role->port);
+            promoted.push_back(std::move(pf));
+        }
+        promotedTotal += promoted.size();
+
+        // (3) schedule this window's traffic: probe pings at an idle
+        // 20 us spacing, promoted flows as 1 KiB messages at their rate.
+        for (auto &pr : probes) {
+            auto *engine = cloud->shell(pr.src).ltlEngine();
+            auto &q = cloud->queueFor(pr.src);
+            for (int i = 0; i < p.pingsPerWindow; ++i) {
+                q.scheduleAfter(i * 20 * sim::kMicrosecond,
+                                [engine, conn = pr.channel.sendConn()] {
+                                    engine->sendMessage(conn, 64);
+                                });
+            }
+        }
+        for (auto &pf : promoted) {
+            const net::FluidFlow *f = fluid->flow(pf.id);
+            const std::uint64_t rate = flowRate(pf.id, w);
+            constexpr std::uint32_t kMsgBytes = 1024;
+            const auto gap = static_cast<sim::TimePs>(
+                (8.0 * kMsgBytes / static_cast<double>(rate)) *
+                static_cast<double>(sim::kSecond));
+            auto *engine = cloud->shell(f->srcHost).ltlEngine();
+            auto &q = cloud->queueFor(f->srcHost);
+            // Fill ~60% of the window, leaving tail room for delivery.
+            const auto budget =
+                static_cast<sim::TimePs>(0.6 * p.windowLen);
+            for (sim::TimePs t = gap; t < budget; t += gap) {
+                q.scheduleAfter(t, [engine,
+                                    conn = pf.channel.sendConn()] {
+                    engine->sendMessage(conn, kMsgBytes);
+                });
+                pf.bytesSent += kMsgBytes;
+            }
+        }
+
+        runFor(p.windowLen);
+
+        // (4) back across the fidelity boundary: credit the delivered
+        // packet bytes and return the flows to the fluid regime.
+        for (auto &pf : promoted) {
+            fluid->creditPacketBytes(pf.id, pf.bytesSent);
+            fluid->demote(pf.id, flowRate(pf.id, w));
+            cloud->shell(pf.dstHost).removeRole(pf.role->port);
+        }
+        promoted.clear();  // closes the LTL channels
+
+        // (5) HaaS lease churn against flyweight stubs: each manager()
+        // touch materializes the leased server through the resolver.
+        for (int j = 0; j < p.leasesPerWindow; ++j) {
+            haas::LeaseConstraints lc;
+            lc.requirePod = (13 * w + 7 * j + 2) % p.pods;
+            auto lease = rm.acquire("fig07.l2", p.hostsPerLease, lc);
+            if (!lease)
+                sim::fatal("fig07 l2: lease acquisition failed");
+            for (int host : lease->hosts)
+                if (rm.manager(host) == nullptr)
+                    sim::fatal("fig07 l2: stub resolver returned null");
+            leaseChurn += lease->hosts.size();
+            rm.release(lease->id);
+        }
+
+        std::printf("  %6d %8.2f %10llu %10d %10d\n", w, trace[w],
+                    static_cast<unsigned long long>(promotedTotal),
+                    p.leasesPerWindow, cloud->materializedServers());
+    }
+
+    // Drain in-flight frames, then harvest the probe RTT histograms.
+    runFor(2 * p.windowLen);
+    for (const auto &pr : probes)
+        rtt.merge(histFor(pr.src));
+
+    // --- invariants ---
+    fluid->foldAll();
+    const net::FluidConservation c = fluid->verify();
+    if (!c.ok)
+        sim::fatalf("fig07 l2: fluid conservation violated: channel "
+                    "credits ", c.channelCredits, " != expected ",
+                    c.expectedChannelCredits);
+    std::printf("\nfluid conservation: OK (%llu flows, %llu fluid bytes, "
+                "%llu packet bytes)\n",
+                static_cast<unsigned long long>(c.flows),
+                static_cast<unsigned long long>(c.fluidBytes),
+                static_cast<unsigned long long>(c.packetBytes));
+
+    const auto mem = cloud->fabricMemoryStats();
+    const double wall_s = wallSeconds(t0);
+    const long rss_kb = checkRssBudget();
+    const double evps =
+        wall_s > 0 ? static_cast<double>(eventsExecuted()) / wall_s : 0;
+
+    std::printf("\ncross-pod LTL round trips (%llu samples):\n",
+                static_cast<unsigned long long>(rtt.count()));
+    std::printf("  %-20s %10.2f us\n", "mean", rtt.mean());
+    std::printf("  %-20s %10.2f us\n", "p99", rtt.percentile(99.0));
+    std::printf("  %-20s %10.2f us\n", "p99.9", rtt.percentile(99.9));
+    std::printf("\nfabric: %d/%d servers materialized, %zu switches, "
+                "%zu links, ~%.0f B/host amortized\n",
+                mem.materializedHosts, mem.hosts, mem.switches,
+                mem.fabricLinks, mem.bytesPerHost);
+    std::printf("campaign: %.1f s wall, %.2f M events/s, %llu leases "
+                "churned, %llu promotions\n", wall_s, evps / 1e6,
+                static_cast<unsigned long long>(leaseChurn),
+                static_cast<unsigned long long>(promotedTotal));
+
+    const std::string prefix = quick ? "fig07_l2_quick." : "fig07_l2.";
+    bench::BenchValues out;
+    out[prefix + "hosts"] = static_cast<double>(mem.hosts);
+    out[prefix + "materialized_hosts"] =
+        static_cast<double>(mem.materializedHosts);
+    out[prefix + "rtt_p99_us"] = rtt.percentile(99.0);
+    out[prefix + "rtt_p999_us"] = rtt.percentile(99.9);
+    out[prefix + "events_per_s"] = evps;
+    out[prefix + "wall_s"] = wall_s;
+    out[prefix + "lease_churn"] = static_cast<double>(leaseChurn);
+    out[prefix + "fluid_flows"] = static_cast<double>(c.flows);
+    out[prefix + "promotions"] = static_cast<double>(promotedTotal);
+    out[prefix + "conservation_ok"] = c.ok ? 1.0 : 0.0;
+    if (rss_kb >= 0)
+        out[prefix + "rss_peak_mb"] = static_cast<double>(rss_kb) / 1024.0;
+    bench::mergeBenchJson(kBenchFile, out);
+    std::printf("wrote %s (%shosts/rtt_p99_us/rss_peak_mb/...)\n",
+                kBenchFile, prefix.c_str());
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string fabric = "rack";
+    int shards = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--fabric") == 0 && i + 1 < argc) {
+            fabric = argv[++i];
+        } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+            shards = std::atoi(argv[++i]);
+        } else {
+            sim::fatalf("fig07: unknown flag ", argv[i],
+                        " (usage: [--quick] [--fabric rack|l2] "
+                        "[--shards N])");
+        }
+    }
+    if (fabric == "rack") {
+        if (shards > 0)
+            sim::fatal("fig07: --shards requires --fabric l2");
+        return runRackStudy(quick);
+    }
+    if (fabric == "l2")
+        return runL2Campaign(quick, shards);
+    sim::fatalf("fig07: unknown fabric '", fabric, "' (rack|l2)");
+    return 1;
 }

@@ -97,6 +97,12 @@ void
 ConfigurableCloud::build()
 {
     const int spinePartition = config.topology.pods;
+    // One flag governs both layers: a lazy cloud implies a lazy fabric
+    // and vice versa.
+    if (config.lazyHosts)
+        config.topology.lazyHosts = true;
+    else if (config.topology.lazyHosts)
+        config.lazyHosts = true;
     if (shards == nullptr) {
         if (config.obs)
             obs::registerEventQueueProbes(config.obs->registry, queue);
@@ -117,51 +123,27 @@ ConfigurableCloud::build()
     rm = std::make_unique<haas::ResourceManager>(queue);
     if (auto *hub = hubFor(spinePartition))
         rm->attachObservability(hub);
+    registerMemoryProbes(shards == nullptr
+                             ? config.obs
+                             : (config.shardObs
+                                    ? &config.shardObs->shard(0)
+                                    : nullptr));
 
     const int n = topo->numHosts();
-    shells.reserve(n);
-    fms.reserve(n);
-    for (int host = 0; host < n; ++host) {
-        const auto &hp = topo->host(host);
-        sim::EventQueue &hq = queueFor(host);
-        obs::Observability *hub = hubFor(partitionOf(host));
-
-        fpga::ShellConfig sc = config.shellTemplate;
-        sc.name = "shell." + std::to_string(host);
-        sc.ip = hp.addr;
-        auto shell = std::make_unique<fpga::Shell>(hq, sc);
-        if (hub)
-            shell->attachObservability(hub, "node" + std::to_string(host));
-
-        // Splice the FPGA between the TOR and (optionally) the NIC.
-        topo->attachHostDevice(host, shell->torSideSink());
-        shell->setTorTx(&topo->hostTx(host));
-
-        if (config.createNics) {
-            auto link = std::make_unique<net::Link>(
-                hq, "niclink." + std::to_string(host),
-                config.topology.linkGbps, config.nicCableMeters);
-            if (hub)
-                link->setFlowRecorder(&hub->flows);
-            auto nic = std::make_unique<net::Nic>(
-                hq, "nic." + std::to_string(host), hp.mac, hp.addr);
-            if (hub)
-                nic->attachObservability(hub,
-                                         "node" + std::to_string(host));
-            nic->setTxChannel(&link->aToB());
-            link->attachA(nic.get());
-            link->attachB(shell->nicSideSink());
-            shell->setNicTx(&link->bToA());
-            nics.push_back(std::move(nic));
-            nicLinks.push_back(std::move(link));
-        }
-
-        auto fm = std::make_unique<haas::FpgaManager>(hq, shell.get(),
-                                                      host);
-        rm->registerNode(host, fm.get(), hp.pod);
-
-        shells.push_back(std::move(shell));
-        fms.push_back(std::move(fm));
+    hostStates.resize(n);
+    if (config.lazyHosts) {
+        // Every host joins the RM pool as a stub so leases, failure
+        // reports, and pod constraints see the full fleet; the first
+        // manager() touch materializes through the resolver.
+        for (int host = 0; host < n; ++host)
+            rm->registerNode(host, nullptr, topo->host(host).pod);
+        rm->setManagerResolver([this](int host) {
+            materializeServer(host);
+            return hostStates[host]->fm.get();
+        });
+    } else {
+        for (int host = 0; host < n; ++host)
+            materializeServer(host);
     }
 
     if (shards == nullptr) {
@@ -192,6 +174,137 @@ ConfigurableCloud::build()
 }
 
 ConfigurableCloud::~ConfigurableCloud() = default;
+
+void
+ConfigurableCloud::materializeServer(int host)
+{
+    if (host < 0 || host >= topo->numHosts())
+        sim::fatalf("ConfigurableCloud::materializeServer: host ", host,
+                    " out of range (cloud has ", topo->numHosts(),
+                    " servers)");
+    if (hostStates[host] != nullptr)
+        return;
+    // This is the exact per-host construction sequence of the pre-
+    // flyweight eager build; the eager path now calls it in ascending
+    // host order from build(), keeping those runs byte-identical.
+    const auto &hp = topo->host(host);
+    sim::EventQueue &hq = queueFor(host);
+    obs::Observability *hub = hubFor(partitionOf(host));
+    auto state = std::make_unique<HostState>();
+
+    fpga::ShellConfig sc = config.shellTemplate;
+    sc.name = "shell." + std::to_string(host);
+    sc.ip = hp.addr;
+    state->shell = std::make_unique<fpga::Shell>(hq, sc);
+    if (hub)
+        state->shell->attachObservability(hub,
+                                          "node" + std::to_string(host));
+
+    // Splice the FPGA between the TOR and (optionally) the NIC.
+    topo->attachHostDevice(host, state->shell->torSideSink());
+    state->shell->setTorTx(&topo->hostTx(host));
+
+    if (config.createNics) {
+        auto link = std::make_unique<net::Link>(
+            hq, "niclink." + std::to_string(host),
+            config.topology.linkGbps, config.nicCableMeters);
+        if (hub)
+            link->setFlowRecorder(&hub->flows);
+        auto nic = std::make_unique<net::Nic>(
+            hq, "nic." + std::to_string(host), hp.mac, hp.addr);
+        if (hub)
+            nic->attachObservability(hub, "node" + std::to_string(host));
+        nic->setTxChannel(&link->aToB());
+        link->attachA(nic.get());
+        link->attachB(state->shell->nicSideSink());
+        state->shell->setNicTx(&link->bToA());
+        state->nic = std::move(nic);
+        state->nicLink = std::move(link);
+    }
+
+    state->fm = std::make_unique<haas::FpgaManager>(
+        hq, state->shell.get(), host);
+    if (config.lazyHosts)
+        rm->setNodeManager(host, state->fm.get());
+    else
+        rm->registerNode(host, state->fm.get(), hp.pod);
+
+    hostStates[host] = std::move(state);
+    ++materializedCount;
+    if (healthMon != nullptr)
+        installTimeoutObserver(host);
+}
+
+void
+ConfigurableCloud::registerMemoryProbes(obs::Observability *hub)
+{
+    if (hub == nullptr)
+        return;
+    auto &reg = hub->registry;
+    reg.registerProbe("sim.mem.hosts",
+                      [this] { return double(topo->numHosts()); });
+    reg.registerProbe("sim.mem.materialized_hosts",
+                      [this] { return double(materializedCount); });
+    reg.registerProbe("sim.mem.switches", [this] {
+        return double(fabricMemoryStats().switches);
+    });
+    reg.registerProbe("sim.mem.fabric_links", [this] {
+        return double(fabricMemoryStats().fabricLinks);
+    });
+    reg.registerProbe("sim.mem.bytes_per_host", [this] {
+        return fabricMemoryStats().bytesPerHost;
+    });
+}
+
+ConfigurableCloud::FabricMemoryStats
+ConfigurableCloud::fabricMemoryStats() const
+{
+    FabricMemoryStats s;
+    const auto &t = config.topology;
+    s.hosts = topo->numHosts();
+    s.materializedHosts = materializedCount;
+    s.switches = static_cast<std::size_t>(t.pods) *
+                     (t.racksPerPod + t.l1PerPod) +
+                 t.l2Count;
+    // Trunks + materialized access cables + materialized NIC cables.
+    s.fabricLinks = static_cast<std::size_t>(topo->numTrunkLinks()) +
+                    topo->materializedHosts() +
+                    (config.createNics
+                         ? static_cast<std::size_t>(materializedCount)
+                         : 0);
+    // sizeof() undercounts (owned buffers, queues, tables are behind
+    // pointers) but tracks the same growth the RSS assertions bound;
+    // treat it as an order-of-magnitude gauge, not an audit.
+    s.bytesPerServer = sizeof(HostState) + sizeof(fpga::Shell) +
+                       sizeof(haas::FpgaManager) + sizeof(net::Link) +
+                       (config.createNics
+                            ? sizeof(net::Nic) + sizeof(net::Link)
+                            : 0);
+    const std::size_t stub =
+        sizeof(net::Topology::HostPort) + sizeof(void *);
+    s.bytesPerHost =
+        s.hosts == 0
+            ? 0.0
+            : (static_cast<double>(s.bytesPerServer) * materializedCount +
+               static_cast<double>(stub) * s.hosts) /
+                  s.hosts;
+    s.pool = sim::poolStats();
+    return s;
+}
+
+void
+ConfigurableCloud::installTimeoutObserver(int host)
+{
+    ltl::LtlEngine *eng = hostStates[host]->shell->ltlEngine();
+    if (eng == nullptr)
+        return;
+    eng->setTimeoutObserver(
+        [this](std::uint16_t, int streak, net::Ipv4Addr remote) {
+            const int peer = hostByAddress(remote);
+            if (peer >= 0)
+                healthMon->reportTimeoutStreak(peer, streak);
+        });
+}
 
 LtlChannel
 ConfigurableCloud::openLtl(int from_host, int to_host,
@@ -226,9 +339,13 @@ ConfigurableCloud::hostByAddress(net::Ipv4Addr addr) const
 }
 
 bool
-ConfigurableCloud::nodeReachable(int host) const
+ConfigurableCloud::nodeReachable(int host)
 {
-    return !shells.at(host)->bridge().down() &&
+    // A heartbeat probe is a management-path touch: it materializes a
+    // flyweight stub (deterministically — the probe schedule is part of
+    // the simulation) rather than silently reporting on missing state.
+    materializeServer(host);
+    return !hostStates[host]->shell->bridge().down() &&
            !topo->hostLink(host).isAdminDown();
 }
 
@@ -241,17 +358,15 @@ ConfigurableCloud::attachHealthMonitor(haas::HealthMonitor &hm)
                    "timeout observers would call across logical processes "
                    "mid-window. Use the single-queue build for failure-"
                    "detection studies");
+    healthMon = &hm;
     hm.setProbe([this](int host) { return nodeReachable(host); });
+    // Materialized shells subscribe now; flyweight stubs subscribe the
+    // moment they materialize (installTimeoutObserver from
+    // materializeServer), so passive suspicion never misses a server
+    // that was born after the monitor attached.
     for (int host = 0; host < numServers(); ++host) {
-        ltl::LtlEngine *eng = shells[host]->ltlEngine();
-        if (eng == nullptr)
-            continue;
-        eng->setTimeoutObserver(
-            [this, &hm](std::uint16_t, int streak, net::Ipv4Addr remote) {
-                const int peer = hostByAddress(remote);
-                if (peer >= 0)
-                    hm.reportTimeoutStreak(peer, streak);
-            });
+        if (hostStates[host] != nullptr)
+            installTimeoutObserver(host);
     }
 }
 
@@ -285,6 +400,10 @@ ConfigurableCloud::setHostLinkDown(int host, bool down)
                    "is not yet partition-aware (admin state would be "
                    "mutated while a worker owns the link). Use the "
                    "single-queue build for fault studies");
+    // A fault is a touch: cutting a stub's cable materializes the
+    // server first so the fault lands on real state (and a later
+    // accessor cannot resurrect a pristine shell behind a dead link).
+    materializeServer(host);
     topo->hostLink(host).setAdminDown(down);
 }
 
@@ -295,10 +414,11 @@ ConfigurableCloud::setNicLinkDown(int host, bool down)
         sim::fatal("ConfigurableCloud::setNicLinkDown: fault injection "
                    "is not yet partition-aware. Use the single-queue "
                    "build for fault studies");
-    if (nicLinks.empty())
+    if (!config.createNics)
         sim::fatal("ConfigurableCloud::setNicLinkDown: cloud was built "
                    "without NICs (createNics=false)");
-    nicLinks.at(host)->setAdminDown(down);
+    materializeServer(host);
+    hostStates[host]->nicLink->setAdminDown(down);
 }
 
 void

@@ -24,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "serving/cluster_client.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/pool.hpp"
 #include "sim/sharded_queue.hpp"
 
 namespace ccsim::obs {
@@ -43,6 +44,19 @@ struct CloudConfig {
     fpga::ShellConfig shellTemplate;
     /** Build a NIC + host link per server (disable for pure-LTL studies). */
     bool createNics = true;
+    /**
+     * Flyweight servers: build() creates the fabric and registers every
+     * host with the Resource Manager, but defers each server's heavy
+     * state (shell, NIC, cables, FPGA manager — tens of KB) until the
+     * host is first touched: an accessor, an LTL open, a lease deploy,
+     * a heartbeat probe, or a fault injection. Untouched servers cost
+     * tens of bytes, which is what lets a 250k-host L2 fabric fit in a
+     * few GB. Materialization order follows touch order, so runs that
+     * touch the same hosts in the same order stay byte-identical; a
+     * run that eventually touches every host converges to the eager
+     * build's state.
+     */
+    bool lazyHosts = false;
     /** NIC-to-FPGA cable length. */
     double nicCableMeters = 2.0;
     /**
@@ -110,6 +124,11 @@ struct CloudConfig {
     CloudConfig &withNics(bool enabled)
     {
         createNics = enabled;
+        return *this;
+    }
+    CloudConfig &withLazyHosts(bool enabled = true)
+    {
+        lazyHosts = enabled;
         return *this;
     }
     CloudConfig &withNicCableMeters(double meters)
@@ -306,13 +325,66 @@ class ConfigurableCloud
     ConfigurableCloud(const ConfigurableCloud &) = delete;
     ConfigurableCloud &operator=(const ConfigurableCloud &) = delete;
 
-    int numServers() const { return static_cast<int>(shells.size()); }
+    int numServers() const { return topo->numHosts(); }
 
-    fpga::Shell &shell(int host) { return *shells.at(host); }
-    net::Nic &nic(int host) { return *nics.at(host); }
+    /** A server's shell; touching it materializes a flyweight stub. */
+    fpga::Shell &shell(int host)
+    {
+        materializeServer(host);
+        return *hostStates[host]->shell;
+    }
+    net::Nic &nic(int host)
+    {
+        materializeServer(host);
+        return *hostStates[host]->nic;
+    }
     net::Topology &topology() { return *topo; }
     haas::ResourceManager &resourceManager() { return *rm; }
-    haas::FpgaManager &fpgaManager(int host) { return *fms.at(host); }
+    haas::FpgaManager &fpgaManager(int host)
+    {
+        materializeServer(host);
+        return *hostStates[host]->fm;
+    }
+
+    // --- flyweight servers (lazyHosts) ---
+
+    /**
+     * Create a server's heavy state now (idempotent; every host is
+     * already materialized in an eager build). Construction follows the
+     * exact per-host sequence of the eager build — shell, observability
+     * attach, fabric splice, NIC + cable, FPGA manager, RM binding —
+     * so a lazy build that touches hosts in ascending order is
+     * byte-identical to the eager one.
+     */
+    void materializeServer(int host);
+
+    /** True once a server's heavy state exists. */
+    bool serverMaterialized(int host) const
+    {
+        return hostStates.at(host) != nullptr;
+    }
+
+    /** Servers whose heavy state exists (== numServers() when eager). */
+    int materializedServers() const { return materializedCount; }
+
+    /**
+     * Memory telemetry for the fabric (packetPoolStats-style helper):
+     * live-object counts, an estimated resident footprint per host slot
+     * amortized over the whole fleet, and the thread-local allocation
+     * pool's counters. The same numbers back the `sim.mem.*` gauges.
+     */
+    struct FabricMemoryStats {
+        int hosts = 0;               ///< host slots (stubs included)
+        int materializedHosts = 0;   ///< slots with heavy state
+        std::size_t switches = 0;    ///< always eager
+        std::size_t fabricLinks = 0; ///< trunks + materialized cables
+        /** Estimated bytes of heavy state per materialized server. */
+        std::size_t bytesPerServer = 0;
+        /** Estimated bytes per host slot amortized over the fleet. */
+        double bytesPerHost = 0.0;
+        sim::PoolStats pool;
+    };
+    FabricMemoryStats fabricMemoryStats() const;
 
     /**
      * Open a one-directional LTL channel from @p from_host to @p to_host:
@@ -333,9 +405,11 @@ class ConfigurableCloud
      * Management-path reachability: true while the server's FPGA would
      * answer an FPGA-Manager probe (bridge up and FPGA<->TOR cable not
      * administratively down). This is what a HealthMonitor heartbeat
-     * observes.
+     * observes. Probing a flyweight stub materializes it (a heartbeat
+     * is a management-path touch), so lazy and eager builds answer
+     * identically.
      */
-    bool nodeReachable(int host) const;
+    bool nodeReachable(int host);
 
     /**
      * Wire @p hm to this cloud: installs the management-path
@@ -403,7 +477,10 @@ class ConfigurableCloud
     /** The NIC<->FPGA cable of a host (nullptr when built without NICs). */
     net::Link *nicLink(int host)
     {
-        return nicLinks.empty() ? nullptr : nicLinks.at(host).get();
+        if (!config.createNics)
+            return nullptr;
+        materializeServer(host);
+        return hostStates[host]->nicLink.get();
     }
 
     /**
@@ -420,15 +497,30 @@ class ConfigurableCloud
     const void *faultInjector() const { return injectorTag; }
 
   private:
+    /**
+     * A server's heavy (cold) state, allocated on first touch. The
+     * flyweight split: everything class-invariant lives in the shared
+     * CloudConfig (shell template, NIC policy, cable lengths); the
+     * per-host warm facts (address, MAC, coordinates) live in the
+     * topology's HostPort stub; this record is only born when the host
+     * actually participates.
+     */
+    struct HostState {
+        std::unique_ptr<fpga::Shell> shell;
+        std::unique_ptr<net::Nic> nic;
+        std::unique_ptr<net::Link> nicLink;
+        std::unique_ptr<haas::FpgaManager> fm;
+    };
+
     sim::EventQueue &queue;  ///< sharded mode: the spine partition
     CloudConfig config;
     sim::ShardedEventQueue *shards = nullptr;
     std::unique_ptr<net::Topology> topo;
-    std::vector<std::unique_ptr<fpga::Shell>> shells;
-    std::vector<std::unique_ptr<net::Nic>> nics;
-    std::vector<std::unique_ptr<net::Link>> nicLinks;
+    /** One slot per host; nullptr while the server is a stub. */
+    std::vector<std::unique_ptr<HostState>> hostStates;
     std::unique_ptr<haas::ResourceManager> rm;
-    std::vector<std::unique_ptr<haas::FpgaManager>> fms;
+    int materializedCount = 0;
+    haas::HealthMonitor *healthMon = nullptr;
     const void *injectorTag = nullptr;
 
     static void validate(const CloudConfig &cfg);
@@ -436,6 +528,8 @@ class ConfigurableCloud
     /** The hub components on @p partition register with (may be null). */
     obs::Observability *hubFor(int partition);
     void build();
+    void registerMemoryProbes(obs::Observability *hub);
+    void installTimeoutObserver(int host);
 };
 
 }  // namespace ccsim::core

@@ -177,7 +177,29 @@ FpgaManager *
 ResourceManager::manager(int host_index)
 {
     auto it = nodes.find(host_index);
-    return it == nodes.end() ? nullptr : it->second.fm;
+    if (it == nodes.end())
+        return nullptr;
+    if (it->second.fm == nullptr && resolver) {
+        // Flyweight stub: materialize on first touch. The resolver
+        // calls back into setNodeManager; re-find in case it mutated
+        // the map (registering further nodes is allowed).
+        FpgaManager *fm = resolver(host_index);
+        it = nodes.find(host_index);
+        if (it == nodes.end())
+            return fm;
+    }
+    return it->second.fm;
+}
+
+void
+ResourceManager::setNodeManager(int host_index, FpgaManager *fm)
+{
+    auto it = nodes.find(host_index);
+    if (it == nodes.end())
+        return;
+    it->second.fm = fm;
+    if (fm != nullptr && it->second.state == NodeState::kFailed)
+        fm->markUnhealthy();
 }
 
 int

@@ -153,7 +153,32 @@ class ResourceManager
         onRepair.push_back(std::move(fn));
     }
 
+    /**
+     * The node's FPGA Manager. In a flyweight cloud a node can be
+     * registered before its server objects exist (fm == nullptr); the
+     * first manager() lookup then invokes the materialization resolver
+     * (setManagerResolver) so a lease touch — an SM deploying a role,
+     * a failure handler reconfiguring — deterministically materializes
+     * the server instead of failing.
+     */
     FpgaManager *manager(int host_index);
+
+    /**
+     * Install the lazy-materialization hook: called from manager() for
+     * nodes registered without an FpgaManager; must create the node's
+     * server state and return its manager (cached via setNodeManager).
+     */
+    void setManagerResolver(std::function<FpgaManager *(int host)> fn)
+    {
+        resolver = std::move(fn);
+    }
+
+    /**
+     * Late-bind a stub node's manager (lazy materialization). A node
+     * that failed while still a stub gets its manager born unhealthy,
+     * matching the state an eager build would have reached.
+     */
+    void setNodeManager(int host_index, FpgaManager *fm);
 
     /** All registered host indices, ascending. */
     std::vector<int> hostIndices() const;
@@ -190,6 +215,7 @@ class ResourceManager
     std::uint64_t nextLeaseId = 1;
     std::vector<FailureFn> onFailure;
     std::vector<RepairFn> onRepair;
+    std::function<FpgaManager *(int host)> resolver;
     std::uint64_t statFailures = 0;
     std::uint64_t statRepairs = 0;
 };

@@ -26,6 +26,7 @@
 #include "obs/metrics.hpp"
 #include "serving/request_policy.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/pool.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
 
@@ -287,8 +288,14 @@ class RankingServer
     std::string defaultTenant;
     QueryRetryPolicy policy;
     std::function<FeatureAccelerator *()> replicaPicker;
-    /** In-flight accelerated feature stages, by token. */
-    std::map<std::uint64_t, AccelOp> accelOps;
+    /** In-flight accelerated feature stages, by token. Map nodes come
+     * from the thread-local arena (sim::PoolAllocator), so the
+     * per-query churn of accelerated stages recycles one compact block
+     * instead of hitting the heap — the "pooled query records" half of
+     * the paper-scale memory story. */
+    std::map<std::uint64_t, AccelOp, std::less<std::uint64_t>,
+             sim::PoolAllocator<std::pair<const std::uint64_t, AccelOp>>>
+        accelOps;
     std::uint64_t nextAccelToken = 1;
     /** Distinguishes a winning attempt from late losers per query. */
     std::uint64_t nextAttemptId = 1;

@@ -1,5 +1,7 @@
 #include "net/channel.hpp"
 
+#include <algorithm>
+
 #include "sim/logging.hpp"
 #include "sim/sharded_queue.hpp"
 
@@ -12,6 +14,24 @@ Channel::Channel(sim::EventQueue &eq, std::string name, double rate_gbps,
 {
     if (gbps <= 0.0)
         sim::panic("Channel: rate must be positive");
+}
+
+void
+Channel::removeFluidBps(std::uint64_t bps)
+{
+    if (bps > fluidRateBps)
+        sim::panic("Channel: fluid rate underflow (remove without add)");
+    fluidRateBps -= bps;
+}
+
+double
+Channel::effectiveGbps() const
+{
+    // Residual line rate after the fluid aggregate, floored at 5% so an
+    // over-subscribed channel slows packets down rather than stalling.
+    const double line_bps = gbps * 1e9;
+    const double residual = line_bps - static_cast<double>(fluidRateBps);
+    return std::max(residual, 0.05 * line_bps) / 1e9;
 }
 
 std::uint32_t
@@ -130,8 +150,12 @@ Channel::tryTransmit()
     txQueues[prio].pop_front();
     queueBytes[prio] -= entry.pkt->wireBytes();
     transmitting = true;
-    const sim::TimePs ser =
-        sim::serializationDelay(entry.pkt->wireBytes(), gbps);
+    // With no fluid load the serialization rate is the configured gbps
+    // *by the same expression as always*, keeping legacy runs
+    // byte-identical; fluid load shifts it to the residual rate.
+    const sim::TimePs ser = sim::serializationDelay(
+        entry.pkt->wireBytes(),
+        fluidRateBps == 0 ? gbps : effectiveGbps());
     if (entry.pkt->trace.sampled && flowRec) {
         // Split the queue wait into true queueing and PFC pause (the
         // pause-clock delta, clamped to the wait, placed at its end),

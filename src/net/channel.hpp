@@ -79,6 +79,43 @@ class Channel
     /** Line rate in Gb/s. */
     double rateGbps() const { return gbps; }
 
+    // --- fluid background load (ccsim::net::FluidTrafficModel) ---
+
+    /**
+     * Fold an aggregate background-flow rate into this channel. Fluid
+     * flows are not simulated packet by packet; their only effect on the
+     * packet path is that serialization proceeds at the residual rate
+     * (line rate minus the fluid aggregate, floored at 5% of line rate
+     * so a mis-modeled overload degrades instead of wedging). Rates are
+     * integer bits/s so add/remove pairs cancel exactly: a channel whose
+     * fluid load returns to zero is bit-for-bit the channel that never
+     * saw any.
+     */
+    void addFluidBps(std::uint64_t bps) { fluidRateBps += bps; }
+
+    /** Remove @p bps of fluid load (must match a previous add). */
+    void removeFluidBps(std::uint64_t bps);
+
+    /** Current aggregate fluid rate in bits/s. */
+    std::uint64_t fluidBps() const { return fluidRateBps; }
+
+    /** Fraction of the line rate consumed by fluid background load. */
+    double fluidUtilization() const
+    {
+        return static_cast<double>(fluidRateBps) / (gbps * 1e9);
+    }
+
+    /**
+     * Account bytes advanced by the fluid model for flows traversing
+     * this channel (the fluid analogue of bytesSent()). Called by
+     * FluidTrafficModel at fold points; the conservation tests compare
+     * these credits against per-flow integrals.
+     */
+    void creditFluidBytes(std::uint64_t bytes) { fluidBytes += bytes; }
+
+    /** Cumulative fluid bytes advanced across this channel. */
+    std::uint64_t fluidBytesDelivered() const { return fluidBytes; }
+
     // --- partitioned execution (ccsim::sim::ShardedEventQueue) ---
 
     /**
@@ -180,6 +217,8 @@ class Channel
     sim::ShardedEventQueue *crossShard = nullptr;
     int crossSrc = 0;
     int crossDst = 0;
+    std::uint64_t fluidRateBps = 0;
+    std::uint64_t fluidBytes = 0;
 
     std::uint64_t txPackets = 0;
     std::uint64_t txBytes = 0;
@@ -189,6 +228,7 @@ class Channel
 
     void tryTransmit();
     void finishTransmit(TxEntry entry);
+    double effectiveGbps() const;
     int pickQueue() const;
     sim::TimePs earliestUnpause() const;
     sim::TimePs pausedTimeNow(std::uint8_t priority) const;

@@ -1,0 +1,240 @@
+#include "net/fluid.hpp"
+
+#include "sim/logging.hpp"
+#include "sim/sharded_queue.hpp"
+
+namespace ccsim::net {
+
+namespace {
+
+/** bit·ps per byte: 8 bits × 1e12 ps/s. */
+constexpr unsigned __int128 kBitPsPerByte =
+    static_cast<unsigned __int128>(8) * 1000000000000ull;
+
+}  // namespace
+
+FluidTrafficModel::FluidTrafficModel(sim::EventQueue &eq_, Topology &t)
+    : topo(t), eq(&eq_)
+{
+}
+
+FluidTrafficModel::FluidTrafficModel(sim::ShardedEventQueue &sq_,
+                                     Topology &t)
+    : topo(t), sq(&sq_)
+{
+}
+
+FluidTrafficModel::~FluidTrafficModel()
+{
+    // Unload whatever is still flowing so the channels a longer-lived
+    // topology keeps serving are not left slowed forever.
+    for (auto &[id, f] : flows) {
+        if (!f->promoted)
+            unloadPath(*f);
+    }
+}
+
+sim::TimePs
+FluidTrafficModel::now() const
+{
+    return sq != nullptr ? sq->now() : eq->now();
+}
+
+FluidFlow &
+FluidTrafficModel::get(std::uint64_t id)
+{
+    auto it = flows.find(id);
+    if (it == flows.end())
+        sim::fatalf("FluidTrafficModel: unknown flow id ", id);
+    return *it->second;
+}
+
+void
+FluidTrafficModel::loadPath(FluidFlow &f)
+{
+    for (Channel *c : f.path)
+        c->addFluidBps(f.rateBps);
+}
+
+void
+FluidTrafficModel::unloadPath(FluidFlow &f)
+{
+    for (Channel *c : f.path)
+        c->removeFluidBps(f.rateBps);
+}
+
+void
+FluidTrafficModel::fold(FluidFlow &f)
+{
+    const sim::TimePs t = now();
+    if (f.promoted) {
+        f.lastFold = t;
+        return;
+    }
+    const sim::TimePs dt = t - f.lastFold;
+    f.lastFold = t;
+    if (dt <= 0 || f.rateBps == 0)
+        return;
+    // Exact integral in bit·ps; the remainder is carried so byte totals
+    // are independent of the fold schedule.
+    unsigned __int128 acc =
+        f.residualBitPs + static_cast<unsigned __int128>(f.rateBps) *
+                              static_cast<unsigned __int128>(dt);
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(acc / kBitPsPerByte);
+    f.residualBitPs = acc % kBitPsPerByte;
+    if (bytes == 0)
+        return;
+    f.fluidBytes += bytes;
+    for (Channel *c : f.path)
+        c->creditFluidBytes(bytes);
+    expectedCredits += bytes * f.path.size();
+}
+
+std::uint64_t
+FluidTrafficModel::addFlow(int src_host, int dst_host,
+                           std::uint64_t rate_bps)
+{
+    auto f = std::allocate_shared<FluidFlow>(
+        sim::PoolAllocator<FluidFlow>{});
+    f->id = nextId++;
+    f->srcHost = src_host;
+    f->dstHost = dst_host;
+    f->rateBps = rate_bps;
+    f->lastFold = now();
+    f->path = topo.fluidPath(src_host, dst_host);
+    for (Channel *c : f->path)
+        touched.insert(c);
+    loadPath(*f);
+    const std::uint64_t id = f->id;
+    flows.emplace(id, std::move(f));
+    return id;
+}
+
+void
+FluidTrafficModel::setRate(std::uint64_t id, std::uint64_t rate_bps)
+{
+    FluidFlow &f = get(id);
+    fold(f);
+    if (!f.promoted)
+        unloadPath(f);
+    f.rateBps = rate_bps;
+    if (!f.promoted)
+        loadPath(f);
+}
+
+void
+FluidTrafficModel::removeFlow(std::uint64_t id)
+{
+    auto it = flows.find(id);
+    if (it == flows.end())
+        sim::fatalf("FluidTrafficModel: unknown flow id ", id);
+    FluidFlow &f = *it->second;
+    fold(f);
+    if (!f.promoted)
+        unloadPath(f);
+    retiredFluidBytes += f.fluidBytes;
+    retiredPacketBytes += f.packetBytes;
+    ++retiredFlows;
+    flows.erase(it);
+}
+
+void
+FluidTrafficModel::promote(std::uint64_t id)
+{
+    FluidFlow &f = get(id);
+    if (f.promoted)
+        return;
+    fold(f);
+    unloadPath(f);
+    f.promoted = true;
+}
+
+void
+FluidTrafficModel::creditPacketBytes(std::uint64_t id, std::uint64_t bytes)
+{
+    FluidFlow &f = get(id);
+    if (!f.promoted)
+        sim::fatalf("FluidTrafficModel: packet credit on fluid flow ", id,
+                    " (bytes would be double-counted)");
+    f.packetBytes += bytes;
+}
+
+void
+FluidTrafficModel::demote(std::uint64_t id, std::uint64_t rate_bps)
+{
+    FluidFlow &f = get(id);
+    if (!f.promoted)
+        return;
+    f.promoted = false;
+    f.lastFold = now();
+    f.rateBps = rate_bps;
+    loadPath(f);
+}
+
+void
+FluidTrafficModel::setMonitored(const Channel *c, bool is_monitored)
+{
+    if (is_monitored)
+        monitored.insert(c);
+    else
+        monitored.erase(c);
+}
+
+bool
+FluidTrafficModel::crossesMonitored(std::uint64_t id) const
+{
+    auto it = flows.find(id);
+    if (it == flows.end())
+        return false;
+    for (const Channel *c : it->second->path) {
+        if (monitored.count(c) > 0)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::uint64_t>
+FluidTrafficModel::flowsCrossingMonitored() const
+{
+    std::vector<std::uint64_t> ids;
+    for (const auto &[id, f] : flows) {
+        if (!f->promoted && crossesMonitored(id))
+            ids.push_back(id);
+    }
+    return ids;
+}
+
+void
+FluidTrafficModel::foldAll()
+{
+    for (auto &[id, f] : flows)
+        fold(*f);
+}
+
+FluidConservation
+FluidTrafficModel::verify() const
+{
+    FluidConservation c;
+    c.flows = retiredFlows + flows.size();
+    c.fluidBytes = retiredFluidBytes;
+    c.packetBytes = retiredPacketBytes;
+    for (const auto &[id, f] : flows) {
+        c.fluidBytes += f->fluidBytes;
+        c.packetBytes += f->packetBytes;
+    }
+    for (Channel *ch : touched)
+        c.channelCredits += ch->fluidBytesDelivered();
+    c.expectedChannelCredits = expectedCredits;
+    c.ok = c.channelCredits == c.expectedChannelCredits;
+    return c;
+}
+
+const FluidFlow *
+FluidTrafficModel::flow(std::uint64_t id) const
+{
+    auto it = flows.find(id);
+    return it == flows.end() ? nullptr : it->second.get();
+}
+
+}  // namespace ccsim::net

@@ -28,8 +28,8 @@ Topology::validateConfig() const
         sim::fatal("Topology: hostsPerRack must be in [1, 254]");
     if (config.racksPerPod < 1 || config.racksPerPod > 255)
         sim::fatal("Topology: racksPerPod must be in [1, 255]");
-    if (config.pods < 1 || config.pods > 255)
-        sim::fatal("Topology: pods must be in [1, 255]");
+    if (config.pods < 1 || config.pods > 510)
+        sim::fatal("Topology: pods must be in [1, 510]");
     if (config.l1PerPod < 1 || config.l2Count < 1)
         sim::fatal("Topology: need at least one switch per fabric tier");
 }
@@ -94,13 +94,49 @@ Topology::l2(int idx)
 void
 Topology::attachHostDevice(int global_index, PacketSink *device)
 {
+    materializeHost(global_index);
     hosts.at(global_index).link->attachA(device);
 }
 
 Channel &
 Topology::hostTx(int global_index)
 {
+    materializeHost(global_index);
     return hosts.at(global_index).link->aToB();
+}
+
+Link &
+Topology::hostLink(int global_index)
+{
+    materializeHost(global_index);
+    return *hosts.at(global_index).link;
+}
+
+void
+Topology::materializeHost(int global_index)
+{
+    HostPort &hp = hosts.at(global_index);
+    if (hp.link != nullptr)
+        return;
+    Switch &torsw = tor(hp.pod, hp.rack);
+    auto link = std::make_unique<Link>(
+        podQueue(hp.pod),
+        "tor." + std::to_string(hp.pod) + "." + std::to_string(hp.rack) +
+            ".host" + std::to_string(hp.indexInRack),
+        config.linkGbps, config.hostCableMeters);
+    const int down = torsw.addPort(&link->bToA());
+    link->attachB(torsw.portSink(down));
+    torsw.addHostRoute(hp.addr, down);
+    if (legacyObs != nullptr) {
+        link->setFlowRecorder(&legacyObs->flows);
+    } else if (shardObs != nullptr) {
+        link->setFlowRecorder(&shardObs->shard(hp.pod).flows);
+    }
+    hp.link = link.get();
+    linkEndPartitions.emplace_back(podPartition(hp.pod),
+                                   podPartition(hp.pod));
+    links.push_back(std::move(link));
+    ++materialized;
 }
 
 void
@@ -145,9 +181,12 @@ Topology::build()
                 link->attachB(l2Switches[j]->portSink(
                     l2Switches[j]->addPort(&link->bToA())));
                 link->attachA(l1sw.portSink(up));
-                // L2 routes this pod's /16 down through this L1.
+                // L2 routes this pod's /16 down through this L1 (the
+                // first two octets jointly encode the pod, so this
+                // holds past 256 pods — see hostAddr).
                 l2Switches[j]->addRoute(
-                    Ipv4Addr::of(10, static_cast<std::uint8_t>(pod), 0, 0),
+                    Ipv4Addr::of(static_cast<std::uint8_t>(10 + (pod >> 8)),
+                                 static_cast<std::uint8_t>(pod & 0xff), 0, 0),
                     16, l2Switches[j]->numPorts() - 1);
                 uplinks.push_back(up);
                 trunks.push_back(link.get());
@@ -178,10 +217,11 @@ Topology::build()
                 link->attachA(torsw.portSink(up));
                 link->attachB(l1sw.portSink(down));
                 // L1 routes this rack's /24 down through this port.
-                l1sw.addRoute(Ipv4Addr::of(10, static_cast<std::uint8_t>(pod),
-                                           static_cast<std::uint8_t>(rack),
-                                           0),
-                              24, down);
+                l1sw.addRoute(
+                    Ipv4Addr::of(static_cast<std::uint8_t>(10 + (pod >> 8)),
+                                 static_cast<std::uint8_t>(pod & 0xff),
+                                 static_cast<std::uint8_t>(rack), 0),
+                    24, down);
                 uplinks.push_back(up);
                 trunks.push_back(link.get());
                 linkEndPartitions.emplace_back(podPartition(pod),
@@ -190,17 +230,11 @@ Topology::build()
             }
             torsw.setDefaultRoutes(uplinks);
 
-            // Hosts in this rack.
+            // Hosts in this rack: always a stub (address + coordinates);
+            // the access cable follows immediately in an eager build and
+            // on first touch in a lazy one.
             for (int h = 0; h < config.hostsPerRack; ++h) {
-                auto link = std::make_unique<Link>(
-                    podQueue(pod),
-                    tor_name + ".host" + std::to_string(h),
-                    config.linkGbps, config.hostCableMeters);
-                const int down = torsw.addPort(&link->bToA());
-                link->attachB(torsw.portSink(down));
                 const Ipv4Addr addr = hostAddr(pod, rack, h);
-                torsw.addHostRoute(addr, down);
-
                 HostPort hp;
                 hp.pod = pod;
                 hp.rack = rack;
@@ -208,14 +242,64 @@ Topology::build()
                 hp.addr = addr;
                 hp.mac = MacAddr{0x020000000000ull |
                                  static_cast<std::uint64_t>(addr.value)};
-                hp.link = link.get();
                 hosts.push_back(hp);
-                linkEndPartitions.emplace_back(podPartition(pod),
-                                               podPartition(pod));
-                links.push_back(std::move(link));
+                if (!config.lazyHosts)
+                    materializeHost(static_cast<int>(hosts.size()) - 1);
             }
         }
     }
+}
+
+Link &
+Topology::l1ToL2Link(int pod, int l1_idx, int l2_idx)
+{
+    const int i = pod * trunksPerPod() + l1_idx * config.l2Count + l2_idx;
+    return *trunks.at(i);
+}
+
+Link &
+Topology::torToL1Link(int pod, int rack, int l1_idx)
+{
+    const int i = pod * trunksPerPod() + config.l1PerPod * config.l2Count +
+                  rack * config.l1PerPod + l1_idx;
+    return *trunks.at(i);
+}
+
+std::vector<Channel *>
+Topology::fluidPath(int src, int dst)
+{
+    std::vector<Channel *> path;
+    if (src == dst)
+        return path;
+    const HostPort &s = hosts.at(src);
+    const HostPort &d = hosts.at(dst);
+    if (s.link != nullptr)
+        path.push_back(&s.link->aToB());
+    if (s.pod != d.pod || s.rack != d.rack) {
+        // One deterministic ECMP-style choice per (src, dst) pair:
+        // splitmix64 over the endpoint indices and the topology seed.
+        std::uint64_t h = (static_cast<std::uint64_t>(src) << 32) |
+                          static_cast<std::uint32_t>(dst);
+        h += config.seed + 0x9e3779b97f4a7c15ull;
+        h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+        h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+        h ^= h >> 31;
+        const int l1_up = static_cast<int>(h % config.l1PerPod);
+        path.push_back(&torToL1Link(s.pod, s.rack, l1_up).aToB());
+        if (s.pod != d.pod) {
+            const int l2 = static_cast<int>((h >> 16) % config.l2Count);
+            const int l1_down =
+                static_cast<int>((h >> 32) % config.l1PerPod);
+            path.push_back(&l1ToL2Link(s.pod, l1_up, l2).aToB());
+            path.push_back(&l1ToL2Link(d.pod, l1_down, l2).bToA());
+            path.push_back(&torToL1Link(d.pod, d.rack, l1_down).bToA());
+        } else {
+            path.push_back(&torToL1Link(d.pod, d.rack, l1_up).bToA());
+        }
+    }
+    if (d.link != nullptr)
+        path.push_back(&d.link->bToA());
+    return path;
 }
 
 std::uint64_t
@@ -234,6 +318,8 @@ Topology::totalSwitchDrops() const
 void
 Topology::attachObservability(obs::Observability *o)
 {
+    legacyObs = o;
+    shardObs = nullptr;
     for (const auto &sw : tors)
         sw->attachObservability(o);
     for (const auto &sw : l1Switches)
@@ -250,6 +336,8 @@ Topology::attachObservability(obs::ShardedObservability *so)
     if (so && so->shardCount() < config.pods + 1)
         sim::fatalf("Topology::attachObservability: need ", config.pods + 1,
                     " shards (pods + spine), got ", so->shardCount());
+    shardObs = so;
+    legacyObs = nullptr;
     for (std::size_t t = 0; t < tors.size(); ++t) {
         const int pod = static_cast<int>(t) / config.racksPerPod;
         tors[t]->attachObservability(so ? &so->shard(pod) : nullptr);

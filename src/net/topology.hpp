@@ -88,6 +88,18 @@ struct TopologyConfig {
                         2100 * sim::kNanosecond};
 
     std::uint64_t seed = 42;
+
+    /**
+     * Flyweight hosts: build() creates switches, trunks, routes, and
+     * per-host HostPort stubs (address, MAC, pod/rack coordinates —
+     * tens of bytes), but defers each host's access cable and TOR port
+     * until the host is first touched (attachHostDevice / hostTx /
+     * hostLink / materializeHost). Materialization is deterministic: it
+     * depends only on the touch itself, never on wall-clock or
+     * allocation state, and a fully-materialized lazy fabric routes
+     * identically to an eager one.
+     */
+    bool lazyHosts = false;
 };
 
 /** A built datacenter network. */
@@ -136,10 +148,16 @@ class Topology
     /** Channel a host-side device transmits into (toward its TOR). */
     Channel &hostTx(int global_index);
 
-    /** IP address assigned to a host. */
+    /**
+     * IP address assigned to a host. Pods 0-255 map to 10.pod.rack.idx
+     * exactly as before; pods 256-509 spill into the 11.x second octet
+     * (the first two octets together encode the pod, so the /16
+     * pod-prefix routes at L2 still work at paper scale — ~260 pods).
+     */
     static Ipv4Addr hostAddr(int pod, int rack, int idx)
     {
-        return Ipv4Addr::of(10, static_cast<std::uint8_t>(pod),
+        return Ipv4Addr::of(static_cast<std::uint8_t>(10 + (pod >> 8)),
+                            static_cast<std::uint8_t>(pod & 0xff),
                             static_cast<std::uint8_t>(rack),
                             static_cast<std::uint8_t>(idx + 1));
     }
@@ -149,11 +167,53 @@ class Topology
     Switch &l1(int pod, int idx);
     Switch &l2(int idx);
 
-    /** The host<->TOR cable of a host (for fault injection). */
-    Link &hostLink(int global_index)
+    /** The host<->TOR cable of a host (for fault injection). Touching
+     * it materializes the host in a lazy build. */
+    Link &hostLink(int global_index);
+
+    // --- flyweight hosts (lazyHosts) ---
+
+    /**
+     * Create a host's access cable and TOR port now (idempotent; no-op
+     * in an eager build where every host is born materialized). Cable
+     * name, rate, length, and routing are identical to the eager build;
+     * only the TOR port number can differ, and nothing observable
+     * depends on it (routing is by address, switch metrics aggregate
+     * over ports).
+     */
+    void materializeHost(int global_index);
+
+    /** True once a host's access cable exists. */
+    bool hostMaterialized(int global_index) const
     {
-        return *hosts.at(global_index).link;
+        return hosts.at(global_index).link != nullptr;
     }
+
+    /** Hosts whose access cable exists (== numHosts() when eager). */
+    int materializedHosts() const { return materialized; }
+
+    /** True if this topology defers host materialization. */
+    bool lazyHosts() const { return config.lazyHosts; }
+
+    // --- fluid background traffic (ccsim::net::FluidTrafficModel) ---
+
+    /** Trunk cable from L1 switch (pod, l1_idx) up to L2 spine l2_idx
+     * (end A = L1, end B = L2). */
+    Link &l1ToL2Link(int pod, int l1_idx, int l2_idx);
+
+    /** Trunk cable from TOR (pod, rack) up to L1 l1_idx
+     * (end A = TOR, end B = L1). */
+    Link &torToL1Link(int pod, int rack, int l1_idx);
+
+    /**
+     * The trunk channels a src→dst flow occupies, in transmit order,
+     * with one deterministic ECMP-style path per (src, dst) pair (a
+     * seeded hash of the endpoint indices — the fluid model cannot
+     * consult per-packet ECMP). Host access cables are included only if
+     * materialized at call time; stub endpoints contribute no channel.
+     * Same-host pairs return an empty path.
+     */
+    std::vector<Channel *> fluidPath(int src, int dst);
 
     /** Number of inter-switch (TOR<->L1, L1<->L2) trunk cables. */
     int numTrunkLinks() const { return static_cast<int>(trunks.size()); }
@@ -199,6 +259,10 @@ class Topology
     std::vector<HostPort> hosts;
     /** TOR-port index of each host link's device side channel. */
     std::vector<Channel *> hostTxChannels;
+    int materialized = 0;
+    /** Remembered attach state so lazily-created cables get recorders. */
+    obs::Observability *legacyObs = nullptr;
+    obs::ShardedObservability *shardObs = nullptr;
 
     static std::shared_ptr<DelayModel> makeJitter(const TierParams &p);
     SwitchConfig makeSwitchConfig(const std::string &name,
@@ -206,6 +270,12 @@ class Topology
     sim::EventQueue &podQueue(int pod);
     void build();
     void validateConfig() const;
+    /** Per-pod stride in the `trunks` vector. */
+    int trunksPerPod() const
+    {
+        return config.l1PerPod * config.l2Count +
+               config.racksPerPod * config.l1PerPod;
+    }
 };
 
 }  // namespace ccsim::net

@@ -52,6 +52,21 @@ inline constexpr MetricPattern kMetricPatterns[] = {
     {"sim.shard.partition*.events", "gauge",
      "Events executed by one partition (load-balance view)."},
 
+    // --- sim.mem.* : fabric memory / live-object gauges
+    //     (ConfigurableCloud::registerMemoryProbes; the numbers behind
+    //     fabricMemoryStats()) ---
+    {"sim.mem.hosts", "gauge",
+     "Host slots in the fabric, flyweight stubs included."},
+    {"sim.mem.materialized_hosts", "gauge",
+     "Servers whose heavy state (shell/NIC/cables/FM) exists."},
+    {"sim.mem.switches", "gauge",
+     "Switches in the fabric (always eagerly built)."},
+    {"sim.mem.fabric_links", "gauge",
+     "Live Link objects: trunks plus materialized access/NIC cables."},
+    {"sim.mem.bytes_per_host", "gauge",
+     "Estimated resident bytes per host slot, amortized over the fleet "
+     "(sizeof-based; an order-of-magnitude gauge, not an audit)."},
+
     // --- trace.* : flow tracing (FlightRecorder::bindMetrics) ---
     {"trace.sampled_flows", "counter",
      "Flows admitted by the 1-in-N flow sampler."},
