@@ -35,6 +35,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,6 +47,8 @@
 #include "net/fluid.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sharded_obs.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/sharded_queue.hpp"
 #include "sim/stats.hpp"
@@ -333,6 +336,29 @@ runL2Campaign(bool quick, int shard_threads)
     // A shell can be probe destination and promoted-flow sink at once.
     cfg.shellTemplate.roleSlots = 8;
 
+    // --- live telemetry (opt-in via CCSIM_TS=<path>): the hub rolls
+    // every watched metric into 250 us windows on barrier deadlines, so
+    // the JSONL stream and the alert timeline are byte-identical across
+    // --shards values. Feed the stream to tools/ccsim_report.
+    const std::string tsPath = obs::TimeSeriesHub::envPath();
+    std::unique_ptr<obs::TimeSeriesHub> tsHub;
+    std::unique_ptr<obs::SloEngine> slo;
+    std::ofstream tsOut;
+    if (!tsPath.empty()) {
+        tsHub = std::make_unique<obs::TimeSeriesHub>(
+            obs::TimeSeriesConfig{}
+                .withWindow(250 * sim::kMicrosecond)
+                .withInclude(
+                    {"ltl.*", "sim.*", "haas.*", "ts.*", "slo.*"}));
+        tsHub->defineAggregate("fleet.rtt_us", "ltl.*.rtt_us");
+        tsHub->defineAggregate("fleet.retransmits", "ltl.*.retransmits");
+        tsOut.open(tsPath);
+        if (!tsOut)
+            sim::fatalf("fig07: cannot write CCSIM_TS path ", tsPath);
+        tsHub->exportTo(&tsOut);
+        cfg.timeSeries = tsHub.get();
+    }
+
     // Either kernel; the campaign is byte-identical across thread counts.
     std::unique_ptr<sim::EventQueue> eq;
     std::unique_ptr<sim::ShardedEventQueue> sq;
@@ -354,6 +380,32 @@ runL2Campaign(bool quick, int shard_threads)
         cloud = std::make_unique<core::ConfigurableCloud>(*eq, cfg);
     }
     net::Topology &topo = cloud->topology();
+
+    if (tsHub) {
+        // Fleet SLOs over the aggregate series. The RTT objective is the
+        // paper's headline health signal; the retransmit objective only
+        // burns budget during a storm (e.g. an injected link fault).
+        slo = std::make_unique<obs::SloEngine>(*tsHub);
+        obs::SloObjective rttObj;
+        rttObj.name = "fleet_rtt_p99";
+        slo->addObjective(
+            rttObj.on("fleet.rtt_us")
+                .where(obs::SloStat::kP99, obs::SloCmp::kLt, 100.0)
+                .withBudget(0.10)
+                .withWindows(40, 5)
+                .withBurnThreshold(2.0));
+        obs::SloObjective rtxObj;
+        rtxObj.name = "fleet_retransmits";
+        slo->addObjective(
+            rtxObj.on("fleet.retransmits")
+                .where(obs::SloStat::kDelta, obs::SloCmp::kLt, 200.0)
+                .withBudget(0.10)
+                .withWindows(40, 5)
+                .withBurnThreshold(2.0));
+        slo->attachObservability(sq ? shardHubs->shard(0).registry
+                                    : hub->registry);
+    }
+
     const double build_s = wallSeconds(t0);
     std::printf("build: %.2f s, %d/%d servers materialized\n", build_s,
                 cloud->materializedServers(), cloud->numServers());
@@ -566,6 +618,15 @@ runL2Campaign(bool quick, int shard_threads)
                 "churned, %llu promotions\n", wall_s, evps / 1e6,
                 static_cast<unsigned long long>(leaseChurn),
                 static_cast<unsigned long long>(promotedTotal));
+    if (tsHub) {
+        std::printf("telemetry: %llu windows, %llu series, %llu JSONL "
+                    "lines -> %s; %llu alerts fired\n",
+                    static_cast<unsigned long long>(tsHub->windowsClosed()),
+                    static_cast<unsigned long long>(tsHub->seriesCount()),
+                    static_cast<unsigned long long>(tsHub->exportedLines()),
+                    tsPath.c_str(),
+                    static_cast<unsigned long long>(slo->alertsFired()));
+    }
 
     const std::string prefix = quick ? "fig07_l2_quick." : "fig07_l2.";
     bench::BenchValues out;
@@ -580,6 +641,14 @@ runL2Campaign(bool quick, int shard_threads)
     out[prefix + "fluid_flows"] = static_cast<double>(c.flows);
     out[prefix + "promotions"] = static_cast<double>(promotedTotal);
     out[prefix + "conservation_ok"] = c.ok ? 1.0 : 0.0;
+    if (tsHub) {
+        out[prefix + "ts_windows"] =
+            static_cast<double>(tsHub->windowsClosed());
+        out[prefix + "ts_lines"] =
+            static_cast<double>(tsHub->exportedLines());
+        out[prefix + "slo_alerts"] =
+            static_cast<double>(slo->alertsFired());
+    }
     if (rss_kb >= 0)
         out[prefix + "rss_peak_mb"] = static_cast<double>(rss_kb) / 1024.0;
     bench::mergeBenchJson(kBenchFile, out);

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <vector>
 
@@ -21,6 +22,8 @@
 #include "host/load_generator.hpp"
 #include "host/ranking_server.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/logging.hpp"
 #include "sim/random.hpp"
@@ -66,6 +69,35 @@ runDatacenter(const std::vector<double> &trace, bool use_fpga,
     server.attachObservability(&hub);
     host::PoissonLoadGenerator gen(eq, 100.0,
                                    [&] { server.submitQuery(); }, 23);
+
+    // Optional live telemetry: CCSIM_TS=<path> streams 50 ms windows of
+    // every host.rank.* metric as JSONL (both datacenters append to the
+    // same file; feed it to tools/ccsim_report for the dashboard).
+    const std::string tsPath = obs::TimeSeriesHub::envPath();
+    std::unique_ptr<obs::TimeSeriesHub> ts;
+    std::unique_ptr<obs::SloEngine> slo;
+    std::ofstream tsOut;
+    if (!tsPath.empty()) {
+        ts = std::make_unique<obs::TimeSeriesHub>(
+            obs::TimeSeriesConfig{}.withWindow(50 * sim::kMillisecond));
+        ts->watchRegistry(&hub.registry);
+        ts->registerSelfProbes(hub.registry);
+        tsOut.open(tsPath, std::ios::app);
+        if (!tsOut)
+            sim::fatalf("fig08: cannot write CCSIM_TS path ", tsPath);
+        ts->exportTo(&tsOut);
+        ts->startSampling(eq);
+        slo = std::make_unique<obs::SloEngine>(*ts);
+        obs::SloObjective lat;
+        lat.name = use_fpga ? "fpga_rank_p999" : "sw_rank_p999";
+        slo->addObjective(
+            lat.on("host.rank.latency_ms")
+                .where(obs::SloStat::kP999, obs::SloCmp::kLt, 12.0)
+                .withBudget(0.05)
+                .withWindows(60, 5)
+                .withBurnThreshold(4.0));
+        slo->attachObservability(hub.registry);
+    }
     gen.start();
 
     // The figure is read from the registry, not the server's raw stats.
@@ -92,6 +124,15 @@ runDatacenter(const std::vector<double> &trace, bool use_fpga,
                 admitted_cap =
                     std::min(demand_peak_qps, admitted_cap * 1.05);
         }
+    }
+    if (ts) {
+        ts->stopSampling();
+        std::printf("  telemetry: %llu windows, %llu JSONL lines, %llu "
+                    "SLO alerts -> %s\n",
+                    static_cast<unsigned long long>(ts->windowsClosed()),
+                    static_cast<unsigned long long>(ts->exportedLines()),
+                    static_cast<unsigned long long>(slo->alertsFired()),
+                    tsPath.c_str());
     }
     if (kernel != nullptr) {
         kernel->eventsExecuted += eq.eventsExecuted();

@@ -1,6 +1,7 @@
 #include "core/cloud.hpp"
 
 #include "obs/sharded_obs.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/logging.hpp"
 
 namespace ccsim::core {
@@ -41,6 +42,10 @@ ConfigurableCloud::validate(const CloudConfig &cfg)
                    "hub attached; call withObservability(&hub) first");
     if (cfg.servingEnabled)
         serving::validateServingConfig(cfg.serving);
+    if (cfg.timeSeries != nullptr && cfg.obs == nullptr &&
+        cfg.shardObs == nullptr)
+        sim::fatal("CloudConfig: timeSeries set but no observability hub "
+                   "attached; the hub needs registries to watch");
 }
 
 ConfigurableCloud::ConfigurableCloud(sim::EventQueue &eq, CloudConfig cfg)
@@ -169,6 +174,27 @@ ConfigurableCloud::build()
                 // No bindMetrics: the trace.* counter paths would
                 // collide across shard registries at snapshot merge.
             }
+        }
+    }
+
+    if (config.timeSeries != nullptr) {
+        obs::TimeSeriesHub &ts = *config.timeSeries;
+        if (shards == nullptr) {
+            ts.watchRegistry(&config.obs->registry);
+            ts.registerSelfProbes(config.obs->registry);
+            ts.attachTrace(&config.obs->trace);
+            ts.startSampling(queue);
+        } else if (config.shardObs) {
+            // Watch every partition's registry (paths are disjoint by
+            // construction); self probes land in shard 0 like the
+            // kernel-health probes, and rolling runs from a barrier
+            // hook so the series are byte-identical across thread
+            // counts.
+            for (int s = 0; s < config.shardObs->shardCount(); ++s)
+                ts.watchRegistry(&config.shardObs->shard(s).registry);
+            ts.registerSelfProbes(config.shardObs->shard(0).registry);
+            ts.attachTrace(&config.shardObs->shard(0).trace);
+            ts.startSampling(*shards);
         }
     }
 }

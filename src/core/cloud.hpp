@@ -29,6 +29,7 @@
 
 namespace ccsim::obs {
 class ShardedObservability;
+class TimeSeriesHub;
 }
 
 namespace ccsim::core {
@@ -108,6 +109,14 @@ struct CloudConfig {
      * outlive the cloud. Null disables instrumentation.
      */
     obs::ShardedObservability *shardObs = nullptr;
+    /**
+     * Live windowed time-series: the hub watches every instrumented
+     * registry (the single hub, or all per-shard hubs) and is driven on
+     * its configured window — a periodic event on the legacy kernel, a
+     * barrier hook on the sharded one. Requires obs or shardObs; must
+     * outlive the cloud's simulation run. Null disables.
+     */
+    obs::TimeSeriesHub *timeSeries = nullptr;
 
     // --- fluent setters (each returns *this for chaining) ---
 
@@ -172,6 +181,11 @@ struct CloudConfig {
     CloudConfig &withShardedObservability(obs::ShardedObservability *so)
     {
         shardObs = so;
+        return *this;
+    }
+    CloudConfig &withTimeSeries(obs::TimeSeriesHub *hub)
+    {
+        timeSeries = hub;
         return *this;
     }
 };

@@ -150,6 +150,19 @@ class HealthMonitor
     void reportEvidence(int host, const std::string &source, double weight);
 
     /**
+     * reportEvidence bound as a generic (host, source, weight) callback:
+     * the shape obs::SloEngine::setEvidenceSink expects, so a burning
+     * SLO files suspicion without the obs layer depending on haas. The
+     * returned function must not outlive this monitor.
+     */
+    std::function<void(int, const std::string &, double)> evidenceSink()
+    {
+        return [this](int host, const std::string &source, double weight) {
+            reportEvidence(host, source, weight);
+        };
+    }
+
+    /**
      * Worst-case time from a node going dark to its failure report,
      * assuming heartbeats alone (passive suspicion only shortens it):
      * the beats needed to accumulate the threshold, plus one period of

@@ -6,6 +6,7 @@
  */
 #pragma once
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <ostream>
@@ -44,8 +45,11 @@ jsonEscape(std::ostream &os, std::string_view s)
 }
 
 /**
- * Deterministic round-trippable double formatting. Non-finite values
+ * Deterministic round-trippable double formatting: shortest
+ * representation that parses back to the same bits. Non-finite values
  * (empty-histogram min/max) are mapped to null, which JSON can carry.
+ * std::to_chars is an order of magnitude faster than snprintf %.17g,
+ * which matters to the per-window export hot path.
  */
 inline void
 jsonNumber(std::ostream &os, double v)
@@ -55,8 +59,8 @@ jsonNumber(std::ostream &os, double v)
         return;
     }
     char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    os << buf;
+    const auto r = std::to_chars(buf, buf + sizeof buf, v);
+    os << std::string_view(buf, static_cast<std::size_t>(r.ptr - buf));
 }
 
 }  // namespace ccsim::obs::detail

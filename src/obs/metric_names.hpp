@@ -67,6 +67,28 @@ inline constexpr MetricPattern kMetricPatterns[] = {
      "Estimated resident bytes per host slot, amortized over the fleet "
      "(sizeof-based; an order-of-magnitude gauge, not an audit)."},
 
+    // --- ts.* : live time-series hub health
+    //     (TimeSeriesHub::registerSelfProbes) ---
+    {"ts.windows", "gauge", "Base windows rolled by the time-series hub."},
+    {"ts.series", "gauge",
+     "Series tracked (concrete registry metrics plus aggregates)."},
+    {"ts.points", "gauge",
+     "Points retained across all ring buffers and levels."},
+    {"ts.exported_lines", "gauge", "JSONL lines written to the CCSIM_TS "
+     "stream."},
+
+    // --- slo.<objective>.* : the SLO burn-rate engine (SloEngine) ---
+    {"slo.*.alerts", "counter",
+     "Burn-rate alerts fired for one objective (all matched series)."},
+    {"slo.*.resolved", "counter",
+     "Alerts resolved after the short burn window recovered."},
+    {"slo.*.firing", "gauge",
+     "Matched series currently in the firing state."},
+    {"slo.*.burn_long", "gauge",
+     "Worst long-window error-budget burn rate across matched series."},
+    {"slo.*.burn_short", "gauge",
+     "Worst short-window error-budget burn rate across matched series."},
+
     // --- trace.* : flow tracing (FlightRecorder::bindMetrics) ---
     {"trace.sampled_flows", "counter",
      "Flows admitted by the 1-in-N flow sampler."},
@@ -213,6 +235,8 @@ inline constexpr MetricPattern kMetricPatterns[] = {
      "Requests routed to a backend by the cluster client."},
     {"serving.*.no_backend", "gauge",
      "Requests dropped because no routable backend remained."},
+    {"serving.*.latency_ms", "histogram",
+     "Routed-request sojourn time, forward to response (milliseconds)."},
     {"serving.*.outstanding", "gauge",
      "Requests in flight across the pool."},
     {"serving.*.host.*.outstanding", "gauge",

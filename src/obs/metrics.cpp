@@ -38,6 +38,7 @@ MetricsRegistry::counter(const std::string &path)
     if (it == counters.end()) {
         checkNewPath(path, "counter");
         it = counters.try_emplace(path, path).first;
+        ++mutations;
     }
     return it->second;
 }
@@ -49,6 +50,7 @@ MetricsRegistry::gauge(const std::string &path)
     if (it == gauges.end()) {
         checkNewPath(path, "gauge");
         it = gauges.try_emplace(path).first;
+        ++mutations;
     }
     return it->second;
 }
@@ -61,6 +63,7 @@ MetricsRegistry::histogram(const std::string &path, double min_value,
     if (it == histograms.end()) {
         checkNewPath(path, "histogram");
         it = histograms.try_emplace(path, min_value, bins_per_octave).first;
+        ++mutations;
     }
     return it->second;
 }
@@ -73,6 +76,7 @@ MetricsRegistry::registerProbe(const std::string &path,
         sim::panicf("MetricsRegistry: null probe for '", path, "'");
     checkNewPath(path, "probe");
     probes[path].fn = std::move(fn);
+    ++mutations;
 }
 
 const sim::Counter *

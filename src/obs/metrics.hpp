@@ -131,6 +131,13 @@ class MetricsRegistry
     std::vector<std::string> paths() const;
 
     /**
+     * Mutation counter, bumped whenever a new metric is registered.
+     * Watchers (the time-series hub) cache it to skip path re-discovery
+     * on every window when the registry hasn't changed.
+     */
+    std::uint64_t version() const { return mutations; }
+
+    /**
      * Direct child segments under a dotted prefix ("" for the roots),
      * sorted and deduplicated: with `ltl.node0.rtt` and `ltl.node1.rtt`
      * registered, children("ltl") is {"node0", "node1"}.
@@ -210,6 +217,7 @@ class MetricsRegistry
     std::map<std::string, Gauge> gauges;
     std::map<std::string, sim::LogHistogram> histograms;
     std::map<std::string, Probe> probes;
+    std::uint64_t mutations = 0;
 
     sim::EventQueue *samplerQueue = nullptr;
     sim::EventId samplerEvent = sim::kNoEvent;

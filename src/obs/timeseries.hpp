@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Live windowed time-series on top of the metrics registry.
+ *
+ * The registry (PR 1) answers "what are the totals now?"; figures read
+ * it once at the end of a run. A 5-simulated-day, 250k-host campaign
+ * needs the *trajectory*: ranking p99 per second, retransmit rate per
+ * pod, lease churn per hour — while the run is still going. The
+ * TimeSeriesHub closes that gap:
+ *
+ *  - On a fixed simulated-time cadence it rolls every watched registry
+ *    metric into one fixed-width window: counters and probes become
+ *    deltas and rates, gauges keep their last value, histograms become
+ *    **windowed sketches** — exact per-bin count deltas of the
+ *    cumulative LogHistogram, so windowed p50/p99/p999 cost O(bins) and
+ *    sketches from different shards merge exactly (bin addition).
+ *  - Each series is retained in bounded ring buffers at multiple
+ *    resolutions (e.g. every window / every 16th / every 256th), so a
+ *    full campaign's history fits in O(MB) no matter how long it runs.
+ *  - Pattern aggregates (`defineAggregate("ltl.rtt_us", "ltl.*.rtt_us")`)
+ *    merge per-node histograms (or sum per-node counters) into fleet
+ *    series — the thing an SLO is written against.
+ *  - A streaming JSONL exporter (gated by the `CCSIM_TS` environment
+ *    variable, like CCSIM_TRACE/CCSIM_SPANS) writes one line per window
+ *    in deterministic formatting, and an attached TraceWriter renders
+ *    every series as Chrome counter events on the trace timeline.
+ *
+ * Driving: on a legacy EventQueue the hub schedules a periodic event;
+ * on the parallel kernel it registers a ShardedEventQueue barrier hook
+ * whose deadlines land exactly on window ends (the PR 6 mechanism), so
+ * windowed series are byte-identical across 1/2/4/8 worker threads.
+ * Rolling only ever *reads* simulation state: instrumented and bare
+ * runs stay bit-identical.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace ccsim::sim {
+class ShardedEventQueue;
+}
+
+namespace ccsim::obs {
+
+/**
+ * A mergeable windowed histogram: exact per-bin count deltas between
+ * two snapshots of a cumulative LogHistogram. Because bin counts only
+ * ever grow, the delta is itself an exact histogram of the samples
+ * recorded in the window, and sketches from disjoint histograms (e.g.
+ * one per shard) merge by bin addition with no approximation beyond
+ * the shared binning.
+ */
+class HistogramSketch
+{
+  public:
+    HistogramSketch() = default;
+    HistogramSketch(double min_value, int bins_per_octave)
+        : minVal(min_value), octave(bins_per_octave)
+    {
+    }
+
+    /**
+     * The exact sub-histogram of samples @p cur recorded since the
+     * snapshot (@p prev_bins, @p prev_sum). @p prev_bins may be shorter
+     * than the current bin vector (bins grow lazily).
+     */
+    static HistogramSketch since(const sim::LogHistogram &cur,
+                                 const std::vector<std::uint64_t> &prev_bins,
+                                 double prev_sum);
+
+    /**
+     * The sketch of @p cur_bins minus @p prev_bins (cumulative bin
+     * snapshots with @p binning), with window sample-sum @p sum_delta.
+     * `since` is this applied to one live histogram; aggregates apply it
+     * to member-summed bins.
+     */
+    static HistogramSketch diff(sim::LogHistogram::Binning binning,
+                                const std::vector<std::uint64_t> &cur_bins,
+                                const std::vector<std::uint64_t> &prev_bins,
+                                double sum_delta);
+
+    /** Fold @p other in (exact bin addition; panics on binning mismatch). */
+    void merge(const HistogramSketch &other);
+
+    /** Samples in the window. */
+    std::uint64_t count() const { return total; }
+    /** Sum of window samples. */
+    double sum() const { return sumVal; }
+    /** Mean of window samples (0 if empty). */
+    double mean() const
+    {
+        return total ? sumVal / static_cast<double>(total) : 0.0;
+    }
+
+    /**
+     * Approximate p-th percentile (p in [0,100]) of the window, using
+     * the geometric bin-midpoint rule of LogHistogram::percentile but
+     * clamped to bin edges only (a delta cannot recover the window's
+     * exact min/max).
+     */
+    double percentile(double p) const;
+
+    /** Binning parameters. */
+    sim::LogHistogram::Binning binning() const { return {minVal, octave}; }
+
+    /** Drop to an empty sketch, keeping the binning. */
+    void clear();
+
+  private:
+    double minVal = 0.5;
+    int octave = 96;
+    std::vector<std::uint64_t> bins;
+    std::uint64_t total = 0;
+    double sumVal = 0.0;
+
+    double binLowerEdge(std::size_t idx) const;
+};
+
+/** What a time series measures (determines which TsPoint fields are set). */
+enum class SeriesKind : std::uint8_t {
+    kCounter,    ///< monotone counter: value/delta/rate
+    kGauge,      ///< explicit gauge: value/delta
+    kProbe,      ///< callback gauge: value/delta/rate
+    kHistogram,  ///< histogram: count/rate/mean/percentiles
+};
+
+/** One windowed sample of one series. */
+struct TsPoint {
+    sim::TimePs t = 0;  ///< window end (simulated)
+    double value = 0.0; ///< cumulative value (histogram: cumulative count)
+    double delta = 0.0; ///< increase over the window
+    double rate = 0.0;  ///< delta per simulated second
+    // --- histogram series only ---
+    std::uint64_t count = 0; ///< samples in the window
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+};
+
+/** One retention level: close a point every @p stride base windows. */
+struct TsLevel {
+    int stride = 1;
+    std::size_t capacity = 512;
+};
+
+/** TimeSeriesHub tuning. */
+struct TimeSeriesConfig {
+    /** Base window width (simulated). */
+    sim::TimePs window = sim::kMillisecond;
+    /**
+     * Retention levels, strides strictly increasing, first stride 1.
+     * Defaults keep ~1k points at 1x/16x/256x the base window.
+     */
+    std::vector<TsLevel> levels = {{1, 1024}, {16, 1024}, {256, 1024}};
+    /**
+     * Registry paths to watch (metric_names-style globs, `*` matches one
+     * or more characters including dots). Empty = watch every path.
+     */
+    std::vector<std::string> include;
+
+    TimeSeriesConfig &withWindow(sim::TimePs w)
+    {
+        window = w;
+        return *this;
+    }
+    TimeSeriesConfig &withLevels(std::vector<TsLevel> l)
+    {
+        levels = std::move(l);
+        return *this;
+    }
+    TimeSeriesConfig &withInclude(std::vector<std::string> globs)
+    {
+        include = std::move(globs);
+        return *this;
+    }
+};
+
+/**
+ * Rolls watched registries into windowed, multi-resolution, bounded
+ * time series. Not thread-safe: on the sharded kernel it runs inside
+ * barrier hooks on the coordinator thread, between windows, when no
+ * worker is executing events.
+ *
+ * Lifetimes: watched registries, the export stream, and any attached
+ * TraceWriter must outlive the hub's last roll; the hub must outlive
+ * the queue run it is driving (barrier hooks cannot be deregistered).
+ */
+class TimeSeriesHub
+{
+  public:
+    explicit TimeSeriesHub(TimeSeriesConfig cfg = {});
+
+    TimeSeriesHub(const TimeSeriesHub &) = delete;
+    TimeSeriesHub &operator=(const TimeSeriesHub &) = delete;
+
+    // --- wiring -----------------------------------------------------------
+
+    /**
+     * Watch @p reg: every path it holds (now or later — discovery re-runs
+     * each window) that passes the include filter becomes a series.
+     * Paths must be disjoint across watched registries, as in
+     * MetricsRegistry::writeMergedSnapshot.
+     */
+    void watchRegistry(const MetricsRegistry *reg);
+
+    /**
+     * Define a derived series @p name merging every concrete series
+     * matching @p pattern: histogram members merge their windowed
+     * sketches (identical binning required); counter/probe/gauge members
+     * sum. Members may appear later; the kind is fixed by the first
+     * match. @p name must not collide with a registry path.
+     */
+    void defineAggregate(const std::string &name, const std::string &pattern);
+
+    /**
+     * Stream JSONL to @p os (nullptr disables): a `meta` line now, a
+     * `series` line when each series first appears, one `window` line
+     * per base window, and `alert` lines appended by an SLO engine.
+     * Deterministic formatting — same-seed runs produce byte-identical
+     * streams.
+     */
+    void exportTo(std::ostream *os);
+
+    /** Render every series as Chrome counter events on @p tw. */
+    void attachTrace(TraceWriter *tw) { trace = tw; }
+
+    /**
+     * Register the hub's own `ts.*` probes (windows, series, points,
+     * exported_lines) on @p reg — pick the shard-0 registry in a
+     * sharded build.
+     */
+    void registerSelfProbes(MetricsRegistry &reg);
+
+    /**
+     * Observer invoked after each base window closes (points pushed,
+     * window line exported): the SLO engine's hook.
+     */
+    using WindowObserver = std::function<void(sim::TimePs, std::uint64_t)>;
+    void addWindowObserver(WindowObserver fn);
+
+    // --- driving ----------------------------------------------------------
+
+    /**
+     * Roll one window ending now (manual driving for tests). @p now must
+     * advance by exactly one window per call.
+     */
+    void rollAt(sim::TimePs now);
+
+    /** Periodic driving on a legacy EventQueue (first window one period
+     * from now). Call stopSampling() before draining with runAll(). */
+    void startSampling(sim::EventQueue &eq);
+    void stopSampling();
+
+    /**
+     * Barrier-hook driving on the parallel kernel: window ends become
+     * hook deadlines, so rolls happen at exact simulated times on the
+     * coordinator thread and the stream is byte-identical across worker
+     * thread counts.
+     */
+    void startSampling(sim::ShardedEventQueue &sq);
+
+    // --- queries ----------------------------------------------------------
+
+    const TimeSeriesConfig &config() const { return cfg; }
+
+    /** Base windows closed so far. */
+    std::uint64_t windowsClosed() const { return windowSeq; }
+
+    /** Concrete + aggregate series currently tracked. */
+    std::size_t seriesCount() const;
+
+    /** All series names (concrete then aggregate, each sorted). */
+    std::vector<std::string> seriesNames() const;
+
+    /** The kind of @p name; panics if unknown. */
+    SeriesKind kindOf(const std::string &name) const;
+
+    /** Latest base-window point of @p name (nullptr before its first
+     * window or for unknown names). */
+    const TsPoint *latest(const std::string &name) const;
+
+    /** Ring contents of @p name at @p level, oldest first. */
+    std::vector<TsPoint> history(const std::string &name, int level) const;
+
+    /** Total points currently retained across all rings. */
+    std::uint64_t pointsRetained() const;
+
+    /** JSONL lines written so far. */
+    std::uint64_t exportedLines() const { return linesOut; }
+
+    /**
+     * Append one already-serialized JSONL record (the SLO engine's alert
+     * lines) to the export stream, if one is attached.
+     */
+    void exportLine(const std::string &json);
+
+    /** The CCSIM_TS path, or "" when unset. */
+    static std::string envPath();
+
+  private:
+    /** Fixed-capacity ring of points. */
+    struct Ring {
+        std::vector<TsPoint> buf;
+        std::size_t head = 0;  ///< next write slot once full
+        std::size_t used = 0;
+        std::size_t cap = 0;
+
+        void push(const TsPoint &p);
+        const TsPoint *latestPoint() const
+        {
+            if (used == 0)
+                return nullptr;
+            return &buf[(head + buf.size() - 1) % buf.size()];
+        }
+    };
+
+    /** Per-level rollup state of one series. */
+    struct LevelState {
+        double prevValue = 0.0;
+        std::vector<std::uint64_t> prevBins;  ///< histogram series only
+        double prevSum = 0.0;
+        Ring ring;
+    };
+
+    /** One concrete series bound to a registry metric. */
+    struct Series {
+        SeriesKind kind = SeriesKind::kCounter;
+        const sim::Counter *counter = nullptr;
+        const Gauge *gauge = nullptr;
+        const sim::LogHistogram *hist = nullptr;
+        const MetricsRegistry *reg = nullptr;  ///< probe owner
+        std::vector<LevelState> levels;
+    };
+
+    /** One derived series merging pattern-matched members. */
+    struct Aggregate {
+        std::string pattern;
+        SeriesKind kind = SeriesKind::kCounter;
+        std::vector<const Series *> members;
+        std::vector<std::string> memberNames;
+        std::size_t seenSeries = 0;  ///< concrete count at last refresh
+        bool announced = false;
+        std::vector<LevelState> levels;
+    };
+
+    TimeSeriesConfig cfg;
+    std::vector<const MetricsRegistry *> regs;
+    /** registry->version() at the last discover(), parallel to regs. */
+    std::vector<std::uint64_t> regVersions;
+    std::map<std::string, Series> series;
+    std::map<std::string, Aggregate> aggregates;
+    std::vector<WindowObserver> observers;
+
+    std::ostream *out = nullptr;
+    TraceWriter *trace = nullptr;
+
+    std::uint64_t windowSeq = 0;
+    std::uint64_t linesOut = 0;
+
+    sim::EventQueue *samplerQueue = nullptr;
+    sim::EventId samplerEvent = sim::kNoEvent;
+
+    void scheduleTick();
+    bool includes(const std::string &path) const;
+    void discover();
+    void refreshAggregate(const std::string &name, Aggregate &agg);
+    void announceSeries(const std::string &name, SeriesKind kind);
+    void rollSeries(const std::string &name, Series &s, sim::TimePs now);
+    void rollAggregate(const std::string &name, Aggregate &agg,
+                       sim::TimePs now);
+    TsPoint scalarPoint(sim::TimePs now, double cur, LevelState &lv) const;
+    void exportWindow(sim::TimePs now);
+    void traceWindow(sim::TimePs now);
+    static const char *kindName(SeriesKind k);
+};
+
+}  // namespace ccsim::obs

@@ -173,6 +173,23 @@ TraceWriter::counter(std::string_view cat, std::string_view name,
 }
 
 void
+TraceWriter::counterMulti(std::string_view cat, std::string_view name,
+                          sim::TimePs ts,
+                          std::vector<std::pair<std::string, double>> values)
+{
+    if (!recording)
+        return;
+    TraceEvent e;
+    e.phase = 'C';
+    e.ts = ts;
+    e.cat = std::string(cat);
+    e.name = std::string(name);
+    e.multi = std::move(values);
+    events.push_back(std::move(e));
+    hasUnwritten = true;
+}
+
+void
 TraceWriter::flowPoint(char phase, int tid, std::string_view cat,
                        std::string_view name, sim::TimePs ts,
                        std::uint64_t flow_id)
@@ -225,8 +242,22 @@ TraceWriter::write(std::ostream &os) const
         if (e.phase == 'i') {
             os << ",\"s\":\"t\"";
         } else if (e.phase == 'C') {
-            os << ",\"args\":{\"value\":";
-            numberTo(os, e.value);
+            os << ",\"args\":{";
+            if (e.multi.empty()) {
+                os << "\"value\":";
+                numberTo(os, e.value);
+            } else {
+                bool firstArg = true;
+                for (const auto &[k, v] : e.multi) {
+                    if (!firstArg)
+                        os << ",";
+                    firstArg = false;
+                    os << "\"";
+                    escapeTo(os, k);
+                    os << "\":";
+                    numberTo(os, v);
+                }
+            }
             os << "}";
         } else if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
             os << ",\"id\":" << e.flowId;

@@ -19,6 +19,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -34,6 +35,8 @@ struct TraceEvent {
     sim::TimePs dur = 0;     ///< duration for 'X' events
     double value = 0.0;      ///< counter value for 'C' events
     std::uint64_t flowId = 0; ///< flow binding id for 's'/'t'/'f' events
+    /** Named sub-series of a multi-value 'C' event (empty = use value). */
+    std::vector<std::pair<std::string, double>> multi;
     std::string cat;         ///< category (top-level component family)
     std::string name;        ///< event name
 };
@@ -73,6 +76,16 @@ class TraceWriter
     /** Record one point of a counter series. */
     void counter(std::string_view cat, std::string_view name, sim::TimePs ts,
                  double value);
+
+    /**
+     * Record one point of a *multi-value* counter series: all named
+     * sub-series render stacked on one timeline row (Chrome counter
+     * events carry one args entry per sub-series), e.g. p50/p99 of a
+     * windowed latency series. @p values must be non-empty.
+     */
+    void counterMulti(std::string_view cat, std::string_view name,
+                      sim::TimePs ts,
+                      std::vector<std::pair<std::string, double>> values);
 
     /**
      * Record one point of a Chrome *flow* ('s' start, 't' step, 'f'

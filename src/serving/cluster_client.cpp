@@ -154,6 +154,9 @@ ClusterClient::onResponse(std::uint64_t token)
     if (out != outstanding.end() && out->second > 0)
         --out->second;
     detector.recordSuccess(req.host, queue.now() - req.startedAt);
+    if (latencyHist != nullptr)
+        latencyHist->add(static_cast<double>(queue.now() - req.startedAt) /
+                         static_cast<double>(sim::kMillisecond));
 }
 
 void
@@ -198,6 +201,7 @@ ClusterClient::attachObservability(obs::Observability *o)
                       [this] { return double(statRouted); });
     reg.registerProbe(obsPrefix + ".no_backend",
                       [this] { return double(statNoBackend); });
+    latencyHist = &reg.histogram(obsPrefix + ".latency_ms");
     reg.registerProbe(obsPrefix + ".outstanding",
                       [this] { return double(outstandingTotal()); });
     for (const auto &[host, endpoint] : endpoints)

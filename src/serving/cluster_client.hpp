@@ -211,6 +211,9 @@ class ClusterClient : public host::FeatureAccelerator
     std::vector<int> candidates;
     obs::Observability *obsHub = nullptr;
     std::string obsPrefix;
+    /** `serving.<name>.latency_ms`: per-response sojourn histogram, the
+     * series cluster-level SLOs are written against (null = unobserved). */
+    sim::LogHistogram *latencyHist = nullptr;
     std::uint64_t statRouted = 0;
     std::uint64_t statNoBackend = 0;
 

@@ -117,6 +117,30 @@ class LogHistogram
     /** Exact min of recorded samples. */
     double min() const { return minVal; }
 
+    /** Exact sum of recorded samples. */
+    double sum() const { return totalSum; }
+
+    /** Binning parameters (two histograms merge iff these are equal). */
+    struct Binning {
+        double minValue;
+        int binsPerOctave;
+    };
+    Binning binning() const
+    {
+        return {minValue, static_cast<int>(binsPerOctave)};
+    }
+
+    /**
+     * Cumulative per-bin counts (index 0 is the <= min_value underflow
+     * bin). Bin counts only ever grow, which is what lets an observer
+     * diff two snapshots of the same histogram into an exact windowed
+     * sub-histogram (obs::HistogramSketch).
+     */
+    const std::vector<std::uint64_t> &binCounts() const { return bins; }
+
+    /** Lower edge of bin @p idx (0 for the underflow bin). */
+    double binEdge(std::size_t idx) const { return binLowerEdge(idx); }
+
     /** Drop all samples. */
     void clear();
 

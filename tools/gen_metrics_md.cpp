@@ -47,6 +47,10 @@ sectionTitle(const std::string &prefix)
         return "Hardware-as-a-Service (`haas.*`)";
     if (prefix == "serving")
         return "Cluster serving layer (`serving.<service>.*`)";
+    if (prefix == "ts")
+        return "Windowed time-series hub (`ts.*`)";
+    if (prefix == "slo")
+        return "SLO / burn-rate engine (`slo.<objective>.*`)";
     if (prefix == "fault")
         return "Fault injection (`fault.*`)";
     return "Other";
