@@ -30,18 +30,34 @@
  *                 RSS is asserted against a 4 GB budget and the
  *                 headline numbers land in BENCH_scale.json;
  *  --shards N     run the l2 campaign on the parallel kernel with N
- *                 worker threads (byte-identical to any other N).
+ *                 worker threads (byte-identical to any other N);
+ *  --chaos        correlated-failure chaos campaign on the same L2
+ *                 fabric: a ranking service placed with rack/pod
+ *                 anti-affinity, a domain-aware HealthMonitor, and a
+ *                 scripted ChaosEngine drill — TOR hard death under
+ *                 live query traffic (zero lost queries asserted),
+ *                 one rack-level conviction within the advertised
+ *                 bound, a rate-limited lease evacuation, a gray L2
+ *                 spine, and a rolling maintenance drain — with
+ *                 results in BENCH_chaos.json;
+ *  --no-anti-affinity  chaos ablation: same drill without placement
+ *                 spreading, demonstrating the containment violation
+ *                 (the dead TOR takes every instance at once).
  */
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "bench_json.hpp"
 #include "core/cloud.hpp"
+#include "fault/chaos.hpp"
+#include "fault/fault.hpp"
+#include "haas/health_monitor.hpp"
 #include "host/load_generator.hpp"
 #include "host/ranking_server.hpp"
 #include "net/fluid.hpp"
@@ -657,27 +673,622 @@ runL2Campaign(bool quick, int shard_threads)
     return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --chaos: correlated-failure campaign on the L2 fabric
+// ---------------------------------------------------------------------------
+
+/**
+ * A ranking-service stand-in that records every delivered query ID, so
+ * the campaign can account for each issued query receiver-side (dedup
+ * by ID; a query re-sent after a failover counts once).
+ */
+struct QueryRole : fpga::Role {
+    int port = -1;
+    std::vector<std::uint64_t> delivered;
+    std::size_t harvested = 0;  ///< prefix already consumed by the driver
+    std::string name() const override { return "chaos-rank"; }
+    std::uint32_t areaAlms() const override { return 100; }
+    void attach(fpga::Shell &, int p) override { port = p; }
+    void onMessage(const router::ErMessagePtr &msg) override
+    {
+        // LTL deliveries arrive wrapped: the query ID rides in the
+        // delivery's application payload.
+        const auto d =
+            std::static_pointer_cast<fpga::LtlDelivery>(msg->payload);
+        if (d && d->appPayload)
+            delivered.push_back(
+                *std::static_pointer_cast<std::uint64_t>(d->appPayload));
+    }
+};
+
+struct ChaosParams {
+    int pods = 260;  // the fig07 L2 fabric: 24 x 40 x 260 = 249,600
+    int racksPerPod = 40;
+    int hostsPerRack = 24;
+    int l2Count = 4;
+    int windows = 16;  ///< scripted campaign windows
+    sim::TimePs windowLen = 5 * sim::kMillisecond;
+    int drainWindows = 20;  ///< extra windows to flush re-sent queries
+    int instances = 8;      ///< ranking-service instances
+    int maxPerRack = 2;     ///< anti-affinity: service FPGAs per rack
+    int maxPerPod = 6;      ///< anti-affinity: service FPGAs per pod
+    int queriesPerSlot = 20;  ///< fresh queries per instance per window
+    int pairs = 8;            ///< healthy-pod probe pairs
+    int pingsPerWindow = 40;
+    int flows = 8000;  ///< fluid background flows
+    std::uint64_t flowBps = 200ull * 1000 * 1000;
+    sim::TimePs migrationGap = 150 * sim::kMicrosecond;
+    sim::TimePs chaosPoll = 50 * sim::kMicrosecond;
+};
+
+int
+runChaosCampaign(bool quick, int shard_threads, bool anti_affinity)
+{
+    ChaosParams p;
+    if (quick) {
+        p.windows = 10;
+        p.windowLen = 2 * sim::kMillisecond;
+        p.instances = 8;
+        p.queriesPerSlot = 10;
+        p.pairs = 6;
+        p.pingsPerWindow = 20;
+        p.flows = 3000;
+    }
+    const int hosts = p.pods * p.racksPerPod * p.hostsPerRack;
+    std::printf("=== Chaos campaign: correlated failure domains on the "
+                "%d-host L2 fabric ===\n\n", hosts);
+    std::printf("  %d-instance ranking service, anti-affinity %s "
+                "(rack cap %d, pod cap %d),\n  %d windows of %.1f ms, "
+                "migration gap %.0f us, kernel: %s\n\n",
+                p.instances, anti_affinity ? "ON" : "OFF (ablation)",
+                p.maxPerRack, p.maxPerPod, p.windows,
+                sim::toMillis(p.windowLen), sim::toMicros(p.migrationGap),
+                shard_threads > 0 ? "sharded" : "single-queue");
+    const auto t0 = std::chrono::steady_clock::now();
+
+    core::CloudConfig cfg;
+    cfg.topology.hostsPerRack = p.hostsPerRack;
+    cfg.topology.racksPerPod = p.racksPerPod;
+    cfg.topology.l1PerPod = 2;
+    cfg.topology.pods = p.pods;
+    cfg.topology.l2Count = p.l2Count;
+    cfg.createNics = false;
+    cfg.lazyHosts = true;
+    cfg.shellTemplate.ltl.maxConnections = 64;
+    cfg.shellTemplate.roleSlots = 8;
+
+    // Live telemetry (opt-in via CCSIM_TS): same stream as the l2
+    // campaign, plus the ChaosEngine's injected/detected markers — the
+    // JSONL is byte-identical across --shards values.
+    const std::string tsPath = obs::TimeSeriesHub::envPath();
+    std::unique_ptr<obs::TimeSeriesHub> tsHub;
+    std::unique_ptr<obs::SloEngine> slo;
+    std::ofstream tsOut;
+    if (!tsPath.empty()) {
+        tsHub = std::make_unique<obs::TimeSeriesHub>(
+            obs::TimeSeriesConfig{}
+                .withWindow(250 * sim::kMicrosecond)
+                .withInclude({"ltl.*", "sim.*", "haas.*", "fault.*",
+                              "chaos.*", "ts.*", "slo.*"}));
+        tsHub->defineAggregate("fleet.rtt_us", "ltl.*.rtt_us");
+        tsHub->defineAggregate("fleet.retransmits", "ltl.*.retransmits");
+        tsOut.open(tsPath);
+        if (!tsOut)
+            sim::fatalf("fig07 chaos: cannot write CCSIM_TS path ", tsPath);
+        tsHub->exportTo(&tsOut);
+        cfg.timeSeries = tsHub.get();
+    }
+
+    std::unique_ptr<sim::EventQueue> eq;
+    std::unique_ptr<sim::ShardedEventQueue> sq;
+    std::unique_ptr<obs::Observability> hub;
+    std::unique_ptr<obs::ShardedObservability> shardHubs;
+    std::unique_ptr<core::ConfigurableCloud> cloud;
+    if (shard_threads > 0) {
+        cfg.shards = shard_threads;
+        shardHubs =
+            std::make_unique<obs::ShardedObservability>(p.pods + 1);
+        cfg.shardObs = shardHubs.get();
+        sq = std::make_unique<sim::ShardedEventQueue>(
+            core::ConfigurableCloud::shardPlan(cfg));
+        cloud = std::make_unique<core::ConfigurableCloud>(*sq, cfg);
+    } else {
+        hub = std::make_unique<obs::Observability>();
+        cfg.obs = hub.get();
+        eq = std::make_unique<sim::EventQueue>();
+        cloud = std::make_unique<core::ConfigurableCloud>(*eq, cfg);
+    }
+    net::Topology &topo = cloud->topology();
+    // The control plane (RM, SM, HealthMonitor) lives on the spine
+    // partition, like the cloud's own resource manager.
+    sim::EventQueue &ctlq = sq ? sq->partition(p.pods) : *eq;
+    obs::Observability *ctlHub =
+        sq ? &shardHubs->shard(0) : hub.get();
+
+    if (tsHub) {
+        slo = std::make_unique<obs::SloEngine>(*tsHub);
+        obs::SloObjective rttObj;
+        rttObj.name = "fleet_rtt_p99";
+        slo->addObjective(
+            rttObj.on("fleet.rtt_us")
+                .where(obs::SloStat::kP99, obs::SloCmp::kLt, 100.0)
+                .withBudget(0.10)
+                .withWindows(40, 5)
+                .withBurnThreshold(2.0));
+        slo->attachObservability(ctlHub->registry);
+    }
+
+    const auto runFor = [&](sim::TimePs d) {
+        if (sq)
+            sq->runFor(d);
+        else
+            eq->runFor(d);
+    };
+    const auto eventsExecuted = [&] {
+        return sq ? sq->eventsExecuted() : eq->eventsExecuted();
+    };
+    const auto nowPs = [&] { return sq ? sq->now() : eq->now(); };
+    const auto histFor = [&](int src) -> sim::LogHistogram & {
+        obs::Observability &h =
+            sq ? shardHubs->shard(cloud->partitionOf(src)) : *hub;
+        return h.registry.histogram("ltl.node" + std::to_string(src) +
+                                    ".rtt_us");
+    };
+
+    // --- the ranking service, placed with (or without) anti-affinity ---
+    haas::ResourceManager &rm = cloud->resourceManager();
+    std::vector<std::unique_ptr<QueryRole>> rolePool;
+    std::map<int, QueryRole *> roleOf;  // live instance host -> role
+    haas::ServiceManager sm(ctlq, rm, "rank", [&](int host) {
+        rolePool.push_back(std::make_unique<QueryRole>());
+        roleOf[host] = rolePool.back().get();
+        return rolePool.back().get();
+    });
+    haas::LeaseConstraints lc;
+    if (anti_affinity)
+        lc.withAntiAffinity(p.maxPerRack, p.maxPerPod);
+    // Mass-migration throttle: self-pumped on the legacy kernel, pumped
+    // by the ChaosEngine at barriers on the sharded one.
+    sm.setMigrationPolicy(p.migrationGap, /*self_pump=*/sq == nullptr);
+    sm.enableAutoHeal(p.instances, lc);
+    if (!sm.deploy(p.instances, lc))
+        sim::fatal("fig07 chaos: service deploy failed");
+    sm.attachObservability(ctlHub);
+    const std::vector<int> deployed = sm.instances();
+
+    // The drill kills the TOR of the first instance's rack.
+    const int victimPod = topo.host(deployed[0]).pod;
+    const int victimRack = topo.host(deployed[0]).rack;
+    int rackCasualties = 0;
+    for (int h : deployed)
+        if (topo.host(h).pod == victimPod && topo.host(h).rack == victimRack)
+            ++rackCasualties;
+
+    // --- domain-aware health monitoring over a watch set: the full
+    // rack of every service instance plus a healthy control rack ---
+    std::set<int> watchSet;
+    const auto watchRack = [&](int pod, int rack) {
+        const int base = topo.hostIndex(pod, rack, 0);
+        for (int i = 0; i < p.hostsPerRack; ++i)
+            watchSet.insert(base + i);
+    };
+    for (int h : deployed)
+        watchRack(topo.host(h).pod, topo.host(h).rack);
+    watchRack(100, 0);  // control rack, far from every fault
+    haas::HealthMonitorConfig hmc;
+    hmc.withHeartbeat(100 * sim::kMicrosecond, 10 * sim::kMicrosecond)
+        // Streak weight 0: the drill isolates the heartbeat/domain path,
+        // so legacy and sharded kernels reach identical verdicts (passive
+        // LTL suspicion is legacy-only).
+        .withSuspicion(3.0, 1.0, 0.0)
+        .withDomainConviction(/*sweeps=*/2, /*min_hosts=*/p.hostsPerRack);
+    haas::HealthMonitor hm(ctlq, rm, hmc);
+    cloud->attachHealthMonitor(hm);
+    hm.watchHosts({watchSet.begin(), watchSet.end()});
+    hm.attachObservability(ctlHub);
+
+    // --- fault injector (detection is the monitor's job) ---
+    fault::FaultConfig fc;
+    fc.withSeed(42).withSelfReport(false);
+    auto injector =
+        sq ? std::make_unique<fault::FaultInjector>(*sq, *cloud, fc)
+           : std::make_unique<fault::FaultInjector>(*eq, *cloud, fc);
+
+    // --- fluid background (flows through the dead rack must stall,
+    // conservation stays exact) ---
+    auto fluid = sq ? std::make_unique<net::FluidTrafficModel>(*sq, topo)
+                    : std::make_unique<net::FluidTrafficModel>(*eq, topo);
+    for (int i = 0; i < p.flows; ++i) {
+        const auto u = static_cast<std::uint64_t>(i);
+        const int src = static_cast<int>(mix64(u * 2 + 1) %
+                                         static_cast<std::uint64_t>(hosts));
+        int dst = static_cast<int>(mix64(u * 2 + 2) %
+                                   static_cast<std::uint64_t>(hosts));
+        if (dst == src)
+            dst = (dst + 1) % hosts;
+        fluid->addFlow(src, dst, p.flowBps);
+    }
+
+    // --- healthy-pod probe pairs (the containment yardstick) ---
+    std::vector<ProbePair> probes;
+    for (int k = 0; k < p.pairs; ++k) {
+        ProbePair pr;
+        pr.src = topo.hostIndex(30 + 3 * k, k % p.racksPerPod,
+                                k % p.hostsPerRack);
+        pr.dst = topo.hostIndex(150 + 5 * k, (3 * k + 1) % p.racksPerPod,
+                                (5 * k + 2) % p.hostsPerRack);
+        pr.role = std::make_unique<NullRole>();
+        if (cloud->shell(pr.dst).addRole(pr.role.get()) < 0)
+            sim::fatal("fig07 chaos: no role slot on probe destination");
+        pr.channel = cloud->openLtl(pr.src, pr.dst, pr.role->port);
+        probes.push_back(std::move(pr));
+    }
+
+    // --- the scripted drill ---
+    const sim::TimePs torAt = p.windowLen + p.windowLen / 2;
+    const sim::TimePs grayAt = 4 * p.windowLen + p.windowLen / 4;
+    const sim::TimePs grayClearAt = grayAt + p.windowLen;
+    const sim::TimePs maintAt = 6 * p.windowLen;
+    sim::TimePs detectedAt = -1;
+    sim::TimePs evacuatedAt = -1;
+    fault::ChaosScenario scenario;
+    scenario
+        .withPhase("tor-death", torAt,
+                   [&] { injector->failTor(victimPod, victimRack); })
+        .withTriggeredPhase(
+            "rack-convicted", torAt,
+            [&] { return hm.domainConvictions() > 0; },
+            [&] { detectedAt = nowPs(); })
+        .withTriggeredPhase(
+            "evacuated", torAt,
+            [&] {
+                if (detectedAt < 0 ||
+                    static_cast<int>(sm.instances().size()) < p.instances)
+                    return false;
+                for (int h : sm.instances())
+                    if (topo.host(h).pod == victimPod &&
+                        topo.host(h).rack == victimRack)
+                        return false;
+                return true;
+            },
+            [&] { evacuatedAt = nowPs(); })
+        .withPhase("gray-spine", grayAt,
+                   [&] {
+                       injector->graySpineDegrade(2, 0.001,
+                                                  500 * sim::kNanosecond);
+                   })
+        .withPhase("gray-clear", grayClearAt,
+                   [&] { injector->graySpineClear(2); })
+        .withPhase("maintenance-drain", maintAt, [&] {
+            injector->rollingMaintenance(130, 50 * sim::kMicrosecond,
+                                         60 * sim::kMicrosecond);
+        });
+    auto chaos =
+        sq ? std::make_unique<fault::ChaosEngine>(*sq, std::move(scenario))
+           : std::make_unique<fault::ChaosEngine>(*eq, std::move(scenario));
+    chaos->setPollPeriod(p.chaosPoll);
+    chaos->setFluidModel(fluid.get());
+    if (tsHub)
+        chaos->setMarkerHub(tsHub.get());
+    if (sq)
+        chaos->manageService(&sm);  // barrier-driven migration pump
+    chaos->watchHealth(&hm);
+    chaos->attachObservability(ctlHub);
+
+    if (sq)
+        hm.startSharded(*sq);
+    else
+        hm.start();
+    chaos->start();
+
+    const double build_s = wallSeconds(t0);
+    std::printf("build: %.2f s, %d/%d servers materialized, victim rack "
+                "(%d,%d) holds %d/%d instances\n", build_s,
+                cloud->materializedServers(), cloud->numServers(),
+                victimPod, victimRack, rackCasualties, p.instances);
+
+    // --- live query traffic with receiver-side accounting ---
+    struct Slot {
+        int instanceHost = -1;
+        int client = -1;
+        core::LtlChannel ch;
+    };
+    const std::vector<int> clientHosts = {
+        topo.hostIndex(40, 0, 0), topo.hostIndex(80, 0, 0),
+        topo.hostIndex(120, 0, 0), topo.hostIndex(200, 0, 0)};
+    std::vector<Slot> slots(static_cast<std::size_t>(p.instances));
+
+    // Re-point each slot at the service's current instance list; a slot
+    // whose instance failed over reopens its channel to the replacement.
+    const auto refreshSlots = [&] {
+        const auto &inst = sm.instances();
+        for (std::size_t s = 0; s < slots.size(); ++s) {
+            if (s >= inst.size()) {
+                slots[s].ch.close();
+                slots[s].instanceHost = -1;
+                continue;
+            }
+            const int h = inst[s];
+            if (slots[s].instanceHost == h && slots[s].ch)
+                continue;
+            slots[s].ch.close();
+            slots[s].instanceHost = -1;
+            const auto rit = roleOf.find(h);
+            if (rit == roleOf.end() || rit->second->port < 0)
+                continue;
+            slots[s].client =
+                clientHosts[s % clientHosts.size()];
+            slots[s].ch = cloud->openLtl(slots[s].client, h,
+                                         rit->second->port);
+            slots[s].instanceHost = h;
+        }
+    };
+
+    std::uint64_t nextId = 0;
+    std::vector<char> done;  // delivered flag per query ID
+    std::uint64_t deliveredCount = 0, duplicates = 0, resends = 0;
+    std::vector<std::uint64_t> pending;  // awaiting (re)send
+
+    // Round-robin @p batch over the open slots, 5 us apart per slot.
+    const auto sendQueries = [&](const std::vector<std::uint64_t> &ids) {
+        std::vector<std::size_t> open;
+        for (std::size_t s = 0; s < slots.size(); ++s)
+            if (slots[s].ch)
+                open.push_back(s);
+        if (open.empty())
+            return false;
+        // Spread each slot's queries across ~80% of the window so the
+        // drill's injections land on live in-flight traffic.
+        const std::size_t perSlot =
+            (ids.size() + open.size() - 1) / open.size();
+        const sim::TimePs spacing =
+            (p.windowLen * 4 / 5) / static_cast<sim::TimePs>(perSlot + 1);
+        std::vector<int> onSlot(slots.size(), 0);
+        std::size_t k = 0;
+        for (const std::uint64_t id : ids) {
+            const std::size_t si = open[k++ % open.size()];
+            Slot &sl = slots[si];
+            const sim::TimePs at =
+                static_cast<sim::TimePs>(onSlot[si]++ + 1) * spacing;
+            auto *engine = cloud->shell(sl.client).ltlEngine();
+            auto &q = cloud->queueFor(sl.client);
+            q.scheduleAfter(at, [engine, conn = sl.ch.sendConn(), id] {
+                engine->sendMessage(conn, 256,
+                                    std::make_shared<std::uint64_t>(id));
+            });
+        }
+        return true;
+    };
+
+    // Consume each role's newly delivered IDs (dedup across re-sends).
+    const auto harvest = [&] {
+        for (const auto &r : rolePool) {
+            for (; r->harvested < r->delivered.size(); ++r->harvested) {
+                const std::uint64_t id = r->delivered[r->harvested];
+                if (done[id]) {
+                    ++duplicates;
+                    continue;
+                }
+                done[id] = 1;
+                ++deliveredCount;
+            }
+        }
+    };
+
+    std::printf("\n  %6s %8s %10s %10s %10s %8s\n", "window", "issued",
+                "delivered", "pending", "instances", "phases");
+    int windowsRun = 0;
+    for (int w = 0; w < p.windows + p.drainWindows; ++w) {
+        const bool scripted = w < p.windows;
+        if (!scripted && pending.empty())
+            break;
+        refreshSlots();
+        std::vector<std::uint64_t> batch = std::move(pending);
+        pending.clear();
+        resends += batch.size();
+        if (scripted) {
+            for (int s = 0; s < p.instances; ++s)
+                for (int i = 0; i < p.queriesPerSlot; ++i) {
+                    batch.push_back(nextId++);
+                    done.push_back(0);
+                }
+        }
+        sendQueries(batch);
+        if (scripted) {
+            for (auto &pr : probes) {
+                auto *engine = cloud->shell(pr.src).ltlEngine();
+                auto &q = cloud->queueFor(pr.src);
+                for (int i = 0; i < p.pingsPerWindow; ++i)
+                    q.scheduleAfter(i * 20 * sim::kMicrosecond,
+                                    [engine,
+                                     conn = pr.channel.sendConn()] {
+                                        engine->sendMessage(conn, 64);
+                                    });
+            }
+        }
+        runFor(p.windowLen);
+        ++windowsRun;
+        harvest();
+        for (const std::uint64_t id : batch)
+            if (!done[id])
+                pending.push_back(id);
+        std::printf("  %6d %8llu %10llu %10zu %10zu %8llu\n", w,
+                    static_cast<unsigned long long>(nextId),
+                    static_cast<unsigned long long>(deliveredCount),
+                    pending.size(), sm.instances().size(),
+                    static_cast<unsigned long long>(chaos->phasesFired()));
+    }
+
+    // Drain in-flight frames, then harvest probe RTTs.
+    runFor(2 * p.windowLen);
+    harvest();
+    sim::LogHistogram rtt(obs::kDefaultHistMinValue,
+                          obs::kDefaultHistBinsPerOctave);
+    for (const auto &pr : probes)
+        rtt.merge(histFor(pr.src));
+
+    // --- verdicts ---
+    bool ok = true;
+    const std::uint64_t issued = nextId;
+    const std::uint64_t lost = issued - deliveredCount;
+    std::printf("\nchaos zero-lost-queries: %s (issued=%llu delivered=%llu "
+                "duplicates=%llu lost=%llu)\n", lost == 0 ? "OK" : "FAIL",
+                static_cast<unsigned long long>(issued),
+                static_cast<unsigned long long>(deliveredCount),
+                static_cast<unsigned long long>(duplicates),
+                static_cast<unsigned long long>(lost));
+    ok = ok && lost == 0;
+
+    const sim::TimePs convBound =
+        hm.domainDetectionBound() + 2 * p.chaosPoll;
+    const sim::TimePs convLatency = detectedAt >= 0 ? detectedAt - torAt : -1;
+    const bool convOk = detectedAt >= 0 && convLatency <= convBound &&
+                        hm.domainConvictions() == 1 && hm.detections() == 0;
+    std::printf("chaos rack conviction: %s (latency=%.0f us <= bound=%.0f "
+                "us; convictions=%llu, per-host detections=%llu)\n",
+                convOk ? "OK" : "FAIL", sim::toMicros(convLatency),
+                sim::toMicros(convBound),
+                static_cast<unsigned long long>(hm.domainConvictions()),
+                static_cast<unsigned long long>(hm.detections()));
+    ok = ok && convOk;
+
+    const sim::TimePs evacBound =
+        static_cast<sim::TimePs>(rackCasualties) * p.migrationGap +
+        2 * p.chaosPoll;
+    const sim::TimePs evacLatency =
+        evacuatedAt >= 0 && detectedAt >= 0 ? evacuatedAt - detectedAt : -1;
+    const bool paced = sm.migrationsQueued() == 0 ||
+                       sm.minMigrationGapObserved() >= p.migrationGap;
+    const bool evacOk = evacuatedAt >= 0 && evacLatency <= evacBound && paced;
+    std::printf("chaos evacuation: %s (latency=%.0f us <= bound=%.0f us; "
+                "queued=%llu, min gap=%.0f us)\n", evacOk ? "OK" : "FAIL",
+                sim::toMicros(evacLatency), sim::toMicros(evacBound),
+                static_cast<unsigned long long>(sm.migrationsQueued()),
+                sm.minMigrationGapObserved() == sim::kTimeNever
+                    ? -1.0
+                    : sim::toMicros(sm.minMigrationGapObserved()));
+    ok = ok && evacOk;
+
+    const double p99 = rtt.percentile(99.0);
+    const bool sloOk = p99 < 150.0;
+    const bool contained = rackCasualties <= p.maxPerRack;
+    if (anti_affinity) {
+        std::printf("chaos containment: %s (rack casualties=%d <= cap=%d; "
+                    "healthy-pod rtt p99=%.2f us < 150 us)\n",
+                    contained && sloOk ? "OK" : "FAIL", rackCasualties,
+                    p.maxPerRack, p99);
+        ok = ok && contained && sloOk;
+    } else {
+        // The ablation must demonstrably violate containment: without
+        // anti-affinity, first-fit stacks the whole service behind one
+        // TOR and the death takes every instance at once.
+        std::printf("chaos containment: %s (rack casualties=%d of %d, cap "
+                    "disabled; healthy-pod rtt p99=%.2f us)\n",
+                    !contained ? "VIOLATED (expected)" : "FAIL",
+                    rackCasualties, p.instances, p99);
+        ok = ok && !contained && sloOk;
+    }
+
+    fluid->foldAll();
+    const net::FluidConservation c = fluid->verify();
+    std::printf("fluid conservation: %s (%llu flows, %llu fluid bytes)\n",
+                c.ok ? "OK" : "FAIL",
+                static_cast<unsigned long long>(c.flows),
+                static_cast<unsigned long long>(c.fluidBytes));
+    ok = ok && c.ok;
+
+    const bool phasesOk = chaos->done();
+    if (!phasesOk)
+        std::printf("chaos phases: FAIL (only %llu fired)\n",
+                    static_cast<unsigned long long>(chaos->phasesFired()));
+    ok = ok && phasesOk;
+
+    const double wall_s = wallSeconds(t0);
+    const long rss_kb = checkRssBudget();
+    const double evps =
+        wall_s > 0 ? static_cast<double>(eventsExecuted()) / wall_s : 0;
+    std::printf("campaign: %.1f s wall, %.2f M events/s, %d windows, "
+                "%llu re-sends, %llu domain faults injected\n", wall_s,
+                evps / 1e6, windowsRun,
+                static_cast<unsigned long long>(resends),
+                static_cast<unsigned long long>(injector->domainFaults()));
+    if (tsHub)
+        std::printf("telemetry: %llu windows, %llu JSONL lines -> %s; "
+                    "%llu alerts\n",
+                    static_cast<unsigned long long>(tsHub->windowsClosed()),
+                    static_cast<unsigned long long>(tsHub->exportedLines()),
+                    tsPath.c_str(),
+                    static_cast<unsigned long long>(slo->alertsFired()));
+
+    std::string prefix = anti_affinity ? "chaos" : "chaos_ablation";
+    prefix += quick ? "_quick." : ".";
+    bench::BenchValues out;
+    out[prefix + "hosts"] = static_cast<double>(hosts);
+    out[prefix + "issued"] = static_cast<double>(issued);
+    out[prefix + "delivered"] = static_cast<double>(deliveredCount);
+    out[prefix + "duplicates"] = static_cast<double>(duplicates);
+    out[prefix + "lost"] = static_cast<double>(lost);
+    out[prefix + "conviction_latency_us"] = sim::toMicros(convLatency);
+    out[prefix + "conviction_bound_us"] = sim::toMicros(convBound);
+    out[prefix + "evacuation_latency_us"] = sim::toMicros(evacLatency);
+    out[prefix + "evacuation_bound_us"] = sim::toMicros(evacBound);
+    out[prefix + "rack_casualties"] = static_cast<double>(rackCasualties);
+    out[prefix + "containment_violated"] = contained ? 0.0 : 1.0;
+    out[prefix + "healthy_rtt_p99_us"] = p99;
+    out[prefix + "migrations_queued"] =
+        static_cast<double>(sm.migrationsQueued());
+    out[prefix + "domain_convictions"] =
+        static_cast<double>(hm.domainConvictions());
+    out[prefix + "per_host_detections"] =
+        static_cast<double>(hm.detections());
+    out[prefix + "affinity_skips"] =
+        static_cast<double>(rm.affinitySkips());
+    out[prefix + "conservation_ok"] = c.ok ? 1.0 : 0.0;
+    out[prefix + "events_per_s"] = evps;
+    out[prefix + "wall_s"] = wall_s;
+    if (rss_kb >= 0)
+        out[prefix + "rss_peak_mb"] = static_cast<double>(rss_kb) / 1024.0;
+    bench::mergeBenchJson("BENCH_chaos.json", out);
+    std::printf("wrote BENCH_chaos.json (%sissued/lost/"
+                "conviction_latency_us/...)\n", prefix.c_str());
+
+    if (!ok)
+        sim::fatal("fig07 chaos: campaign verdicts failed (see above)");
+    std::printf("\nchaos campaign: PASS\n");
+    return 0;
+}
+
 }  // namespace
 
 int
 main(int argc, char **argv)
 {
     bool quick = false;
+    bool chaosMode = false;
+    bool antiAffinity = true;
     std::string fabric = "rack";
     int shards = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
+        } else if (std::strcmp(argv[i], "--chaos") == 0) {
+            chaosMode = true;
+        } else if (std::strcmp(argv[i], "--no-anti-affinity") == 0) {
+            antiAffinity = false;
         } else if (std::strcmp(argv[i], "--fabric") == 0 && i + 1 < argc) {
             fabric = argv[++i];
         } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
             shards = std::atoi(argv[++i]);
         } else {
             sim::fatalf("fig07: unknown flag ", argv[i],
-                        " (usage: [--quick] [--fabric rack|l2] "
-                        "[--shards N])");
+                        " (usage: [--quick] [--chaos [--no-anti-affinity]]"
+                        " [--fabric rack|l2] [--shards N])");
         }
     }
+    if (chaosMode)
+        return runChaosCampaign(quick, shards, antiAffinity);
+    if (!antiAffinity)
+        sim::fatal("fig07: --no-anti-affinity requires --chaos");
     if (fabric == "rack") {
         if (shards > 0)
             sim::fatal("fig07: --shards requires --fabric l2");

@@ -138,10 +138,13 @@ ConfigurableCloud::build()
     hostStates.resize(n);
     if (config.lazyHosts) {
         // Every host joins the RM pool as a stub so leases, failure
-        // reports, and pod constraints see the full fleet; the first
-        // manager() touch materializes through the resolver.
-        for (int host = 0; host < n; ++host)
-            rm->registerNode(host, nullptr, topo->host(host).pod);
+        // reports, and pod/rack constraints see the full fleet; the
+        // first manager() touch materializes through the resolver.
+        for (int host = 0; host < n; ++host) {
+            const auto &hp = topo->host(host);
+            rm->registerNode(host, nullptr, hp.pod,
+                             hp.pod * config.topology.racksPerPod + hp.rack);
+        }
         rm->setManagerResolver([this](int host) {
             materializeServer(host);
             return hostStates[host]->fm.get();
@@ -253,11 +256,15 @@ ConfigurableCloud::materializeServer(int host)
     if (config.lazyHosts)
         rm->setNodeManager(host, state->fm.get());
     else
-        rm->registerNode(host, state->fm.get(), hp.pod);
+        rm->registerNode(host, state->fm.get(), hp.pod,
+                         hp.pod * config.topology.racksPerPod + hp.rack);
 
     hostStates[host] = std::move(state);
     ++materializedCount;
-    if (healthMon != nullptr)
+    // Passive LTL timeout observers are legacy-only: on a sharded cloud
+    // they would call into the monitor from a worker mid-window; there
+    // the monitor's own barrier-driven sweeps are the only detector.
+    if (healthMon != nullptr && shards == nullptr)
         installTimeoutObserver(host);
 }
 
@@ -378,14 +385,19 @@ ConfigurableCloud::nodeReachable(int host)
 void
 ConfigurableCloud::attachHealthMonitor(haas::HealthMonitor &hm)
 {
-    if (shards != nullptr)
-        sim::fatal("ConfigurableCloud::attachHealthMonitor: health "
-                   "monitoring is not yet partition-aware; its probes and "
-                   "timeout observers would call across logical processes "
-                   "mid-window. Use the single-queue build for failure-"
-                   "detection studies");
     healthMon = &hm;
     hm.setProbe([this](int host) { return nodeReachable(host); });
+    // Every host shares one failure domain with the whole rack behind
+    // its TOR (global rack id); the monitor convicts at that granularity
+    // when a rack goes fully dark (HealthMonitorConfig::domainConviction).
+    const int hosts_per_rack = config.topology.hostsPerRack;
+    hm.setDomainOf(
+        [hosts_per_rack](int host) { return host / hosts_per_rack; });
+    // Sharded clouds stop here: probes run at barriers (startSharded),
+    // and passive timeout observers stay uninstalled — they would call
+    // into the monitor from a worker mid-window.
+    if (shards != nullptr)
+        return;
     // Materialized shells subscribe now; flyweight stubs subscribe the
     // moment they materialize (installTimeoutObserver from
     // materializeServer), so passive suspicion never misses a server
@@ -421,11 +433,10 @@ ConfigurableCloud::makeClusterClient(haas::ServiceManager &sm,
 void
 ConfigurableCloud::setHostLinkDown(int host, bool down)
 {
-    if (shards != nullptr)
-        sim::fatal("ConfigurableCloud::setHostLinkDown: fault injection "
-                   "is not yet partition-aware (admin state would be "
-                   "mutated while a worker owns the link). Use the "
-                   "single-queue build for fault studies");
+    // On a sharded cloud this must be called only while the kernel is
+    // quiescent (from a barrier hook or between runs) — the sharded
+    // FaultInjector schedules every injection that way, so admin state
+    // never changes while a worker owns the link.
     // A fault is a touch: cutting a stub's cable materializes the
     // server first so the fault lands on real state (and a later
     // accessor cannot resurrect a pristine shell behind a dead link).
@@ -436,10 +447,6 @@ ConfigurableCloud::setHostLinkDown(int host, bool down)
 void
 ConfigurableCloud::setNicLinkDown(int host, bool down)
 {
-    if (shards != nullptr)
-        sim::fatal("ConfigurableCloud::setNicLinkDown: fault injection "
-                   "is not yet partition-aware. Use the single-queue "
-                   "build for fault studies");
     if (!config.createNics)
         sim::fatal("ConfigurableCloud::setNicLinkDown: cloud was built "
                    "without NICs (createNics=false)");
@@ -450,10 +457,6 @@ ConfigurableCloud::setNicLinkDown(int host, bool down)
 void
 ConfigurableCloud::attachFaultInjector(const void *tag)
 {
-    if (shards != nullptr)
-        sim::fatal("ConfigurableCloud::attachFaultInjector: fault "
-                   "injection is not yet partition-aware. Use the "
-                   "single-queue build for fault studies");
     if (injectorTag != nullptr && injectorTag != tag)
         sim::fatal("ConfigurableCloud: a fault injector is already "
                    "attached; detach it before attaching another");

@@ -313,9 +313,11 @@ class ConfigurableCloud
      * (plus the HaaS resource manager) on partition `pods`. Build
      * @p sq from shardPlan(cfg) so the partition count and window match
      * the topology. Instrumentation must come through
-     * cfg.shardObs (one hub per partition) rather than cfg.obs; health
-     * monitoring and fault injection are not yet partition-aware and
-     * are rejected on a sharded cloud.
+     * cfg.shardObs (one hub per partition) rather than cfg.obs. Health
+     * monitoring (HealthMonitor::startSharded) and fault injection (the
+     * injector's ShardedEventQueue constructor) both run as barrier
+     * hooks on this kernel — see haas/health_monitor.hpp and
+     * fault/fault.hpp for the modes each supports.
      */
     ConfigurableCloud(sim::ShardedEventQueue &sq, CloudConfig cfg);
 

@@ -1,0 +1,182 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "haas/haas.hpp"
+#include "haas/health_monitor.hpp"
+#include "net/fluid.hpp"
+#include "obs/json_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "sim/logging.hpp"
+#include "sim/sharded_queue.hpp"
+
+namespace ccsim::fault {
+
+ChaosEngine::ChaosEngine(sim::EventQueue &eq, ChaosScenario scenario)
+    : queue(&eq), phases(scenario.phases().begin(), scenario.phases().end())
+{
+}
+
+ChaosEngine::ChaosEngine(sim::ShardedEventQueue &squeue,
+                         ChaosScenario scenario)
+    : sq(&squeue),
+      phases(scenario.phases().begin(), scenario.phases().end())
+{
+}
+
+void
+ChaosEngine::setPollPeriod(sim::TimePs p)
+{
+    if (p <= 0)
+        sim::fatal("ChaosEngine::setPollPeriod: period must be positive");
+    pollPeriod = p;
+}
+
+void
+ChaosEngine::manageService(haas::ServiceManager *sm)
+{
+    if (sm != nullptr)
+        managed.push_back(sm);
+}
+
+void
+ChaosEngine::watchHealth(haas::HealthMonitor *hm)
+{
+    if (hm == nullptr)
+        return;
+    watchedHealth.push_back(hm);
+    lastConvictions.push_back(hm->domainConvictions());
+}
+
+sim::TimePs
+ChaosEngine::tnow() const
+{
+    return sq != nullptr ? sq->now() : queue->now();
+}
+
+void
+ChaosEngine::start()
+{
+    if (started)
+        return;
+    started = true;
+    if (phases.empty() && managed.empty() && watchedHealth.empty())
+        return;
+    sim::TimePs first = sim::kTimeNever;
+    for (const ChaosPhase &p : phases)
+        first = std::min(first, p.at);
+    if (!watchedHealth.empty() || !managed.empty())
+        first = std::min(first, tnow() + pollPeriod);
+    if (sq != nullptr) {
+        sq->atBarrier([this](sim::TimePs e) { return step(e); }, first);
+        return;
+    }
+    if (first != sim::kTimeNever)
+        scheduleTick(first);
+}
+
+void
+ChaosEngine::scheduleTick(sim::TimePs at)
+{
+    if (tickScheduled)
+        return;
+    tickScheduled = true;
+    queue->schedule(std::max(at, queue->now()), [this] {
+        tickScheduled = false;
+        const sim::TimePs next = step(queue->now());
+        if (next != sim::kTimeNever)
+            scheduleTick(next);
+    });
+}
+
+sim::TimePs
+ChaosEngine::step(sim::TimePs e)
+{
+    // Fire due phases in declaration order: timed phases whose time has
+    // come, triggered phases whose predicate holds at this evaluation.
+    for (ChaosPhase &p : phases) {
+        if (p.fired || e < p.at)
+            continue;
+        if (p.when && !p.when())
+            continue;
+        firePhase(p);
+    }
+    checkConvictions();
+
+    sim::TimePs next = sim::kTimeNever;
+    for (const ChaosPhase &p : phases) {
+        if (p.fired)
+            continue;
+        // A pending trigger is re-evaluated every pollPeriod once its
+        // earliest time has passed; a timed phase is exact.
+        if (p.when)
+            next = std::min(next, p.at > e ? p.at : e + pollPeriod);
+        else
+            next = std::min(next, p.at);
+    }
+    for (haas::ServiceManager *sm : managed)
+        next = std::min(next, sm->pumpMigrations());
+    // Conviction markers (and trigger predicates watching detections)
+    // need a heartbeat while detectors are still working.
+    if (!watchedHealth.empty() && !done())
+        next = std::min(next, e + pollPeriod);
+    return next;
+}
+
+void
+ChaosEngine::firePhase(ChaosPhase &p)
+{
+    // Settle fluid integrals first so every flow's accrual splits
+    // exactly at the injection boundary (stall detection is poll-based).
+    if (fluid != nullptr)
+        fluid->foldAll();
+    p.fired = true;
+    ++statFired;
+    firedNames.push_back(p.name);
+    CCSIM_LOG(sim::LogLevel::kWarn, "fault.chaos", tnow(), "phase \"",
+              p.name, "\" firing (", statFired, "/", phases.size(), ")");
+    emitMarker(p.name, "injected");
+    if (p.action)
+        p.action();
+}
+
+void
+ChaosEngine::checkConvictions()
+{
+    for (std::size_t i = 0; i < watchedHealth.size(); ++i) {
+        const std::uint64_t now = watchedHealth[i]->domainConvictions();
+        for (std::uint64_t c = lastConvictions[i]; c < now; ++c)
+            emitMarker("domain-conviction", "detected");
+        lastConvictions[i] = now;
+    }
+}
+
+void
+ChaosEngine::attachObservability(obs::Observability *o)
+{
+    if (o == nullptr)
+        return;
+    auto &reg = o->registry;
+    reg.registerProbe("chaos.phases",
+                      [this] { return double(phases.size()); });
+    reg.registerProbe("chaos.phases_fired",
+                      [this] { return double(statFired); });
+}
+
+void
+ChaosEngine::emitMarker(const std::string &phase, const char *kind)
+{
+    if (markerHub == nullptr)
+        return;
+    std::ostringstream line;
+    line << "{\"type\":\"chaos\",\"t_us\":";
+    obs::detail::jsonNumber(line, sim::toMicros(tnow()));
+    line << ",\"phase\":\"";
+    obs::detail::jsonEscape(line, phase);
+    line << "\",\"kind\":\"" << kind << "\"}";
+    markerHub->exportLine(line.str());
+}
+
+}  // namespace ccsim::fault

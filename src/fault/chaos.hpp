@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Deterministic chaos-campaign engine for correlated-failure drills.
+ *
+ * A chaos scenario is a declarative script of named phases: timed
+ * phases fire at fixed simulated times ("at t=2ms, kill rack 3 of
+ * pod 7"), triggered phases fire once a condition holds ("when the SLO
+ * burn alert fires, drain the pod"). The ChaosEngine executes the
+ * script on either kernel:
+ *
+ *  - legacy EventQueue: phases are plain events; triggered conditions
+ *    are polled on a fixed period, so evaluation times — and therefore
+ *    the whole campaign — are deterministic for a given seed.
+ *  - ShardedEventQueue: the engine runs as a barrier hook. Phases fire
+ *    between windows, when every partition is quiescent, so injections
+ *    (which may touch any pod, materialize flyweight stubs, or fold the
+ *    fluid model) are race-free and byte-identical on any worker count.
+ *
+ * The engine is also the campaign's conductor: it pumps rate-limited
+ * lease migrations for managed ServiceManagers (whose own
+ * event-scheduling self-pump is legacy-only), folds the fluid traffic
+ * model before each injection so flow integrals split exactly at the
+ * fault boundary, and emits `{"type":"chaos",...}` JSONL markers into a
+ * TimeSeriesHub — injected-phase and detected-conviction markers land
+ * in the same stream as the SLO alerts, so ccsim_report can overlay
+ * fault-injection against detection on one timeline.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace ccsim::sim {
+class ShardedEventQueue;
+}
+namespace ccsim::obs {
+class TimeSeriesHub;
+class Observability;
+}
+namespace ccsim::haas {
+class ServiceManager;
+class HealthMonitor;
+}
+namespace ccsim::net {
+class FluidTrafficModel;
+}
+
+namespace ccsim::fault {
+
+/** One scripted step of a chaos campaign. */
+struct ChaosPhase {
+    std::string name;
+    /** Fire time (timed) or earliest evaluation time (triggered). */
+    sim::TimePs at = 0;
+    /** Trigger predicate; null means a plain timed phase. */
+    std::function<bool()> when;
+    std::function<void()> action;
+    bool fired = false;
+};
+
+/** Declarative campaign script (ordered list of phases). */
+class ChaosScenario
+{
+  public:
+    /** Fire @p action at exactly @p at. */
+    ChaosScenario &withPhase(std::string name, sim::TimePs at,
+                             std::function<void()> action)
+    {
+        ChaosPhase p;
+        p.name = std::move(name);
+        p.at = at;
+        p.action = std::move(action);
+        list.push_back(std::move(p));
+        return *this;
+    }
+
+    /**
+     * Fire @p action at the first evaluation point (poll tick / barrier)
+     * at or after @p earliest_at where @p when returns true.
+     */
+    ChaosScenario &withTriggeredPhase(std::string name,
+                                      sim::TimePs earliest_at,
+                                      std::function<bool()> when,
+                                      std::function<void()> action)
+    {
+        ChaosPhase p;
+        p.name = std::move(name);
+        p.at = earliest_at;
+        p.when = std::move(when);
+        p.action = std::move(action);
+        list.push_back(std::move(p));
+        return *this;
+    }
+
+    const std::vector<ChaosPhase> &phases() const { return list; }
+
+  private:
+    std::vector<ChaosPhase> list;
+};
+
+/** Executes a ChaosScenario deterministically on either kernel. */
+class ChaosEngine
+{
+  public:
+    /** Legacy kernel: phases and polls are ordinary events. */
+    ChaosEngine(sim::EventQueue &eq, ChaosScenario scenario);
+    /** Parallel kernel: the engine runs as a barrier hook. */
+    ChaosEngine(sim::ShardedEventQueue &sq, ChaosScenario scenario);
+
+    ChaosEngine(const ChaosEngine &) = delete;
+    ChaosEngine &operator=(const ChaosEngine &) = delete;
+
+    /** Emit chaos markers into @p hub 's JSONL stream (may be null). */
+    void setMarkerHub(obs::TimeSeriesHub *hub) { markerHub = hub; }
+
+    /**
+     * Fold @p fm before every phase fires, so fluid integrals split
+     * exactly at the injection boundary (may be null).
+     */
+    void setFluidModel(net::FluidTrafficModel *fm) { fluid = fm; }
+
+    /** Evaluation period for triggered phases (and conviction markers). */
+    void setPollPeriod(sim::TimePs p);
+
+    /**
+     * Pump @p sm 's rate-limited migration queue at every evaluation
+     * point; its next-due time bounds the engine's deadline. Required on
+     * the sharded kernel (pair with setMigrationPolicy(gap, false)).
+     */
+    void manageService(haas::ServiceManager *sm);
+
+    /**
+     * Watch @p hm for new domain convictions and emit a "detected"
+     * chaos marker for each (at poll granularity).
+     */
+    void watchHealth(haas::HealthMonitor *hm);
+
+    /** Arm the campaign (call once, after wiring). */
+    void start();
+
+    // --- introspection ---
+
+    std::uint64_t phasesFired() const { return statFired; }
+    bool done() const { return statFired == phases.size(); }
+    /** Names of fired phases, in firing order. */
+    const std::vector<std::string> &firedPhases() const
+    {
+        return firedNames;
+    }
+
+    /**
+     * Export campaign progress under `chaos.*`: scripted/fired phase
+     * counts. Pass nullptr to detach.
+     */
+    void attachObservability(obs::Observability *o);
+
+  private:
+    sim::EventQueue *queue = nullptr;
+    sim::ShardedEventQueue *sq = nullptr;
+    std::vector<ChaosPhase> phases;
+    sim::TimePs pollPeriod = 100 * sim::kMicrosecond;
+    obs::TimeSeriesHub *markerHub = nullptr;
+    net::FluidTrafficModel *fluid = nullptr;
+    std::vector<haas::ServiceManager *> managed;
+    std::vector<haas::HealthMonitor *> watchedHealth;
+    std::vector<std::uint64_t> lastConvictions;  // parallel to above
+    std::vector<std::string> firedNames;
+    bool started = false;
+    bool tickScheduled = false;
+    std::uint64_t statFired = 0;
+
+    sim::TimePs tnow() const;
+    /** One evaluation: fire due phases, pump, mark; returns next due. */
+    sim::TimePs step(sim::TimePs e);
+    void firePhase(ChaosPhase &p);
+    void checkConvictions();
+    void emitMarker(const std::string &phase, const char *kind);
+    void scheduleTick(sim::TimePs at);
+};
+
+}  // namespace ccsim::fault

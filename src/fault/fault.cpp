@@ -1,8 +1,11 @@
 #include "fault/fault.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "obs/sharded_obs.hpp"
 #include "sim/logging.hpp"
+#include "sim/sharded_queue.hpp"
 
 namespace ccsim::fault {
 
@@ -31,17 +34,38 @@ faultKindName(FaultKind kind)
     case FaultKind::kReconfigPause: return "reconfig_pause";
     case FaultKind::kSwitchBrownout: return "switch_brownout";
     case FaultKind::kGracefulReconfig: return "graceful_reconfig";
+    case FaultKind::kTorFail: return "tor_fail";
+    case FaultKind::kPodPowerEvent: return "pod_power_event";
+    case FaultKind::kGraySpineDegrade: return "gray_spine";
+    case FaultKind::kRollingMaintenance: return "rolling_maintenance";
     }
     return "unknown";
 }
 
 FaultInjector::FaultInjector(sim::EventQueue &eq,
                              core::ConfigurableCloud &c, FaultConfig config)
-    : queue(eq), cloud(c), cfg(std::move(config)), rng(cfg.seed)
+    : queue(eq), cloud(c), cfg(std::move(config)), rng(cfg.seed),
+      domainMap(c.topology().hostsPerRack(), c.topology().racksPerPod(),
+                c.topology().numPods())
 {
     validate();
     cloud.attachFaultInjector(this);
     attachObservability();
+}
+
+FaultInjector::FaultInjector(sim::ShardedEventQueue &sq_,
+                             core::ConfigurableCloud &c, FaultConfig config)
+    : queue(sq_.partition(c.topology().numPods())), cloud(c),
+      cfg(std::move(config)), rng(cfg.seed), sq(&sq_),
+      domainMap(c.topology().hostsPerRack(), c.topology().racksPerPod(),
+                c.topology().numPods())
+{
+    validate();
+    cloud.attachFaultInjector(this);
+    attachObservability();
+    // Every injection/recovery drains here, at a barrier whose window
+    // end requestBarrier() pinned to the action's exact time.
+    sq->atBarrier([this](sim::TimePs e) { return drainPending(e); });
 }
 
 FaultInjector::~FaultInjector()
@@ -74,6 +98,10 @@ FaultInjector::validate() const
         cfg.randomHorizon <= 0)
         sim::fatal("FaultConfig: random faults configured but "
                    "randomHorizon is zero; call withRandomHorizon()");
+    if (sq != nullptr && cfg.randomBurstsPerSec > 0.0)
+        sim::fatal("FaultConfig: random corruption bursts are not "
+                   "supported on a sharded cloud (the shared-RNG fault "
+                   "hooks would race across partitions)");
     for (const FaultEvent &e : cfg.schedule)
         validateEvent(e);
 }
@@ -128,7 +156,58 @@ FaultInjector::validateEvent(const FaultEvent &e) const
         if (e.duration <= 0)
             sim::fatalf("FaultConfig: ", name, " needs a positive duration");
         break;
+    case FaultKind::kTorFail:
+        if (e.pod < 0 || e.pod >= cloud.topology().numPods() ||
+            e.rack < 0 || e.rack >= cloud.topology().racksPerPod())
+            sim::fatalf("FaultConfig: tor_fail targets TOR (pod ", e.pod,
+                        ", rack ", e.rack, ") outside the fabric");
+        if (e.duration < 0)
+            sim::fatalf("FaultConfig: ", name,
+                        " duration must be non-negative (0 = permanent)");
+        break;
+    case FaultKind::kPodPowerEvent:
+        if (e.pod < 0 || e.pod >= cloud.topology().numPods())
+            sim::fatalf("FaultConfig: pod_power_event targets pod ", e.pod,
+                        " outside the fabric");
+        if (e.stagger < 0)
+            sim::fatalf("FaultConfig: ", name,
+                        " stagger must be non-negative");
+        if (e.duration <= 0)
+            sim::fatalf("FaultConfig: ", name, " needs a positive duration");
+        break;
+    case FaultKind::kGraySpineDegrade:
+        if (e.l2Index < 0 || e.l2Index >= cloud.topology().numL2())
+            sim::fatalf("FaultConfig: gray_spine targets L2 switch ",
+                        e.l2Index, " but the fabric has ",
+                        cloud.topology().numL2(), " spines");
+        if (e.rate < 0.0 || e.rate > 1.0)
+            sim::fatalf("FaultConfig: gray_spine drop rate must be in "
+                        "[0, 1] (got ", e.rate, ")");
+        if (e.extraLatency < 0)
+            sim::fatalf("FaultConfig: ", name,
+                        " extraLatency must be non-negative");
+        if (e.rate == 0.0 && e.extraLatency == 0)
+            sim::fatal("FaultConfig: gray_spine with zero drop rate and "
+                       "zero extra latency would do nothing");
+        if (e.duration < 0)
+            sim::fatalf("FaultConfig: ", name,
+                        " duration must be non-negative (0 = until clear)");
+        break;
+    case FaultKind::kRollingMaintenance:
+        if (e.pod < 0 || e.pod >= cloud.topology().numPods())
+            sim::fatalf("FaultConfig: rolling_maintenance targets pod ",
+                        e.pod, " outside the fabric");
+        if (e.duration <= 0)
+            sim::fatalf("FaultConfig: ", name, " needs a positive duration");
+        if (e.stagger <= 0)
+            sim::fatalf("FaultConfig: ", name, " needs a positive stagger");
+        break;
     }
+    if (sq != nullptr && (e.kind == FaultKind::kCorruptionBurst ||
+                          e.kind == FaultKind::kGracefulReconfig))
+        sim::fatalf("FaultConfig: ", name, " is not supported on a "
+                    "sharded cloud (cross-partition RNG / quiesce "
+                    "callbacks would break determinism)");
 }
 
 void
@@ -138,11 +217,50 @@ FaultInjector::arm()
         sim::fatal("FaultInjector::arm: already armed (arm() is one-shot; "
                    "use the imperative API for extra faults)");
     armed = true;
-    for (const FaultEvent &e : cfg.schedule) {
-        const sim::TimePs when = std::max(e.at, queue.now());
-        queue.schedule(when, [this, e] { execute(e); });
-    }
+    for (const FaultEvent &e : cfg.schedule)
+        scheduleAction(std::max(e.at, nowPs()), [this, e] { execute(e); });
     scheduleRandom();
+}
+
+sim::TimePs
+FaultInjector::nowPs() const
+{
+    return sq != nullptr ? sq->now() : queue.now();
+}
+
+void
+FaultInjector::scheduleAction(sim::TimePs when, std::function<void()> fn)
+{
+    if (sq == nullptr) {
+        queue.schedule(std::max(when, queue.now()), std::move(fn));
+        return;
+    }
+    // During a barrier hook now() is the window end itself, so an
+    // action for "now" lands one picosecond later — still exact on any
+    // worker count, never inside an already-executed window.
+    const sim::TimePs t = std::max(when, sq->now() + 1);
+    pending.emplace(t, std::move(fn));
+    sq->requestBarrier(t);
+}
+
+sim::TimePs
+FaultInjector::drainPending(sim::TimePs e)
+{
+    while (!pending.empty() && pending.begin()->first <= e) {
+        auto fn = std::move(pending.begin()->second);
+        pending.erase(pending.begin());
+        fn();
+    }
+    return pending.empty() ? sim::kTimeNever : pending.begin()->first;
+}
+
+void
+FaultInjector::requireLegacy(const char *what) const
+{
+    if (sq != nullptr)
+        sim::fatalf("FaultInjector::", what, ": not supported on a "
+                    "sharded cloud (cross-partition RNG / quiesce "
+                    "callbacks would break determinism)");
 }
 
 void
@@ -173,6 +291,29 @@ FaultInjector::execute(const FaultEvent &e)
     case FaultKind::kSwitchBrownout:
         switchBrownout(e.pod, e.rack, e.rate, e.ecnStorm, e.duration);
         break;
+    case FaultKind::kTorFail:
+        failTor(e.pod, e.rack);
+        if (e.duration > 0) {
+            scheduleAction(nowPs() + e.duration,
+                           [this, p = e.pod, r = e.rack] {
+                               repairTor(p, r);
+                           });
+        }
+        break;
+    case FaultKind::kPodPowerEvent:
+        podPowerEvent(e.pod, e.stagger, e.duration);
+        break;
+    case FaultKind::kGraySpineDegrade:
+        graySpineDegrade(e.l2Index, e.rate, e.extraLatency);
+        if (e.duration > 0) {
+            scheduleAction(nowPs() + e.duration, [this, l2 = e.l2Index] {
+                graySpineClear(l2);
+            });
+        }
+        break;
+    case FaultKind::kRollingMaintenance:
+        rollingMaintenance(e.pod, e.duration, e.stagger);
+        break;
     }
 }
 
@@ -181,29 +322,29 @@ FaultInjector::scheduleRandom()
 {
     // All draws happen here, in a fixed order, so the whole random
     // schedule is a pure function of the seed.
-    const sim::TimePs limit = queue.now() + cfg.randomHorizon;
+    const sim::TimePs limit = nowPs() + cfg.randomHorizon;
     if (cfg.randomFlapsPerSec > 0.0) {
         const double gap = 1e12 / cfg.randomFlapsPerSec;  // ps
-        sim::TimePs t = queue.now();
+        sim::TimePs t = nowPs();
         for (;;) {
             t += static_cast<sim::TimePs>(rng.exponential(gap));
             if (t >= limit)
                 break;
             const int host = rng.uniformInt(cloud.numServers());
-            queue.schedule(t, [this, host] {
+            scheduleAction(t, [this, host] {
                 flapHostLink(host, cfg.randomFlapDuration);
             });
         }
     }
     if (cfg.randomBurstsPerSec > 0.0) {
         const double gap = 1e12 / cfg.randomBurstsPerSec;
-        sim::TimePs t = queue.now();
+        sim::TimePs t = nowPs();
         for (;;) {
             t += static_cast<sim::TimePs>(rng.exponential(gap));
             if (t >= limit)
                 break;
             const int host = rng.uniformInt(cloud.numServers());
-            queue.schedule(t, [this, host] {
+            scheduleAction(t, [this, host] {
                 corruptionBurst(host, cfg.randomBurstRate,
                                 cfg.randomBurstDuration);
             });
@@ -219,14 +360,14 @@ FaultInjector::flapHostLink(int host, sim::TimePs down_for)
         sim::fatal("FaultInjector::flapHostLink: duration must be positive");
     ++statInjected;
     ++statLinkFlaps;
-    CCSIM_LOG(sim::LogLevel::kInfo, "fault", queue.now(), "host link ",
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", nowPs(), "host link ",
               host, " down for ", down_for, " ps");
     traceInstant("link_down.node" + std::to_string(host));
     holdHostLink(host);
-    queue.scheduleAfter(down_for, [this, host] {
+    scheduleAction(nowPs() + down_for, [this, host] {
         releaseHostLink(host);
         ++statRecovered;
-        CCSIM_LOG(sim::LogLevel::kInfo, "fault", queue.now(), "host link ",
+        CCSIM_LOG(sim::LogLevel::kInfo, "fault", nowPs(), "host link ",
                   host, " restored");
         traceInstant("link_up.node" + std::to_string(host));
     });
@@ -246,7 +387,7 @@ FaultInjector::flapNicLink(int host, sim::TimePs down_for)
     traceInstant("nic_down.node" + std::to_string(host));
     if (nicDepth[host]++ == 0)
         cloud.setNicLinkDown(host, true);
-    queue.scheduleAfter(down_for, [this, host] {
+    scheduleAction(nowPs() + down_for, [this, host] {
         if (--nicDepth[host] == 0)
             cloud.setNicLinkDown(host, false);
         ++statRecovered;
@@ -269,7 +410,7 @@ FaultInjector::flapTrunkLink(int index, sim::TimePs down_for)
     traceInstant("trunk_down." + std::to_string(index));
     if (trunkDepth[index]++ == 0)
         cloud.topology().trunkLink(index).setAdminDown(true);
-    queue.scheduleAfter(down_for, [this, index] {
+    scheduleAction(nowPs() + down_for, [this, index] {
         if (--trunkDepth[index] == 0)
             cloud.topology().trunkLink(index).setAdminDown(false);
         ++statRecovered;
@@ -281,6 +422,7 @@ void
 FaultInjector::corruptionBurst(int host, double drop_prob,
                                sim::TimePs duration)
 {
+    requireLegacy("corruptionBurst");
     checkHost(cloud, host, "corruptionBurst");
     if (drop_prob <= 0.0 || drop_prob > 1.0)
         sim::fatalf("FaultInjector::corruptionBurst: drop probability "
@@ -290,7 +432,7 @@ FaultInjector::corruptionBurst(int host, double drop_prob,
                    "positive");
     ++statInjected;
     ++statBursts;
-    CCSIM_LOG(sim::LogLevel::kInfo, "fault", queue.now(),
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", nowPs(),
               "corruption burst on host link ", host, " p=", drop_prob,
               " for ", duration, " ps");
     traceInstant("corruption_on.node" + std::to_string(host));
@@ -323,7 +465,7 @@ FaultInjector::failFpga(int host)
     hardFailed[host] = true;
     ++statInjected;
     ++statHardFails;
-    CCSIM_LOG(sim::LogLevel::kInfo, "fault", queue.now(), "FPGA ", host,
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", nowPs(), "FPGA ", host,
               " hard failure");
     traceInstant("fpga_fail.node" + std::to_string(host));
     holdHostLink(host);
@@ -344,7 +486,7 @@ FaultInjector::repairFpga(int host)
     if (cfg.selfReport)
         cloud.resourceManager().repair(host);
     ++statRecovered;
-    CCSIM_LOG(sim::LogLevel::kInfo, "fault", queue.now(), "FPGA ", host,
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", nowPs(), "FPGA ", host,
               " repaired");
     traceInstant("fpga_repair.node" + std::to_string(host));
 }
@@ -357,14 +499,14 @@ FaultInjector::reconfigPause(int host, sim::TimePs window)
         sim::fatal("FaultInjector::reconfigPause: window must be positive");
     ++statInjected;
     ++statReconfigs;
-    CCSIM_LOG(sim::LogLevel::kInfo, "fault", queue.now(), "node ", host,
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", nowPs(), "node ", host,
               " reconfiguration pause for ", window, " ps");
     traceInstant("reconfig_start.node" + std::to_string(host));
     holdHostLink(host);
     cloud.shell(host).bridge().setDown(true);
     if (cfg.selfReport)
         cloud.resourceManager().reportFailure(host);
-    queue.scheduleAfter(window, [this, host] {
+    scheduleAction(nowPs() + window, [this, host] {
         releaseHostLink(host);
         // A hard failure that landed during the window sticks: the node
         // only rejoins if it is merely paused.
@@ -381,13 +523,14 @@ FaultInjector::reconfigPause(int host, sim::TimePs window)
 void
 FaultInjector::gracefulReconfig(int host, sim::TimePs window)
 {
+    requireLegacy("gracefulReconfig");
     checkHost(cloud, host, "gracefulReconfig");
     if (window <= 0)
         sim::fatal("FaultInjector::gracefulReconfig: window must be "
                    "positive");
     ++statInjected;
     ++statGraceful;
-    CCSIM_LOG(sim::LogLevel::kInfo, "fault", queue.now(), "node ", host,
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", nowPs(), "node ", host,
               " graceful reconfiguration (quiesce first) for ", window,
               " ps");
     traceInstant("graceful_quiesce.node" + std::to_string(host));
@@ -439,18 +582,250 @@ FaultInjector::switchBrownout(int pod, int rack, double drop_prob,
                    "positive");
     ++statInjected;
     ++statBrownouts;
-    CCSIM_LOG(sim::LogLevel::kInfo, "fault", queue.now(), "TOR (", pod,
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", nowPs(), "TOR (", pod,
               ",", rack, ") brownout p=", drop_prob,
               ecn_storm ? " +ecn" : "", " for ", duration, " ps");
     traceInstant("brownout_on.tor" + std::to_string(pod) + "." +
                  std::to_string(rack));
     cloud.topology().tor(pod, rack).setBrownout(drop_prob, ecn_storm);
-    queue.scheduleAfter(duration, [this, pod, rack] {
+    scheduleAction(nowPs() + duration, [this, pod, rack] {
         cloud.topology().tor(pod, rack).clearBrownout();
         ++statRecovered;
         traceInstant("brownout_off.tor" + std::to_string(pod) + "." +
                      std::to_string(rack));
     });
+}
+
+void
+FaultInjector::failTor(int pod, int rack)
+{
+    const int rack_id = domainMap.rackId(pod, rack);
+    if (torDead[rack_id])
+        return;  // idempotent
+    torDead[rack_id] = true;
+    ++statInjected;
+    ++statTorFails;
+    ++statDomainFaults;
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", nowPs(), "TOR (", pod, ",",
+              rack, ") hard failure: rack ", rack_id, " dark");
+    traceInstant("tor_fail.rack" + std::to_string(rack_id));
+    // Hosts first, in ascending order: each hold materializes a lazy
+    // stub before its cable is cut — the same order every run.
+    const std::vector<int> hosts = domainMap.rackHosts(rack_id);
+    for (int host : hosts)
+        holdHostLink(host);
+    net::Topology &topo = cloud.topology();
+    for (int l1 = 0; l1 < topo.l1PerPod(); ++l1)
+        topo.torToL1Link(pod, rack, l1).setAdminDown(true);
+    if (cfg.selfReport) {
+        for (int host : hosts)
+            cloud.resourceManager().reportFailure(host);
+    }
+}
+
+void
+FaultInjector::repairTor(int pod, int rack)
+{
+    const int rack_id = domainMap.rackId(pod, rack);
+    if (!torDead[rack_id])
+        return;
+    torDead[rack_id] = false;
+    net::Topology &topo = cloud.topology();
+    for (int l1 = 0; l1 < topo.l1PerPod(); ++l1)
+        topo.torToL1Link(pod, rack, l1).setAdminDown(false);
+    const std::vector<int> hosts = domainMap.rackHosts(rack_id);
+    for (int host : hosts)
+        releaseHostLink(host);
+    if (cfg.selfReport) {
+        for (int host : hosts) {
+            if (!hardFailed[host])
+                cloud.resourceManager().repair(host);
+        }
+    }
+    ++statRecovered;
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", nowPs(), "TOR (", pod, ",",
+              rack, ") repaired: rack ", rack_id, " rejoining");
+    traceInstant("tor_repair.rack" + std::to_string(rack_id));
+}
+
+bool
+FaultInjector::torFailed(int pod, int rack) const
+{
+    auto it = torDead.find(domainMap.rackId(pod, rack));
+    return it != torDead.end() && it->second;
+}
+
+void
+FaultInjector::podPowerEvent(int pod, sim::TimePs stagger,
+                             sim::TimePs outage)
+{
+    if (pod < 0 || pod >= cloud.topology().numPods())
+        sim::fatalf("FaultInjector::podPowerEvent: pod ", pod,
+                    " outside the fabric");
+    if (stagger < 0)
+        sim::fatal("FaultInjector::podPowerEvent: stagger must be "
+                   "non-negative");
+    if (outage <= 0)
+        sim::fatal("FaultInjector::podPowerEvent: outage must be positive");
+    ++statInjected;
+    ++statPodEvents;
+    ++statDomainFaults;
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", nowPs(), "pod ", pod,
+              " power event: hosts dying ", stagger, " ps apart, out for ",
+              outage, " ps");
+    traceInstant("pod_power.pod" + std::to_string(pod));
+    const std::vector<int> hosts = domainMap.podHosts(pod);
+    const sim::TimePs base = nowPs();
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+        const int host = hosts[i];
+        const sim::TimePs at =
+            base + stagger * static_cast<sim::TimePs>(i);
+        scheduleAction(at, [this, host, outage] {
+            holdHostLink(host);
+            cloud.shell(host).bridge().setDown(true);
+            if (cfg.selfReport)
+                cloud.resourceManager().reportFailure(host);
+            scheduleAction(nowPs() + outage, [this, host] {
+                // A hard failure that landed during the outage sticks.
+                if (!hardFailed[host]) {
+                    cloud.shell(host).bridge().setDown(false);
+                    if (cfg.selfReport)
+                        cloud.resourceManager().repair(host);
+                }
+                releaseHostLink(host);
+            });
+        });
+    }
+    const sim::TimePs lastDeath =
+        base + stagger * static_cast<sim::TimePs>(hosts.size() - 1);
+    scheduleAction(lastDeath + outage, [this] { ++statRecovered; });
+}
+
+void
+FaultInjector::applyGray(net::Channel &ch, double drop_prob,
+                         std::uint64_t seed, sim::TimePs extra)
+{
+    ch.setExtraLatency(extra);
+    if (drop_prob > 0.0) {
+        // A dedicated RNG per channel: draws stay partition-local, so
+        // the loss pattern is deterministic on any worker count.
+        auto r = std::make_shared<sim::Rng>(seed);
+        ch.setFaultHook([r, drop_prob](const net::PacketPtr &) {
+            return r->bernoulli(drop_prob);
+        });
+    } else {
+        ch.setFaultHook({});
+    }
+}
+
+void
+FaultInjector::graySpineDegrade(int l2_index, double drop_prob,
+                                sim::TimePs extra_latency)
+{
+    net::Topology &topo = cloud.topology();
+    if (l2_index < 0 || l2_index >= topo.numL2())
+        sim::fatalf("FaultInjector::graySpineDegrade: L2 switch ",
+                    l2_index, " outside the fabric");
+    if (drop_prob < 0.0 || drop_prob > 1.0)
+        sim::fatalf("FaultInjector::graySpineDegrade: drop probability "
+                    "must be in [0, 1] (got ", drop_prob, ")");
+    if (extra_latency < 0)
+        sim::fatal("FaultInjector::graySpineDegrade: extra latency must "
+                   "be non-negative");
+    if (drop_prob == 0.0 && extra_latency == 0)
+        sim::fatal("FaultInjector::graySpineDegrade: zero drop rate and "
+                   "zero extra latency would do nothing");
+    ++statInjected;
+    ++statGrayFaults;
+    ++statDomainFaults;
+    grayActive[l2_index] = true;
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", nowPs(), "L2 spine ",
+              l2_index, " gray: p=", drop_prob, " +", extra_latency,
+              " ps per trunk hop");
+    traceInstant("gray_on.l2_" + std::to_string(l2_index));
+    for (int pod = 0; pod < topo.numPods(); ++pod) {
+        for (int l1 = 0; l1 < topo.l1PerPod(); ++l1) {
+            net::Link &link = topo.l1ToL2Link(pod, l1, l2_index);
+            const std::uint64_t base =
+                cfg.seed ^ (0x9e3779b97f4a7c15ull *
+                            static_cast<std::uint64_t>(
+                                ((l2_index * 4096 + pod) * 64 + l1) * 2 + 1));
+            applyGray(link.aToB(), drop_prob, base, extra_latency);
+            applyGray(link.bToA(), drop_prob, base + 1, extra_latency);
+        }
+    }
+}
+
+void
+FaultInjector::graySpineClear(int l2_index)
+{
+    net::Topology &topo = cloud.topology();
+    if (l2_index < 0 || l2_index >= topo.numL2())
+        sim::fatalf("FaultInjector::graySpineClear: L2 switch ", l2_index,
+                    " outside the fabric");
+    if (!grayActive[l2_index])
+        return;
+    grayActive[l2_index] = false;
+    for (int pod = 0; pod < topo.numPods(); ++pod) {
+        for (int l1 = 0; l1 < topo.l1PerPod(); ++l1) {
+            net::Link &link = topo.l1ToL2Link(pod, l1, l2_index);
+            applyGray(link.aToB(), 0.0, 0, 0);
+            applyGray(link.bToA(), 0.0, 0, 0);
+        }
+    }
+    ++statRecovered;
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", nowPs(), "L2 spine ",
+              l2_index, " gray degradation cleared");
+    traceInstant("gray_off.l2_" + std::to_string(l2_index));
+}
+
+void
+FaultInjector::rollingMaintenance(int pod, sim::TimePs window,
+                                  sim::TimePs stagger)
+{
+    if (pod < 0 || pod >= cloud.topology().numPods())
+        sim::fatalf("FaultInjector::rollingMaintenance: pod ", pod,
+                    " outside the fabric");
+    if (window <= 0)
+        sim::fatal("FaultInjector::rollingMaintenance: window must be "
+                   "positive");
+    if (stagger <= 0)
+        sim::fatal("FaultInjector::rollingMaintenance: stagger must be "
+                   "positive");
+    ++statInjected;
+    ++statMaintenance;
+    ++statDomainFaults;
+    CCSIM_LOG(sim::LogLevel::kInfo, "fault", nowPs(), "pod ", pod,
+              " rolling maintenance: racks drain ", window,
+              " ps each, starts ", stagger, " ps apart");
+    traceInstant("maintenance.pod" + std::to_string(pod));
+    const sim::TimePs base = nowPs();
+    for (int r = 0; r < domainMap.racksPerPod(); ++r) {
+        const int rack_id = domainMap.rackId(pod, r);
+        const sim::TimePs at =
+            base + stagger * static_cast<sim::TimePs>(r);
+        scheduleAction(at, [this, rack_id, window] {
+            traceInstant("drain_start.rack" + std::to_string(rack_id));
+            for (int host : domainMap.rackHosts(rack_id)) {
+                holdHostLink(host);
+                cloud.shell(host).bridge().setDown(true);
+                if (cfg.selfReport)
+                    cloud.resourceManager().reportFailure(host);
+            }
+            scheduleAction(nowPs() + window, [this, rack_id] {
+                for (int host : domainMap.rackHosts(rack_id)) {
+                    if (!hardFailed[host]) {
+                        cloud.shell(host).bridge().setDown(false);
+                        if (cfg.selfReport)
+                            cloud.resourceManager().repair(host);
+                    }
+                    releaseHostLink(host);
+                }
+                ++statRecovered;
+                traceInstant("drain_end.rack" + std::to_string(rack_id));
+            });
+        });
+    }
 }
 
 bool
@@ -469,7 +844,7 @@ FaultInjector::downtime(int host) const
     if (nodeDown(host)) {
         auto it = downSince.find(host);
         if (it != downSince.end())
-            total += queue.now() - it->second;
+            total += nowPs() - it->second;
     }
     return total;
 }
@@ -478,7 +853,7 @@ void
 FaultInjector::holdHostLink(int host)
 {
     if (darkDepth[host]++ == 0) {
-        downSince[host] = queue.now();
+        downSince[host] = nowPs();
         cloud.setHostLinkDown(host, true);
     }
 }
@@ -487,7 +862,7 @@ void
 FaultInjector::releaseHostLink(int host)
 {
     if (--darkDepth[host] == 0) {
-        downAccum[host] += queue.now() - downSince[host];
+        downAccum[host] += nowPs() - downSince[host];
         cloud.setHostLinkDown(host, false);
     }
 }
@@ -496,6 +871,10 @@ void
 FaultInjector::attachObservability()
 {
     obsHub = cloud.observability();
+    // On a sharded cloud the aggregate probes live on shard 0's hub;
+    // they are read only at barriers, from the coordinator thread.
+    if (obsHub == nullptr && cloud.shardedObservability() != nullptr)
+        obsHub = &cloud.shardedObservability()->shard(0);
     if (!obsHub)
         return;
     obsTrack = obsHub->trace.track("fault");
@@ -522,6 +901,26 @@ FaultInjector::attachObservability()
             n += depth > 0 ? 1 : 0;
         return double(n);
     });
+    reg.registerProbe("fault.domain.tor_fails",
+                      [this] { return double(statTorFails); });
+    reg.registerProbe("fault.domain.pod_events",
+                      [this] { return double(statPodEvents); });
+    reg.registerProbe("fault.domain.gray_faults",
+                      [this] { return double(statGrayFaults); });
+    reg.registerProbe("fault.domain.maintenance",
+                      [this] { return double(statMaintenance); });
+    reg.registerProbe("fault.domain.injected",
+                      [this] { return double(statDomainFaults); });
+    reg.registerProbe("fault.domain.tors_dead", [this] {
+        int n = 0;
+        for (const auto &[rack, dead] : torDead)
+            n += dead ? 1 : 0;
+        return double(n);
+    });
+    // Per-node probes stay legacy-only: a paper-scale sharded attach
+    // would register half a million of them.
+    if (sq != nullptr)
+        return;
     for (int host = 0; host < cloud.numServers(); ++host) {
         const std::string node = "fault.node" + std::to_string(host);
         reg.registerProbe(node + ".down", [this, host] {
@@ -538,7 +937,7 @@ void
 FaultInjector::traceInstant(const std::string &name)
 {
     if (obsHub && obsHub->trace.enabled())
-        obsHub->trace.instant(obsTrack, "fault", name, queue.now());
+        obsHub->trace.instant(obsTrack, "fault", name, nowPs());
 }
 
 }  // namespace ccsim::fault

@@ -15,23 +15,42 @@
  *    so Service Managers fail over live);
  *  - reconfiguration pauses (node dark for a window, then repaired and
  *    rejoining the pool);
- *  - switch brown-outs (drop and/or ECN storms).
+ *  - switch brown-outs (drop and/or ECN storms);
+ *  - correlated domain faults (see fault/failure_domain.hpp): TOR hard
+ *    deaths darkening a whole rack at once, pod power events with
+ *    staggered host deaths, gray L2-spine degradation (sub-percent
+ *    frame loss and latency inflation that still answers heartbeats),
+ *    and rolling per-rack maintenance drains.
  *
  * Every fault and recovery is observable under `fault.*` in the cloud's
  * obs::Observability hub, and — all randomness coming from one seeded
  * sim::Rng — schedules are deterministic per seed: same seed, byte-
  * identical metric snapshots.
+ *
+ * On a sharded cloud the injector is constructed with the
+ * ShardedEventQueue: every injection and recovery is then executed at a
+ * conservative-sync barrier (requestBarrier() pins a window end to the
+ * exact injection time), so sharded runs stay byte-identical across
+ * worker counts. The only modes that stay legacy-only are corruption
+ * bursts and graceful reconfigs, whose shared-RNG fault hooks /
+ * quiesce callbacks would race across partitions.
  */
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "core/cloud.hpp"
+#include "fault/failure_domain.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
+
+namespace ccsim::sim {
+class ShardedEventQueue;
+}
 
 namespace ccsim::fault {
 
@@ -51,6 +70,26 @@ enum class FaultKind {
      * kReconfigPause, which yanks the node mid-traffic.
      */
     kGracefulReconfig,
+    /**
+     * TOR switch hard death: every host link in the rack goes dark
+     * simultaneously and the rack's uplink trunks are cut. `duration`
+     * 0 = permanent (until repairTor()).
+     */
+    kTorFail,
+    /** Pod power event: hosts die `stagger` apart, out for `duration`. */
+    kPodPowerEvent,
+    /**
+     * Gray L2-spine degradation: every trunk through spine `l2Index`
+     * drops frames with probability `rate` and/or inflates latency by
+     * `extraLatency` — while the hosts behind it still answer
+     * heartbeats. `duration` 0 = until graySpineClear().
+     */
+    kGraySpineDegrade,
+    /**
+     * Rolling maintenance: the pod's racks are drained one after
+     * another, each dark for `duration`, starts `stagger` apart.
+     */
+    kRollingMaintenance,
 };
 
 /** Human-readable kind name (for timelines and logs). */
@@ -67,13 +106,19 @@ struct FaultEvent {
     int host = -1;
     /** Target trunk cable (kTrunkLinkFlap). */
     int trunkIndex = -1;
-    /** Target TOR (kSwitchBrownout). */
+    /** Target TOR (kSwitchBrownout, kTorFail) / pod (pod-level kinds). */
     int pod = 0;
     int rack = 0;
-    /** Corruption / brownout drop probability. */
+    /** Target L2 spine switch (kGraySpineDegrade). */
+    int l2Index = 0;
+    /** Corruption / brownout / gray-spine drop probability. */
     double rate = 0.0;
     /** Mark every ECN-capable packet during a brownout. */
     bool ecnStorm = false;
+    /** Per-host / per-rack start offset (kPodPowerEvent, kRolling...). */
+    sim::TimePs stagger = 0;
+    /** Gray-spine latency inflation per trunk hop. */
+    sim::TimePs extraLatency = 0;
 };
 
 /**
@@ -214,6 +259,53 @@ struct FaultConfig {
         e.duration = duration;
         return withEvent(e);
     }
+    FaultConfig &withTorFail(sim::TimePs at, int pod, int rack,
+                             sim::TimePs duration = 0)
+    {
+        FaultEvent e;
+        e.kind = FaultKind::kTorFail;
+        e.at = at;
+        e.pod = pod;
+        e.rack = rack;
+        e.duration = duration;
+        return withEvent(e);
+    }
+    FaultConfig &withPodPowerEvent(sim::TimePs at, int pod,
+                                   sim::TimePs stagger, sim::TimePs outage)
+    {
+        FaultEvent e;
+        e.kind = FaultKind::kPodPowerEvent;
+        e.at = at;
+        e.pod = pod;
+        e.stagger = stagger;
+        e.duration = outage;
+        return withEvent(e);
+    }
+    FaultConfig &withGraySpine(sim::TimePs at, int l2_index,
+                               double drop_prob, sim::TimePs extra_latency,
+                               sim::TimePs duration = 0)
+    {
+        FaultEvent e;
+        e.kind = FaultKind::kGraySpineDegrade;
+        e.at = at;
+        e.l2Index = l2_index;
+        e.rate = drop_prob;
+        e.extraLatency = extra_latency;
+        e.duration = duration;
+        return withEvent(e);
+    }
+    FaultConfig &withRollingMaintenance(sim::TimePs at, int pod,
+                                        sim::TimePs window,
+                                        sim::TimePs stagger)
+    {
+        FaultEvent e;
+        e.kind = FaultKind::kRollingMaintenance;
+        e.at = at;
+        e.pod = pod;
+        e.duration = window;
+        e.stagger = stagger;
+        return withEvent(e);
+    }
     FaultConfig &withRandomFlaps(double per_sec, sim::TimePs down_for)
     {
         randomFlapsPerSec = per_sec;
@@ -250,6 +342,15 @@ class FaultInjector
 {
   public:
     FaultInjector(sim::EventQueue &eq, core::ConfigurableCloud &cloud,
+                  FaultConfig cfg = {});
+    /**
+     * Sharded-cloud injector: injections and recoveries execute at
+     * conservative-sync barriers (the kernel is asked for a window end
+     * at each exact injection time via requestBarrier()), keeping runs
+     * byte-identical across worker counts. Corruption bursts and
+     * graceful reconfigs are rejected in this mode.
+     */
+    FaultInjector(sim::ShardedEventQueue &sq, core::ConfigurableCloud &cloud,
                   FaultConfig cfg = {});
     ~FaultInjector();
 
@@ -302,6 +403,43 @@ class FaultInjector
     void switchBrownout(int pod, int rack, double drop_prob, bool ecn_storm,
                         sim::TimePs duration);
 
+    // --- correlated domain faults ---
+
+    /**
+     * TOR switch hard death: every host in rack (pod, rack) goes dark
+     * at once — host links held in ascending host order, materializing
+     * lazy stubs first — and the rack's TOR<->L1 uplinks are cut, so
+     * fluid flows through the rack stall. Idempotent per rack; the
+     * injector owns the rack's uplinks until repairTor().
+     */
+    void failTor(int pod, int rack);
+    /** Repair a dead TOR: uplinks restored, hosts released/rejoined. */
+    void repairTor(int pod, int rack);
+    /**
+     * Pod power event: the pod's hosts die in ascending order,
+     * @p stagger apart, each out (dark + bridge down) for @p outage.
+     */
+    void podPowerEvent(int pod, sim::TimePs stagger, sim::TimePs outage);
+    /**
+     * Gray degradation of L2 spine @p l2_index: every L1<->L2 trunk
+     * through it drops frames with probability @p drop_prob and adds
+     * @p extra_latency of propagation — but no link goes admin-down, so
+     * the hosts behind it still answer heartbeats. Loss draws come from
+     * a dedicated per-channel RNG (seeded from cfg.seed and the trunk
+     * coordinates), so sharded runs stay deterministic. Lasts until
+     * graySpineClear().
+     */
+    void graySpineDegrade(int l2_index, double drop_prob,
+                          sim::TimePs extra_latency);
+    /** Clear a gray spine: hooks and latency inflation removed. */
+    void graySpineClear(int l2_index);
+    /**
+     * Rolling maintenance over a pod: racks drain one at a time in
+     * ascending order, each dark for @p window, starts @p stagger
+     * apart (stagger >= window means at most one rack down at once).
+     */
+    void rollingMaintenance(int pod, sim::TimePs window, sim::TimePs stagger);
+
     // --- introspection ---
 
     /** Faults injected so far (scripted + random + imperative). */
@@ -313,6 +451,20 @@ class FaultInjector
     /** Cumulative dark time of @p host (including any ongoing outage). */
     sim::TimePs downtime(int host) const;
 
+    /** The fabric's failure-domain hierarchy. */
+    const FailureDomainMap &domains() const { return domainMap; }
+    /** True while the TOR of rack (pod, rack) is hard-failed. */
+    bool torFailed(int pod, int rack) const;
+    std::uint64_t torFails() const { return statTorFails; }
+    std::uint64_t podPowerEvents() const { return statPodEvents; }
+    std::uint64_t grayFaults() const { return statGrayFaults; }
+    std::uint64_t maintenanceDrains() const { return statMaintenance; }
+    /** Correlated domain-level faults injected (all four kinds). */
+    std::uint64_t domainFaults() const { return statDomainFaults; }
+
+    /** Barrier time on a sharded cloud, event time on a legacy one. */
+    sim::TimePs nowPs() const;
+
     const FaultConfig &config() const { return cfg; }
 
   private:
@@ -320,6 +472,8 @@ class FaultInjector
     core::ConfigurableCloud &cloud;
     FaultConfig cfg;
     sim::Rng rng;
+    sim::ShardedEventQueue *sq = nullptr;
+    FailureDomainMap domainMap;
     bool armed = false;
 
     /** Nesting depth of active host-link outages per host. */
@@ -331,6 +485,16 @@ class FaultInjector
     std::map<int, int> trunkDepth;
     /** Generation counter per host so nested bursts end last-wins. */
     std::map<int, std::uint64_t> burstGen;
+    /** Racks (global id) whose TOR is currently hard-failed. */
+    std::map<int, bool> torDead;
+    /** L2 spines currently gray-degraded. */
+    std::map<int, bool> grayActive;
+    /**
+     * Barrier-scheduled actions (sharded mode): drained at each barrier
+     * in (time, insertion) order — a total order independent of worker
+     * count. Every insert also pins a window end at the action's time.
+     */
+    std::multimap<sim::TimePs, std::function<void()>> pending;
 
     obs::Observability *obsHub = nullptr;
     int obsTrack = 0;
@@ -343,13 +507,31 @@ class FaultInjector
     std::uint64_t statReconfigs = 0;
     std::uint64_t statGraceful = 0;
     std::uint64_t statBrownouts = 0;
+    std::uint64_t statTorFails = 0;
+    std::uint64_t statPodEvents = 0;
+    std::uint64_t statGrayFaults = 0;
+    std::uint64_t statMaintenance = 0;
+    std::uint64_t statDomainFaults = 0;
 
     void validate() const;
     void validateEvent(const FaultEvent &e) const;
     void execute(const FaultEvent &e);
     void scheduleRandom();
+    /**
+     * Run @p fn at @p when: directly on the event queue (legacy), or at
+     * the conservative-sync barrier whose window ends at @p when
+     * (sharded; clamped to the next picosecond if already past).
+     */
+    void scheduleAction(sim::TimePs when, std::function<void()> fn);
+    /** Barrier hook: execute due actions, return the next due time. */
+    sim::TimePs drainPending(sim::TimePs e);
+    /** Fatal if this injector drives a sharded cloud. */
+    void requireLegacy(const char *what) const;
     void holdHostLink(int host);
     void releaseHostLink(int host);
+    /** Install/remove gray degradation on one trunk channel. */
+    void applyGray(net::Channel &ch, double drop_prob, std::uint64_t seed,
+                   sim::TimePs extra);
     void attachObservability();
     void traceInstant(const std::string &name);
 };

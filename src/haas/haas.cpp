@@ -39,11 +39,13 @@ FpgaManager::status() const
 }
 
 void
-ResourceManager::registerNode(int host_index, FpgaManager *fm, int pod)
+ResourceManager::registerNode(int host_index, FpgaManager *fm, int pod,
+                              int rack)
 {
     Node node;
     node.fm = fm;
     node.pod = pod;
+    node.rack = rack;
     nodes[host_index] = node;
 }
 
@@ -51,13 +53,43 @@ std::optional<Lease>
 ResourceManager::acquire(const std::string &service, int count,
                          LeaseConstraints constraints)
 {
+    // First fit ascending, skipping hosts whose rack/pod already holds
+    // the service's anti-affinity cap (counting both existing leases and
+    // picks made earlier in this very scan).
     std::vector<int> picked;
+    std::map<int, int> pickedPerRack;
+    std::map<int, int> pickedPerPod;
+    const auto rackLedger = svcRackCount.find(service);
+    const auto podLedger = svcPodCount.find(service);
+    auto ledgerCount = [](const auto &ledger_it, const auto &ledger_end,
+                          int domain) {
+        if (ledger_it == ledger_end)
+            return 0;
+        const auto it = ledger_it->second.find(domain);
+        return it == ledger_it->second.end() ? 0 : it->second;
+    };
     for (auto &[host, node] : nodes) {
         if (node.state != NodeState::kUnallocated)
             continue;
         if (constraints.requirePod >= 0 && node.pod != constraints.requirePod)
             continue;
+        if (constraints.maxPerRack >= 0 &&
+            ledgerCount(rackLedger, svcRackCount.end(), node.rack) +
+                    pickedPerRack[node.rack] >=
+                constraints.maxPerRack) {
+            ++statAffinitySkips;
+            continue;
+        }
+        if (constraints.maxPerPod >= 0 &&
+            ledgerCount(podLedger, svcPodCount.end(), node.pod) +
+                    pickedPerPod[node.pod] >=
+                constraints.maxPerPod) {
+            ++statAffinitySkips;
+            continue;
+        }
         picked.push_back(host);
+        ++pickedPerRack[node.rack];
+        ++pickedPerPod[node.pod];
         if (static_cast<int>(picked.size()) == count)
             break;
     }
@@ -71,9 +103,31 @@ ResourceManager::acquire(const std::string &service, int count,
     for (int host : picked) {
         nodes[host].state = NodeState::kAllocated;
         nodes[host].leaseId = lease.id;
+        ++svcRackCount[service][nodes[host].rack];
+        ++svcPodCount[service][nodes[host].pod];
     }
     leases[lease.id] = lease;
     return lease;
+}
+
+void
+ResourceManager::dropPlacement(const std::string &service, const Node &node)
+{
+    auto drop = [&](std::map<std::string, std::map<int, int>> &ledger,
+                    int domain) {
+        auto sit = ledger.find(service);
+        if (sit == ledger.end())
+            return;
+        auto dit = sit->second.find(domain);
+        if (dit == sit->second.end())
+            return;
+        if (--dit->second <= 0)
+            sit->second.erase(dit);
+        if (sit->second.empty())
+            ledger.erase(sit);
+    };
+    drop(svcRackCount, node.rack);
+    drop(svcPodCount, node.pod);
 }
 
 void
@@ -90,6 +144,7 @@ ResourceManager::release(std::uint64_t lease_id)
             nit->second.leaseId == lease_id) {
             nit->second.state = NodeState::kUnallocated;
             nit->second.leaseId = 0;
+            dropPlacement(it->second.service, nit->second);
             // Reclaimed boards are handed back blank.
             if (nit->second.fm)
                 nit->second.fm->clearRole();
@@ -117,12 +172,48 @@ ResourceManager::reportFailure(int host_index)
         auto lit = leases.find(lease_id);
         if (lit != leases.end()) {
             std::erase(lit->second.hosts, host_index);
+            // The dead board no longer counts against its service's
+            // anti-affinity caps (the lease release path skips it).
+            dropPlacement(lit->second.service, it->second);
         }
         it->second.leaseId = 0;
         // Index loop: a callback may subscribe further callbacks.
         for (std::size_t i = 0; i < onFailure.size(); ++i)
             onFailure[i](host_index, lease_id);
     }
+}
+
+void
+ResourceManager::reportDomainFailure(const std::vector<int> &host_indices)
+{
+    // Phase 1: take the whole domain out of the pool. No callback runs
+    // until every member is marked, so an SM failing over off this
+    // domain cannot be handed a sibling that was about to be convicted.
+    std::vector<std::pair<int, std::uint64_t>> notify;
+    for (const int host : host_indices) {
+        auto it = nodes.find(host);
+        if (it == nodes.end() || it->second.state == NodeState::kFailed)
+            continue;
+        ++statFailures;
+        const bool was_leased = it->second.state == NodeState::kAllocated;
+        const std::uint64_t lease_id = it->second.leaseId;
+        it->second.state = NodeState::kFailed;
+        if (it->second.fm)
+            it->second.fm->markUnhealthy();
+        if (was_leased) {
+            auto lit = leases.find(lease_id);
+            if (lit != leases.end()) {
+                std::erase(lit->second.hosts, host);
+                dropPlacement(lit->second.service, it->second);
+            }
+            it->second.leaseId = 0;
+            notify.emplace_back(host, lease_id);
+        }
+    }
+    // Phase 2: notify leased-node subscribers in the given host order.
+    for (const auto &[host, lease_id] : notify)
+        for (std::size_t i = 0; i < onFailure.size(); ++i)
+            onFailure[i](host, lease_id);
 }
 
 void
@@ -144,6 +235,33 @@ ResourceManager::repair(int host_index)
     }
     for (std::size_t i = 0; i < onRepair.size(); ++i)
         onRepair[i](host_index);
+}
+
+int
+ResourceManager::nodeRack(int host_index) const
+{
+    const auto it = nodes.find(host_index);
+    return it == nodes.end() ? -1 : it->second.rack;
+}
+
+int
+ResourceManager::serviceRackCount(const std::string &service, int rack) const
+{
+    const auto sit = svcRackCount.find(service);
+    if (sit == svcRackCount.end())
+        return 0;
+    const auto it = sit->second.find(rack);
+    return it == sit->second.end() ? 0 : it->second;
+}
+
+int
+ResourceManager::servicePodCount(const std::string &service, int pod) const
+{
+    const auto sit = svcPodCount.find(service);
+    if (sit == svcPodCount.end())
+        return 0;
+    const auto it = sit->second.find(pod);
+    return it == sit->second.end() ? 0 : it->second;
 }
 
 std::vector<int>
@@ -171,6 +289,14 @@ ResourceManager::attachObservability(obs::Observability *o)
                       [this] { return double(statFailures); });
     reg.registerProbe("haas.repairs",
                       [this] { return double(statRepairs); });
+    reg.registerProbe("haas.placement.affinity_skips",
+                      [this] { return double(statAffinitySkips); });
+    reg.registerProbe("haas.placement.racks_used", [this] {
+        std::size_t n = 0;
+        for (const auto &[service, racks] : svcRackCount)
+            n += racks.size();
+        return double(n);
+    });
 }
 
 FpgaManager *
@@ -312,6 +438,10 @@ ServiceManager::attachObservability(obs::Observability *o)
                       [this] { return double(statFailovers); });
     reg.registerProbe(prefix + ".auto_heals",
                       [this] { return double(statAutoHeals); });
+    reg.registerProbe(prefix + ".migration_queue",
+                      [this] { return double(migrationQueue.size()); });
+    reg.registerProbe(prefix + ".migrations_queued",
+                      [this] { return double(statMigrationsQueued); });
 }
 
 void
@@ -344,6 +474,28 @@ ServiceManager::handleFailure(int host, LeaseConstraints constraints)
     hosts.erase(it);
     hostLease.erase(hostLease.begin() + static_cast<std::ptrdiff_t>(idx));
 
+    if (migrationMinGap > 0 &&
+        (!migrationQueue.empty() || queue.now() < nextMigrationAllowed)) {
+        // Throttled: a rack death dumps two dozen failovers on this SM
+        // at one instant; queue them and evacuate one per min_gap so
+        // the re-acquire + reconfigure herd never stampedes the pool.
+        migrationQueue.push_back(constraints);
+        ++statMigrationsQueued;
+        schedulePump();
+        return true;
+    }
+    return acquireReplacement(constraints);
+}
+
+bool
+ServiceManager::acquireReplacement(const LeaseConstraints &constraints)
+{
+    const sim::TimePs now = queue.now();
+    if (lastMigrationAt >= 0 && now - lastMigrationAt < minGapObserved)
+        minGapObserved = now - lastMigrationAt;
+    lastMigrationAt = now;
+    nextMigrationAllowed = now + migrationMinGap;
+
     // The pool has an abundance of spares: grab a replacement.
     auto lease = rm.acquire(serviceName, 1, constraints);
     if (!lease)
@@ -359,6 +511,43 @@ ServiceManager::handleFailure(int host, LeaseConstraints constraints)
     hostLease.push_back(lease->id);
     ++statFailovers;
     return true;
+}
+
+void
+ServiceManager::setMigrationPolicy(sim::TimePs min_gap, bool self_pump)
+{
+    if (min_gap < 0)
+        sim::fatal("ServiceManager::setMigrationPolicy: min_gap must be "
+                   "non-negative");
+    migrationMinGap = min_gap;
+    migrationSelfPump = self_pump;
+}
+
+sim::TimePs
+ServiceManager::pumpMigrations()
+{
+    while (!migrationQueue.empty() && queue.now() >= nextMigrationAllowed) {
+        const LeaseConstraints constraints = migrationQueue.front();
+        migrationQueue.pop_front();
+        // nextMigrationAllowed advances inside, so with a positive gap
+        // exactly one migration drains per due pump.
+        acquireReplacement(constraints);
+    }
+    return migrationQueue.empty() ? sim::kTimeNever : nextMigrationAllowed;
+}
+
+void
+ServiceManager::schedulePump()
+{
+    if (!migrationSelfPump || pumpScheduled)
+        return;
+    pumpScheduled = true;
+    queue.schedule(std::max(nextMigrationAllowed, queue.now()), [this] {
+        pumpScheduled = false;
+        pumpMigrations();
+        if (!migrationQueue.empty())
+            schedulePump();
+    });
 }
 
 }  // namespace ccsim::haas

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -83,6 +84,29 @@ class FpgaManager
 struct LeaseConstraints {
     /** Require all FPGAs of the component in this pod (-1 = anywhere). */
     int requirePod = -1;
+    /**
+     * Failure-domain anti-affinity: cap how many FPGAs of the *service*
+     * (across all its leases) may share one rack / one pod
+     * (-1 = unlimited). A service spread with maxPerRack=k keeps any
+     * single TOR death from taking more than k instances, so domain
+     * conviction plus failover never amputates the whole service.
+     */
+    int maxPerRack = -1;
+    int maxPerPod = -1;
+
+    // --- fluent setters ---
+
+    LeaseConstraints &withPod(int pod)
+    {
+        requirePod = pod;
+        return *this;
+    }
+    LeaseConstraints &withAntiAffinity(int max_per_rack, int max_per_pod = -1)
+    {
+        maxPerRack = max_per_rack;
+        maxPerPod = max_per_pod;
+        return *this;
+    }
 };
 
 /** A granted component lease. */
@@ -103,8 +127,13 @@ class ResourceManager
 
     explicit ResourceManager(sim::EventQueue &eq) : queue(eq) {}
 
-    /** Register a node's FPGA into the datacenter-wide pool. */
-    void registerNode(int host_index, FpgaManager *fm, int pod = 0);
+    /**
+     * Register a node's FPGA into the datacenter-wide pool. @p rack is
+     * the node's global failure-domain id (the rack behind one TOR);
+     * anti-affinity constraints count against it.
+     */
+    void registerNode(int host_index, FpgaManager *fm, int pod = 0,
+                      int rack = 0);
 
     /**
      * Acquire a component of @p count FPGAs for @p service.
@@ -126,6 +155,17 @@ class ResourceManager
      * first report changes state or fires the callback.
      */
     void reportFailure(int host_index);
+
+    /**
+     * Report one correlated failure taking out every node of a failure
+     * domain at once (a rack behind a dead TOR). Two-phase: the whole
+     * domain is removed from the pool first, and only then are the
+     * failure subscriptions notified (in @p host_indices order) — so a
+     * Service Manager's immediate failover can never be granted a
+     * sibling of the same convicted domain that merely had not been
+     * marked yet. Per-host idempotence matches reportFailure().
+     */
+    void reportDomainFailure(const std::vector<int> &host_indices);
 
     /**
      * Return a repaired node to the pool and notify the repair
@@ -188,10 +228,19 @@ class ResourceManager
     int failedCount() const;
     int totalCount() const { return static_cast<int>(nodes.size()); }
 
+    /** A registered node's failure-domain (rack) id; -1 if unknown. */
+    int nodeRack(int host_index) const;
+    /** FPGAs of @p service currently allocated in @p rack. */
+    int serviceRackCount(const std::string &service, int rack) const;
+    /** FPGAs of @p service currently allocated in @p pod. */
+    int servicePodCount(const std::string &service, int pod) const;
+
     /** Cumulative distinct failures reported. */
     std::uint64_t failuresReported() const { return statFailures; }
     /** Cumulative repairs applied. */
     std::uint64_t repairsApplied() const { return statRepairs; }
+    /** Free candidates passed over to honor anti-affinity caps. */
+    std::uint64_t affinitySkips() const { return statAffinitySkips; }
 
     /**
      * Export pool statistics under `haas.*`: probes for the free /
@@ -205,6 +254,7 @@ class ResourceManager
     struct Node {
         FpgaManager *fm = nullptr;
         int pod = 0;
+        int rack = 0;  ///< global failure-domain id
         NodeState state = NodeState::kUnallocated;
         std::uint64_t leaseId = 0;
     };
@@ -216,8 +266,15 @@ class ResourceManager
     std::vector<FailureFn> onFailure;
     std::vector<RepairFn> onRepair;
     std::function<FpgaManager *(int host)> resolver;
+    /** service -> rack/pod -> FPGAs allocated (anti-affinity ledger). */
+    std::map<std::string, std::map<int, int>> svcRackCount;
+    std::map<std::string, std::map<int, int>> svcPodCount;
     std::uint64_t statFailures = 0;
     std::uint64_t statRepairs = 0;
+    std::uint64_t statAffinitySkips = 0;
+
+    /** Drop one @p service placement credit from @p node 's domains. */
+    void dropPlacement(const std::string &service, const Node &node);
 };
 
 /**
@@ -286,6 +343,39 @@ class ServiceManager
      */
     void enableAutoHeal(int target, LeaseConstraints constraints = {});
 
+    /**
+     * Rate-limit failover re-acquisitions: at most one replacement lease
+     * per @p min_gap of simulated time; excess failovers queue and drain
+     * in arrival order. This is the mass-migration throttle — a whole
+     * rack dying at one instant becomes a paced evacuation instead of a
+     * thundering herd of acquire + reconfigure on the same tick.
+     *
+     * With @p self_pump (legacy kernel) the SM schedules its own drain
+     * events. On a sharded cloud pass false and drive pumpMigrations()
+     * from a barrier hook (fault::ChaosEngine::manageService does this).
+     * min_gap 0 disables the throttle.
+     */
+    void setMigrationPolicy(sim::TimePs min_gap, bool self_pump = true);
+
+    /**
+     * Drain due queued migrations (one per min_gap elapsed).
+     *
+     * @return When the next queued migration is due, or kTimeNever if
+     *         the queue is empty.
+     */
+    sim::TimePs pumpMigrations();
+
+    /** Failovers waiting behind the migration throttle right now. */
+    int migrationQueueDepth() const
+    {
+        return static_cast<int>(migrationQueue.size());
+    }
+    /** Cumulative failovers that had to queue behind the throttle. */
+    std::uint64_t migrationsQueued() const { return statMigrationsQueued; }
+    /** Smallest gap observed between replacement acquisitions
+     * (kTimeNever until a second replacement happens). */
+    sim::TimePs minMigrationGapObserved() const { return minGapObserved; }
+
     std::uint64_t failovers() const { return statFailovers; }
     /** Instances re-acquired by auto-heal after repairs. */
     std::uint64_t autoHeals() const { return statAutoHeals; }
@@ -311,6 +401,19 @@ class ServiceManager
     bool healSubscribed = false;
     int healTarget = 0;
     LeaseConstraints healConstraints;
+    /** Migration throttle (setMigrationPolicy); 0 = unthrottled. */
+    sim::TimePs migrationMinGap = 0;
+    bool migrationSelfPump = true;
+    bool pumpScheduled = false;
+    sim::TimePs nextMigrationAllowed = 0;
+    sim::TimePs lastMigrationAt = -1;
+    sim::TimePs minGapObserved = sim::kTimeNever;
+    std::deque<LeaseConstraints> migrationQueue;
+    std::uint64_t statMigrationsQueued = 0;
+
+    /** The acquire + configure half of a failover. */
+    bool acquireReplacement(const LeaseConstraints &constraints);
+    void schedulePump();
 };
 
 }  // namespace ccsim::haas

@@ -1,8 +1,10 @@
 #include "haas/health_monitor.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/logging.hpp"
+#include "sim/sharded_queue.hpp"
 
 namespace ccsim::haas {
 
@@ -19,6 +21,16 @@ HealthMonitor::HealthMonitor(sim::EventQueue &eq, ResourceManager &rmgr,
                    "must be positive");
     if (cfg.rejoinHeartbeats < 1)
         sim::fatal("HealthMonitor: rejoinHeartbeats must be >= 1");
+    if (cfg.domainConviction) {
+        if (cfg.domainSweeps < 1 || cfg.domainMinHosts < 1)
+            sim::fatal("HealthMonitor: domainSweeps and domainMinHosts "
+                       "must be >= 1");
+        // The end-of-sweep tally assumes sweep N's pongs all land before
+        // sweep N+1 sends; overlapping sweeps would interleave results.
+        if (cfg.heartbeatRtt >= cfg.heartbeatPeriod)
+            sim::fatal("HealthMonitor: domainConviction requires "
+                       "heartbeatRtt < heartbeatPeriod");
+    }
 }
 
 HealthMonitor::~HealthMonitor()
@@ -36,12 +48,61 @@ HealthMonitor::start()
     if (running)
         return;
     running = true;
-    for (int host : rm.hostIndices())
-        nodesHealth.try_emplace(host);
+    populateNodes();
     sweepEvent = queue.scheduleAfter(cfg.heartbeatPeriod, [this] {
         sweepEvent = sim::kNoEvent;
         sweep();
     });
+}
+
+void
+HealthMonitor::startSharded(sim::ShardedEventQueue &sq)
+{
+    if (!probe)
+        sim::fatal("HealthMonitor::startSharded: no reachability probe "
+                   "installed (call setProbe, or wire through "
+                   "ConfigurableCloud::attachHealthMonitor)");
+    if (running)
+        return;
+    running = true;
+    shardQueue = &sq;
+    populateNodes();
+    nextSweepAt = sq.now() + cfg.heartbeatPeriod;
+    nextEvalAt = 0;
+    // Barrier hooks run between windows, when every partition is
+    // quiescent, so judging hosts (and the RM reports that triggers) is
+    // race-free and ordered identically on any worker count.
+    sq.atBarrier([this](sim::TimePs e) { return barrierStep(e); },
+                 nextSweepAt);
+}
+
+void
+HealthMonitor::watchHosts(const std::vector<int> &hosts)
+{
+    watched = hosts;
+    std::sort(watched.begin(), watched.end());
+    watched.erase(std::unique(watched.begin(), watched.end()),
+                  watched.end());
+}
+
+void
+HealthMonitor::populateNodes()
+{
+    if (watched.empty()) {
+        for (int host : rm.hostIndices())
+            nodesHealth.try_emplace(host);
+    } else {
+        for (int host : watched)
+            nodesHealth.try_emplace(host);
+    }
+    if (!cfg.domainConviction)
+        return;
+    if (!domainOf)
+        sim::fatal("HealthMonitor: domainConviction requires setDomainOf() "
+                   "(ConfigurableCloud::attachHealthMonitor wires it)");
+    domainMembers.clear();
+    for (const auto &[host, nh] : nodesHealth)
+        ++domainMembers[domainOf(host)];
 }
 
 void
@@ -62,6 +123,8 @@ HealthMonitor::sweep()
     // Ping in host-index order; all responses land at now + rtt, and the
     // queue is FIFO at one timestamp, so results (and any failure or
     // repair reports they trigger) are evaluated in host-index order.
+    pendingResults = nodesHealth.size();
+    sweepDomainMisses.clear();
     for (auto &[host, nh] : nodesHealth) {
         ++statHeartbeats;
         const int h = host;
@@ -78,10 +141,45 @@ HealthMonitor::sweep()
     });
 }
 
+sim::TimePs
+HealthMonitor::barrierStep(sim::TimePs e)
+{
+    if (!running)
+        return sim::kTimeNever;
+    if (nextEvalAt != 0 && e >= nextEvalAt) {
+        evaluateSweep();
+        nextEvalAt = 0;
+    }
+    if (e >= nextSweepAt) {
+        statHeartbeats += nodesHealth.size();
+        if (cfg.heartbeatRtt == 0)
+            evaluateSweep();
+        else
+            nextEvalAt = e + cfg.heartbeatRtt;
+        nextSweepAt = e + cfg.heartbeatPeriod;
+    }
+    sim::TimePs next = nextSweepAt;
+    if (nextEvalAt != 0 && nextEvalAt < next)
+        next = nextEvalAt;
+    return next;
+}
+
+void
+HealthMonitor::evaluateSweep()
+{
+    // The whole sweep is judged at one barrier (the pong time), host
+    // order ascending — exactly what the legacy per-pong events produce.
+    pendingResults = nodesHealth.size();
+    sweepDomainMisses.clear();
+    for (auto &[host, nh] : nodesHealth)
+        onHeartbeatResult(host, probe(host));
+}
+
 void
 HealthMonitor::onHeartbeatResult(int host, bool reachable)
 {
     NodeHealth &nh = nodesHealth[host];
+    const bool swept = pendingResults > 0;
     if (reachable) {
         nh.suspicion = 0.0;
         nh.lastStreakCredited = 0;
@@ -101,11 +199,67 @@ HealthMonitor::onHeartbeatResult(int host, bool reachable)
                     rm.repair(host);
             }
         }
-        return;
+    } else {
+        ++statMisses;
+        nh.healthyStreak = 0;
+        if (cfg.domainConviction && domainOf)
+            ++sweepDomainMisses[domainOf(host)];
+        addSuspicion(host, cfg.missWeight);
     }
-    ++statMisses;
-    nh.healthyStreak = 0;
-    addSuspicion(host, cfg.missWeight);
+    if (swept && --pendingResults == 0)
+        finishSweep();
+}
+
+void
+HealthMonitor::finishSweep()
+{
+    if (!cfg.domainConviction || !domainOf)
+        return;
+    // Judge each domain on this sweep's full tally: a rack where every
+    // watched host missed counts one correlated strike; a single answer
+    // ends the episode (per-host rejoin still governs RM repair).
+    for (auto &[domain, members] : domainMembers) {
+        DomainState &ds = domainsHealth[domain];
+        const auto it = sweepDomainMisses.find(domain);
+        const int misses = it == sweepDomainMisses.end() ? 0 : it->second;
+        if (members >= cfg.domainMinHosts && misses >= members) {
+            if (++ds.fullMissSweeps >= cfg.domainSweeps && !ds.convicted)
+                convictDomain(domain);
+        } else {
+            ds.fullMissSweeps = 0;
+            ds.convicted = false;
+        }
+    }
+    sweepDomainMisses.clear();
+}
+
+void
+HealthMonitor::convictDomain(int domain)
+{
+    DomainState &ds = domainsHealth[domain];
+    ds.convicted = true;
+    ++statDomainConvictions;
+    const sim::TimePs t =
+        shardQueue != nullptr ? shardQueue->now() : queue.now();
+    CCSIM_LOG(sim::LogLevel::kWarn, "haas.health", t, "domain ", domain,
+              " convicted: all ", domainMembers[domain],
+              " watched hosts dark (one correlated failure, not ",
+              domainMembers[domain], " detections)");
+    // One rack-level event: members are marked failed together, without
+    // the per-host detection counter, and handed to the RM as a single
+    // two-phase domain failure so no failover callback can be granted a
+    // sibling of this domain that had not been marked yet.
+    std::vector<int> members;
+    for (auto &[host, nh] : nodesHealth) {
+        if (domainOf(host) != domain || nh.reported)
+            continue;
+        nh.reported = true;
+        nh.healthyStreak = 0;
+        nh.suspicion = cfg.suspicionThreshold;
+        members.push_back(host);
+    }
+    if (cfg.autoReport && !members.empty())
+        rm.reportDomainFailure(members);
 }
 
 void
@@ -177,6 +331,14 @@ HealthMonitor::detectionBound() const
     return (beats + 1) * cfg.heartbeatPeriod + cfg.heartbeatRtt;
 }
 
+sim::TimePs
+HealthMonitor::domainDetectionBound() const
+{
+    return (static_cast<sim::TimePs>(cfg.domainSweeps) + 1) *
+               cfg.heartbeatPeriod +
+           cfg.heartbeatRtt;
+}
+
 double
 HealthMonitor::suspicion(int host) const
 {
@@ -205,6 +367,10 @@ HealthMonitor::attachObservability(obs::Observability *o)
                       [this] { return double(statMisses); });
     reg.registerProbe("haas.health.detections",
                       [this] { return double(statDetections); });
+    reg.registerProbe("haas.health.domain_convictions",
+                      [this] { return double(statDomainConvictions); });
+    reg.registerProbe("haas.health.domains",
+                      [this] { return double(domainMembers.size()); });
     reg.registerProbe("haas.health.rejoins",
                       [this] { return double(statRejoins); });
     reg.registerProbe("haas.health.streak_reports",
@@ -218,9 +384,14 @@ HealthMonitor::attachObservability(obs::Observability *o)
         return double(n);
     });
     reg.registerProbe("haas.health.monitored", [this] {
-        return double(rm.hostIndices().size());
+        return watched.empty() ? double(rm.hostIndices().size())
+                               : double(watched.size());
     });
-    for (int host : rm.hostIndices()) {
+    // Per-node gauges: the watch set when one exists (at paper scale a
+    // gauge per registered host would swamp the registry).
+    const std::vector<int> &nodes =
+        watched.empty() ? rm.hostIndices() : watched;
+    for (int host : nodes) {
         reg.registerProbe(
             "haas.health.node" + std::to_string(host) + ".suspicion",
             [this, host] { return suspicion(host); });

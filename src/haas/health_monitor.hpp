@@ -23,6 +23,18 @@
  * subscriptions. Consecutive healthy heartbeats after the node becomes
  * reachable again drive the repair path. All scheduling is host-index
  * ordered, so same-seed runs are byte-identical.
+ *
+ * **Domain conviction** (correlated failures): when every watched host
+ * in one failure domain (a rack behind one TOR) misses entire sweeps
+ * together, the monitor files one rack-level conviction — marking all
+ * members failed and reporting each to the RM — instead of accumulating
+ * N independent per-host detections. One dead TOR is one event, not 24.
+ *
+ * On a sharded cloud, use startSharded(): sweeps and evaluations run as
+ * barrier-hook steps at exact simulated times (send at the sweep
+ * barrier, judge each host at the pong barrier one RTT later, in host
+ * order), reproducing the legacy pong-time semantics deterministically
+ * on any worker count. Passive LTL streak evidence is legacy-only.
  */
 #pragma once
 
@@ -31,10 +43,15 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "haas/haas.hpp"
 #include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
+
+namespace ccsim::sim {
+class ShardedEventQueue;
+}
 
 namespace ccsim::haas {
 
@@ -58,6 +75,21 @@ struct HealthMonitorConfig {
     bool autoReport = true;
     /** Repair rejoined nodes on the RM (else observe-only). */
     bool autoRepair = true;
+    /**
+     * Convict whole failure domains: when >= domainMinHosts watched
+     * hosts sharing a domain all miss domainSweeps consecutive full
+     * sweeps, file one domain-level conviction (every member marked
+     * failed and reported to the RM) instead of N per-host detections.
+     * Convicts before the per-host path whenever
+     * domainSweeps * missWeight < suspicionThreshold. Requires
+     * setDomainOf() (ConfigurableCloud::attachHealthMonitor wires the
+     * rack mapping).
+     */
+    bool domainConviction = false;
+    /** Consecutive all-miss sweeps before a domain is convicted. */
+    int domainSweeps = 2;
+    /** Minimum watched hosts in a domain for conviction to apply. */
+    int domainMinHosts = 2;
 
     // --- fluent setters ---
 
@@ -91,6 +123,13 @@ struct HealthMonitorConfig {
         autoRepair = repair;
         return *this;
     }
+    HealthMonitorConfig &withDomainConviction(int sweeps, int min_hosts)
+    {
+        domainConviction = true;
+        domainSweeps = sweeps;
+        domainMinHosts = min_hosts;
+        return *this;
+    }
 };
 
 /**
@@ -121,13 +160,38 @@ class HealthMonitor
 
     /**
      * Begin heartbeat sweeps over every node currently registered with
-     * the ResourceManager. Nodes are pinged in host-index order each
-     * sweep; the first sweep runs one period after start().
+     * the ResourceManager (or the watchHosts() set, if one was given).
+     * Nodes are pinged in host-index order each sweep; the first sweep
+     * runs one period after start().
      */
     void start();
 
+    /**
+     * Begin barrier-driven sweeps on the parallel kernel: heartbeats go
+     * out at a sweep barrier, every host is judged (probe + evaluate,
+     * ascending order) at the barrier one RTT later, exactly as the
+     * legacy pong-time path would. At paper scale, set a watchHosts()
+     * set first — probing all 250k hosts would materialize the fleet.
+     */
+    void startSharded(sim::ShardedEventQueue &sq);
+
     /** Cancel the sweep (passive suspicion reports still accumulate). */
     void stop();
+
+    /**
+     * Restrict monitoring to @p hosts (ascending duplicates ignored).
+     * Call before start()/startSharded(); empty = all registered nodes.
+     */
+    void watchHosts(const std::vector<int> &hosts);
+
+    /**
+     * Map host -> failure-domain id (the rack behind one TOR). Enables
+     * domain conviction when cfg.domainConviction is set.
+     */
+    void setDomainOf(std::function<int(int)> fn)
+    {
+        domainOf = std::move(fn);
+    }
 
     /**
      * Passive evidence feed: an LTL engine observed @p streak consecutive
@@ -170,11 +234,20 @@ class HealthMonitor
      */
     sim::TimePs detectionBound() const;
 
+    /**
+     * Worst-case time from a whole domain going dark to its conviction:
+     * domainSweeps full-miss sweeps, plus one period of phase offset,
+     * plus the ping round trip.
+     */
+    sim::TimePs domainDetectionBound() const;
+
     // --- introspection ---
 
     double suspicion(int host) const;
     bool suspected(int host) const;
     std::uint64_t detections() const { return statDetections; }
+    /** Domain-level convictions filed (one per dark rack, not per host). */
+    std::uint64_t domainConvictions() const { return statDomainConvictions; }
     std::uint64_t rejoins() const { return statRejoins; }
     std::uint64_t heartbeatsSent() const { return statHeartbeats; }
     std::uint64_t heartbeatsMissed() const { return statMisses; }
@@ -204,26 +277,52 @@ class HealthMonitor
         std::set<std::string> evidenceLatched;
     };
 
+    /** Per-domain conviction state (keyed by domainOf id). */
+    struct DomainState {
+        /** Consecutive sweeps every watched member missed. */
+        int fullMissSweeps = 0;
+        bool convicted = false;
+    };
+
     sim::EventQueue &queue;
     ResourceManager &rm;
     HealthMonitorConfig cfg;
     ProbeFn probe;
+    std::function<int(int)> domainOf;
     std::map<int, NodeHealth> nodesHealth;
+    std::vector<int> watched;
+    std::map<int, int> domainMembers;       ///< domain -> watched hosts
+    std::map<int, DomainState> domainsHealth;
+    std::map<int, int> sweepDomainMisses;   ///< this sweep's misses
+    /** Heartbeat results still outstanding this sweep. */
+    std::size_t pendingResults = 0;
     sim::EventId sweepEvent = sim::kNoEvent;
     bool running = false;
+    sim::ShardedEventQueue *shardQueue = nullptr;
+    sim::TimePs nextSweepAt = 0;
+    sim::TimePs nextEvalAt = 0;
 
     obs::Observability *obsHub = nullptr;
 
     std::uint64_t statHeartbeats = 0;
     std::uint64_t statMisses = 0;
     std::uint64_t statDetections = 0;
+    std::uint64_t statDomainConvictions = 0;
     std::uint64_t statRejoins = 0;
     std::uint64_t statStreakReports = 0;
     std::uint64_t statEvidenceReports = 0;
 
+    void populateNodes();
     void sweep();
     void onHeartbeatResult(int host, bool reachable);
     void addSuspicion(int host, double weight);
+    /** End-of-sweep domain bookkeeping (conviction / re-arm). */
+    void finishSweep();
+    void convictDomain(int domain);
+    /** Sharded sweep state machine, run at every barrier. */
+    sim::TimePs barrierStep(sim::TimePs e);
+    /** Judge every watched host at pong time (sharded). */
+    void evaluateSweep();
 };
 
 }  // namespace ccsim::haas

@@ -200,22 +200,24 @@ Channel::finishTransmit(TxEntry entry)
                   "fault drop of packet ", entry.pkt->id,
                   adminDown ? " (link down)" : " (corrupted)");
     } else if (sink) {
-        if (entry.pkt->trace.sampled && flowRec && propDelay > 0)
+        // Gray-fault latency inflation rides on top of propagation; it
+        // only ever adds, so cross-shard lookahead is unaffected.
+        const sim::TimePs prop = propDelay + extraDelay;
+        if (entry.pkt->trace.sampled && flowRec && prop > 0)
             flowRec->recordSpan(entry.pkt->trace, label,
                                 obs::Component::kPropagation, queue.now(),
-                                queue.now() + propDelay);
+                                queue.now() + prop);
         if (crossShard) {
             // Partition boundary: everything up to here ran on the
             // sender's partition; only the in-flight hop crosses, and
             // its delay >= the sync window keeps the delivery outside
             // the current barrier window (conservative lookahead).
-            crossShard->postCross(crossSrc, crossDst,
-                                  queue.now() + propDelay,
+            crossShard->postCross(crossSrc, crossDst, queue.now() + prop,
                                   [this, pkt = entry.pkt] {
                                       sink->acceptPacket(pkt);
                                   });
         } else {
-            queue.scheduleAfter(propDelay, [this, pkt = entry.pkt] {
+            queue.scheduleAfter(prop, [this, pkt = entry.pkt] {
                 sink->acceptPacket(pkt);
             });
         }

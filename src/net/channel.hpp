@@ -163,6 +163,20 @@ class Channel
     /** Packets lost to admin-down or the fault hook. */
     std::uint64_t faultDrops() const { return faultDropped; }
 
+    /**
+     * Inflate delivery latency by @p extra on top of the propagation
+     * delay (the gray-fault model: a degraded optic or overheating
+     * switch that still forwards every frame, slower). Applies to
+     * packets whose propagation hop starts after the call; zero restores
+     * nominal latency. Safe on sharded runs: latency only ever increases
+     * above the registered cross-edge minimum, so the conservative
+     * lookahead still holds.
+     */
+    void setExtraLatency(sim::TimePs extra) { extraDelay = extra; }
+
+    /** Current gray-fault latency inflation (0 = nominal). */
+    sim::TimePs extraLatency() const { return extraDelay; }
+
     // --- flow tracing (ccsim::obs) ---
 
     /**
@@ -213,6 +227,7 @@ class Channel
     bool transmitting = false;
     sim::EventId resumeEvent = sim::kNoEvent;
     bool adminDown = false;
+    sim::TimePs extraDelay = 0;
     std::function<bool(const PacketPtr &)> faultHook;
     sim::ShardedEventQueue *crossShard = nullptr;
     int crossSrc = 0;

@@ -27,9 +27,10 @@ FluidTrafficModel::FluidTrafficModel(sim::ShardedEventQueue &sq_,
 FluidTrafficModel::~FluidTrafficModel()
 {
     // Unload whatever is still flowing so the channels a longer-lived
-    // topology keeps serving are not left slowed forever.
+    // topology keeps serving are not left slowed forever. Stalled flows
+    // already carry no rate on the hops.
     for (auto &[id, f] : flows) {
-        if (!f->promoted)
+        if (!f->promoted && !f->stalled)
             unloadPath(*f);
     }
 }
@@ -63,6 +64,35 @@ FluidTrafficModel::unloadPath(FluidFlow &f)
         c->removeFluidBps(f.rateBps);
 }
 
+bool
+FluidTrafficModel::pathDead(const FluidFlow &f) const
+{
+    for (const Channel *c : f.path) {
+        if (c->isAdminDown())
+            return true;
+    }
+    return false;
+}
+
+void
+FluidTrafficModel::refreshStall(FluidFlow &f)
+{
+    const bool dead = pathDead(f);
+    if (dead == f.stalled)
+        return;
+    if (dead) {
+        // Zero the aggregate: nothing crosses a cut hop, so the rate
+        // stops slowing the surviving hops and the sub-byte remainder
+        // is written off (those bits never arrived).
+        unloadPath(f);
+        f.residualBitPs = 0;
+        ++statStalls;
+    } else {
+        loadPath(f);
+    }
+    f.stalled = dead;
+}
+
 void
 FluidTrafficModel::fold(FluidFlow &f)
 {
@@ -71,9 +101,17 @@ FluidTrafficModel::fold(FluidFlow &f)
         f.lastFold = t;
         return;
     }
+    // Path health is polled at fold granularity: the interval in which
+    // the state flipped is written off entirely — no bytes accrue into
+    // (or out of) a dead hop, and conservation stays exact because the
+    // per-flow integral and the channel credits skip together. Chaos
+    // scenarios fold the model immediately before injecting, making the
+    // boundary exact.
+    const bool wasStalled = f.stalled;
+    refreshStall(f);
     const sim::TimePs dt = t - f.lastFold;
     f.lastFold = t;
-    if (dt <= 0 || f.rateBps == 0)
+    if (f.stalled || wasStalled || dt <= 0 || f.rateBps == 0)
         return;
     // Exact integral in bit·ps; the remainder is carried so byte totals
     // are independent of the fold schedule.
@@ -105,7 +143,11 @@ FluidTrafficModel::addFlow(int src_host, int dst_host,
     f->path = topo.fluidPath(src_host, dst_host);
     for (Channel *c : f->path)
         touched.insert(c);
-    loadPath(*f);
+    f->stalled = pathDead(*f);
+    if (f->stalled)
+        ++statStalls;
+    else
+        loadPath(*f);
     const std::uint64_t id = f->id;
     flows.emplace(id, std::move(f));
     return id;
@@ -116,10 +158,10 @@ FluidTrafficModel::setRate(std::uint64_t id, std::uint64_t rate_bps)
 {
     FluidFlow &f = get(id);
     fold(f);
-    if (!f.promoted)
+    if (!f.promoted && !f.stalled)
         unloadPath(f);
     f.rateBps = rate_bps;
-    if (!f.promoted)
+    if (!f.promoted && !f.stalled)
         loadPath(f);
 }
 
@@ -131,7 +173,7 @@ FluidTrafficModel::removeFlow(std::uint64_t id)
         sim::fatalf("FluidTrafficModel: unknown flow id ", id);
     FluidFlow &f = *it->second;
     fold(f);
-    if (!f.promoted)
+    if (!f.promoted && !f.stalled)
         unloadPath(f);
     retiredFluidBytes += f.fluidBytes;
     retiredPacketBytes += f.packetBytes;
@@ -146,7 +188,11 @@ FluidTrafficModel::promote(std::uint64_t id)
     if (f.promoted)
         return;
     fold(f);
-    unloadPath(f);
+    if (!f.stalled)
+        unloadPath(f);
+    // The packet regime owns loss now; stall bookkeeping restarts clean
+    // at the next demote.
+    f.stalled = false;
     f.promoted = true;
 }
 
@@ -169,7 +215,11 @@ FluidTrafficModel::demote(std::uint64_t id, std::uint64_t rate_bps)
     f.promoted = false;
     f.lastFold = now();
     f.rateBps = rate_bps;
-    loadPath(f);
+    f.stalled = pathDead(f);
+    if (f.stalled)
+        ++statStalls;
+    else
+        loadPath(f);
 }
 
 void
@@ -228,6 +278,15 @@ FluidTrafficModel::verify() const
     c.expectedChannelCredits = expectedCredits;
     c.ok = c.channelCredits == c.expectedChannelCredits;
     return c;
+}
+
+std::size_t
+FluidTrafficModel::stalledFlows() const
+{
+    std::size_t n = 0;
+    for (const auto &[id, f] : flows)
+        n += (!f->promoted && f->stalled) ? 1 : 0;
+    return n;
 }
 
 const FluidFlow *

@@ -50,6 +50,15 @@ struct FluidFlow {
     std::uint64_t rateBps = 0;
     /** True while the flow runs at packet fidelity. */
     bool promoted = false;
+    /**
+     * True while some hop of the path is administratively down (a cut
+     * cable or a dead switch's trunk): the aggregate is zeroed — the
+     * flow delivers nothing, accrues nothing, and stops slowing the
+     * surviving hops — until a fold finds the path whole again. Stall
+     * state is polled at fold points, so it is a pure function of
+     * simulated state (deterministic on any worker count).
+     */
+    bool stalled = false;
     /** Simulation time the fluid integral was last folded to. */
     sim::TimePs lastFold = 0;
     /** Sub-byte remainder in bit·ps, carried across folds/promotions. */
@@ -148,6 +157,12 @@ class FluidTrafficModel
     std::size_t liveFlows() const { return flows.size(); }
     std::uint64_t flowsAdded() const { return nextId - 1; }
 
+    /** Live fluid flows currently stalled on a dead hop. */
+    std::size_t stalledFlows() const;
+
+    /** Transitions into the stalled state (fault-interplay telemetry). */
+    std::uint64_t stallTransitions() const { return statStalls; }
+
     /** A live flow's record (nullptr if removed/unknown). */
     const FluidFlow *flow(std::uint64_t id) const;
 
@@ -169,6 +184,7 @@ class FluidTrafficModel
     std::uint64_t retiredPacketBytes = 0;
     std::uint64_t retiredFlows = 0;
     std::uint64_t expectedCredits = 0;  ///< Σ folded bytes × hops
+    std::uint64_t statStalls = 0;
 
     sim::TimePs now() const;
     FluidFlow &get(std::uint64_t id);
@@ -176,6 +192,10 @@ class FluidTrafficModel
     void fold(FluidFlow &f);
     void loadPath(FluidFlow &f);
     void unloadPath(FluidFlow &f);
+    /** True if any hop of the path is administratively down. */
+    bool pathDead(const FluidFlow &f) const;
+    /** Re-poll path health, moving the rate on/off the hops on change. */
+    void refreshStall(FluidFlow &f);
 };
 
 }  // namespace ccsim::net

@@ -132,6 +132,8 @@ class Topology
     int numPods() const { return config.pods; }
     int racksPerPod() const { return config.racksPerPod; }
     int hostsPerRack() const { return config.hostsPerRack; }
+    int l1PerPod() const { return config.l1PerPod; }
+    int numL2() const { return config.l2Count; }
 
     /** Host attachment point by global index. */
     HostPort &host(int global_index) { return hosts.at(global_index); }

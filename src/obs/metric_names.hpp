@@ -211,6 +211,16 @@ inline constexpr MetricPattern kMetricPatterns[] = {
      "Failovers performed for one managed service."},
     {"haas.sm.*.auto_heals", "gauge",
      "Instances re-acquired by auto-heal after node repairs."},
+    {"haas.sm.*.migration_queue", "gauge",
+     "Failovers currently waiting behind the migration rate limit."},
+    {"haas.sm.*.migrations_queued", "gauge",
+     "Cumulative failovers that had to queue behind the rate limit."},
+
+    // --- haas.placement.* : failure-domain-aware placement ---
+    {"haas.placement.affinity_skips", "gauge",
+     "Free candidates passed over to honor rack/pod anti-affinity caps."},
+    {"haas.placement.racks_used", "gauge",
+     "Distinct (service, rack) placements currently allocated."},
 
     // --- haas.health.* : the failure detector (HealthMonitor) ---
     {"haas.health.heartbeats", "gauge",
@@ -218,6 +228,10 @@ inline constexpr MetricPattern kMetricPatterns[] = {
     {"haas.health.misses", "gauge", "Heartbeat probes that went unanswered."},
     {"haas.health.detections", "gauge",
      "Nodes declared failed by the detector."},
+    {"haas.health.domain_convictions", "gauge",
+     "Whole failure domains convicted as one correlated event."},
+    {"haas.health.domains", "gauge",
+     "Failure domains (racks) covered by the watch set."},
     {"haas.health.rejoins", "gauge",
      "Nodes readmitted after sustained healthy heartbeats."},
     {"haas.health.streak_reports", "gauge",
@@ -235,6 +249,8 @@ inline constexpr MetricPattern kMetricPatterns[] = {
      "Requests routed to a backend by the cluster client."},
     {"serving.*.no_backend", "gauge",
      "Requests dropped because no routable backend remained."},
+    {"serving.*.avoided", "gauge",
+     "Routing candidates skipped by the failure-domain avoid predicate."},
     {"serving.*.latency_ms", "histogram",
      "Routed-request sojourn time, forward to response (milliseconds)."},
     {"serving.*.outstanding", "gauge",
@@ -260,6 +276,10 @@ inline constexpr MetricPattern kMetricPatterns[] = {
     {"serving.*.outlier.ejected", "gauge",
      "Backends currently ejected from the routable set."},
 
+    // --- chaos.* : the chaos-campaign engine (fault::ChaosEngine) ---
+    {"chaos.phases", "gauge", "Phases in the scripted chaos scenario."},
+    {"chaos.phases_fired", "gauge", "Scenario phases fired so far."},
+
     // --- fault.* : live fault injection (ccsim::fault) ---
     {"fault.injected", "gauge", "Faults injected so far."},
     {"fault.recovered", "gauge", "Faults fully recovered."},
@@ -272,6 +292,18 @@ inline constexpr MetricPattern kMetricPatterns[] = {
     {"fault.graceful_reconfigs", "gauge",
      "Graceful (quiesce-first) reconfiguration faults injected."},
     {"fault.brownouts", "gauge", "Switch brownout faults injected."},
+    {"fault.domain.injected", "gauge",
+     "Correlated domain-level faults injected (TOR, pod, spine, drain)."},
+    {"fault.domain.tor_fails", "gauge",
+     "TOR hard-death faults injected (whole rack dark at once)."},
+    {"fault.domain.pod_events", "gauge",
+     "Pod power events injected (staggered host deaths)."},
+    {"fault.domain.gray_faults", "gauge",
+     "Gray spine degradations injected (loss/latency, heartbeats alive)."},
+    {"fault.domain.maintenance", "gauge",
+     "Rolling maintenance drains injected."},
+    {"fault.domain.tors_dead", "gauge",
+     "TOR switches currently held dark by the injector."},
     {"fault.nodes_down", "gauge", "Servers currently impaired."},
     {"fault.node*.down", "gauge", "1 while this server is impaired."},
     {"fault.node*.downtime_us", "gauge",

@@ -72,9 +72,15 @@ ClusterClient::route(std::uint64_t key)
     const std::vector<int> instances = source();
     detector.trackHosts(instances);
     candidates.clear();
-    for (int host : instances)
-        if (endpoints.count(host) != 0 && !detector.ejected(host))
-            candidates.push_back(host);
+    for (int host : instances) {
+        if (endpoints.count(host) == 0 || detector.ejected(host))
+            continue;
+        if (avoid && avoid(host)) {
+            ++statAvoided;
+            continue;
+        }
+        candidates.push_back(host);
+    }
     if (candidates.empty())
         return -1;
     lb->setHosts(candidates);
@@ -201,6 +207,8 @@ ClusterClient::attachObservability(obs::Observability *o)
                       [this] { return double(statRouted); });
     reg.registerProbe(obsPrefix + ".no_backend",
                       [this] { return double(statNoBackend); });
+    reg.registerProbe(obsPrefix + ".avoided",
+                      [this] { return double(statAvoided); });
     latencyHist = &reg.histogram(obsPrefix + ".latency_ms");
     reg.registerProbe(obsPrefix + ".outstanding",
                       [this] { return double(outstandingTotal()); });

@@ -147,12 +147,28 @@ class ClusterClient : public host::FeatureAccelerator
 
     /**
      * Route one request: healthy instances = lease view, minus ejected,
-     * minus endpoint-less; the balancer orders the survivors.
+     * minus endpoint-less, minus avoided (setAvoidPredicate); the
+     * balancer orders the survivors.
      *
      * @param key Affinity key; 0 = draw one from the client's stream.
      * @return The picked host, or -1 when nothing is routable.
      */
     int route(std::uint64_t key = 0);
+
+    /**
+     * Failure-domain steering: hosts for which @p fn returns true are
+     * excluded from routing (but stay in the lease and keep their
+     * outlier state). Wire a convicted-domain check here so traffic
+     * leaves a dying rack the moment the HealthMonitor convicts it,
+     * ahead of the rate-limited lease evacuation. Pass nullptr to clear.
+     */
+    void setAvoidPredicate(std::function<bool(int host)> fn)
+    {
+        avoid = std::move(fn);
+    }
+
+    /** Routing candidates skipped by the avoid predicate. */
+    std::uint64_t avoided() const { return statAvoided; }
 
     // --- host::FeatureAccelerator (the submit-through path) ---
 
@@ -203,6 +219,7 @@ class ClusterClient : public host::FeatureAccelerator
     AdmissionController admissionCtl;
     OutlierDetector detector;
     sim::Rng rng;
+    std::function<bool(int host)> avoid;
     std::map<int, host::FeatureAccelerator *> endpoints;
     std::map<int, int> outstanding;
     std::map<std::uint64_t, PendingRequest> pending;
@@ -216,6 +233,7 @@ class ClusterClient : public host::FeatureAccelerator
     sim::LogHistogram *latencyHist = nullptr;
     std::uint64_t statRouted = 0;
     std::uint64_t statNoBackend = 0;
+    std::uint64_t statAvoided = 0;
 
     void forward(int host, std::uint32_t doc_count,
                  const obs::TraceContext &ctx, std::function<void()> done);

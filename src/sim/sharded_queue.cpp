@@ -119,6 +119,12 @@ ShardedEventQueue::atBarrier(BarrierHook hook, TimePs firstDeadline)
     hooks.push_back(Hook{std::move(hook), deadline});
 }
 
+void
+ShardedEventQueue::requestBarrier(TimePs t)
+{
+    extraDeadlines.push(std::max(t, floorTime + 1));
+}
+
 std::uint64_t
 ShardedEventQueue::eventsExecuted() const
 {
@@ -299,6 +305,10 @@ ShardedEventQueue::runUntil(TimePs limit)
         for (const Hook &h : hooks)
             if (h.deadline != kTimeNever && h.deadline < e)
                 e = h.deadline;
+        while (!extraDeadlines.empty() && extraDeadlines.top() <= floorTime)
+            extraDeadlines.pop();
+        if (!extraDeadlines.empty() && extraDeadlines.top() < e)
+            e = extraDeadlines.top();
         if (e <= floorTime)
             e = floorTime + 1;  // defensive: deadlines are clamped > floor
         runWindow(e, /*drain=*/false);

@@ -64,6 +64,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <thread>
 #include <vector>
 
@@ -161,6 +162,17 @@ class ShardedEventQueue
     void atBarrier(BarrierHook hook, TimePs firstDeadline = kTimeNever);
 
     /**
+     * Request a one-shot extra barrier at simulated time @p t: some
+     * runUntil() window will end exactly at @p t (clamped to now() + 1 if
+     * already past), at which point every registered barrier hook fires
+     * with E == t. This is how barrier-scheduled actions (fault
+     * injection, chaos phases) land at exact simulated times on any
+     * worker count. Like hook deadlines, ignored by runAll(). Callable
+     * from barrier hooks and between runs on the coordinator thread.
+     */
+    void requestBarrier(TimePs t);
+
+    /**
      * Run windows until every partition has executed all events with
      * time <= @p limit; afterwards now() == limit. Deterministic for a
      * given (partition contents, edges, hooks, limit) regardless of
@@ -218,6 +230,10 @@ class ShardedEventQueue
         TimePs deadline;
     };
     std::vector<Hook> hooks;
+
+    /** One-shot extra barrier deadlines (requestBarrier), a min-heap. */
+    std::priority_queue<TimePs, std::vector<TimePs>, std::greater<TimePs>>
+        extraDeadlines;
 
     std::uint64_t windowsRunCount = 0;
     std::uint64_t crossMessageCount = 0;

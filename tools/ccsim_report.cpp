@@ -237,10 +237,18 @@ struct AlertEvent {
     int host = -1;
 };
 
+/** A chaos-campaign phase marker (injected fault / detected conviction). */
+struct ChaosMarker {
+    double t_us = 0.0;
+    std::string phase;
+    std::string kind;  // "injected" | "detected"
+};
+
 struct Dashboard {
     double windowUs = 0.0;
     std::map<std::string, SeriesData> series;
     std::vector<AlertEvent> alerts;
+    std::vector<ChaosMarker> chaos;
     std::size_t windows = 0;
     std::size_t badLines = 0;
 
@@ -283,6 +291,12 @@ Dashboard::ingest(const Json &rec)
         a.burnShort = rec.numOr("burn_short", 0.0);
         a.host = static_cast<int>(rec.numOr("host", -1.0));
         alerts.push_back(std::move(a));
+    } else if (type == "chaos") {
+        ChaosMarker m;
+        m.t_us = rec.numOr("t_us", 0.0);
+        m.phase = rec.strOr("phase", "?");
+        m.kind = rec.strOr("kind", "injected");
+        chaos.push_back(std::move(m));
     }
 }
 
@@ -443,25 +457,57 @@ heatmap(std::ostream &os, const Dashboard &db, const std::string &glob)
 }
 
 void
+alertRow(std::ostream &os, const AlertEvent &a)
+{
+    os << "<tr class='" << (a.firing ? "firing" : "resolved") << "'><td>"
+       << fmtNum(a.t_us / 1000.0) << "</td><td>"
+       << (a.firing ? "FIRING" : "resolved") << "</td><td>"
+       << htmlEscape(a.slo) << "</td><td>" << htmlEscape(a.series)
+       << "</td><td>" << fmtNum(a.burnLong) << " / "
+       << fmtNum(a.burnShort) << "</td><td>"
+       << (a.host >= 0 ? std::to_string(a.host) : std::string("-"))
+       << "</td></tr>\n";
+}
+
+void
+chaosRow(std::ostream &os, const ChaosMarker &m)
+{
+    os << "<tr class='chaos'><td>" << fmtNum(m.t_us / 1000.0)
+       << "</td><td>" << (m.kind == "detected" ? "DETECTED" : "INJECTED")
+       << "</td><td>chaos</td><td>" << htmlEscape(m.phase)
+       << "</td><td>-</td><td>-</td></tr>\n";
+}
+
+/**
+ * One merged timeline: SLO alert transitions interleaved with chaos
+ * phase markers, so a campaign dashboard shows each injected fault next
+ * to the alerts and domain convictions it provoked.
+ */
+void
 alertTimeline(std::ostream &os, const Dashboard &db)
 {
-    os << "<h2>Alerts <span class='kind'>" << db.alerts.size()
-       << " transitions</span></h2>\n";
-    if (db.alerts.empty()) {
-        os << "<p class='note'>no alerts fired</p>\n";
+    os << "<h2>Alerts &amp; chaos phases <span class='kind'>"
+       << db.alerts.size() << " alert transitions &middot; "
+       << db.chaos.size() << " chaos markers</span></h2>\n";
+    if (db.alerts.empty() && db.chaos.empty()) {
+        os << "<p class='note'>no alerts fired, no chaos injected</p>\n";
         return;
     }
     os << "<table><tr><th>t (ms)</th><th>state</th><th>SLO</th>"
           "<th>series</th><th>burn long/short</th><th>host</th></tr>\n";
-    for (const AlertEvent &a : db.alerts) {
-        os << "<tr class='" << (a.firing ? "firing" : "resolved") << "'><td>"
-           << fmtNum(a.t_us / 1000.0) << "</td><td>"
-           << (a.firing ? "FIRING" : "resolved") << "</td><td>"
-           << htmlEscape(a.slo) << "</td><td>" << htmlEscape(a.series)
-           << "</td><td>" << fmtNum(a.burnLong) << " / "
-           << fmtNum(a.burnShort) << "</td><td>"
-           << (a.host >= 0 ? std::to_string(a.host) : std::string("-"))
-           << "</td></tr>\n";
+    // Both streams are already in emission (time) order; merge by time,
+    // chaos markers first on ties so the injection reads before its
+    // consequences.
+    std::size_t ai = 0, ci = 0;
+    while (ai < db.alerts.size() || ci < db.chaos.size()) {
+        const bool chaosNext =
+            ci < db.chaos.size() &&
+            (ai >= db.alerts.size() ||
+             db.chaos[ci].t_us <= db.alerts[ai].t_us);
+        if (chaosNext)
+            chaosRow(os, db.chaos[ci++]);
+        else
+            alertRow(os, db.alerts[ai++]);
     }
     os << "</table>\n";
 }
@@ -494,6 +540,7 @@ writeHtml(const Dashboard &db, const std::string &path,
           "td,th{border:1px solid #232b36;padding:3px 8px;"
           "text-align:left}\n"
           "tr.firing td{color:#ff7a4f}tr.resolved td{color:#7ccf7c}\n"
+          "tr.chaos td{color:#c792ea}\n"
           ".hmlabel{fill:#8b98a5;font-size:9px}\n"
           ".note{color:#8b98a5}code{color:#4fc1ff}\n"
        << "</style></head><body>\n<h1>" << htmlEscape(title)
@@ -526,7 +573,8 @@ writeHtml(const Dashboard &db, const std::string &path,
            << maxCharts << ")</p>\n";
     os << "</body></html>\n";
     std::printf("ccsim_report: wrote %s (%zu charts, %zu alerts, %zu "
-                "windows)\n", path.c_str(), charted, db.alerts.size(),
+                "chaos markers, %zu windows)\n",
+                path.c_str(), charted, db.alerts.size(), db.chaos.size(),
                 db.windows);
     return 0;
 }
@@ -555,6 +603,11 @@ printTextRecord(const Json &rec)
                     rec.numOr("burn_long", 0.0),
                     rec.numOr("burn_short", 0.0),
                     static_cast<int>(rec.numOr("host", -1.0)));
+    } else if (type == "chaos") {
+        std::printf("[%10.1f us] CHAOS %s phase=%s\n",
+                    rec.numOr("t_us", 0.0),
+                    rec.strOr("kind", "?").c_str(),
+                    rec.strOr("phase", "?").c_str());
     } else if (type == "series") {
         std::printf("               new series %s (%s)\n",
                     rec.strOr("name", "?").c_str(),

@@ -53,6 +53,8 @@ sectionTitle(const std::string &prefix)
         return "SLO / burn-rate engine (`slo.<objective>.*`)";
     if (prefix == "fault")
         return "Fault injection (`fault.*`)";
+    if (prefix == "chaos")
+        return "Chaos campaigns (`chaos.*`)";
     return "Other";
 }
 
